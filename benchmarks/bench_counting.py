@@ -1,0 +1,65 @@
+"""Experiments T1-halt, T1-whp, R2-est: Counting-Upper-Bound (Theorem 1).
+
+Regenerates (i) the always-halts guarantee, (ii) the w.h.p. success rate
+against the ``1/n^(b-2)`` bound, and (iii) Remark 2's observation that the
+estimate ``r0`` is close to ``(9/10) n`` for populations up to 1000 nodes.
+"""
+
+import random
+
+from conftest import print_table
+
+from repro.analysis.walks import counting_failure_bound
+from repro.population.counting import CountingUpperBound, estimate_quality
+
+
+def _success_sweep(ns, b, trials, seed=0):
+    rng = random.Random(seed)
+    rows = []
+    for n in ns:
+        ok = 0
+        for _ in range(trials):
+            res = CountingUpperBound(n, b, rng=rng).run()
+            ok += int(res.success)
+        rows.append((n, b, ok / trials, counting_failure_bound(n, b)))
+    return rows
+
+
+def test_theorem1_success_rate(benchmark):
+    rows = benchmark.pedantic(
+        _success_sweep, args=([64, 256, 1024], 4, 200), rounds=1, iterations=1
+    )
+    print_table(
+        "T1-whp: success rate of Counting-Upper-Bound (b = 4)",
+        f"{'n':>6} {'b':>3} {'success':>9} {'1 - bound':>10}",
+        (f"{n:>6} {b:>3} {rate:>9.3f} {1 - bound:>10.4f}" for n, b, rate, bound in rows),
+    )
+    for n, b, rate, bound in rows:
+        assert rate >= 1 - 20 * bound - 0.03
+
+
+def test_remark2_estimate_quality(benchmark):
+    rows = benchmark.pedantic(
+        estimate_quality,
+        args=([100, 250, 500, 1000],),
+        kwargs={"b": 4, "trials": 25, "seed": 1},
+        rounds=1,
+        iterations=1,
+    )
+    print_table(
+        "R2-est: estimate quality (paper: close to 0.9 n, usually higher)",
+        f"{'n':>6} {'mean r0/n':>10} {'min r0/n':>9} {'success':>8}",
+        (f"{n:>6} {m:>10.3f} {mn:>9.3f} {s:>8.2f}" for n, m, mn, s in rows),
+    )
+    for _n, mean_ratio, _min_ratio, success in rows:
+        assert mean_ratio > 0.85
+        assert success == 1.0
+
+
+def test_theorem1_always_halts(benchmark):
+    def halt_many():
+        for seed in range(50):
+            CountingUpperBound(128, 4, seed=seed).run()  # raises otherwise
+        return True
+
+    assert benchmark.pedantic(halt_many, rounds=1, iterations=1)

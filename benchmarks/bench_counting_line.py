@@ -1,0 +1,53 @@
+"""Experiment L1-count: Counting-on-a-Line (§6.1, Lemma 1).
+
+Regenerates the Lemma 1 guarantees on populations up to a few hundred
+nodes: termination, `r0 >= n/2`, line length floor(lg r0) + 1, debt repaid,
+plus the exact-mode extension of Remark 2.
+"""
+
+from conftest import print_table
+
+from repro.constructors.counting_line import run_counting_on_a_line
+
+
+def test_lemma1_sweep(benchmark):
+    def sweep():
+        rows = []
+        for n in (32, 64, 128, 256):
+            res = run_counting_on_a_line(n, b=4, seed=n)
+            rows.append(
+                (n, res.r0, res.line_length, res.expected_length,
+                 res.r2, res.events, res.success)
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_table(
+        "L1-count: Counting-on-a-Line (b = 4)",
+        f"{'n':>5} {'r0':>5} {'len':>4} {'lg r0 + 1':>9} {'debt':>5} {'events':>8}",
+        (
+            f"{n:>5} {r0:>5} {ln:>4} {el:>9} {r2:>5} {ev:>8}"
+            for n, r0, ln, el, r2, ev, _s in rows
+        ),
+    )
+    for n, r0, length, expect_len, r2, _ev, success in rows:
+        assert success
+        assert length == expect_len
+        assert r2 == 0
+
+
+def test_exact_mode_counts_n_minus_one(benchmark):
+    def sweep():
+        return [
+            (n, run_counting_on_a_line(n, b=4, seed=n + 1, exact_factor=3).r0)
+            for n in (32, 64, 128)
+        ]
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_table(
+        "L1-count (exact mode, Remark 2): r0 vs n - 1",
+        f"{'n':>5} {'r0':>5}",
+        (f"{n:>5} {r0:>5}" for n, r0 in rows),
+    )
+    for n, r0 in rows:
+        assert r0 == n - 1

@@ -1,0 +1,45 @@
+"""Experiment R1-time: Remark 1 — expected O(n^2 log n) interactions.
+
+Measures raw interactions to termination of Counting-Upper-Bound and
+checks the growth against the ``n^2 log n`` model (flat ratios) and
+against a power-law fit of the exponent.
+"""
+
+import math
+import random
+
+from conftest import print_table
+
+from repro.analysis.stats import fit_power_law, ratio_to_model
+from repro.population.counting import CountingUpperBound
+
+
+def _timing_sweep(ns, trials=15, seed=0):
+    rng = random.Random(seed)
+    rows = []
+    for n in ns:
+        total = 0
+        for _ in range(trials):
+            total += CountingUpperBound(n, 4, rng=rng).run().raw_interactions
+        rows.append((n, total / trials))
+    return rows
+
+
+def test_remark1_interaction_growth(benchmark):
+    rows = benchmark.pedantic(
+        _timing_sweep, args=([64, 128, 256, 512, 1024],), rounds=1, iterations=1
+    )
+    ns = [r[0] for r in rows]
+    times = [r[1] for r in rows]
+    ratios = ratio_to_model(ns, times, lambda n: n * n * math.log(n))
+    alpha, _c = fit_power_law(ns, times)
+    print_table(
+        "R1-time: raw interactions to halt vs n^2 log n",
+        f"{'n':>6} {'interactions':>14} {'/ n^2 ln n':>11}",
+        (f"{n:>6} {t:>14.0f} {r:>11.4f}" for (n, t), r in zip(rows, ratios)),
+    )
+    print(f"power-law exponent: {alpha:.2f} (model: ~2 with a log factor)")
+    # The ratio to n^2 log n must stay within a constant band (no drift by
+    # more than ~2.5x across a 16x range of n) and the exponent near 2.
+    assert max(ratios) / min(ratios) < 2.5
+    assert 1.6 < alpha < 2.4

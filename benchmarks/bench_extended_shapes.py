@@ -1,0 +1,76 @@
+"""Experiment T4-ext: the universal constructor on the extended catalogue.
+
+Theorem 4 is universal over TM-computable connected shapes; this bench runs
+the distributed construction on the extended shape catalogue (serpentine,
+diamond, periodic stripes) and the Remark 4 pattern catalogue
+(checkerboard, Sierpinski, gradient), reporting useful space and waste per
+shape — the quantities of Definition 4.
+"""
+
+from conftest import print_table
+
+from repro.constructors.tm_construction import (
+    run_pattern_construction,
+    run_shape_construction,
+)
+from repro.machines.shape_programs import (
+    checkerboard_pattern_program,
+    diamond_program,
+    expected_pattern,
+    expected_shape,
+    gradient_pattern_program,
+    serpentine_program,
+    sierpinski_pattern_program,
+    stripes_program,
+)
+
+
+def test_extended_shape_catalogue(benchmark):
+    d = 9
+    programs = [serpentine_program(), diamond_program(), stripes_program(3)]
+
+    def construct_all():
+        rows = []
+        for prog in programs:
+            res = run_shape_construction(prog, d)
+            rows.append((prog.name, res.useful_space, res.waste, res.interactions))
+        return rows
+
+    rows = benchmark.pedantic(construct_all, rounds=1, iterations=1)
+    print_table(
+        f"T4-ext: extended shapes on the {d}x{d} square",
+        f"{'shape':>12} {'useful':>7} {'waste':>6} {'interactions':>13}",
+        (f"{n:>12} {u:>7} {w:>6} {i:>13}" for n, u, w, i in rows),
+    )
+    for (name, useful, waste, _i), prog in zip(rows, programs):
+        expected = expected_shape(prog, d)
+        assert useful == len(expected.cells), name
+        assert waste == d * d - useful
+
+
+def test_extended_pattern_catalogue(benchmark):
+    d = 8
+    programs = [
+        checkerboard_pattern_program(),
+        sierpinski_pattern_program(),
+        gradient_pattern_program(4),
+    ]
+
+    def construct_all():
+        rows = []
+        for prog in programs:
+            colors, interactions = run_pattern_construction(prog, d)
+            rows.append((prog.name, colors, interactions))
+        return rows
+
+    rows = benchmark.pedantic(construct_all, rounds=1, iterations=1)
+    print_table(
+        f"R4-ext: extended patterns on the {d}x{d} square",
+        f"{'pattern':>14} {'colors':>7} {'interactions':>13}",
+        (
+            f"{name:>14} {len(set(colors.values())):>7} {i:>13}"
+            for name, colors, i in rows
+        ),
+    )
+    for (name, colors, _i), prog in zip(rows, programs):
+        assert colors == expected_pattern(prog, d), name

@@ -1,0 +1,104 @@
+"""Experiment S8-faults: the robustness questions of the paper's §8.
+
+(i) Under perpetual link breakage no construction stabilizes: a re-gluing
+protocol under increasing breakage probability never quiesces, and the
+largest component it sustains shrinks as the rate grows. (ii) Blueprint
+repair reconstructs detached parts at a cost proportional to the damage,
+not to the shape — the affirmative answer to §8's "can we reconstruct
+broken parts without resetting the whole population?".
+"""
+
+import random
+
+from conftest import print_table
+
+from repro.core.protocol import Rule, RuleProtocol
+from repro.core.world import World
+from repro.faults.injection import FaultySimulation
+from repro.faults.repair import damage_statistics, detach_part, repair_shape
+from repro.geometry.ports import PORTS_2D, opposite
+from repro.geometry.shape import Shape
+from repro.geometry.vec import Vec
+from repro.machines.shape_programs import expected_shape, star_program
+
+
+def gluing_protocol() -> RuleProtocol:
+    rules = [
+        Rule("q1", p, "q1", opposite(p), 0, "q1", "q1", 1) for p in PORTS_2D
+    ]
+    return RuleProtocol(rules, initial_state="q1", name="gluing")
+
+
+def test_perpetual_breakage_prevents_stabilization(benchmark):
+    def sweep():
+        rows = []
+        for prob in (0.0, 0.05, 0.2, 0.5):
+            protocol = gluing_protocol()
+            world = World(2)
+            for _ in range(16):
+                world.add_free_node("q1")
+            sim = FaultySimulation(world, protocol, break_prob=prob, seed=11)
+            res = sim.run(max_steps=1500)
+            rows.append(
+                (prob, res.stabilized, len(sim.breakages),
+                 sim.largest_component_size())
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_table(
+        "S8-faults: gluing protocol under per-event breakage probability p",
+        f"{'p':>5} {'stabilized':>10} {'faults':>7} {'max comp':>9}",
+        (
+            f"{p:>5.2f} {str(s):>10} {f:>7} {m:>9}"
+            for p, s, f, m in rows
+        ),
+    )
+    by_prob = {p: (s, f, m) for p, s, f, m in rows}
+    assert by_prob[0.0][0] is True       # fault-free run stabilizes
+    assert by_prob[0.5][0] is False      # perpetual setback never does
+    assert by_prob[0.5][1] > 0
+
+
+def test_repair_cost_tracks_damage_not_shape(benchmark):
+    blueprint = Shape.from_cells(
+        [Vec(x, y) for x in range(12) for y in range(12)]
+    )
+
+    rows = benchmark.pedantic(
+        damage_statistics,
+        args=(blueprint, [0.05, 0.1, 0.2, 0.4]),
+        kwargs={"trials": 6, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    print_table(
+        "S8-repair: blueprint repair cost vs damage fraction (12x12 square)",
+        f"{'fraction':>9} {'lost cells':>11} {'interactions':>13}",
+        (f"{f:>9.2f} {lost:>11.1f} {cost:>13.1f}" for f, lost, cost in rows),
+    )
+    costs = [cost for _f, _l, cost in rows]
+    assert all(a < b for a, b in zip(costs, costs[1:]))
+    # Cost per lost cell is bounded (attach + at most 3 extra bonds).
+    for _f, lost, cost in rows:
+        assert cost <= 5 * lost + 1
+
+
+def test_repair_restores_a_constructed_star(benchmark):
+    # End-to-end: damage the star of Figure 7(c) and repair it from its
+    # own blueprint.
+    star = expected_shape(star_program(), 8)
+
+    def damage_and_repair():
+        rng = random.Random(5)
+        damaged, lost = detach_part(star, 0.3, rng=rng)
+        res = repair_shape(damaged, star, rng=rng)
+        return lost, res
+
+    lost, res = benchmark.pedantic(damage_and_repair, rounds=1, iterations=1)
+    print(
+        f"\nS8-repair star: lost {len(lost)} of {len(star.cells)} cells, "
+        f"repaired in {res.interactions} interactions"
+    )
+    assert res.repaired.cells == star.cells
+    assert res.nodes_attached == len(lost)

@@ -1,0 +1,53 @@
+"""Experiment S8-hybrid: active vs passive mobility (§8's Nubot combination).
+
+The walker dimer translates two cells per four-interaction cycle under its
+movement rules; the purely passive model keeps every component's internal
+geometry rigid forever. The bench quantifies that qualitative gap and
+checks the walker's speed matches the gait analysis exactly.
+"""
+
+from conftest import print_table
+
+from repro.hybrid.movement import (
+    HybridSimulation,
+    MovementProtocol,
+    make_walker_world,
+    walker_protocol,
+)
+
+
+def _displacement(world, nids):
+    return min(world.nodes[n].pos.x for n in nids)
+
+
+def test_walker_speed_vs_passive_rigidity(benchmark):
+    def race():
+        rows = []
+        for label, protocol in (
+            ("walker (active)", walker_protocol()),
+            ("passive (no moves)", MovementProtocol([], name="inert")),
+        ):
+            world, mover, pivot = make_walker_world()
+            sim = HybridSimulation(world, protocol, seed=0)
+            start = _displacement(world, (mover, pivot))
+            for _ in range(200):
+                if not sim.step():
+                    break
+            end = _displacement(world, (mover, pivot))
+            rows.append((label, sim.events, sim.moves, end - start))
+        return rows
+
+    rows = benchmark.pedantic(race, rounds=1, iterations=1)
+    print_table(
+        "S8-hybrid: displacement after 200 scheduler opportunities",
+        f"{'model':>20} {'events':>7} {'moves':>6} {'dx':>5}",
+        (f"{lbl:>20} {e:>7} {m:>6} {dx:>5}" for lbl, e, m, dx in rows),
+    )
+    by_label = {lbl: (e, m, dx) for lbl, e, m, dx in rows}
+    active = by_label["walker (active)"]
+    passive = by_label["passive (no moves)"]
+    # Gait analysis: two cells per four interactions.
+    assert active[2] == active[0] // 2
+    # The passive dimer cannot change its geometry at all.
+    assert passive[2] == 0
+    assert passive[0] == 0

@@ -1,0 +1,54 @@
+"""Experiment C1-ev: evidence for Conjecture 1 (§5.2).
+
+Anonymous protocols terminate after a constant number of interactions with
+probability bounded away from zero as n grows, and learn nothing about n.
+"""
+
+from conftest import print_table
+
+from repro.population.leaderless import (
+    early_termination_experiment,
+    state_multiplicity_experiment,
+)
+
+
+def test_early_termination_rate_constant_in_n(benchmark):
+    def sweep():
+        return [
+            early_termination_experiment(n, b=2, trials=40, seed=0)
+            for n in (30, 60, 120, 240)
+        ]
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_table(
+        "C1-ev: anonymous window protocol — early termination",
+        f"{'n':>5} {'early rate':>11} {'terminator steps':>17} {'count error':>12}",
+        (
+            f"{o.n:>5} {o.early_termination_rate:>11.2f} "
+            f"{o.mean_interactions_of_terminator:>17.1f} "
+            f"{o.mean_relative_count_error:>12.2f}"
+            for o in rows
+        ),
+    )
+    for obs in rows:
+        assert obs.early_termination_rate > 0.4
+        assert obs.mean_relative_count_error > 0.5
+    # The rate does not vanish as n grows 8x.
+    assert rows[-1].early_termination_rate > rows[0].early_termination_rate * 0.5
+
+
+def test_state_multiplicities_linear(benchmark):
+    def sweep():
+        return [
+            (n, state_multiplicity_experiment(n, k=3, seed=1)[0])
+            for n in (60, 120, 240)
+        ]
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_table(
+        "C1-ev: minimum state multiplicity / n (argument parts 1-2)",
+        f"{'n':>5} {'floor/n':>9}",
+        (f"{n:>5} {f:>9.3f}" for n, f in rows),
+    )
+    for _n, floor in rows:
+        assert floor > 0.05

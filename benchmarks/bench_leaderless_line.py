@@ -1,0 +1,66 @@
+"""Experiment R5-line: dropping the unique leader (§4.1 remark, Remark 5).
+
+The leaderless spanning line pays two prices the paper predicts: it only
+*stabilizes* (never terminates), and elections waste work — losing lines
+are dismantled node by node and rebuilt by the winner. The bench measures
+that overhead against the unique-leader §4.1 protocol.
+"""
+
+import random
+
+from conftest import print_table
+
+from repro.core.simulator import Simulation
+from repro.core.world import World
+from repro.protocols.leaderless_line import (
+    is_spanning_line_configuration,
+    leaderless_spanning_line_protocol,
+)
+from repro.protocols.line import spanning_line_protocol
+
+
+def _events_to_line(protocol, n: int, leaders: int, seed: int) -> int:
+    world = World.of_free_nodes(n, protocol, leaders=leaders)
+    sim = Simulation(world, protocol, seed=seed)
+    sim.run_to_stabilization(max_events=500_000)
+    return sim.events
+
+
+def test_leaderless_vs_unique_leader(benchmark):
+    def sweep():
+        rng = random.Random(0)
+        rows = []
+        for n in (8, 16, 24):
+            trials = 5
+            with_leader = sum(
+                _events_to_line(
+                    spanning_line_protocol(), n, 1, rng.randrange(2**31)
+                )
+                for _ in range(trials)
+            ) / trials
+            leaderless = 0.0
+            for _ in range(trials):
+                protocol = leaderless_spanning_line_protocol()
+                world = World.of_free_nodes(n, protocol)
+                sim = Simulation(world, protocol, seed=rng.randrange(2**31))
+                sim.run_to_stabilization(max_events=500_000)
+                assert is_spanning_line_configuration(world)
+                leaderless += sim.events
+            leaderless /= trials
+            rows.append((n, with_leader, leaderless, leaderless / with_leader))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_table(
+        "R5-line: effective interactions to the spanning line",
+        f"{'n':>4} {'with leader':>12} {'leaderless':>11} {'overhead':>9}",
+        (
+            f"{n:>4} {wl:>12.1f} {ll:>11.1f} {ov:>8.2f}x"
+            for n, wl, ll, ov in rows
+        ),
+    )
+    for _n, with_leader, leaderless, _ov in rows:
+        # The unique-leader protocol needs exactly n - 1 events; the
+        # leaderless one needs at least as many (and usually more, since
+        # elections dismantle built lines).
+        assert leaderless >= with_leader

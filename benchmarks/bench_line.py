@@ -1,0 +1,65 @@
+"""Experiment S4-line: spanning line construction (§4.1).
+
+Effective interactions are exactly n - 1 for both variants (each node is
+absorbed once); the raw-step cost under the exact uniform scheduler shows
+the simplified 3-state variant paying for its port-restricted meetings.
+"""
+
+from conftest import print_table
+
+from repro.core.scheduler import EnumeratingScheduler
+from repro.core.simulator import Simulation
+from repro.core.world import World
+from repro.protocols.line import simple_line_protocol, spanning_line_protocol
+
+
+def _raw_cost(factory, n, seeds):
+    total = 0
+    for seed in seeds:
+        protocol = factory()
+        world = World.of_free_nodes(n, protocol, leaders=1)
+        sim = Simulation(world, protocol, scheduler=EnumeratingScheduler(), seed=seed)
+        res = sim.run_to_stabilization(max_events=10_000)
+        assert res.raw_steps is not None
+        total += res.raw_steps
+    return total / len(seeds)
+
+
+def test_line_raw_step_comparison(benchmark):
+    def sweep():
+        rows = []
+        for n in (6, 10, 14):
+            general = _raw_cost(spanning_line_protocol, n, range(6))
+            simple = _raw_cost(simple_line_protocol, n, range(6))
+            rows.append((n, general, simple, simple / general))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_table(
+        "S4-line: mean raw steps to stabilize (general vs simplified)",
+        f"{'n':>4} {'general':>9} {'simple':>9} {'slowdown':>9}",
+        (f"{n:>4} {g:>9.0f} {s:>9.0f} {r:>9.2f}" for n, g, s, r in rows),
+    )
+    for _n, _g, _s, slowdown in rows:
+        assert slowdown > 1.0  # the 3-state variant is slower, as the paper notes
+
+
+def test_line_effective_events_scale_linearly(benchmark):
+    def sweep():
+        rows = []
+        protocol = spanning_line_protocol()
+        for n in (20, 40, 80):
+            world = World.of_free_nodes(n, protocol, leaders=1)
+            sim = Simulation(world, protocol, seed=n)
+            res = sim.run_to_stabilization(max_events=10_000)
+            rows.append((n, res.events))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_table(
+        "S4-line: effective interactions (exactly n - 1)",
+        f"{'n':>4} {'events':>7}",
+        (f"{n:>4} {e:>7}" for n, e in rows),
+    )
+    for n, events in rows:
+        assert events == n - 1

@@ -1,0 +1,97 @@
+"""Experiment P45-rep: line replication throughput (Protocols 4 and 5)."""
+
+from conftest import print_table
+
+from repro.core.simulator import Simulation
+from repro.protocols.replication import (
+    extract_lines,
+    line_replication_protocol,
+    no_leader_line_replication_protocol,
+    replication_world,
+)
+
+
+def test_protocol4_replication_cost(benchmark):
+    def sweep():
+        rows = []
+        protocol = line_replication_protocol()
+        for length in (4, 8, 12, 16):
+            world = replication_world(length)
+            sim = Simulation(world, protocol, seed=length)
+            res = sim.run_to_stabilization(max_events=200_000)
+            lines = sorted(extract_lines(world))
+            assert lines == [("Ls", length), ("Lstart", length)]
+            rows.append((length, res.events))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_table(
+        "P45-rep: Protocol 4 — events for one replication",
+        f"{'length':>7} {'events':>7}",
+        (f"{l:>7} {e:>7}" for l, e in rows),
+    )
+    # The chain+restore walks are linear in the line length: events scale
+    # roughly linearly (each node attaches once, each walk passes once).
+    per = [e / l for l, e in rows]
+    assert max(per) / min(per) < 2.0
+
+
+def test_protocol5_leaderless_throughput(benchmark):
+    """Protocol 5 is leaderless and "more parallel" — but standalone it can
+    *deadlock*: concurrent half-built replicas split the free material and
+    none completes (this is exactly why Lemma 2's leader accepts replicas
+    mid-replication and releases their strays). The bench measures both
+    the throughput of successful runs and the observed deadlock rate."""
+
+    def sweep():
+        length = 5
+        protocol = no_leader_line_replication_protocol()
+
+        def run_regime(free_mult: int, target: int):
+            successes = []
+            deadlocks = 0
+            for seed in range(10):
+                world = replication_world(
+                    length, free_nodes=free_mult * length, leader_left="e"
+                )
+
+                def enough(w):
+                    return (
+                        sum(
+                            1
+                            for _, size in extract_lines(w)
+                            if size == length
+                        )
+                        >= target
+                    )
+
+                sim = Simulation(world, protocol, seed=seed)
+                res = sim.run(max_events=200_000, until=enough)
+                if res.stopped:
+                    successes.append(res.events)
+                else:
+                    assert res.stabilized  # material-exhaustion deadlock
+                    deadlocks += 1
+            return successes, deadlocks
+
+        ample = run_regime(free_mult=8, target=3)
+        scarce = run_regime(free_mult=4, target=3)
+        return ample, scarce
+
+    (ample_ok, ample_dead), (scarce_ok, scarce_dead) = benchmark.pedantic(
+        sweep, rounds=1, iterations=1
+    )
+    mean = sum(ample_ok) / max(1, len(ample_ok))
+    print(
+        "\nP45-rep: Protocol 5, 2 extra complete lines of length 5, 10 seeds"
+        f"\n  ample material (8L free):  {len(ample_ok)} succeeded "
+        f"(mean {mean:.0f} events), {ample_dead} deadlocked"
+        f"\n  scarce material (4L free): {len(scarce_ok)} succeeded, "
+        f"{scarce_dead} deadlocked on split material"
+    )
+    # With ample material the leaderless protocol delivers; with scarce
+    # material concurrent half-built replicas strand each other — the
+    # failure mode Lemma 2's leader neutralizes by accepting replicas
+    # mid-replication.
+    assert len(ample_ok) >= 7
+    assert scarce_dead >= 5

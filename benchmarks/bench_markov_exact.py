@@ -1,0 +1,117 @@
+"""Experiment T1-exact: exact Markov-chain analysis of Counting-Upper-Bound.
+
+Ablation companion to F4-walk: replaces the Monte Carlo estimates with
+exact dynamic programming / linear solves, giving (i) the exact failure
+probability vs the paper's asymptotic ``1/n^(b-2)`` bound, (ii) the exact
+expected estimate ``E[r0]/n`` behind Remark 2, and (iii) the closed-form
+cross-checks of the ruin and Ehrenfest reductions used in Theorem 1's proof.
+"""
+
+from conftest import print_table
+
+from repro.analysis.markov import (
+    counting_exact_failure,
+    counting_expected_estimate,
+    counting_estimate_quantile,
+    ehrenfest_mean_recurrence_exact,
+    ehrenfest_spectral_gap,
+    failure_table_exact,
+    ruin_win_probability_exact,
+)
+from repro.analysis.walks import gambler_ruin_win_probability
+
+
+def test_exact_failure_vs_bound(benchmark):
+    rows = benchmark.pedantic(
+        failure_table_exact,
+        args=([32, 64, 128, 256, 512], [3, 4, 5]),
+        rounds=1,
+        iterations=1,
+    )
+    print_table(
+        "T1-exact: exact failure probability vs 1/n^(b-2)",
+        f"{'n':>5} {'b':>3} {'exact':>12} {'bound':>12} {'ratio':>8}",
+        (
+            f"{n:>5} {b:>3} {f:>12.3e} {bd:>12.3e} {f / bd:>8.3f}"
+            for n, b, f, bd in rows
+        ),
+    )
+    # The bound is asymptotic: the exact/bound ratio must shrink with n for
+    # each fixed b and be below 1 by n = 512.
+    for b in (3, 4, 5):
+        ratios = [f / bd for n, bb, f, bd in rows if bb == b]
+        assert all(x >= y - 1e-15 for x, y in zip(ratios, ratios[1:]))
+        assert ratios[-1] < 1.0
+
+
+def test_exact_estimate_quality(benchmark):
+    def table():
+        rows = []
+        for n in (100, 200, 400, 800):
+            mean = counting_expected_estimate(n, 4)
+            q10 = counting_estimate_quantile(n, 4, 0.1)
+            rows.append((n, mean / n, q10 / n))
+        return rows
+
+    rows = benchmark.pedantic(table, rounds=1, iterations=1)
+    print_table(
+        "R2-exact: exact E[r0]/n and 10th-percentile r0/n (b = 4)",
+        f"{'n':>5} {'E[r0]/n':>9} {'q10/n':>7}",
+        (f"{n:>5} {m:>9.4f} {q:>7.4f}" for n, m, q in rows),
+    )
+    # Remark 2: the estimate is close to (9/10) n and improves with n.
+    means = [m for _n, m, _q in rows]
+    assert all(x <= y + 1e-12 for x, y in zip(means, means[1:]))
+    assert means[-1] > 0.85
+
+
+def test_ruin_linear_solve_matches_feller_formula(benchmark):
+    def compare():
+        rows = []
+        for b in (3, 4, 6, 8):
+            p = 0.25
+            x = (1 - p) / p
+            rows.append(
+                (
+                    b,
+                    ruin_win_probability_exact(b, p, start=1),
+                    gambler_ruin_win_probability(x, b),
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(compare, rounds=1, iterations=1)
+    print_table(
+        "Ruin: linear solve vs Feller closed form (p = 1/4)",
+        f"{'b':>3} {'solve':>12} {'formula':>12}",
+        (f"{b:>3} {s:>12.3e} {f:>12.3e}" for b, s, f in rows),
+    )
+    for _b, solve, formula in rows:
+        assert abs(solve - formula) / formula < 1e-9
+
+
+def test_ehrenfest_exact_quantities(benchmark):
+    def table():
+        return [
+            (
+                balls,
+                ehrenfest_mean_recurrence_exact(balls, 0),
+                2.0**balls,
+                ehrenfest_spectral_gap(balls),
+                2.0 / balls,
+            )
+            for balls in (8, 16, 24, 32)
+        ]
+
+    rows = benchmark.pedantic(table, rounds=1, iterations=1)
+    print_table(
+        "Ehrenfest: recurrence at empty urn and spectral gap vs closed forms",
+        f"{'balls':>6} {'1/pi(0)':>12} {'2^balls':>12} {'gap':>9} {'2/balls':>9}",
+        (
+            f"{n:>6} {rec:>12.4g} {ref:>12.4g} {gap:>9.5f} {gref:>9.5f}"
+            for n, rec, ref, gap, gref in rows
+        ),
+    )
+    for _n, rec, ref, gap, gref in rows:
+        assert abs(rec - ref) / ref < 1e-9
+        assert abs(gap - gref) < 1e-8

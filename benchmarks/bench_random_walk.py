@@ -1,0 +1,84 @@
+"""Experiments F4-walk and KAC: the random-walk reductions of Theorem 1.
+
+(i) The Figure 4 walk's empirical failure probability against the paper's
+``1/n^(b-2)`` bound and against the full protocol; (ii) Kac's mean
+recurrence time ``2^(2R)`` for the Ehrenfest model, plus the exact
+within-horizon return probabilities used in the proof.
+"""
+
+import random
+
+from conftest import print_table
+
+from repro.analysis.walks import (
+    CountingWalk,
+    counting_failure_bound,
+    ehrenfest_mean_recurrence,
+    ehrenfest_return_probability,
+    walk_failure_table,
+)
+from repro.population.counting import CountingUpperBound
+
+
+def test_figure4_walk_failure_vs_bound(benchmark):
+    rows = benchmark.pedantic(
+        walk_failure_table,
+        args=([32, 64, 128], [3, 4, 5]),
+        kwargs={"trials": 3000, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    print_table(
+        "F4-walk: empirical failure of the counting walk vs 1/n^(b-2)",
+        f"{'n':>5} {'b':>3} {'empirical':>10} {'bound':>10}",
+        (f"{n:>5} {b:>3} {f:>10.4f} {bd:>10.4f}" for n, b, f, bd in rows),
+    )
+    for _n, _b, fail, bound in rows:
+        assert fail <= bound + 0.02
+
+
+def test_walk_equals_protocol_law(benchmark):
+    def compare():
+        n, b, trials = 48, 3, 2000
+        rng = random.Random(1)
+        wf, _ = CountingWalk(n, b).failure_probability(trials, seed=2)
+        pf = sum(
+            int(not CountingUpperBound(n, b, rng=rng).run().success)
+            for _ in range(trials)
+        ) / trials
+        return wf, pf
+
+    wf, pf = benchmark.pedantic(compare, rounds=1, iterations=1)
+    print(f"\nF4-walk cross-check: walk failure {wf:.4f} vs protocol {pf:.4f}")
+    assert abs(wf - pf) < 0.025
+
+
+def test_kac_recurrence(benchmark):
+    def kac_rows():
+        return [(R, ehrenfest_mean_recurrence(R, -R), 2.0 ** (2 * R))
+                for R in (2, 4, 8, 16)]
+
+    rows = benchmark.pedantic(kac_rows, rounds=1, iterations=1)
+    print_table(
+        "KAC: Ehrenfest mean recurrence at the empty urn vs 2^(2R)",
+        f"{'R':>4} {'Kac formula':>14} {'2^(2R)':>12}",
+        (f"{R:>4} {kac:>14.1f} {ref:>12.1f}" for R, kac, ref in rows),
+    )
+    for _R, kac, ref in rows:
+        assert abs(kac - ref) / ref < 1e-9
+
+
+def test_ehrenfest_return_probabilities(benchmark):
+    def dp_rows():
+        return [
+            (b, ehrenfest_return_probability(60, b, 60)) for b in (2, 3, 4, 5)
+        ]
+
+    rows = benchmark.pedantic(dp_rows, rounds=1, iterations=1)
+    print_table(
+        "Ehrenfest: P[empty within n steps | start b] (n = 60)",
+        f"{'b':>3} {'P[return]':>11}",
+        (f"{b:>3} {p:>11.5f}" for b, p in rows),
+    )
+    probs = [p for _b, p in rows]
+    assert all(a > b for a, b in zip(probs, probs[1:]))  # decreasing in b

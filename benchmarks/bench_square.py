@@ -1,0 +1,76 @@
+"""Experiments S4-sq and F2-sq2: the two square constructors of §4.2.
+
+Protocol 1 grows perimetrically (one turn attempt per step); Protocol 2
+uses turning marks. The bench compares their effective-interaction counts
+on matched populations and traces Square2's Figure 2 phase structure.
+"""
+
+from conftest import print_table
+
+from repro.core.simulator import Simulation
+from repro.core.world import World
+from repro.protocols.square import square_protocol
+from repro.protocols.square2 import square2_protocol
+
+
+def test_protocol1_square_events(benchmark):
+    def sweep():
+        rows = []
+        protocol = square_protocol()
+        for d in (3, 4, 5, 6):
+            n = d * d
+            world = World.of_free_nodes(n, protocol, leaders=1)
+            sim = Simulation(world, protocol, seed=d)
+            res = sim.run_to_stabilization(max_events=100_000)
+            rows.append((d, n, res.events))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_table(
+        "S4-sq: Protocol 1 effective interactions",
+        f"{'d':>3} {'n':>4} {'events':>7}",
+        (f"{d:>3} {n:>4} {e:>7}" for d, n, e in rows),
+    )
+    for d, n, events in rows:
+        assert n - 1 <= events <= 3 * n  # attachments plus turning bonds
+
+
+def test_protocol2_phases(benchmark):
+    def sweep():
+        rows = []
+        protocol = square2_protocol()
+        for phase in (1, 2, 3, 4):
+            n = 4 * phase * phase + 4
+            world = World.of_free_nodes(n, protocol, leaders=1)
+            sim = Simulation(world, protocol, seed=phase)
+            res = sim.run_to_stabilization(max_events=200_000)
+            rows.append((phase, 2 * phase, n, res.events))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_table(
+        "F2-sq2: Protocol 2 phase sweep (n = 4p^2 + 4)",
+        f"{'phase':>6} {'side':>5} {'n':>4} {'events':>7}",
+        (f"{p:>6} {s:>5} {n:>4} {e:>7}" for p, s, n, e in rows),
+    )
+    for _p, side, n, events in rows:
+        assert events >= n - 1
+
+
+def test_square2_uses_fewer_leader_turns(benchmark):
+    """The turning-mark design: Protocol 2's leader turns only at marks,
+    so its per-node effective work stays lower than Protocol 1's
+    perimeter-circling on comparable populations."""
+
+    def measure():
+        p1 = square_protocol()
+        w1 = World.of_free_nodes(36, p1, leaders=1)
+        e1 = Simulation(w1, p1, seed=9).run_to_stabilization(200_000).events
+        p2 = square2_protocol()
+        w2 = World.of_free_nodes(40, p2, leaders=1)  # 6x6 + 4 marks
+        e2 = Simulation(w2, p2, seed=9).run_to_stabilization(200_000).events
+        return e1 / 36, e2 / 40
+
+    per1, per2 = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print(f"\nF2-sq2: per-node events — Protocol 1: {per1:.2f}, Protocol 2: {per2:.2f}")
+    assert per2 < per1 * 1.5  # comparable or better despite the marks

@@ -1,0 +1,32 @@
+"""Experiment L2-sq: Square-Knowing-n (§6.2, Lemma 2)."""
+
+import math
+
+from conftest import print_table
+
+from repro.constructors.square_known_n import run_square_known_n
+
+
+def test_lemma2_sweep(benchmark):
+    def sweep():
+        rows = []
+        for n in (16, 36, 64, 100):
+            res = run_square_known_n(n, seed=n)
+            assert res.square_component().size() == n
+            rows.append(
+                (n, res.side, res.scheduler_events, res.leader_interactions)
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_table(
+        "L2-sq: Square-Knowing-n",
+        f"{'n':>4} {'side':>5} {'sched events':>13} {'leader work':>12}",
+        (f"{n:>4} {s:>5} {e:>13} {w:>12}" for n, s, e, w in rows),
+    )
+    # Replication dominates: scheduler events grow superlinearly in n while
+    # the leader's assembly walk stays O(n).
+    for n, side, events, work in rows:
+        assert side == math.isqrt(n)
+        assert work <= 6 * n
+        assert events >= n - side

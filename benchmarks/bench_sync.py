@@ -1,0 +1,93 @@
+"""Experiment S8-sync: the two-speed model of §8 (synchronous components).
+
+A spanning line grows under the scheduler while an information wave floods
+the finished body synchronously. Sweeping the speed ratio λ (internal
+rounds per scheduler encounter) shows the regime change the paper
+anticipates: a fast internal clock keeps every grown node informed (zero
+lag), a slow one leaves a growing uninformed frontier.
+"""
+
+from conftest import print_table
+
+from repro.core.world import World
+from repro.protocols.line import spanning_line_protocol
+from repro.sync.model import broadcast_program, distance_wave_program
+from repro.sync.runner import TwoSpeedSimulation, run_component_rounds
+from repro.geometry.vec import Vec
+
+
+def grow_line_with_wave(n: int, ratio: float, seed: int):
+    protocol = spanning_line_protocol()
+    world = World.of_free_nodes(n, protocol, leaders=1)
+    program = broadcast_program(
+        source_state="S", susceptible=lambda s: s == "q1"
+    )
+    sim = TwoSpeedSimulation(
+        world, protocol, program, rounds_per_encounter=ratio, seed=seed
+    )
+    sim.step()
+    world.set_state(0, "S")
+    max_lag = 0
+    while sim.step():
+        informed = sum(
+            1 for r in world.nodes.values() if r.state in ("S", "informed")
+        )
+        body = informed + sum(
+            1 for r in world.nodes.values() if r.state == "q1"
+        )
+        max_lag = max(max_lag, body - informed)
+    return sim, max_lag
+
+
+def test_speed_ratio_controls_information_lag(benchmark):
+    def sweep():
+        rows = []
+        for ratio in (0.1, 0.5, 1.0, 2.0, 8.0):
+            sim, lag = grow_line_with_wave(24, ratio, seed=9)
+            rows.append((ratio, sim.encounters, sim.rounds, lag))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_table(
+        "S8-sync: spanning line (n = 24) + synchronous flood vs speed ratio",
+        f"{'ratio':>6} {'encounters':>11} {'rounds':>7} {'max lag':>8}",
+        (
+            f"{ratio:>6.1f} {enc:>11} {rnd:>7} {lag:>8}"
+            for ratio, enc, rnd, lag in rows
+        ),
+    )
+    lags = [lag for _r, _e, _rnd, lag in rows]
+    # Lag shrinks (weakly) as the internal clock speeds up, and the
+    # extremes differ decisively.
+    assert all(a >= b for a, b in zip(lags, lags[1:]))
+    assert lags[0] > lags[-1]
+
+
+def test_distance_wave_rounds_equal_eccentricity(benchmark):
+    def wave(d: int) -> int:
+        world = World(2)
+        world.add_component_from_cells(
+            {
+                Vec(x, y): ("L" if (x, y) == (0, 0) else "q")
+                for x in range(d)
+                for y in range(d)
+            }
+        )
+        program = distance_wave_program()
+        rounds = 0
+        while run_component_rounds(world, program, 1):
+            rounds += 1
+        return rounds
+
+    rows = benchmark.pedantic(
+        lambda: [(d, wave(d), 2 * (d - 1)) for d in (3, 5, 8, 12)],
+        rounds=1,
+        iterations=1,
+    )
+    print_table(
+        "S8-sync: BFS wave rounds on a d x d square vs eccentricity 2(d-1)",
+        f"{'d':>4} {'rounds':>7} {'2(d-1)':>7}",
+        (f"{d:>4} {r:>7} {e:>7}" for d, r, e in rows),
+    )
+    for _d, rounds, ecc in rows:
+        assert rounds == ecc

@@ -1,0 +1,89 @@
+"""Experiment R1-model: the exact expected-time references of Remark 1.
+
+Remark 1 bounds Counting-Upper-Bound's expected running time by twice the
+meet-everybody time, ``O(n² log n)`` interactions. This bench prints the
+closed-form models against Monte-Carlo measurements and against the actual
+protocol's raw-interaction counts, and contrasts them with the
+``Θ(n log n)`` epidemic reference of Theorem 2's discussion.
+"""
+
+import random
+
+import pytest
+from conftest import print_table
+
+from repro.analysis.timing import (
+    counting_time_model,
+    expected_epidemic_time,
+    expected_leader_meet_all,
+    timing_table,
+)
+from repro.population.counting import CountingUpperBound
+
+
+def test_reference_times_model_vs_measured(benchmark):
+    rows = benchmark.pedantic(
+        timing_table, args=([16, 32, 64, 128],),
+        kwargs={"trials": 30, "seed": 0}, rounds=1, iterations=1,
+    )
+    print_table(
+        "R1-model: meet-everybody and epidemic times, model vs measured",
+        f"{'n':>5} {'meet model':>11} {'meet meas':>10} "
+        f"{'epid model':>11} {'epid meas':>10}",
+        (
+            f"{n:>5} {mm:>11.0f} {ms:>10.0f} {em:>11.0f} {es:>10.0f}"
+            for n, mm, ms, em, es in rows
+        ),
+    )
+    for _n, mm, ms, em, es in rows:
+        assert abs(ms - mm) / mm < 0.35
+        assert abs(es - em) / em < 0.35
+
+
+def test_counting_time_against_remark1_model(benchmark):
+    def measure():
+        rng = random.Random(3)
+        rows = []
+        for n in (32, 64, 128):
+            trials = 40
+            total = sum(
+                CountingUpperBound(n, 4, rng=rng).run().raw_interactions
+                for _ in range(trials)
+            )
+            rows.append((n, total / trials, counting_time_model(n)))
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print_table(
+        "R1-model: Counting-Upper-Bound raw interactions vs 2x meet-everybody",
+        f"{'n':>5} {'measured':>10} {'model':>10} {'ratio':>6}",
+        (
+            f"{n:>5} {meas:>10.0f} {model:>10.0f} {meas / model:>6.3f}"
+            for n, meas, model in rows
+        ),
+    )
+    # The protocol stays within the model bound and in the same regime.
+    for _n, measured, model in rows:
+        assert measured < model
+        assert measured > model / 20
+    # Regime check: measured/model ratio is roughly flat across n.
+    ratios = [meas / model for _n, meas, model in rows]
+    assert max(ratios) / min(ratios) < 2.0
+
+
+def test_meet_vs_epidemic_gap_grows_linearly(benchmark):
+    def gaps():
+        return [
+            (n, expected_leader_meet_all(n) / expected_epidemic_time(n))
+            for n in (32, 64, 128, 256)
+        ]
+
+    rows = benchmark.pedantic(gaps, rounds=1, iterations=1)
+    print_table(
+        "R1-model: (n^2 log n) / (n log n) gap",
+        f"{'n':>5} {'ratio':>8}",
+        (f"{n:>5} {r:>8.1f}" for n, r in rows),
+    )
+    ratios = [r for _n, r in rows]
+    for a, b in zip(ratios, ratios[1:]):
+        assert b / a == pytest.approx(2.0, rel=0.02)

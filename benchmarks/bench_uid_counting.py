@@ -1,0 +1,59 @@
+"""Experiments T2 and T3: counting with unique ids (§5.3).
+
+(i) The simple repeated-window protocol: exact counts w.h.p. and the
+``Theta(n^b)`` termination time; (ii) Protocol 3: the halter is u_max and
+outputs an upper bound on n w.h.p., far faster than the simple protocol.
+"""
+
+from conftest import print_table
+
+from repro.population.counting_uid import run_simple_uid, uid_success_rate
+
+
+def test_theorem2_simple_protocol(benchmark):
+    def sweep():
+        rows = []
+        for n in (5, 7, 9):
+            exact = 0
+            steps = 0
+            trials = 6
+            for seed in range(trials):
+                res = run_simple_uid(n, b=3, seed=seed)
+                exact += int(res.output == n)
+                steps += res.interactions
+            rows.append((n, exact / trials, steps / trials, (n - 1) ** 3))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_table(
+        "T2: simple UID protocol (b = 3)",
+        f"{'n':>4} {'exact rate':>11} {'interactions':>13} {'(n-1)^b':>9}",
+        (f"{n:>4} {e:>11.2f} {s:>13.0f} {m:>9}" for n, e, s, m in rows),
+    )
+    for _n, exact_rate, _s, _m in rows:
+        assert exact_rate >= 0.5
+    # Theta(n^b) growth: interactions grow superlinearly with n.
+    assert rows[-1][2] > rows[0][2]
+
+
+def test_theorem3_protocol3(benchmark):
+    rows = benchmark.pedantic(
+        uid_success_rate,
+        args=([32, 64, 128],),
+        kwargs={"b": 4, "trials": 15, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    print_table(
+        "T3: Protocol 3 (b = 4)",
+        f"{'n':>5} {'P[halter=max]':>14} {'P[2c1>=n]':>10} {'interactions':>13}",
+        (f"{n:>5} {pm:>14.2f} {pb:>10.2f} {t:>13.0f}" for n, pm, pb, t in rows),
+    )
+    for _n, p_max, p_bound, _t in rows:
+        assert p_max >= 0.85
+        assert p_bound >= 0.85
+    # Protocol 3 is polynomially faster than the simple protocol: its time
+    # grows like n^2 log n, not n^b.
+    t32 = rows[0][3]
+    t128 = rows[2][3]
+    assert t128 / t32 < 64  # far below the (128/32)^4 = 256 of Theta(n^4)

@@ -1,0 +1,84 @@
+"""Experiments T4-univ, F7-star, R4-pat: the universal constructor (§6.3).
+
+For every shape program: build on d^2 nodes, release, compare against the
+TM-defined shape, and record the waste (Theorem 4's bound: at most
+``(d-1) d``, attained by the line). The star of Figure 7(c) and the
+patterns of Remark 4 are regenerated explicitly.
+"""
+
+from conftest import print_table
+
+from repro.constructors.tm_construction import (
+    run_pattern_construction,
+    run_shape_construction,
+)
+from repro.constructors.universal import run_universal
+from repro.machines.shape_programs import (
+    comb_program,
+    cross_program,
+    expected_shape,
+    frame_program,
+    full_square_program,
+    line_program,
+    ring_pattern_program,
+    star_program,
+)
+from repro.viz.ascii_art import render_labels, render_shape
+
+
+def test_theorem4_program_sweep(benchmark):
+    programs = [
+        line_program(),
+        full_square_program(),
+        cross_program(),
+        star_program(),
+        frame_program(),
+        comb_program(),
+    ]
+
+    def sweep():
+        rows = []
+        d = 8
+        for program in programs:
+            res = run_shape_construction(program, d)
+            assert res.shape.same_up_to_translation(expected_shape(program, d))
+            rows.append((program.name, d, len(res.on_cells), res.waste,
+                         res.interactions))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_table(
+        "T4-univ: shapes on the 8x8 square (waste bound: (d-1)d = 56)",
+        f"{'program':>12} {'d':>3} {'|G|':>4} {'waste':>6} {'interactions':>13}",
+        (f"{p:>12} {d:>3} {g:>4} {w:>6} {i:>13}" for p, d, g, w, i in rows),
+    )
+    for name, d, _g, waste, _i in rows:
+        assert waste <= (d - 1) * d
+        if name == "line":
+            assert waste == (d - 1) * d  # the worst case is attained
+
+
+def test_figure7_star_end_to_end(benchmark):
+    res = benchmark.pedantic(
+        run_universal, args=(star_program(), 49),
+        kwargs={"seed": 7}, rounds=1, iterations=1,
+    )
+    assert res.count_exact and res.d == 7
+    assert res.matches(star_program())
+    print("\nF7-star: the star of Figure 7(c), built on 49 nodes:")
+    print(render_shape(res.shape))
+    print(
+        f"counting events {res.counting_events}, square events "
+        f"{res.square_events}, construction {res.construction_interactions}"
+    )
+
+
+def test_remark4_pattern(benchmark):
+    colors, interactions = benchmark.pedantic(
+        run_pattern_construction, args=(ring_pattern_program(3), 9),
+        rounds=1, iterations=1,
+    )
+    print("\nR4-pat: concentric ring pattern on the 9x9 square:")
+    print(render_labels(colors))
+    print(f"interactions: {interactions}")
+    assert len(colors) == 81

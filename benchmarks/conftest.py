@@ -1,0 +1,16 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one experiment of EXPERIMENTS.md and prints the
+paper-style rows (run ``pytest benchmarks/ --benchmark-only -s`` to see
+them). Assertions encode the *shape* of the paper's claims — who wins, by
+roughly what factor — not absolute timings.
+"""
+
+from __future__ import annotations
+
+
+def print_table(title: str, header: str, rows) -> None:
+    print(f"\n== {title} ==")
+    print(header)
+    for row in rows:
+        print(row)

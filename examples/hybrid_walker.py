@@ -1,0 +1,52 @@
+"""Active mobility: a protocol-controlled walker (the §8 hybrid model).
+
+The paper's passive model never lets a component change its own geometry —
+all motion is the environment's. Combining it with Nubot-style movement
+rules (leaf rotations) yields a two-node machine that *walks*: the mover
+cartwheels over the pivot in two quarter-swings, the roles swap, and the
+dimer translates two cells per four interactions.
+
+    python examples/hybrid_walker.py
+"""
+
+from repro import HybridSimulation, MovementProtocol, walker_protocol
+from repro.hybrid.movement import make_walker_world
+
+
+def track(protocol, label: str, steps: int = 24) -> None:
+    world, mover, pivot = make_walker_world()
+    sim = HybridSimulation(world, protocol, seed=0)
+    print(f"--- {label} ---")
+    trace = []
+    for _ in range(steps):
+        cells = sorted(
+            (world.nodes[mover].pos, world.nodes[pivot].pos),
+            key=lambda c: (c.x, c.y),
+        )
+        trace.append(cells)
+        if not sim.step():
+            break
+    # Draw the dimer's journey on one strip (rows y = 1, 0).
+    max_x = max(c.x for pair in trace for c in pair) + 1
+    for y in (1, 0):
+        row = []
+        for x in range(max_x + 1):
+            visited = any(
+                c.x == x and c.y == y for pair in trace for c in pair
+            )
+            here = any(
+                c.x == x and c.y == y
+                for c in (world.nodes[mover].pos, world.nodes[pivot].pos)
+            )
+            row.append("O" if here else ("." if visited else " "))
+        print("".join(row))
+    dx = min(world.nodes[mover].pos.x, world.nodes[pivot].pos.x)
+    print(f"events: {sim.events}, moves: {sim.moves}, displacement: +{dx}\n")
+
+
+if __name__ == "__main__":
+    track(walker_protocol(), "walker: active movement rules")
+    track(
+        MovementProtocol([], name="inert"),
+        "same dimer, no movement rules (passive model): frozen",
+    )

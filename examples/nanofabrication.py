@@ -1,0 +1,59 @@
+"""Programmable-matter scenario: fabricate patterned tiles and replicate a
+broken part's template.
+
+The paper motivates molecules/nanorobots self-organizing into materials.
+This example (i) colors a tile with the concentric-ring pattern of Remark
+4, (ii) fabricates a frame component, and (iii) uses the §7 replicator to
+duplicate an arbitrary workpiece (e.g. to reconstruct a detached part from
+a surviving template).
+
+    python examples/nanofabrication.py
+"""
+
+import random
+
+from repro import (
+    frame_program,
+    render_labels,
+    render_shape,
+    replicate_by_shifting,
+    ring_pattern_program,
+    run_pattern_construction,
+    run_shape_construction,
+)
+from repro.geometry.random_shapes import random_connected_shape
+
+
+def patterned_tile(d: int = 8) -> None:
+    print(f"--- Remark 4: a {d}x{d} tile with 3-color ring pattern ---")
+    colors, interactions = run_pattern_construction(ring_pattern_program(3), d)
+    print(render_labels(colors))
+    print(f"interactions: {interactions}")
+
+
+def frame_component(d: int = 7) -> None:
+    print(f"\n--- a structural frame on the {d}x{d} square ---")
+    result = run_shape_construction(frame_program(), d)
+    print(render_shape(result.shape))
+    print(f"waste released back into the solution: {result.waste} nodes")
+
+
+def replicate_workpiece(size: int = 14, seed: int = 5) -> None:
+    print(f"\n--- §7: replicating a random {size}-node workpiece ---")
+    workpiece = random_connected_shape(size, random.Random(seed))
+    print("template:")
+    print(render_shape(workpiece))
+    result = replicate_by_shifting(workpiece, seed=seed)
+    assert result.identical
+    print("replica (identical up to translation):")
+    print(render_shape(result.replica))
+    print(
+        f"nodes used: {result.nodes_used}, waste: {result.waste}, "
+        f"interactions: {result.interactions}"
+    )
+
+
+if __name__ == "__main__":
+    patterned_tile()
+    frame_component()
+    replicate_workpiece()

@@ -1,0 +1,38 @@
+"""Quickstart: a solution of automata builds a spanning line and a square.
+
+Runs the two §4 constructors on small populations under the uniform random
+scheduler and renders the stabilized shapes.
+
+    python examples/quickstart.py
+"""
+
+from repro import (
+    Simulation,
+    World,
+    render_world,
+    spanning_line_protocol,
+    square_protocol,
+)
+
+
+def build_line(n: int = 10, seed: int = 0) -> None:
+    print(f"--- spanning line on {n} nodes ---")
+    protocol = spanning_line_protocol()
+    world = World.of_free_nodes(n, protocol, leaders=1)
+    result = Simulation(world, protocol, seed=seed).run_to_stabilization()
+    print(f"stabilized after {result.events} effective interactions")
+    print(render_world(world, state_char=lambda s: "L" if str(s).startswith("L") else "#"))
+
+
+def build_square(n: int = 25, seed: int = 1) -> None:
+    print(f"\n--- sqrt(n) x sqrt(n) square on {n} nodes (Protocol 1) ---")
+    protocol = square_protocol()
+    world = World.of_free_nodes(n, protocol, leaders=1)
+    result = Simulation(world, protocol, seed=seed).run_to_stabilization()
+    print(f"stabilized after {result.events} effective interactions")
+    print(render_world(world, state_char=lambda s: "L" if str(s).startswith("L") else "#"))
+
+
+if __name__ == "__main__":
+    build_line()
+    build_square()

@@ -1,0 +1,45 @@
+"""The two-speed model of §8: component clock vs scheduler clock.
+
+A spanning line grows under the passive scheduler while the finished body
+floods an "informed" bit synchronously from the original leader's node.
+Sweeping the speed ratio λ (internal rounds per scheduler encounter) shows
+the regime change: fast components keep every grown node informed, slow
+ones leave an uninformed frontier trailing the growth.
+
+    python examples/two_speed_broadcast.py
+"""
+
+from repro import TwoSpeedSimulation, World, broadcast_program, spanning_line_protocol
+
+
+def run(ratio: float, n: int = 20, seed: int = 9):
+    protocol = spanning_line_protocol()
+    world = World.of_free_nodes(n, protocol, leaders=1)
+    program = broadcast_program(source_state="S", susceptible=lambda s: s == "q1")
+    sim = TwoSpeedSimulation(
+        world, protocol, program, rounds_per_encounter=ratio, seed=seed
+    )
+    sim.step()
+    world.set_state(0, "S")  # pin the wave source on the original leader
+    max_lag = 0
+    while sim.step():
+        informed = sum(
+            1 for r in world.nodes.values() if r.state in ("S", "informed")
+        )
+        body = informed + sum(
+            1 for r in world.nodes.values() if r.state == "q1"
+        )
+        max_lag = max(max_lag, body - informed)
+    return sim, max_lag
+
+
+if __name__ == "__main__":
+    print("speed ratio λ | encounters | sync rounds | max uninformed frontier")
+    for ratio in (0.1, 0.5, 1.0, 2.0, 8.0):
+        sim, lag = run(ratio)
+        print(f"{ratio:>13} | {sim.encounters:>10} | {sim.rounds:>11} | {lag:>6}")
+    print(
+        "\nThe paper's §8: distinguishing the scheduler's speed from the\n"
+        "components' internal speed is 'very natural'; the lag column is\n"
+        "what that distinction costs when components are slow."
+    )

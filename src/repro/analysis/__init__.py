@@ -1,0 +1,77 @@
+"""Stochastic analysis backing Theorem 1: ruin problems, Ehrenfest walks."""
+
+from repro.analysis.walks import (
+    CountingWalk,
+    counting_failure_bound,
+    ehrenfest_mean_recurrence,
+    ehrenfest_return_probability,
+    gambler_ruin_win_probability,
+    simulate_ehrenfest_return,
+)
+from repro.analysis.stats import (
+    binomial_confidence,
+    fit_power_law,
+    mean,
+    ratio_to_model,
+)
+from repro.analysis.timing import (
+    counting_time_model,
+    expected_epidemic_time,
+    expected_leader_meet_all,
+    harmonic,
+    simulate_epidemic,
+    simulate_leader_meet_all,
+    timing_table,
+)
+from repro.analysis.markov import (
+    AbsorbingChain,
+    counting_exact_failure,
+    counting_estimate_quantile,
+    counting_expected_effective,
+    counting_expected_estimate,
+    counting_outcome_distribution,
+    ehrenfest_absorption_chain,
+    ehrenfest_mean_recurrence_exact,
+    ehrenfest_spectral_gap,
+    ehrenfest_stationary,
+    ehrenfest_transition_matrix,
+    failure_table_exact,
+    ruin_chain,
+    ruin_win_probability_exact,
+)
+
+__all__ = [
+    "CountingWalk",
+    "gambler_ruin_win_probability",
+    "ehrenfest_mean_recurrence",
+    "ehrenfest_return_probability",
+    "simulate_ehrenfest_return",
+    "counting_failure_bound",
+    "mean",
+    "binomial_confidence",
+    "fit_power_law",
+    "ratio_to_model",
+    # exact Markov-chain analysis
+    "AbsorbingChain",
+    "counting_outcome_distribution",
+    "counting_exact_failure",
+    "counting_expected_estimate",
+    "counting_expected_effective",
+    "counting_estimate_quantile",
+    "ruin_chain",
+    "ruin_win_probability_exact",
+    "ehrenfest_transition_matrix",
+    "ehrenfest_stationary",
+    "ehrenfest_mean_recurrence_exact",
+    "ehrenfest_spectral_gap",
+    "ehrenfest_absorption_chain",
+    "failure_table_exact",
+    # expected-time models
+    "harmonic",
+    "expected_leader_meet_all",
+    "expected_epidemic_time",
+    "counting_time_model",
+    "simulate_leader_meet_all",
+    "simulate_epidemic",
+    "timing_table",
+]

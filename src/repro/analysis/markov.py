@@ -1,0 +1,342 @@
+"""Exact Markov-chain analysis of the §5 counting process.
+
+:mod:`repro.analysis.walks` estimates the quantities of Theorem 1's proof by
+Monte Carlo; this module computes them *exactly*:
+
+* :func:`counting_outcome_distribution` — the exact law of the leader's
+  final count ``r0`` via dynamic programming over the ``(i, j)`` urn chain
+  (``i = #q0``, ``j = #q1``). The chain is a DAG (``i`` never increases and,
+  at fixed ``i``, ``j`` only decreases), so forward DP is exact in
+  O(n²) time.
+* :func:`counting_exact_failure` — the exact probability of Theorem 1's
+  failure event ``r0 < n/2`` at halting; directly comparable with the paper
+  bound ``1/n^(b-2)`` and the :class:`~repro.analysis.walks.CountingWalk`
+  Monte Carlo estimate.
+* :func:`counting_expected_estimate` / :func:`counting_expected_effective` —
+  exact expectations behind Remark 2 ("close to (9/10)n") and the
+  effective-interaction count.
+* :class:`AbsorbingChain` — a generic absorbing-chain solver (absorption
+  probabilities and expected hitting times by linear solves) used for the
+  gambler's-ruin link of the proof.
+* Ehrenfest-chain tools: transition matrix, binomial stationary law, Kac
+  recurrence via ``1/pi(k)``, and the spectral gap.
+
+The key simplification used throughout: the leader's counters satisfy
+``r0 = (n - 1) - i`` (every decrease of ``i`` increments ``r0``, and ``r0``
+starts at ``b`` with ``i = n - 1 - b``), so Theorem 1's success event
+``2 r0 >= n`` is the event ``i <= (n - 2) / 2`` — a function of ``i`` alone.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ReproError
+
+
+def _check_counting_args(n: int, b: int) -> int:
+    if n < 2:
+        raise ReproError(f"population size must be >= 2: {n}")
+    if b < 1:
+        raise ReproError(f"head start b must be >= 1: {b}")
+    return min(b, n - 1)
+
+
+def counting_outcome_distribution(n: int, b: int) -> Dict[int, float]:
+    """Exact law of the final count ``r0`` of Counting-Upper-Bound.
+
+    The chain state is ``(i, j)`` with ``i = #q0`` and ``j = #q1``; from
+    ``(i, j)`` the next *effective* interaction moves to ``(i-1, j+1)`` with
+    probability ``i/(i+j)`` and to ``(i, j-1)`` with ``j/(i+j)``. The
+    protocol halts exactly when ``j = 0`` (``r0 = r1``), at which point
+    ``r0 = (n-1) - i``. Returns ``{r0: probability}`` with probabilities
+    summing to 1.
+    """
+    b = _check_counting_args(n, b)
+    start_i = n - 1 - b
+    # reach[i][j] = P[the chain visits state (i, j)]. Process states in DAG
+    # order: i descending, then j descending (both moves go strictly later
+    # in this order).
+    reach: Dict[Tuple[int, int], float] = {(start_i, b): 1.0}
+    absorbed: Dict[int, float] = {}
+    for i in range(start_i, -1, -1):
+        max_j = b + (start_i - i)
+        for j in range(max_j, 0, -1):
+            p = reach.pop((i, j), 0.0)
+            if p == 0.0:
+                continue
+            total = i + j
+            if i > 0:
+                forward = p * (i / total)
+                reach[(i - 1, j + 1)] = reach.get((i - 1, j + 1), 0.0) + forward
+            backward = p * (j / total)
+            if j == 1:
+                r0 = (n - 1) - i
+                absorbed[r0] = absorbed.get(r0, 0.0) + backward
+            else:
+                reach[(i, j - 1)] = reach.get((i, j - 1), 0.0) + backward
+    total_mass = sum(absorbed.values())
+    if not math.isclose(total_mass, 1.0, rel_tol=0, abs_tol=1e-9):
+        raise ReproError(f"outcome distribution mass {total_mass} != 1")
+    return absorbed
+
+
+def counting_exact_failure(n: int, b: int) -> float:
+    """Exact P[failure] of Theorem 1's event: halt with ``2 r0 < n``."""
+    dist = counting_outcome_distribution(n, b)
+    return sum(p for r0, p in dist.items() if 2 * r0 < n)
+
+
+def counting_expected_estimate(n: int, b: int) -> float:
+    """Exact ``E[r0]`` at halting (Remark 2's estimate quality)."""
+    dist = counting_outcome_distribution(n, b)
+    return sum(r0 * p for r0, p in dist.items())
+
+
+def counting_expected_effective(n: int, b: int) -> float:
+    """Exact expected number of effective interactions until halting.
+
+    Every effective interaction increments ``r0`` or ``r1`` and the process
+    halts when they are equal, so the count is ``2 r0 - b`` (``r0`` began at
+    ``b`` without interactions).
+    """
+    return 2.0 * counting_expected_estimate(n, b) - min(b, n - 1)
+
+
+def counting_estimate_quantile(n: int, b: int, q: float) -> int:
+    """Smallest ``r0`` with ``P[final count <= r0] >= q`` (exact)."""
+    if not 0.0 < q <= 1.0:
+        raise ReproError(f"quantile level must be in (0, 1]: {q}")
+    dist = counting_outcome_distribution(n, b)
+    acc = 0.0
+    for r0 in sorted(dist):
+        acc += dist[r0]
+        if acc >= q - 1e-12:
+            return r0
+    return max(dist)  # pragma: no cover - guarded by mass check
+
+
+# ----------------------------------------------------------------------
+# Generic absorbing chains (the gambler's-ruin step of the proof)
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class AbsorbingChain:
+    """An absorbing Markov chain in canonical form.
+
+    ``Q`` is the transient-to-transient block and ``R`` the
+    transient-to-absorbing block of the transition matrix; rows of
+    ``[Q | R]`` must sum to 1. Exposes the standard fundamental-matrix
+    quantities via linear solves (no explicit inverse).
+    """
+
+    Q: np.ndarray
+    R: np.ndarray
+
+    def __post_init__(self) -> None:
+        Q = np.asarray(self.Q, dtype=float)
+        R = np.asarray(self.R, dtype=float)
+        if Q.ndim != 2 or Q.shape[0] != Q.shape[1]:
+            raise ReproError(f"Q must be square, got shape {Q.shape}")
+        if R.ndim != 2 or R.shape[0] != Q.shape[0]:
+            raise ReproError("R must have one row per transient state")
+        rows = Q.sum(axis=1) + R.sum(axis=1)
+        if not np.allclose(rows, 1.0, atol=1e-9):
+            raise ReproError("rows of [Q | R] must sum to 1")
+        if (Q < -1e-12).any() or (R < -1e-12).any():
+            raise ReproError("transition probabilities must be nonnegative")
+        self.Q = Q
+        self.R = R
+
+    @property
+    def num_transient(self) -> int:
+        return self.Q.shape[0]
+
+    @property
+    def num_absorbing(self) -> int:
+        return self.R.shape[1]
+
+    def absorption_probabilities(self) -> np.ndarray:
+        """``B[s, a] = P[absorbed in a | start at transient s]``.
+
+        Solves ``(I - Q) B = R`` (the classical ``B = N R`` with fundamental
+        matrix ``N = (I - Q)^{-1}``).
+        """
+        eye = np.eye(self.num_transient)
+        return np.linalg.solve(eye - self.Q, self.R)
+
+    def expected_steps(self) -> np.ndarray:
+        """``t[s] = E[steps to absorption | start at transient s]``."""
+        eye = np.eye(self.num_transient)
+        ones = np.ones(self.num_transient)
+        return np.linalg.solve(eye - self.Q, ones)
+
+    def expected_visits(self, start: int) -> np.ndarray:
+        """``N[start, :]``: expected visits to each transient state."""
+        if not 0 <= start < self.num_transient:
+            raise ReproError(f"start {start} out of range")
+        eye = np.eye(self.num_transient)
+        unit = np.zeros(self.num_transient)
+        unit[start] = 1.0
+        # N^T e_start solves (I - Q)^T x = e_start.
+        return np.linalg.solve((eye - self.Q).T, unit)
+
+
+def ruin_chain(b: int, p: float) -> AbsorbingChain:
+    """The gambler's-ruin chain of Theorem 1's final reduction.
+
+    Transient states are positions ``1 .. b-1`` on a line; absorbing states
+    are ``0`` (index 0) and ``b`` (index 1). Forward (towards ``b``) with
+    probability ``p``, backward with ``1 - p``.
+    """
+    if b < 2:
+        raise ReproError(f"ruin chain needs b >= 2: {b}")
+    if not 0.0 < p < 1.0:
+        raise ReproError(f"step probability must be in (0, 1): {p}")
+    m = b - 1
+    Q = np.zeros((m, m))
+    R = np.zeros((m, 2))
+    for idx in range(m):
+        pos = idx + 1
+        if pos + 1 == b:
+            R[idx, 1] = p
+        else:
+            Q[idx, idx + 1] = p
+        if pos - 1 == 0:
+            R[idx, 0] = 1.0 - p
+        else:
+            Q[idx, idx - 1] = 1.0 - p
+    return AbsorbingChain(Q, R)
+
+
+def ruin_win_probability_exact(b: int, p: float, start: int = 1) -> float:
+    """P[reach ``b`` before 0 | start] by linear solve (cross-checks the
+    closed form :func:`~repro.analysis.walks.gambler_ruin_win_probability`)."""
+    if not 1 <= start <= b - 1:
+        raise ReproError(f"start must be in [1, b-1]: {start}")
+    chain = ruin_chain(b, p)
+    return float(chain.absorption_probabilities()[start - 1, 1])
+
+
+# ----------------------------------------------------------------------
+# Ehrenfest chain (the diffusion model of the proof's middle step)
+# ----------------------------------------------------------------------
+
+
+def ehrenfest_transition_matrix(balls: int) -> np.ndarray:
+    """Transition matrix of the Ehrenfest urn with ``balls`` balls.
+
+    State ``m`` is the number of balls in urn I; a uniformly random ball
+    switches urns each step, so ``m -> m-1`` with probability ``m/balls``
+    and ``m -> m+1`` with ``(balls-m)/balls``.
+    """
+    if balls < 1:
+        raise ReproError(f"need at least one ball: {balls}")
+    size = balls + 1
+    P = np.zeros((size, size))
+    for m in range(size):
+        if m > 0:
+            P[m, m - 1] = m / balls
+        if m < balls:
+            P[m, m + 1] = (balls - m) / balls
+    return P
+
+
+def ehrenfest_stationary(balls: int) -> np.ndarray:
+    """The binomial(balls, 1/2) stationary law of the Ehrenfest chain."""
+    ks = np.arange(balls + 1)
+    log_pmf = (
+        np.vectorize(math.lgamma)(balls + 1.0)
+        - np.vectorize(math.lgamma)(ks + 1.0)
+        - np.vectorize(math.lgamma)(balls - ks + 1.0)
+        - balls * math.log(2.0)
+    )
+    return np.exp(log_pmf)
+
+
+def ehrenfest_mean_recurrence_exact(balls: int, state: int) -> float:
+    """Mean recurrence time of ``state`` as ``1 / pi(state)``.
+
+    For a positive-recurrent chain the mean return time to a state is the
+    reciprocal of its stationary probability; equals Kac's factorial formula
+    (:func:`~repro.analysis.walks.ehrenfest_mean_recurrence` with
+    ``R = balls/2``, ``k = state - R``).
+    """
+    if not 0 <= state <= balls:
+        raise ReproError(f"state {state} outside [0, {balls}]")
+    pi = ehrenfest_stationary(balls)
+    return float(1.0 / pi[state])
+
+
+def ehrenfest_spectral_gap(balls: int) -> float:
+    """The spectral gap ``2/balls`` of the Ehrenfest chain.
+
+    The eigenvalues of the transition matrix are ``1 - 2k/balls`` for
+    ``k = 0..balls`` (Kac); the gap between the top two is ``2/balls``.
+    Computed numerically as a cross-check of the closed form.
+    """
+    P = ehrenfest_transition_matrix(balls)
+    # Symmetrize with the stationary law for a stable eigensolve:
+    # D^(1/2) P D^(-1/2) is symmetric for reversible chains.
+    pi = ehrenfest_stationary(balls)
+    d = np.sqrt(pi)
+    # S = D^{1/2} P D^{-1/2} with D = diag(pi) is symmetric for reversible
+    # chains and shares P's spectrum.
+    S = (P * d[:, np.newaxis]) / d[np.newaxis, :]
+    eigenvalues = np.sort(np.linalg.eigvalsh(S))[::-1]
+    return float(eigenvalues[0] - eigenvalues[1])
+
+
+def ehrenfest_absorption_chain(balls: int, lower: int, upper: int) -> AbsorbingChain:
+    """The Ehrenfest chain with absorbing barriers at ``lower`` and ``upper``.
+
+    The proof of Theorem 1 restricts the walk to ``[0, b]`` with absorbing
+    barriers at both ends; this builds that object for arbitrary barriers so
+    the restriction can be checked numerically.
+    """
+    if not 0 <= lower < upper <= balls:
+        raise ReproError(f"need 0 <= lower < upper <= balls: {lower}, {upper}")
+    transient = list(range(lower + 1, upper))
+    if not transient:
+        raise ReproError("no transient states between the barriers")
+    index = {m: i for i, m in enumerate(transient)}
+    Q = np.zeros((len(transient), len(transient)))
+    R = np.zeros((len(transient), 2))
+    for m in transient:
+        i = index[m]
+        down = m / balls
+        up = 1.0 - down
+        if m - 1 == lower:
+            R[i, 0] = down
+        else:
+            Q[i, index[m - 1]] = down
+        if m + 1 == upper:
+            R[i, 1] = up
+        else:
+            Q[i, index[m + 1]] = up
+    return AbsorbingChain(Q, R)
+
+
+def failure_table_exact(
+    ns: Sequence[int], bs: Sequence[int]
+) -> List[Tuple[int, int, float, float]]:
+    """Exact analogue of :func:`~repro.analysis.walks.walk_failure_table`.
+
+    Returns ``(n, b, exact failure, paper bound)`` rows; the exact column
+    replaces the Monte Carlo estimate, so the bench comparing against
+    ``1/n^(b-2)`` needs no trial count.
+    """
+    from repro.analysis.walks import counting_failure_bound
+
+    rows = []
+    for n in ns:
+        for b in bs:
+            rows.append(
+                (n, b, counting_exact_failure(n, b), counting_failure_bound(n, b))
+            )
+    return rows

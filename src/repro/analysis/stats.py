@@ -1,0 +1,62 @@
+"""Small statistics helpers shared by tests and benchmarks."""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+from repro.errors import ReproError
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; raises on empty input."""
+    if not values:
+        raise ReproError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def binomial_confidence(successes: int, trials: int, z: float = 2.576) -> Tuple[float, float]:
+    """Wilson score interval for a binomial proportion (default 99%).
+
+    Used to assert "w.h.p." claims without flaky tests: we check that the
+    guaranteed probability lies inside (or above) the interval.
+    """
+    if trials <= 0:
+        raise ReproError("binomial interval needs at least one trial")
+    p = successes / trials
+    denom = 1 + z * z / trials
+    center = (p + z * z / (2 * trials)) / denom
+    margin = (z / denom) * math.sqrt(p * (1 - p) / trials + z * z / (4 * trials * trials))
+    return max(0.0, center - margin), min(1.0, center + margin)
+
+
+def fit_power_law(xs: Sequence[float], ys: Sequence[float]) -> Tuple[float, float]:
+    """Least-squares fit of ``y = c * x^alpha`` in log-log space.
+
+    Returns ``(alpha, c)``. Used by timing benchmarks to check growth
+    exponents (e.g. Remark 1's ``O(n^2 log n)`` interactions).
+    """
+    if len(xs) != len(ys) or len(xs) < 2:
+        raise ReproError("power-law fit needs >= 2 matched points")
+    lx = [math.log(x) for x in xs]
+    ly = [math.log(y) for y in ys]
+    n = len(lx)
+    mx = sum(lx) / n
+    my = sum(ly) / n
+    sxx = sum((v - mx) ** 2 for v in lx)
+    sxy = sum((a - mx) * (b - my) for a, b in zip(lx, ly))
+    if sxx == 0:
+        raise ReproError("degenerate x values in power-law fit")
+    alpha = sxy / sxx
+    c = math.exp(my - alpha * mx)
+    return alpha, c
+
+
+def ratio_to_model(
+    xs: Sequence[float], ys: Sequence[float], model
+) -> List[float]:
+    """``y / model(x)`` per point — flat ratios mean the model captures the
+    growth (the standard way we compare measured times to paper bounds)."""
+    if len(xs) != len(ys):
+        raise ReproError("mismatched sequences")
+    return [y / model(x) for x, y in zip(xs, ys)]

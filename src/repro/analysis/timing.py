@@ -1,0 +1,150 @@
+"""Expected-time models for the uniform scheduler (Remark 1, Theorem 2).
+
+Remark 1 bounds Counting-Upper-Bound's running time by "twice the expected
+time of a meet everybody", giving ``O(n² log n)`` interactions; Theorem 2's
+proof contrasts the UID protocol's ``Θ(n^b)`` with the ``Θ(n log n)``
+epidemic spread. This module provides the exact closed forms of those
+reference quantities under the uniform pair scheduler, plus Monte-Carlo
+simulators to validate them (and the protocol benches use them as the
+model columns of the timing tables).
+
+Derivations (uniform scheduler over the ``C(n,2)`` pairs):
+
+* *Leader meets everybody*: a step involves the leader with probability
+  ``(n-1)/C(n,2) = 2/n`` and the partner is uniform; the coupon collector
+  over ``n - 1`` partners needs ``(n-1) H_{n-1}`` leader interactions, so
+  ``E[steps] = (n/2)(n-1) H_{n-1} = Θ(n² log n)``.
+* *One-way epidemic* ("any node influences every other node"): from ``k``
+  informed nodes the next step informs a new one with probability
+  ``k(n-k)/C(n,2)``, hence
+  ``E[steps] = C(n,2) Σ_{k=1}^{n-1} 1/(k(n-k)) = (n-1) H_{n-1} = Θ(n log n)``.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Optional, Tuple
+
+from repro.errors import ReproError
+
+
+def harmonic(n: int) -> float:
+    """The n-th harmonic number ``H_n``."""
+    if n < 0:
+        raise ReproError(f"harmonic number of negative index: {n}")
+    if n < 100:
+        return sum(1.0 / k for k in range(1, n + 1))
+    # Euler–Maclaurin: accurate to ~1e-10 for n >= 100.
+    return (
+        math.log(n)
+        + 0.5772156649015329
+        + 1.0 / (2 * n)
+        - 1.0 / (12 * n * n)
+    )
+
+
+def expected_leader_meet_all(n: int) -> float:
+    """E[raw interactions] until a fixed node has met every other node."""
+    if n < 2:
+        raise ReproError(f"need n >= 2: {n}")
+    return (n / 2.0) * (n - 1) * harmonic(n - 1)
+
+
+def counting_time_model(n: int, b: int = 0) -> float:
+    """Remark 1's model for Counting-Upper-Bound: two meet-everybodies.
+
+    The head start ``b`` spares the leader ``b`` first meetings; the
+    correction is lower-order and omitted (the model is an upper-bound
+    shape, not an exact expectation).
+    """
+    del b
+    return 2.0 * expected_leader_meet_all(n)
+
+
+def expected_epidemic_time(n: int) -> float:
+    """E[raw interactions] for a one-way epidemic to cover the population.
+
+    Equals ``(n-1) H_{n-1}`` — the ``Θ(n log n)`` reference Theorem 2's
+    discussion contrasts with the UID protocol's ``Θ(n^b)``.
+    """
+    if n < 2:
+        raise ReproError(f"need n >= 2: {n}")
+    total = 0.0
+    pairs = n * (n - 1) / 2.0
+    for k in range(1, n):
+        total += pairs / (k * (n - k))
+    return total
+
+
+def simulate_leader_meet_all(
+    n: int, trials: int, seed: Optional[int] = None
+) -> float:
+    """Monte-Carlo mean of the leader-meets-everybody time."""
+    rng = random.Random(seed)
+    total = 0
+    for _ in range(trials):
+        met = 0
+        seen = [False] * n  # index 0 is the leader
+        steps = 0
+        while met < n - 1:
+            steps += 1
+            # One uniform pair; it involves the leader with prob 2/n.
+            a = rng.randrange(n)
+            b = rng.randrange(n - 1)
+            if b >= a:
+                b += 1
+            if a == 0 or b == 0:
+                partner = a + b  # the non-zero one
+                if not seen[partner]:
+                    seen[partner] = True
+                    met += 1
+        total += steps
+    return total / trials
+
+
+def simulate_epidemic(
+    n: int, trials: int, seed: Optional[int] = None
+) -> float:
+    """Monte-Carlo mean of the one-way-epidemic cover time."""
+    rng = random.Random(seed)
+    total = 0
+    for _ in range(trials):
+        informed = [False] * n
+        informed[0] = True
+        count = 1
+        steps = 0
+        while count < n:
+            steps += 1
+            a = rng.randrange(n)
+            b = rng.randrange(n - 1)
+            if b >= a:
+                b += 1
+            if informed[a] != informed[b]:
+                informed[a] = informed[b] = True
+                count += 1
+        total += steps
+    return total / trials
+
+
+def timing_table(
+    ns: List[int], trials: int = 20, seed: int = 0
+) -> List[Tuple[int, float, float, float, float]]:
+    """``(n, meet model, meet measured, epidemic model, epidemic measured)``.
+
+    The rows of the R1-time reference table in
+    ``benchmarks/bench_timing.py``.
+    """
+    rng = random.Random(seed)
+    rows = []
+    for n in ns:
+        rows.append(
+            (
+                n,
+                expected_leader_meet_all(n),
+                simulate_leader_meet_all(n, trials, seed=rng.randrange(2**31)),
+                expected_epidemic_time(n),
+                simulate_epidemic(n, trials, seed=rng.randrange(2**31)),
+            )
+        )
+    return rows

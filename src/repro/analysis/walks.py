@@ -1,0 +1,202 @@
+"""Random-walk models from the proof of Theorem 1 (§5.1, Figure 4).
+
+The counting process is a random walk on positions ``j = r0 - r1``: a
+particle starts at ``b``, moves forward on an ``(l, q0)`` interaction with
+probability ``p_ij = i / (i + j)`` and backward on an ``(l, q1)`` with
+``q_ij = j / (i + j)``; absorption at 0 is termination (failure when it
+happens before ``r0 >= n/2``). The proof chain reduces this to the Ehrenfest
+diffusion model and finally to the classical gambler's ruin; this module
+implements every link of that chain so the bound ``1/n^(b-2)`` can be
+checked numerically against simulation.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.errors import ReproError
+
+
+def gambler_ruin_win_probability(x: float, b: int) -> float:
+    """P[reach b before 0 | start at 1] for ratio ``x = q'/p'``.
+
+    The classical ruin formula used at the end of Theorem 1's proof:
+    ``(x - 1) / (x^b - 1)`` (Feller); for ``x = (n' - b)/b`` this is
+    ``~ 1/n^(b-1)``.
+    """
+    if b < 1:
+        raise ReproError(f"barrier b must be >= 1: {b}")
+    if x == 1.0:
+        return 1.0 / b
+    return (x - 1.0) / (x**b - 1.0)
+
+
+def counting_failure_bound(n: int, b: int) -> float:
+    """The paper's failure bound for Counting-Upper-Bound: ``1/n^(b-2)``.
+
+    Derived via the union bound over at most ``n`` visits to ``b - 1``,
+    each failing with probability at most ``~1/n^(b-1)``.
+    """
+    if b <= 2:
+        return 1.0
+    return 1.0 / float(n) ** (b - 2)
+
+
+def ehrenfest_mean_recurrence(R: int, k: int) -> float:
+    """Kac's mean recurrence time of the Ehrenfest chain.
+
+    For a chain on positions ``-R..R`` (2R balls), the mean recurrence time
+    of position ``k`` is ``((R + k)! (R - k)! / (2R)!) * 2^(2R)`` ([Kac47],
+    p. 386). At ``k = -R`` (the empty-urn state of the paper's reduction)
+    this evaluates to ``2^(2R)``.
+    """
+    if not (-R <= k <= R):
+        raise ReproError(f"position k={k} outside [-{R}, {R}]")
+    log_value = (
+        math.lgamma(R + k + 1)
+        + math.lgamma(R - k + 1)
+        - math.lgamma(2 * R + 1)
+        + 2 * R * math.log(2.0)
+    )
+    return math.exp(log_value)
+
+
+def ehrenfest_return_probability(
+    balls: int, start: int, horizon: int
+) -> float:
+    """P[urn I empties within ``horizon`` steps | starts with ``start`` balls].
+
+    Exact dynamic programming over the Ehrenfest urn with ``balls`` total
+    balls: at each step a uniformly random ball switches urns, so urn I
+    (holding ``m`` balls) loses one with probability ``m/balls``. Absorbing
+    at 0. This is the quantity Theorem 1's proof bounds: with ``start = b``
+    and ``horizon = n`` it must be tiny.
+    """
+    if not (0 <= start <= balls):
+        raise ReproError(f"start {start} outside [0, {balls}]")
+    probs = [0.0] * (balls + 1)
+    probs[start] = 1.0
+    absorbed = probs[0]
+    probs[0] = 0.0
+    for _ in range(horizon):
+        nxt = [0.0] * (balls + 1)
+        for m in range(1, balls + 1):
+            p = probs[m]
+            if p == 0.0:
+                continue
+            down = m / balls
+            nxt[m - 1] += p * down
+            if m + 1 <= balls:
+                nxt[m + 1] += p * (1.0 - down)
+        absorbed += nxt[0]
+        nxt[0] = 0.0
+        probs = nxt
+    return absorbed
+
+
+def simulate_ehrenfest_return(
+    balls: int, start: int, horizon: int, trials: int, seed: Optional[int] = None
+) -> float:
+    """Monte-Carlo estimate of :func:`ehrenfest_return_probability`."""
+    rng = random.Random(seed)
+    hits = 0
+    for _ in range(trials):
+        m = start
+        for _ in range(horizon):
+            if rng.random() < m / balls:
+                m -= 1
+                if m == 0:
+                    hits += 1
+                    break
+            else:
+                m = min(m + 1, balls)
+    return hits / trials
+
+
+@dataclass
+class WalkResult:
+    """Outcome of one counting-walk trajectory."""
+
+    absorbed_at_zero: bool
+    reached_half: bool
+    steps: int
+    final_j: int
+
+
+class CountingWalk:
+    """The exact position-dependent walk of Figure 4.
+
+    State ``(i, j)`` with ``i = #q0`` and ``j = #q1 = r0 - r1``; forward
+    with probability ``i/(i+j)``, backward with ``j/(i+j)``. Mirrors the
+    effective-interaction subsequence of Counting-Upper-Bound exactly (the
+    leader's q2 encounters are ineffective for the walk), so its failure
+    probability equals the protocol's.
+    """
+
+    def __init__(self, n: int, b: int) -> None:
+        if b < 1 or b > n - 1:
+            raise ReproError(f"need 1 <= b <= n-1, got b={b}, n={n}")
+        self.n = n
+        self.b = b
+
+    def run(self, rng: random.Random) -> WalkResult:
+        n = self.n
+        i = n - 1 - self.b
+        j = self.b
+        r0 = self.b
+        r1 = 0
+        steps = 0
+        while True:
+            if j == 0:
+                return WalkResult(True, 2 * r0 >= n, steps, j)
+            if 2 * r0 >= n:
+                return WalkResult(False, True, steps, j)
+            if i == 0 and j == 0:  # pragma: no cover - unreachable guard
+                return WalkResult(False, 2 * r0 >= n, steps, j)
+            total = i + j
+            if rng.random() < i / total:
+                i -= 1
+                j += 1
+                r0 += 1
+            else:
+                j -= 1
+                r1 += 1
+            steps += 1
+
+    def failure_probability(
+        self, trials: int, seed: Optional[int] = None
+    ) -> Tuple[float, float]:
+        """Monte-Carlo ``(P[failure], mean steps)`` over ``trials`` runs.
+
+        Failure = absorbed at 0 before ``r0 >= n/2`` (Theorem 1's event).
+        """
+        rng = random.Random(seed)
+        failures = 0
+        total_steps = 0
+        for _ in range(trials):
+            res = self.run(rng)
+            if res.absorbed_at_zero and not res.reached_half:
+                failures += 1
+            total_steps += res.steps
+        return failures / trials, total_steps / trials
+
+
+def walk_failure_table(
+    ns: List[int], bs: List[int], trials: int = 2000, seed: int = 0
+) -> List[Tuple[int, int, float, float]]:
+    """Empirical failure probabilities vs the ``1/n^(b-2)`` bound.
+
+    Returns ``(n, b, empirical failure, bound)`` rows for the Figure 4
+    experiment of ``benchmarks/bench_random_walk.py``.
+    """
+    rows = []
+    rng = random.Random(seed)
+    for n in ns:
+        for b in bs:
+            walk = CountingWalk(n, b)
+            fail, _ = walk.failure_probability(trials, seed=rng.randrange(2**31))
+            rows.append((n, b, fail, counting_failure_bound(n, b)))
+    return rows

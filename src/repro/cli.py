@@ -1,0 +1,284 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+A thin front-end over the library for quick exploration:
+
+* ``demo`` — the quickstart constructions (spanning line + square);
+* ``count`` — the Theorem 1 terminating counting protocol;
+* ``construct`` — Theorem 4's universal construction of a named shape;
+* ``pattern`` — Remark 4 patterns on the square;
+* ``cube`` — the 3D Cube-Knowing-n constructor;
+* ``replicate`` — §7 self-replication of a random connected shape;
+* ``repair`` — the §8 damage-and-repair scenario.
+
+Every command accepts ``--seed`` for reproducibility and prints ASCII
+renderings of the results (the textual analogues of the paper's figures).
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import Callable, Dict, List, Optional
+
+from repro.constructors.cube import run_cube_known_n
+from repro.core.inspect import format_protocol, lint_protocol
+from repro.constructors.tm_construction import (
+    run_pattern_construction,
+    run_shape_construction,
+)
+from repro.core.simulator import Simulation
+from repro.core.world import World
+from repro.faults.repair import detach_part, repair_shape
+from repro.geometry.random_shapes import random_connected_shape
+from repro.machines.shape_programs import (
+    ShapeProgram,
+    checkerboard_pattern_program,
+    comb_program,
+    cross_program,
+    diamond_program,
+    frame_program,
+    full_square_program,
+    gradient_pattern_program,
+    line_program,
+    ring_pattern_program,
+    serpentine_program,
+    sierpinski_pattern_program,
+    star_program,
+    stripes_program,
+)
+from repro.population.counting import run_counting
+from repro.protocols.line import simple_line_protocol, spanning_line_protocol
+from repro.protocols.replication import (
+    line_replication_protocol,
+    no_leader_line_replication_protocol,
+    self_replicating_lines_protocol,
+)
+from repro.protocols.square import square_protocol
+from repro.protocols.square2 import square2_protocol
+from repro.replication.columns import replicate_by_columns
+from repro.replication.shifting import replicate_by_shifting
+from repro.viz.ascii_art import render_labels, render_layers, render_shape, render_world
+
+#: The shape catalogue exposed by ``construct``.
+SHAPES: Dict[str, Callable[[], ShapeProgram]] = {
+    "line": line_program,
+    "full-square": full_square_program,
+    "cross": cross_program,
+    "star": star_program,
+    "frame": frame_program,
+    "comb": comb_program,
+    "serpentine": serpentine_program,
+    "diamond": diamond_program,
+    "stripes": stripes_program,
+}
+
+#: The pattern catalogue exposed by ``pattern``.
+PATTERNS: Dict[str, Callable[[], object]] = {
+    "rings": ring_pattern_program,
+    "checkerboard": checkerboard_pattern_program,
+    "sierpinski": sierpinski_pattern_program,
+    "gradient": gradient_pattern_program,
+}
+
+#: The rule-table protocols exposed by ``inspect``.
+PROTOCOLS: Dict[str, Callable[[], object]] = {
+    "line": spanning_line_protocol,
+    "simple-line": simple_line_protocol,
+    "square": square_protocol,
+    "square2": square2_protocol,
+    "protocol4": line_replication_protocol,
+    "protocol5": no_leader_line_replication_protocol,
+    "self-replicating": self_replicating_lines_protocol,
+}
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    protocol = spanning_line_protocol()
+    world = World.of_free_nodes(args.n, protocol, leaders=1)
+    result = Simulation(world, protocol, seed=args.seed).run_to_stabilization()
+    print(f"spanning line on {args.n} nodes: {result.events} effective interactions")
+    print(render_world(world, state_char=lambda s: "#"))
+    side = max(3, int(args.n**0.5))
+    n_sq = side * side
+    protocol = square_protocol()
+    world = World.of_free_nodes(n_sq, protocol, leaders=1)
+    result = Simulation(world, protocol, seed=args.seed).run_to_stabilization()
+    print(f"\n{side}x{side} square on {n_sq} nodes: {result.events} effective interactions")
+    print(render_world(world, state_char=lambda s: "#"))
+    return 0
+
+
+def _cmd_count(args: argparse.Namespace) -> int:
+    rng = random.Random(args.seed)
+    successes = 0
+    estimates = []
+    for _ in range(args.trials):
+        result = run_counting(args.n, b=args.head_start, seed=rng.randrange(2**31))
+        successes += int(result.success)
+        estimates.append(result.estimate)
+    mean = sum(estimates) / len(estimates)
+    print(
+        f"counting n = {args.n} (b = {args.head_start}, {args.trials} trials): "
+        f"mean estimate {mean:.1f} ({mean / args.n:.2%} of n), "
+        f"success rate {successes}/{args.trials}"
+    )
+    return 0
+
+
+def _cmd_construct(args: argparse.Namespace) -> int:
+    program = SHAPES[args.shape]()
+    result = run_shape_construction(program, args.d)
+    print(
+        f"constructed {args.shape!r} on a {args.d}x{args.d} square: "
+        f"{result.useful_space} on-cells, waste {result.waste}, "
+        f"{result.interactions} interactions"
+    )
+    print(render_shape(result.shape))
+    return 0
+
+
+def _cmd_pattern(args: argparse.Namespace) -> int:
+    program = PATTERNS[args.pattern]()
+    colors, interactions = run_pattern_construction(program, args.d)
+    print(
+        f"pattern {args.pattern!r} on a {args.d}x{args.d} square "
+        f"({len(set(colors.values()))} colors, {interactions} interactions)"
+    )
+    print(render_labels(colors))
+    return 0
+
+
+def _cmd_cube(args: argparse.Namespace) -> int:
+    result = run_cube_known_n(args.m**3, seed=args.seed)
+    print(
+        f"{args.m}x{args.m}x{args.m} cube on {args.m**3} nodes: "
+        f"{result.scheduler_events} scheduler events, "
+        f"{result.leader_interactions} leader interactions"
+    )
+    print(render_layers(result.cube_shape()))
+    return 0
+
+
+def _cmd_replicate(args: argparse.Namespace) -> int:
+    shape = random_connected_shape(args.size, seed=args.seed)
+    replicate = (
+        replicate_by_shifting if args.approach == "shifting" else replicate_by_columns
+    )
+    result = replicate(shape, seed=args.seed)
+    print(
+        f"replicated a random {args.size}-cell shape by {args.approach}: "
+        f"{result.interactions} interactions, waste {result.waste}, "
+        f"identical: {result.identical}"
+    )
+    print("original:")
+    print(render_shape(result.original))
+    print("replica:")
+    print(render_shape(result.replica))
+    return 0
+
+
+def _cmd_repair(args: argparse.Namespace) -> int:
+    from repro.machines.shape_programs import expected_shape
+
+    blueprint = expected_shape(star_program(), args.d)
+    rng = random.Random(args.seed)
+    damaged, lost = detach_part(blueprint, args.fraction, rng=rng)
+    result = repair_shape(damaged, blueprint, rng=rng)
+    print(
+        f"star on a {args.d}x{args.d} square: detached {len(lost)} cells, "
+        f"repaired in {result.interactions} interactions "
+        f"({result.nodes_attached} re-attached, {result.bonds_restored} bonds)"
+    )
+    print("damaged:")
+    print(render_shape(damaged))
+    print("repaired:")
+    print(render_shape(result.repaired))
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    protocol = PROTOCOLS[args.protocol]()
+    print(format_protocol(protocol))
+    seeds = ("i", "e") if "protocol" in args.protocol or args.protocol == "self-replicating" else ()
+    report = lint_protocol(protocol, extra_initial=seeds)
+    print(
+        f"\nlint: {'clean' if report.clean else 'FINDINGS'}; "
+        f"{report.bond_forming_rules} bond-forming, "
+        f"{report.bond_breaking_rules} bond-breaking rules"
+    )
+    for note in report.notes:
+        print(f"  note: {note}")
+    for state in report.unreachable_states:
+        print(f"  unreachable state: {state!r}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Terminating distributed construction of shapes and patterns "
+            "(Michail, 2015) — reproduction CLI"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("demo", help="quickstart: spanning line + square")
+    p.add_argument("-n", type=int, default=10, help="population size")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_demo)
+
+    p = sub.add_parser("count", help="Theorem 1 terminating counting")
+    p.add_argument("n", type=int, help="population size")
+    p.add_argument("-b", "--head-start", type=int, default=4)
+    p.add_argument("--trials", type=int, default=20)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_count)
+
+    p = sub.add_parser("construct", help="Theorem 4 universal construction")
+    p.add_argument("shape", choices=sorted(SHAPES))
+    p.add_argument("-d", type=int, default=9, help="square dimension")
+    p.set_defaults(func=_cmd_construct)
+
+    p = sub.add_parser("pattern", help="Remark 4 pattern construction")
+    p.add_argument("pattern", choices=sorted(PATTERNS))
+    p.add_argument("-d", type=int, default=8, help="square dimension")
+    p.set_defaults(func=_cmd_pattern)
+
+    p = sub.add_parser("cube", help="3D Cube-Knowing-n")
+    p.add_argument("-m", type=int, default=3, help="cube side (>= 3)")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_cube)
+
+    p = sub.add_parser("replicate", help="§7 shape self-replication")
+    p.add_argument("--size", type=int, default=12, help="cells in the shape")
+    p.add_argument(
+        "--approach", choices=("shifting", "columns"), default="shifting"
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_replicate)
+
+    p = sub.add_parser("repair", help="§8 damage-and-repair scenario")
+    p.add_argument("-d", type=int, default=9, help="square dimension")
+    p.add_argument("--fraction", type=float, default=0.3)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_repair)
+
+    p = sub.add_parser(
+        "inspect", help="print a protocol's rule table (paper notation)"
+    )
+    p.add_argument("protocol", choices=sorted(PROTOCOLS))
+    p.set_defaults(func=_cmd_inspect)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

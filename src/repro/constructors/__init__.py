@@ -1,0 +1,64 @@
+"""Generic constructors of §6: counting, squares, TM simulation, parallelism.
+
+* :mod:`repro.constructors.counting_line` — Counting-on-a-Line (§6.1,
+  Lemma 1): the terminating counting protocol storing ``n`` in binary on a
+  self-assembled line.
+* :mod:`repro.constructors.square_known_n` — Square-Knowing-n (§6.2,
+  Lemma 2): seed/replica line pipeline assembling the ``sqrt(n) x sqrt(n)``
+  square with termination detection.
+* :mod:`repro.constructors.tm_construction` — distributed simulation of a
+  shape-constructing TM on the square plus the release phase (§6.3,
+  Theorem 4) and patterns (Remark 4).
+* :mod:`repro.constructors.parallel` — the parallel simulation schemes of
+  §6.4 (3D slab and segmented lines), Theorem 5.
+* :mod:`repro.constructors.universal` — the end-to-end pipeline: count ->
+  sqrt -> square -> simulate -> release.
+* :mod:`repro.constructors.cube` — Cube-Knowing-n: the 3D extension of
+  Lemma 2 (scheduler-driven slabs stacked by the leader's walk).
+"""
+
+from repro.constructors.counting_line import (
+    CountingLineResult,
+    counting_line_protocol,
+    counting_line_world,
+    decode_counters,
+    run_counting_on_a_line,
+)
+from repro.constructors.square_known_n import (
+    SquareResult,
+    run_square_known_n,
+)
+from repro.constructors.tm_construction import (
+    ConstructionResult,
+    DistributedTMSquare,
+    run_pattern_construction,
+    run_shape_construction,
+)
+from repro.constructors.parallel import (
+    ParallelResult,
+    run_parallel_3d,
+    run_parallel_segments,
+)
+from repro.constructors.cube import CubeResult, run_cube_known_n
+from repro.constructors.universal import UniversalResult, run_universal
+
+__all__ = [
+    "counting_line_protocol",
+    "counting_line_world",
+    "run_counting_on_a_line",
+    "decode_counters",
+    "CountingLineResult",
+    "run_square_known_n",
+    "SquareResult",
+    "run_cube_known_n",
+    "CubeResult",
+    "DistributedTMSquare",
+    "run_shape_construction",
+    "run_pattern_construction",
+    "ConstructionResult",
+    "run_parallel_3d",
+    "run_parallel_segments",
+    "ParallelResult",
+    "run_universal",
+    "UniversalResult",
+]

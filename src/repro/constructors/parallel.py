@@ -1,0 +1,266 @@
+"""Parallel simulation of the pixel machines (§6.4, Theorem 5).
+
+Approach 1 (3D): the ``d x d`` square lives in the x/y plane; below each
+pixel a line of ``k - 1`` nodes extends in the z dimension, giving every
+pixel its own TM tape of length ``k``. All ``d^2`` simulations then run in
+parallel, so the simulation phase costs (in parallel time) the *maximum*
+per-pixel work rather than the sum. Population size is ``n = k * d^2``;
+the memories are released before the usual release phase, so the waste is
+``(k - 1) d^2`` plus the off pixels.
+
+Approach 2 (2D): the pixels are arranged on a line of length ``d^2`` with
+their ``k - 1`` memories hanging below in y; after the parallel
+simulations, the line is partitioned into ``d`` segments of length ``d``
+carrying unique matching keys (segment ``i`` marks its ``i``-th and
+``(i-1)``-th nodes, counted from alternating ends so consecutive segments
+key into each other after the required 180-degree flips); the released
+segments then reassemble into the square by key matching (Figure 9).
+
+Both runners verify the final shape and report parallel vs sequential
+interaction counts.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import MachineError, SimulationError
+from repro.core.world import World
+from repro.geometry.grid import zigzag_index_to_cell
+from repro.geometry.shape import Shape
+from repro.geometry.vec import Vec
+from repro.machines.shape_programs import (
+    PredicateShapeProgram,
+    ShapeProgram,
+    TMShapeProgram,
+)
+
+
+@dataclass
+class ParallelResult:
+    """Outcome of a parallel construction."""
+
+    d: int
+    k: int
+    n: int
+    parallel_interactions: int
+    sequential_interactions: int
+    assembly_interactions: int
+    shape: Shape
+    waste: int
+
+    @property
+    def speedup(self) -> float:
+        """Sequential / parallel simulation-phase interaction ratio."""
+        if self.parallel_interactions == 0:
+            return 1.0
+        return self.sequential_interactions / self.parallel_interactions
+
+
+def _pixel_costs(program: ShapeProgram, d: int, k: int) -> Tuple[List[bool], List[int]]:
+    """Decide every pixel on its own k-cell tape; returns (bits, costs)."""
+    bits: List[bool] = []
+    costs: List[int] = []
+    for pixel in range(d * d):
+        if isinstance(program, TMShapeProgram):
+            tape = program.encoder(pixel, d)
+            if len(tape) + 1 > k:
+                raise MachineError(
+                    f"pixel tape of length {k} too short for the input"
+                )
+            result = program.machine.run(tape, max_space=k)
+            bits.append(result.accepted)
+            costs.append(result.steps + len(tape))
+        else:
+            bits.append(program.decide(pixel, d))
+            costs.append(program.space_bound(d))
+    return bits, costs
+
+
+def _shape_from_bits(bits: List[bool], d: int) -> Shape:
+    cells = [zigzag_index_to_cell(i, d) for i, b in enumerate(bits) if b]
+    return Shape.from_cells(cells)
+
+
+def run_parallel_3d(
+    program: ShapeProgram,
+    d: int,
+    k: Optional[int] = None,
+    build_world: bool = True,
+) -> ParallelResult:
+    """Approach 1: the 3D slab of Figure 8.
+
+    ``k`` defaults to the program's declared space bound. When
+    ``build_world`` is set, the actual 3D world (square + z-lines) is
+    constructed and the released output shape is extracted from it,
+    exercising the 3D geometry substrate.
+    """
+    k = k if k is not None else max(program.space_bound(d), 4)
+    bits, costs = _pixel_costs(program, d, k)
+    shape = _shape_from_bits(bits, d)
+    n = k * d * d
+    # Parallel simulation phase: all pixels advance concurrently; the
+    # elapsed parallel time is the slowest pixel's work. Building the slab
+    # costs one interaction per attached node; releasing the memories one
+    # per memory node; the release phase one per square cell plus dropped
+    # bonds (counted on the world below when built).
+    build_cost = n - 1
+    release_memories = (k - 1) * d * d
+    parallel = build_cost + max(costs) + release_memories + d * d
+    sequential = build_cost + sum(costs) + release_memories + d * d
+    waste = n - len(shape.cells)
+    if build_world:
+        world = World(dimension=3)
+        states: Dict[Vec, object] = {}
+        for x in range(d):
+            for y in range(d):
+                states[Vec(x, y, 0)] = "sq"
+                for z in range(1, k):
+                    states[Vec(x, y, z)] = "mem"
+        world.add_component_from_cells(states)
+        world.check_invariants()
+        # Mark pixels and release: memories drop first, then off pixels.
+        cid = next(iter(world.components))
+        comp = world.components[cid]
+        keep = set()
+        for i, bit in enumerate(bits):
+            cell2d = zigzag_index_to_cell(i, d)
+            if bit:
+                keep.add(Vec(cell2d.x, cell2d.y, 0))
+        comp.bonds = {
+            b
+            for b in comp.bonds
+            if all(world.nodes[nid].pos in keep for nid, _ in b)
+        }
+        comp.version += 1
+        world._split_if_disconnected(comp)
+        out_cid = world.nodes[comp.cells[next(iter(keep))]].component_id
+        shape = world.component_shape(out_cid)
+        if len(shape.cells) != len(keep):
+            raise SimulationError("3D release left the shape disconnected")
+    return ParallelResult(
+        d=d,
+        k=k,
+        n=n,
+        parallel_interactions=parallel,
+        sequential_interactions=sequential,
+        assembly_interactions=0,
+        shape=shape.normalize(),
+        waste=waste,
+    )
+
+
+# ----------------------------------------------------------------------
+# Approach 2: segmented line (2D)
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class _Segment:
+    """One row segment with its matching keys (Figure 9).
+
+    ``index`` counts segments from 1; odd segments keep their orientation,
+    even segments are flipped 180 degrees before attachment. ``key_cells``
+    are the black/gray mark positions (in final square coordinates) whose
+    alignment uniquely identifies the predecessor row.
+    """
+
+    index: int
+    bits: List[bool]
+    flipped: bool
+    key_black: int
+    key_gray: int
+
+
+def _make_segments(bits: List[bool], d: int) -> List[_Segment]:
+    """Build the ``d`` row segments with unique matching keys.
+
+    The paper marks nodes ``i`` and ``i - 1`` of segment ``i`` counting
+    from alternating ends; we realize the same mechanism with an explicit
+    column-key scheme: segment ``i`` carries its black mark at column
+    ``i mod d`` and its gray mark at column ``(i + 1) mod d``, so that
+    ``black(b)`` sits directly above ``gray(a)`` iff ``b = a + 1`` (for
+    ``1 <= a < b <= d``) — the uniqueness Figure 9(b) relies on. Even
+    segments are additionally flagged as 180-degree flipped, matching the
+    zig-zag pixel order of their row.
+    """
+    segments = []
+    for i in range(1, d + 1):
+        row_bits = bits[(i - 1) * d : i * d]
+        segments.append(
+            _Segment(i, row_bits, flipped=i % 2 == 0,
+                     key_black=i % d, key_gray=(i + 1) % d)
+        )
+    return segments
+
+
+def _segments_match(a: _Segment, b: _Segment, d: int) -> bool:
+    """True iff ``b`` may attach above ``a``: b's black mark aligns with
+    a's gray mark once their endpoints are aligned (Figure 9(b))."""
+    del d
+    return b.index > a.index and b.key_black == a.key_gray
+
+
+def run_parallel_segments(
+    program: ShapeProgram,
+    d: int,
+    k: Optional[int] = None,
+    seed: Optional[int] = None,
+) -> ParallelResult:
+    """Approach 2: simulate on a flat line, then reassemble by keys.
+
+    The reassembly is a random process: the scheduler brings uniformly
+    random segment pairs into contact and a pair binds iff the key marks
+    align (which happens only for consecutive segments); the count of
+    contacts until the square completes is the assembly cost.
+    """
+    k = k if k is not None else max(program.space_bound(d), 4)
+    bits, costs = _pixel_costs(program, d, k)
+    n = k * d * d
+    segments = _make_segments(bits, d)
+    # Sanity: the key scheme is unique — segment i matches only i - 1.
+    for a in segments:
+        for b in segments:
+            if a.index >= b.index:
+                continue
+            match = _segments_match(a, b, d)
+            if match != (b.index == a.index + 1):
+                raise SimulationError(
+                    f"key marks are ambiguous for segments {a.index}, {b.index}"
+                )
+    rng = random.Random(seed)
+    # Random assembly: clusters of consecutive segments merge on contact.
+    clusters: List[List[_Segment]] = [[s] for s in segments]
+    contacts = 0
+    while len(clusters) > 1:
+        i, j = rng.sample(range(len(clusters)), 2)
+        contacts += 1
+        a, b = clusters[i], clusters[j]
+        if a[-1].index + 1 == b[0].index:
+            merged = a + b
+        elif b[-1].index + 1 == a[0].index:
+            merged = b + a
+        else:
+            continue
+        clusters = [c for idx, c in enumerate(clusters) if idx not in (i, j)]
+        clusters.append(merged)
+    ordered = clusters[0]
+    if [s.index for s in ordered] != list(range(1, d + 1)):
+        raise SimulationError("segments assembled out of order")
+    shape = _shape_from_bits(bits, d)
+    build_cost = n - 1
+    release_memories = (k - 1) * d * d
+    parallel = build_cost + max(costs) + release_memories + contacts + d * d
+    sequential = build_cost + sum(costs) + release_memories + contacts + d * d
+    return ParallelResult(
+        d=d,
+        k=k,
+        n=n,
+        parallel_interactions=parallel,
+        sequential_interactions=sequential,
+        assembly_interactions=contacts,
+        shape=shape.normalize(),
+        waste=n - len(shape.cells),
+    )

@@ -1,0 +1,281 @@
+"""Distributed TM simulation on the square and the release phase (§6.3).
+
+The ``d x d`` square built by Square-Knowing-n is viewed as a TM tape of
+length ``d^2`` traversed by the leader in the zig-zag fashion of Figure
+7(b). The protocol invokes ``d^2`` simulations of the shape-constructing
+machine ``M``, one per pixel: the input ``(i, d)`` is written on the
+leftmost tape cells, the simulation runs with the head's moves realized as
+leader walks over the square's nodes (one interaction per hop), the pixel
+is marked *on* or *off* according to ``M``'s decision, and the tape is
+cleared for the next pixel. Finally the leader walks the tape backwards
+passing a *release* signal; every bond with at least one *off* endpoint is
+deactivated, leaving exactly the connected shape of the on pixels
+(Figure 7(c)-(d)). For patterns (Remark 4) the square is colored instead
+and nothing is released.
+
+Interaction accounting: every head move, walk hop, marking and bond
+deactivation counts as one interaction. For predicate-backed programs
+(the documented TM stand-in) each decision is charged its declared space
+bound; TM-backed programs are charged their true step count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from repro.errors import MachineError, SimulationError
+from repro.core.world import World, bond_of
+from repro.geometry.grid import zigzag_index_to_cell, zigzag_order
+from repro.geometry.shape import Shape
+from repro.geometry.vec import Vec
+from repro.machines.shape_programs import (
+    PatternProgram,
+    PredicateShapeProgram,
+    ShapeProgram,
+    TMShapeProgram,
+)
+
+
+@dataclass
+class ConstructionResult:
+    """Outcome of a shape (or pattern) construction on the square."""
+
+    d: int
+    interactions: int
+    on_cells: Tuple[Vec, ...]
+    waste: int
+    world: Optional[World]
+    shape: Shape
+
+    @property
+    def useful_space(self) -> int:
+        """|V(G)|: nodes belonging to the output shape (Definition 4)."""
+        return len(self.on_cells)
+
+
+class DistributedTMSquare:
+    """The square-as-tape abstraction with explicit interaction metering.
+
+    Binds a square component of a world (or a fresh standalone square) and
+    exposes pixel marking, distributed TM runs, and the release phase.
+    """
+
+    def __init__(
+        self,
+        world: World,
+        square_cid: int,
+        side: int,
+    ) -> None:
+        self.world = world
+        self.cid = square_cid
+        self.side = side
+        comp = world.components[square_cid]
+        if comp.size() != side * side:
+            raise SimulationError("component is not a full square")
+        origin = Vec(min(c.x for c in comp.cells), min(c.y for c in comp.cells))
+        #: Node ids in zig-zag tape order (Figure 7(b)).
+        self.tape_nids: List[int] = []
+        for cell in zigzag_order(side, side, origin):
+            nid = comp.cells.get(cell)
+            if nid is None:
+                raise SimulationError(f"square is missing cell {cell!r}")
+            self.tape_nids.append(nid)
+        self.origin = origin
+        self.head = 0
+        self.interactions = 0
+
+    @staticmethod
+    def fresh(side: int) -> "DistributedTMSquare":
+        """A standalone pre-built square (for testing this stage alone)."""
+        world = World(dimension=2)
+        states = {
+            Vec(x, y): "sq" for x in range(side) for y in range(side)
+        }
+        states[Vec(0, 0)] = "sq_L"
+        world.add_component_from_cells(states)
+        cid = next(iter(world.components))
+        return DistributedTMSquare(world, cid, side)
+
+    # -- head movement and symbols ----------------------------------------
+
+    def _move_head_to(self, index: int) -> None:
+        """Walk the head along the tape; one interaction per hop."""
+        if not (0 <= index < len(self.tape_nids)):
+            raise MachineError(f"head moved off the square tape: {index}")
+        self.interactions += abs(index - self.head)
+        self.head = index
+
+    def _write(self, index: int, symbol: Hashable, mark: Optional[str] = None) -> None:
+        nid = self.tape_nids[index]
+        state = self.world.state_of(nid)
+        current_mark = state[2] if isinstance(state, tuple) and state[0] == "px" else None
+        self.world.set_state(nid, ("px", symbol, mark if mark is not None else current_mark))
+
+    def _read(self, index: int) -> Hashable:
+        state = self.world.state_of(self.tape_nids[index])
+        if isinstance(state, tuple) and state[0] == "px":
+            return state[1]
+        return "_"
+
+    def _mark(self, index: int, mark: str) -> None:
+        nid = self.tape_nids[index]
+        state = self.world.state_of(nid)
+        symbol = state[1] if isinstance(state, tuple) and state[0] == "px" else "_"
+        self.world.set_state(nid, ("px", symbol, mark))
+        self.interactions += 1
+
+    def mark_of(self, index: int) -> Optional[str]:
+        state = self.world.state_of(self.tape_nids[index])
+        if isinstance(state, tuple) and state[0] == "px":
+            return state[2]
+        return None
+
+    # -- one pixel decision ------------------------------------------------
+
+    def decide_pixel(self, program: ShapeProgram, pixel: int) -> bool:
+        """Run one simulation of ``M`` on input ``(pixel, d)``.
+
+        TM-backed programs run with the head's excursions realized on the
+        square tape (genuinely bounded by the square's ``d^2`` cells);
+        predicate programs are charged their declared space bound.
+        """
+        d = self.side
+        if isinstance(program, TMShapeProgram):
+            tape_input = program.encoder(pixel, d)
+            # Write the input on the leftmost tape cells (leader walk),
+            # keeping cell 0 blank so left excursions stay on the square.
+            self._move_head_to(0)
+            for k, sym in enumerate(tape_input):
+                self._move_head_to(k + 1)
+                self._write(k + 1, sym)
+            result = self._run_tm_on_tape(program, start=1)
+            # Clear residues for the next simulation.
+            for k in range(len(tape_input) + 3):
+                if k < len(self.tape_nids):
+                    self._move_head_to(k)
+                    self._write(k, "_")
+            return result
+        if isinstance(program, PredicateShapeProgram):
+            self.interactions += program.space_bound(d)
+            return program.decide(pixel, d)
+        raise SimulationError(f"unsupported program type: {type(program)!r}")
+
+    def _run_tm_on_tape(self, program: TMShapeProgram, start: int = 0) -> bool:
+        machine = program.machine
+        state = machine.start
+        self._move_head_to(start)
+        steps = 0
+        max_steps = 10_000_000
+        while state not in (machine.accept, machine.reject):
+            if steps >= max_steps:
+                raise MachineError("distributed TM exceeded its step budget")
+            sym = self._read(self.head)
+            trans = machine.transitions.get((state, sym))
+            if trans is None:
+                state = machine.reject
+                break
+            state, write, move = trans
+            self._write(self.head, write)
+            if move != 0:
+                self._move_head_to(self.head + move)
+            steps += 1
+        return state == machine.accept
+
+    # -- the full construction ---------------------------------------------
+
+    def construct(self, program: ShapeProgram) -> Tuple[List[int], List[int]]:
+        """Decide every pixel; returns (on indices, off indices)."""
+        d = self.side
+        on: List[int] = []
+        off: List[int] = []
+        for pixel in range(d * d):
+            accepted = self.decide_pixel(program, pixel)
+            self._move_head_to(pixel)
+            self._mark(pixel, "on" if accepted else "off")
+            (on if accepted else off).append(pixel)
+        return on, off
+
+    def color(self, program: PatternProgram) -> Dict[Vec, Hashable]:
+        """Remark 4: color every pixel; returns the cell -> color map."""
+        d = self.side
+        out: Dict[Vec, Hashable] = {}
+        for pixel in range(d * d):
+            value = program.color(pixel, d)
+            self._move_head_to(pixel)
+            self._mark(pixel, f"color:{value}")
+            out[zigzag_index_to_cell(pixel, d, self.origin)] = value
+        return out
+
+    def release(self) -> Shape:
+        """The release phase: walk back, then drop every bond touching an
+        *off* node; returns the final connected output shape.
+
+        Raises when the on-pixels are not connected (the protocol requires
+        the TM to compute connected shapes, Definition 3).
+        """
+        world = self.world
+        # The leader walks the tape in the opposite direction, passing the
+        # release signal to every node (Figure 7(c) -> (d)).
+        self.interactions += len(self.tape_nids)
+        comp = world.components[self.cid]
+        off_nids = {
+            nid
+            for k, nid in enumerate(self.tape_nids)
+            if self.mark_of(k) == "off"
+        }
+        dropped = {b for b in comp.bonds if any(nid in off_nids for nid, _ in b)}
+        self.interactions += len(dropped)
+        comp.bonds -= dropped
+        comp.version += 1
+        world._split_if_disconnected(comp)
+        # Off nodes become free isolated nodes in the solution.
+        on_comp = None
+        for cid, c in world.components.items():
+            members = set(c.cells.values())
+            if members & set(self.tape_nids) and not members & off_nids:
+                if any(self.mark_of(k) == "on" for k, nid in enumerate(self.tape_nids) if nid in members):
+                    if on_comp is not None:
+                        raise SimulationError(
+                            "release left the on-shape disconnected"
+                        )
+                    on_comp = cid
+        if on_comp is None:
+            raise SimulationError("release produced no output shape")
+        out = world.components[on_comp]
+        expected_on = {
+            nid for k, nid in enumerate(self.tape_nids) if self.mark_of(k) == "on"
+        }
+        if set(out.cells.values()) != expected_on:
+            raise SimulationError("release left the on-shape disconnected")
+        return world.component_shape(on_comp)
+
+
+def run_shape_construction(
+    program: ShapeProgram,
+    d: int,
+    square: Optional[DistributedTMSquare] = None,
+) -> ConstructionResult:
+    """Build the shape of ``program`` on a ``d x d`` square and release it."""
+    sq = square if square is not None else DistributedTMSquare.fresh(d)
+    on, off = sq.construct(program)
+    shape = sq.release()
+    return ConstructionResult(
+        d=d,
+        interactions=sq.interactions,
+        on_cells=tuple(sorted(shape.cells)),
+        waste=len(off),
+        world=sq.world,
+        shape=shape,
+    )
+
+
+def run_pattern_construction(
+    program: PatternProgram,
+    d: int,
+    square: Optional[DistributedTMSquare] = None,
+) -> Tuple[Dict[Vec, Hashable], int]:
+    """Remark 4: color the square; returns (cell -> color, interactions)."""
+    sq = square if square is not None else DistributedTMSquare.fresh(d)
+    colors = sq.color(program)
+    return colors, sq.interactions

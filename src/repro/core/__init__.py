@@ -1,0 +1,74 @@
+"""Core execution model: protocols, configurations, schedulers, simulator.
+
+Implements the model of §3: a population of ``n`` finite automata with
+ports, an adversary/uniform-random scheduler selecting permissible pairs of
+node-ports, and shape configurations evolving through interactions.
+"""
+
+from repro.core.protocol import (
+    AgentProtocol,
+    InteractionView,
+    Protocol,
+    Rule,
+    RuleProtocol,
+    Update,
+)
+from repro.core.world import Candidate, Component, NodeRecord, World
+from repro.core.scheduler import (
+    EnumeratingScheduler,
+    HotScheduler,
+    RejectionScheduler,
+    Scheduler,
+    make_scheduler,
+)
+from repro.core.simulator import RunResult, Simulation
+from repro.core.inspect import (
+    LintReport,
+    assert_well_formed,
+    format_protocol,
+    format_rule,
+    lint_protocol,
+    reachable_states,
+    state_graph,
+)
+from repro.core.trace import (
+    TraceRecorder,
+    record_run,
+    replay,
+    world_from_dict,
+    world_to_dict,
+)
+
+__all__ = [
+    "Protocol",
+    "RuleProtocol",
+    "AgentProtocol",
+    "Rule",
+    "Update",
+    "InteractionView",
+    "World",
+    "Component",
+    "NodeRecord",
+    "Candidate",
+    "Scheduler",
+    "EnumeratingScheduler",
+    "RejectionScheduler",
+    "HotScheduler",
+    "make_scheduler",
+    "Simulation",
+    "RunResult",
+    # introspection
+    "format_rule",
+    "format_protocol",
+    "reachable_states",
+    "lint_protocol",
+    "LintReport",
+    "assert_well_formed",
+    "state_graph",
+    # traces and snapshots
+    "TraceRecorder",
+    "record_run",
+    "replay",
+    "world_to_dict",
+    "world_from_dict",
+]

@@ -1,0 +1,184 @@
+"""Protocol introspection: paper-style printing, reachability, lint checks.
+
+The paper measures protocols by their state count `|Q|` and presents them
+as tables of effective transitions ``(a, p1), (b, p2), c -> (a', b', c')``.
+This module renders :class:`~repro.core.protocol.RuleProtocol` instances in
+that notation, computes which states and rules are reachable from the
+standard initial configuration, and lints tables for the mistakes that are
+easy to make when transcribing or designing rule sets (dead rules,
+unreachable states, asymmetric port usage, missing hot-state coverage).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from repro.core.protocol import Rule, RuleProtocol, State
+from repro.errors import ProtocolError
+
+
+def format_rule(rule: Rule) -> str:
+    """One transition in the paper's notation."""
+    return (
+        f"({rule.state1}, {rule.port1.value}), "
+        f"({rule.state2}, {rule.port2.value}), {rule.bond} -> "
+        f"({rule.new_state1}, {rule.new_state2}, {rule.new_bond})"
+    )
+
+
+def format_protocol(protocol: RuleProtocol) -> str:
+    """The full table, Protocol-1-style: header plus one rule per line."""
+    lines = [
+        f"Protocol {protocol.name}",
+        f"|Q| = {protocol.size}, {len(protocol.rules)} effective rules, "
+        f"{protocol.dimension}D",
+        "delta:",
+    ]
+    for rule in sorted(
+        protocol.rules,
+        key=lambda r: (str(r.state1), r.port1.value, str(r.state2), r.port2.value, r.bond),
+    ):
+        lines.append(f"  {format_rule(rule)}")
+    return "\n".join(lines)
+
+
+def reachable_states(
+    protocol: RuleProtocol,
+    extra_initial: Tuple[State, ...] = (),
+) -> FrozenSet[State]:
+    """States reachable from the standard initial configuration.
+
+    Closure over the rule table, starting from the initial state plus the
+    leader state (when defined) plus ``extra_initial`` — the states of any
+    pre-built structure the protocol operates on (e.g. the ``i``/``e``
+    nodes of the seeded parent line in Protocols 4/5). This is an
+    over-approximation of dynamic reachability — it ignores geometry and
+    multiplicities — but a state outside it can *never* occur, which is
+    what the lint needs.
+    """
+    reached: Set[State] = {protocol.initial_state, *extra_initial}
+    if protocol.leader_state is not None:
+        reached.add(protocol.leader_state)
+    changed = True
+    while changed:
+        changed = False
+        for rule in protocol.rules:
+            if rule.state1 in reached and rule.state2 in reached:
+                for new in (rule.new_state1, rule.new_state2):
+                    if new not in reached:
+                        reached.add(new)
+                        changed = True
+    return frozenset(reached)
+
+
+def applicable_rules(
+    protocol: RuleProtocol,
+    extra_initial: Tuple[State, ...] = (),
+) -> Tuple[Rule, ...]:
+    """Rules whose left-hand states are both reachable."""
+    reached = reachable_states(protocol, extra_initial)
+    return tuple(
+        rule
+        for rule in protocol.rules
+        if rule.state1 in reached and rule.state2 in reached
+    )
+
+
+@dataclass
+class LintReport:
+    """Findings of :func:`lint_protocol`; empty lists mean a clean table."""
+
+    unreachable_states: List[State] = field(default_factory=list)
+    dead_rules: List[Rule] = field(default_factory=list)
+    bond_forming_rules: int = 0
+    bond_breaking_rules: int = 0
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.unreachable_states and not self.dead_rules
+
+
+def lint_protocol(
+    protocol: RuleProtocol,
+    extra_initial: Tuple[State, ...] = (),
+) -> LintReport:
+    """Static checks over a rule table.
+
+    * *unreachable states*: states mentioned by rules (or declared halting/
+      output) that the closure from the initial configuration never
+      produces;
+    * *dead rules*: rules whose left-hand states are unreachable — they can
+      never fire;
+    * bond-forming/breaking rule counts and structural notes (e.g. a
+      protocol that forms bonds but can never break any is monotone, which
+      is worth knowing when reasoning about its stabilization).
+    """
+    reached = reachable_states(protocol, extra_initial)
+    report = LintReport()
+    for state in sorted(protocol.states, key=str):
+        if state not in reached:
+            report.unreachable_states.append(state)
+    live = set(applicable_rules(protocol, extra_initial))
+    for rule in protocol.rules:
+        if rule not in live:
+            report.dead_rules.append(rule)
+    for rule in live:
+        if rule.bond == 0 and rule.new_bond == 1:
+            report.bond_forming_rules += 1
+        elif rule.bond == 1 and rule.new_bond == 0:
+            report.bond_breaking_rules += 1
+    if report.bond_forming_rules and not report.bond_breaking_rules:
+        report.notes.append(
+            "monotone bonding: bonds are formed but never broken"
+        )
+    if not report.bond_forming_rules and not report.bond_breaking_rules:
+        report.notes.append("no rule changes any bond (pure state dynamics)")
+    return report
+
+
+def state_graph(protocol: RuleProtocol) -> Dict[State, Set[State]]:
+    """The state-transition digraph: edges ``s -> s'`` whenever some rule
+    maps an endpoint in ``s`` to ``s'`` (self-loops omitted).
+
+    Useful for visualizing leader phase structures (e.g. Protocol 2's
+    phase cycle appears as a cycle of L-states).
+    """
+    graph: Dict[State, Set[State]] = {}
+    for rule in protocol.rules:
+        for old, new in (
+            (rule.state1, rule.new_state1),
+            (rule.state2, rule.new_state2),
+        ):
+            if old != new:
+                graph.setdefault(old, set()).add(new)
+    return graph
+
+
+def assert_well_formed(
+    protocol: RuleProtocol,
+    extra_initial: Tuple[State, ...] = (),
+) -> None:
+    """Raise :class:`ProtocolError` when the lint finds dead weight.
+
+    Used by tests to keep the paper-transcribed tables free of unreachable
+    states and dead rules. ``extra_initial`` seeds the reachability with
+    the states of any pre-built structure (see :func:`reachable_states`).
+    """
+    report = lint_protocol(protocol, extra_initial)
+    if not report.clean:
+        problems = []
+        if report.unreachable_states:
+            problems.append(
+                f"unreachable states: {report.unreachable_states!r}"
+            )
+        if report.dead_rules:
+            problems.append(
+                "dead rules: "
+                + "; ".join(format_rule(r) for r in report.dead_rules)
+            )
+        raise ProtocolError(
+            f"protocol {protocol.name!r} is not well-formed: "
+            + " | ".join(problems)
+        )

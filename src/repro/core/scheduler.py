@@ -1,0 +1,293 @@
+"""Schedulers: the adversary / uniform-random interaction selection of §3.
+
+Three interchangeable implementations of the *uniform random scheduler*
+("in every step, selects independently and uniformly at random one of the
+interactions permitted by E(t)"):
+
+* :class:`EnumeratingScheduler` — reference implementation; enumerates the
+  permissible set, draws the geometric number of ineffective steps exactly,
+  then picks uniformly among effective interactions. Exact in both
+  trajectory law and raw step counts.
+* :class:`RejectionScheduler` — draws node-port pairs uniformly from the
+  full superset and accepts permissible ones. The accepted sequence is
+  uniform over the permissible set (standard rejection argument), so the
+  law is identical to the reference; raw step counts are exact as well.
+* :class:`HotScheduler` — enumerates only candidates involving *hot* nodes
+  (states that can appear in effective interactions) and picks uniformly
+  among the effective ones. Because ineffective interactions do not change
+  the configuration, the induced trajectory law equals the uniform
+  scheduler's; raw step counts are not tracked (reported as ``None``).
+
+A deterministic :class:`RoundRobinScheduler` is provided as a *fair*
+adversary for executions where no probabilistic assumption is made.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+from repro.errors import SchedulerError
+from repro.core.protocol import InteractionView, Protocol, Update
+from repro.core.world import Candidate, World
+
+
+@dataclass(frozen=True)
+class ScheduledEvent:
+    """One effective interaction chosen by a scheduler.
+
+    ``raw_steps`` counts the scheduler steps consumed including the
+    ineffective ones preceding this event; ``None`` when the scheduler does
+    not track raw steps.
+    """
+
+    candidate: Candidate
+    update: Update
+    raw_steps: Optional[int]
+
+
+def evaluate(protocol: Protocol, world: World, cand: Candidate) -> Optional[Update]:
+    """Apply the protocol's delta to a candidate; ``None`` if ineffective."""
+    view = InteractionView(
+        world.state_of(cand.nid1),
+        cand.port1,
+        world.state_of(cand.nid2),
+        cand.port2,
+        cand.bond,
+    )
+    return protocol.handle(view)
+
+
+class Scheduler:
+    """Base class; subclasses yield the next effective interaction."""
+
+    tracks_raw_steps: bool = False
+
+    def next_event(
+        self, world: World, protocol: Protocol, rng: random.Random
+    ) -> Optional[ScheduledEvent]:
+        """The next effective interaction, or ``None`` once no effective
+        interaction is permissible (the configuration has stabilized)."""
+        raise NotImplementedError
+
+
+class EnumeratingScheduler(Scheduler):
+    """Exact uniform scheduler by full enumeration (reference)."""
+
+    tracks_raw_steps = True
+
+    def next_event(
+        self, world: World, protocol: Protocol, rng: random.Random
+    ) -> Optional[ScheduledEvent]:
+        candidates = list(world.enumerate_candidates())
+        if not candidates:
+            raise SchedulerError("no permissible interaction exists")
+        effective: List[Tuple[Candidate, Update]] = []
+        for cand in candidates:
+            update = evaluate(protocol, world, cand)
+            if update is not None:
+                effective.append((cand, update))
+        if not effective:
+            return None
+        # Raw steps until the first effective interaction: geometric with
+        # success probability |Eff| / |Perm|.
+        p = len(effective) / len(candidates)
+        raw = 1
+        while rng.random() >= p:
+            raw += 1
+        cand, update = effective[rng.randrange(len(effective))]
+        return ScheduledEvent(cand, update, raw)
+
+
+class RejectionScheduler(Scheduler):
+    """Uniform scheduler by rejection sampling from the pair superset.
+
+    Every accepted draw is one raw scheduler step; draws rejected for
+    impermissibility are not steps (the scheduler only ever selects
+    permissible interactions). Falls back to enumeration after
+    ``max_trials`` consecutive rejections/ineffective steps so that
+    stabilization is always detected.
+    """
+
+    tracks_raw_steps = True
+
+    def __init__(self, max_trials: Optional[int] = None) -> None:
+        self.max_trials = max_trials
+
+    def next_event(
+        self, world: World, protocol: Protocol, rng: random.Random
+    ) -> Optional[ScheduledEvent]:
+        n = world.size
+        if n < 2:
+            raise SchedulerError("need at least two nodes to interact")
+        ports = world.ports
+        n_align = 1 if world.dimension == 2 else 4
+        limit = self.max_trials if self.max_trials is not None else max(2000, 100 * n)
+        raw = 0
+        node_ids = list(world.nodes)
+        fallback = EnumeratingScheduler()
+        for _ in range(limit):
+            nid1 = node_ids[rng.randrange(n)]
+            nid2 = node_ids[rng.randrange(n)]
+            if nid1 == nid2:
+                continue
+            p1 = ports[rng.randrange(len(ports))]
+            p2 = ports[rng.randrange(len(ports))]
+            g = rng.randrange(n_align)
+            rec1 = world.nodes[nid1]
+            rec2 = world.nodes[nid2]
+            if rec1.component_id == rec2.component_id:
+                # Intra pairs have no alignment choice; normalize multiplicity
+                # by accepting only one of the n_align rotation draws.
+                if g != 0:
+                    continue
+                cand = world.check_intra(nid1, p1, nid2, p2)
+                if cand is None:
+                    continue
+            else:
+                alignments = world.inter_alignments(nid1, p1, nid2, p2)
+                # The g-th alignment among the rotation-stabilizer choices;
+                # in 2D there is at most one.
+                if g >= len(alignments):
+                    continue
+                rot, trans = alignments[g]
+                cand = Candidate(nid1, p1, nid2, p2, 0, rot, trans)
+            raw += 1
+            update = evaluate(protocol, world, cand)
+            if update is not None:
+                return ScheduledEvent(cand, update, raw)
+        # Too many rejections: either Eff is tiny or empty. Resolve exactly.
+        event = fallback.next_event(world, protocol, rng)
+        if event is None:
+            return None
+        return ScheduledEvent(event.candidate, event.update, raw + (event.raw_steps or 1))
+
+
+class HotScheduler(Scheduler):
+    """Accelerated scheduler sampling the effective-interaction jump chain.
+
+    Exactly reproduces the trajectory law of the uniform random scheduler
+    (the conditional law of a uniform permissible draw given effectiveness
+    is uniform on the effective set) without paying for ineffective steps.
+    """
+
+    tracks_raw_steps = False
+
+    def next_event(
+        self, world: World, protocol: Protocol, rng: random.Random
+    ) -> Optional[ScheduledEvent]:
+        effective = self._effective_candidates(world, protocol)
+        if not effective:
+            return None
+        cand, update = effective[rng.randrange(len(effective))]
+        return ScheduledEvent(cand, update, None)
+
+    @staticmethod
+    def _effective_candidates(
+        world: World, protocol: Protocol
+    ) -> List[Tuple[Candidate, Update]]:
+        hot_states = [s for s in world.by_state if protocol.is_hot(s)]
+        hot: List[int] = []
+        for s in hot_states:
+            hot.extend(world.by_state[s])
+        hot_set = set(hot)
+        out: List[Tuple[Candidate, Update]] = []
+
+        def consider(cand: Optional[Candidate]) -> None:
+            if cand is None:
+                return
+            update = evaluate(protocol, world, cand)
+            if update is not None:
+                out.append((cand, update))
+
+        for h in hot:
+            rec = world.nodes[h]
+            comp = world.components[rec.component_id]
+            # Intra-component: adjacent pairs touching h.
+            for port in world.ports:
+                cell = rec.pos + world.world_port_direction(h, port)
+                other = comp.cells.get(cell)
+                if other is None:
+                    continue
+                if other in hot_set and other < h:
+                    continue  # both hot: enumerate once
+                if not protocol.pair_compatible(rec.state, world.state_of(other)):
+                    continue
+                consider(world.intra_candidate(h, other))
+            # Inter-component: h against every node (of another component)
+            # whose state is pair-compatible. Enumerating h always on the
+            # first side covers all candidates involving h, because
+            # permissibility requires h's slot to be open anyway.
+            for partner_state in list(world.by_state):
+                if not protocol.pair_compatible(rec.state, partner_state):
+                    continue
+                hints = protocol.port_hints(rec.state, partner_state)
+                partner_hot = protocol.is_hot(partner_state)
+                for nid2 in world.by_state[partner_state]:
+                    if nid2 == h:
+                        continue
+                    if world.nodes[nid2].component_id == comp.cid:
+                        continue
+                    if partner_hot and nid2 in hot_set and nid2 < h:
+                        continue
+                    if hints is None:
+                        combos: Iterable[Tuple] = (
+                            (p1, p2) for p1 in world.ports for p2 in world.ports
+                        )
+                    else:
+                        # Sort: frozenset iteration order is hash-dependent
+                        # and the candidate order feeds the RNG draw.
+                        combos = sorted(
+                            hints, key=lambda pp: (pp[0].value, pp[1].value)
+                        )
+                    for p1, p2 in combos:
+                        for cand in world.inter_candidates(h, p1, nid2, p2):
+                            consider(cand)
+        return out
+
+
+class RoundRobinScheduler(Scheduler):
+    """A deterministic *fair* adversary.
+
+    Cycles through effective interactions ordered by a stable key, ensuring
+    every persistently enabled interaction is eventually selected. Used to
+    exercise the "halts in every fair execution" side of the theorems
+    without probabilistic assumptions.
+    """
+
+    tracks_raw_steps = False
+
+    def __init__(self) -> None:
+        self._turn = 0
+
+    def next_event(
+        self, world: World, protocol: Protocol, rng: random.Random
+    ) -> Optional[ScheduledEvent]:
+        effective = HotScheduler._effective_candidates(world, protocol)
+        if not effective:
+            return None
+        effective.sort(
+            key=lambda cu: (
+                cu[0].nid1,
+                cu[0].nid2,
+                cu[0].port1.value,
+                cu[0].port2.value,
+            )
+        )
+        cand, update = effective[self._turn % len(effective)]
+        self._turn += 1
+        return ScheduledEvent(cand, update, None)
+
+
+def make_scheduler(kind: str = "hot", **kwargs) -> Scheduler:
+    """Factory: ``"enumerate"``, ``"rejection"``, ``"hot"``, ``"round-robin"``."""
+    if kind == "enumerate":
+        return EnumeratingScheduler()
+    if kind == "rejection":
+        return RejectionScheduler(**kwargs)
+    if kind == "hot":
+        return HotScheduler()
+    if kind == "round-robin":
+        return RoundRobinScheduler()
+    raise SchedulerError(f"unknown scheduler kind: {kind!r}")

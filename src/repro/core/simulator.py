@@ -1,0 +1,150 @@
+"""The simulation loop: executions, stabilization, termination (§3).
+
+A :class:`Simulation` binds a :class:`~repro.core.world.World`, a
+:class:`~repro.core.protocol.Protocol` and a scheduler, and advances the
+execution one effective interaction at a time. It detects *stabilization*
+(no effective interaction is permissible anymore) and supports arbitrary
+stop predicates, e.g. "some node reached a halting state" for terminating
+protocols.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from repro.errors import TerminationError
+from repro.core.protocol import Protocol, Update
+from repro.core.scheduler import HotScheduler, ScheduledEvent, Scheduler
+from repro.core.world import Candidate, World
+
+#: A trace hook: called after each applied event.
+TraceHook = Callable[[int, Candidate, Update, World], None]
+
+
+@dataclass
+class RunResult:
+    """Outcome of a :meth:`Simulation.run` call."""
+
+    events: int
+    raw_steps: Optional[int]
+    stabilized: bool
+    stopped: bool
+    reason: str
+
+    def __bool__(self) -> bool:  # truthy when the run ended on its own terms
+        return self.stabilized or self.stopped
+
+
+@dataclass
+class Simulation:
+    """Drives a protocol over a world under a scheduler.
+
+    Parameters
+    ----------
+    world, protocol:
+        The configuration and the common program of the nodes.
+    scheduler:
+        Defaults to the :class:`HotScheduler` (exact trajectory law,
+        effective-event counting).
+    rng / seed:
+        Randomness source; pass ``seed`` for reproducible executions.
+    check_invariants:
+        When true, the world's structural invariants are verified after
+        every applied event (slow; meant for tests).
+    """
+
+    world: World
+    protocol: Protocol
+    scheduler: Scheduler = field(default_factory=HotScheduler)
+    rng: Optional[random.Random] = None
+    seed: Optional[int] = None
+    check_invariants: bool = False
+    trace: Optional[TraceHook] = None
+
+    events: int = 0
+    raw_steps: int = 0
+    stabilized: bool = False
+
+    def __post_init__(self) -> None:
+        if self.rng is None:
+            self.rng = random.Random(self.seed)
+
+    # ------------------------------------------------------------------
+
+    def step(self) -> Optional[ScheduledEvent]:
+        """Apply one effective interaction; ``None`` once stabilized."""
+        if self.stabilized:
+            return None
+        assert self.rng is not None
+        event = self.scheduler.next_event(self.world, self.protocol, self.rng)
+        if event is None:
+            self.stabilized = True
+            return None
+        self.world.apply(event.candidate, event.update)
+        self.events += 1
+        if event.raw_steps is not None:
+            self.raw_steps += event.raw_steps
+        if self.check_invariants:
+            self.world.check_invariants()
+        if self.trace is not None:
+            self.trace(self.events, event.candidate, event.update, self.world)
+        return event
+
+    def run(
+        self,
+        max_events: int = 1_000_000,
+        until: Optional[Callable[[World], bool]] = None,
+        require_stop: bool = False,
+    ) -> RunResult:
+        """Advance until stabilization, the predicate, or the event budget.
+
+        ``until`` is evaluated before the first event and after each event.
+        With ``require_stop`` the run raises :class:`TerminationError` when
+        the budget is exhausted first — use it when a theorem guarantees
+        termination and silent truncation would mask a bug.
+        """
+        def result(stopped: bool, reason: str) -> RunResult:
+            raw = self.raw_steps if self.scheduler.tracks_raw_steps else None
+            return RunResult(self.events, raw, self.stabilized, stopped, reason)
+
+        if until is not None and until(self.world):
+            return result(True, "predicate")
+        for _ in range(max_events):
+            event = self.step()
+            if event is None:
+                return result(False, "stabilized")
+            if until is not None and until(self.world):
+                return result(True, "predicate")
+        if require_stop:
+            raise TerminationError(
+                f"run exceeded {max_events} events without stopping"
+            )
+        return result(False, "budget")
+
+    def run_to_stabilization(self, max_events: int = 1_000_000) -> RunResult:
+        """Run until no effective interaction remains (stable output, §3)."""
+        res = self.run(max_events=max_events)
+        if not res.stabilized:
+            raise TerminationError(
+                f"did not stabilize within {max_events} events"
+            )
+        return res
+
+    # ------------------------------------------------------------------
+    # Convenience queries
+    # ------------------------------------------------------------------
+
+    def any_halted(self) -> bool:
+        """True iff some node is in a halting state."""
+        return any(
+            self.protocol.is_halted(rec.state) for rec in self.world.nodes.values()
+        )
+
+    def states_by_count(self) -> List[Tuple[object, int]]:
+        """State multiset of the population, most frequent first."""
+        counts: dict = {}
+        for rec in self.world.nodes.values():
+            counts[rec.state] = counts.get(rec.state, 0) + 1
+        return sorted(counts.items(), key=lambda kv: (-kv[1], repr(kv[0])))

@@ -1,0 +1,747 @@
+"""World: the shape configuration ``C = (C_V, C_E)`` of §3 plus its geometry.
+
+The world tracks every node's state and, for nodes bound into components,
+their position and orientation within the component's local frame. Frames of
+distinct components are unrelated (components drift freely in the
+solution); when two components bond, the second is rotated and translated
+into the first's frame.
+
+The world also implements the *permissibility* predicate of §3: a pair of
+node-ports can interact iff the two ports can be aligned at unit distance
+(rotating one whole component, since nodes are rigid within a component)
+without any two nodes falling onto the same grid cell.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
+
+from repro.errors import CollisionError, SimulationError
+from repro.core.protocol import Protocol, State, Update
+from repro.geometry.ports import (
+    Port,
+    opposite,
+    port_direction,
+    port_facing,
+    ports_for_dimension,
+    world_direction,
+)
+from repro.geometry.rotation import (
+    Rotation,
+    identity_rotation,
+    rotations_mapping,
+)
+from repro.geometry.shape import Shape
+from repro.geometry.vec import Vec
+
+#: A bond: unordered pair of (node id, port) endpoints.
+Bond = FrozenSet[Tuple[int, Port]]
+
+
+def bond_of(nid1: int, port1: Port, nid2: int, port2: Port) -> Bond:
+    return frozenset(((nid1, port1), (nid2, port2)))
+
+
+def bond_sort_key(bond: Bond):
+    """A deterministic ordering key for bonds.
+
+    Sets of bonds iterate in hash order, which varies across interpreter
+    processes (enum identity hashes, string hash randomization); every
+    place where bond iteration order can influence an RNG-driven choice
+    must sort with this key to keep seeded runs reproducible.
+    """
+    return tuple(sorted((nid, port.value) for nid, port in bond))
+
+
+@dataclass
+class NodeRecord:
+    """Mutable record of one node."""
+
+    nid: int
+    state: State
+    component_id: int
+    pos: Vec
+    orientation: Rotation
+
+
+@dataclass
+class Component:
+    """A connected component: rigid shape in its own local frame."""
+
+    cid: int
+    cells: Dict[Vec, int] = field(default_factory=dict)  # cell -> node id
+    bonds: Set[Bond] = field(default_factory=set)
+    version: int = 0
+
+    def node_ids(self) -> List[int]:
+        return list(self.cells.values())
+
+    def size(self) -> int:
+        return len(self.cells)
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """A permissible interaction the scheduler may select.
+
+    ``rotation``/``translation`` describe how the second node's component is
+    placed into the first's frame (``None`` for intra-component pairs, where
+    geometry is already shared). ``bond`` is the current state of the edge
+    between the two ports.
+    """
+
+    nid1: int
+    port1: Port
+    nid2: int
+    port2: Port
+    bond: int
+    rotation: Optional[Rotation] = None
+    translation: Optional[Vec] = None
+
+    @property
+    def intra(self) -> bool:
+        return self.rotation is None
+
+
+class World:
+    """The full configuration of the solution.
+
+    Nodes are created free (singleton components). The world exposes
+    permissibility checks, candidate enumeration/sampling support, and the
+    interaction application logic (state updates, bonding with component
+    merge, unbonding with component split).
+    """
+
+    def __init__(self, dimension: int = 2) -> None:
+        if dimension not in (2, 3):
+            raise SimulationError(f"unsupported dimension: {dimension!r}")
+        self.dimension = dimension
+        self.ports: Tuple[Port, ...] = ports_for_dimension(dimension)
+        self.nodes: Dict[int, NodeRecord] = {}
+        self.components: Dict[int, Component] = {}
+        #: Index of node ids by current state (kept in sync by set_state).
+        self.by_state: Dict[State, Set[int]] = {}
+        self._next_nid = 0
+        self._next_cid = 0
+
+    # ------------------------------------------------------------------
+    # Population setup
+    # ------------------------------------------------------------------
+
+    def add_free_node(self, state: State) -> int:
+        """Add a free (isolated) node in the given state; returns its id."""
+        nid = self._next_nid
+        self._next_nid += 1
+        cid = self._next_cid
+        self._next_cid += 1
+        self.nodes[nid] = NodeRecord(nid, state, cid, Vec(0, 0, 0), identity_rotation)
+        comp = Component(cid)
+        comp.cells[Vec(0, 0, 0)] = nid
+        self.components[cid] = comp
+        self.by_state.setdefault(state, set()).add(nid)
+        return nid
+
+    def add_component_from_cells(
+        self,
+        states: Dict[Vec, State],
+        bonds: Optional[Iterable[Tuple[Vec, Vec]]] = None,
+    ) -> Dict[Vec, int]:
+        """Add a pre-assembled component (identity orientations).
+
+        ``states`` maps cells to node states; ``bonds`` lists cell pairs to
+        bond (all adjacent pairs when omitted). The bond graph must connect
+        the cells. Returns the cell -> node id mapping. This is how the
+        generic constructors of §6-§7 seed worlds with already-built lines,
+        squares, and shapes.
+        """
+        cid = self._next_cid
+        self._next_cid += 1
+        comp = Component(cid)
+        nids: Dict[Vec, int] = {}
+        for cell in sorted(states):
+            nid = self._next_nid
+            self._next_nid += 1
+            rec = NodeRecord(nid, states[cell], cid, cell, identity_rotation)
+            self.nodes[nid] = rec
+            comp.cells[cell] = nid
+            nids[cell] = nid
+            self.by_state.setdefault(states[cell], set()).add(nid)
+        if bonds is None:
+            pairs = [
+                (cell, cell + delta)
+                for cell in states
+                for delta in _positive_units(self.dimension)
+                if cell + delta in states
+            ]
+        else:
+            pairs = [(a, b) for a, b in bonds]
+        for a, b in pairs:
+            if (a - b).manhattan() != 1:
+                raise SimulationError(f"bond between non-adjacent cells: {a}, {b}")
+            pa = port_facing(identity_rotation, b - a)
+            pb = port_facing(identity_rotation, a - b)
+            comp.bonds.add(bond_of(nids[a], pa, nids[b], pb))
+        self.components[cid] = comp
+        if comp.size() > 1:
+            self.check_component_connected(comp)
+        return nids
+
+    def check_component_connected(self, comp: Component) -> None:
+        """Raise unless the component's bond graph is connected."""
+        adjacency: Dict[int, List[int]] = {nid: [] for nid in comp.cells.values()}
+        for bond in comp.bonds:
+            (a, _), (b, _) = tuple(bond)
+            adjacency[a].append(b)
+            adjacency[b].append(a)
+        start = next(iter(adjacency))
+        seen = {start}
+        stack = [start]
+        while stack:
+            v = stack.pop()
+            for w in adjacency[v]:
+                if w not in seen:
+                    seen.add(w)
+                    stack.append(w)
+        if len(seen) != comp.size():
+            raise SimulationError(f"component {comp.cid} bond graph disconnected")
+
+    @staticmethod
+    def of_free_nodes(
+        n: int,
+        protocol: Protocol,
+        leaders: int = 0,
+    ) -> "World":
+        """A solution of ``n`` free nodes; the first ``leaders`` nodes start
+        in the protocol's leader state, the rest in its initial state."""
+        world = World(protocol.dimension)
+        for i in range(n):
+            if i < leaders:
+                if protocol.leader_state is None:
+                    raise SimulationError("protocol defines no leader state")
+                world.add_free_node(protocol.leader_state)
+            else:
+                world.add_free_node(protocol.initial_state)
+        return world
+
+    # ------------------------------------------------------------------
+    # Basic queries
+    # ------------------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """The population size n."""
+        return len(self.nodes)
+
+    def state_of(self, nid: int) -> State:
+        return self.nodes[nid].state
+
+    def set_state(self, nid: int, state: State) -> None:
+        rec = self.nodes[nid]
+        if rec.state == state:
+            return
+        old = self.by_state.get(rec.state)
+        if old is not None:
+            old.discard(nid)
+            if not old:
+                del self.by_state[rec.state]
+        rec.state = state
+        self.by_state.setdefault(state, set()).add(nid)
+
+    def component_of(self, nid: int) -> Component:
+        return self.components[self.nodes[nid].component_id]
+
+    def is_free(self, nid: int) -> bool:
+        """True iff the node is alone in its component."""
+        return self.component_of(nid).size() == 1
+
+    def free_node_ids(self) -> List[int]:
+        return [nid for nid in self.nodes if self.is_free(nid)]
+
+    def states(self) -> Dict[int, State]:
+        return {nid: rec.state for nid, rec in self.nodes.items()}
+
+    def bond_state(self, nid1: int, port1: Port, nid2: int, port2: Port) -> int:
+        """The 0/1 state of the edge between two node-ports (C_E of §3)."""
+        rec1, rec2 = self.nodes[nid1], self.nodes[nid2]
+        if rec1.component_id != rec2.component_id:
+            return 0
+        comp = self.components[rec1.component_id]
+        return int(bond_of(nid1, port1, nid2, port2) in comp.bonds)
+
+    def world_port_direction(self, nid: int, port: Port) -> Vec:
+        """Direction of a node's port in its component's frame."""
+        rec = self.nodes[nid]
+        return world_direction(port, rec.orientation)
+
+    # ------------------------------------------------------------------
+    # Permissibility (the geometric constraint of §3)
+    # ------------------------------------------------------------------
+
+    def intra_pair_ports(self, nid1: int, nid2: int) -> Optional[Tuple[Port, Port]]:
+        """For two nodes of the same component at unit distance, the unique
+        pair of ports facing each other; ``None`` if not adjacent."""
+        rec1, rec2 = self.nodes[nid1], self.nodes[nid2]
+        if rec1.component_id != rec2.component_id:
+            return None
+        delta = rec2.pos - rec1.pos
+        if delta.manhattan() != 1:
+            return None
+        p1 = port_facing(rec1.orientation, delta)
+        p2 = port_facing(rec2.orientation, -delta)
+        return p1, p2
+
+    def intra_candidate(self, nid1: int, nid2: int) -> Optional[Candidate]:
+        """The unique intra-component candidate for an adjacent pair."""
+        ports = self.intra_pair_ports(nid1, nid2)
+        if ports is None:
+            return None
+        p1, p2 = ports
+        bond = self.bond_state(nid1, p1, nid2, p2)
+        return Candidate(nid1, p1, nid2, p2, bond)
+
+    def check_intra(
+        self, nid1: int, port1: Port, nid2: int, port2: Port
+    ) -> Optional[Candidate]:
+        """Validate a same-component candidate with explicit ports."""
+        ports = self.intra_pair_ports(nid1, nid2)
+        if ports is None or ports != (port1, port2):
+            return None
+        bond = self.bond_state(nid1, port1, nid2, port2)
+        return Candidate(nid1, port1, nid2, port2, bond)
+
+    def inter_alignments(
+        self, nid1: int, port1: Port, nid2: int, port2: Port
+    ) -> List[Tuple[Rotation, Vec]]:
+        """Collision-free placements aligning ``port2`` of ``nid2``'s
+        component opposite ``port1`` of ``nid1``'s component.
+
+        Returns the (rotation, translation) pairs to apply to the second
+        component; one candidate per element. Empty when every alignment
+        would make some node fall over another (§3's overlap restriction).
+        In 2D there is at most one alignment; in 3D up to four.
+        """
+        rec1, rec2 = self.nodes[nid1], self.nodes[nid2]
+        if rec1.component_id == rec2.component_id:
+            return []
+        comp1 = self.components[rec1.component_id]
+        comp2 = self.components[rec2.component_id]
+        d1 = world_direction(port1, rec1.orientation)
+        target_cell = rec1.pos + d1
+        if target_cell in comp1.cells:
+            return []  # the slot is already occupied within comp1
+        d2 = world_direction(port2, rec2.orientation)
+        placements: List[Tuple[Rotation, Vec]] = []
+        for rot in rotations_mapping(d2, -d1, self.dimension):
+            trans = target_cell - rot.apply(rec2.pos)
+            if all(
+                (rot.apply(cell) + trans) not in comp1.cells
+                for cell in comp2.cells
+            ):
+                placements.append((rot, trans))
+        return placements
+
+    def inter_candidates(
+        self, nid1: int, port1: Port, nid2: int, port2: Port
+    ) -> List[Candidate]:
+        """All permissible inter-component candidates for a node-port pair."""
+        return [
+            Candidate(nid1, port1, nid2, port2, 0, rot, trans)
+            for rot, trans in self.inter_alignments(nid1, port1, nid2, port2)
+        ]
+
+    def open_slots(self, comp: Component) -> List[Tuple[int, Port]]:
+        """Node-ports of a component whose adjacent cell is unoccupied.
+
+        Only these ports can take part in inter-component interactions.
+        """
+        slots: List[Tuple[int, Port]] = []
+        for cell, nid in comp.cells.items():
+            rec = self.nodes[nid]
+            for port in self.ports:
+                if cell + world_direction(port, rec.orientation) not in comp.cells:
+                    slots.append((nid, port))
+        return slots
+
+    def adjacent_pairs(self, comp: Component) -> List[Tuple[int, int]]:
+        """Unordered grid-adjacent node pairs within a component."""
+        pairs: List[Tuple[int, int]] = []
+        for cell, nid in comp.cells.items():
+            for delta in _positive_units(self.dimension):
+                other = comp.cells.get(cell + delta)
+                if other is not None:
+                    pairs.append((nid, other))
+        return pairs
+
+    # ------------------------------------------------------------------
+    # Candidate enumeration (reference implementation)
+    # ------------------------------------------------------------------
+
+    def enumerate_candidates(self) -> Iterator[Candidate]:
+        """Every permissible interaction of the current configuration.
+
+        This is the reference enumeration used by the exact uniform
+        scheduler and by tests; samplers must agree with its support.
+        """
+        # Intra-component: one candidate per grid-adjacent node pair.
+        for comp in self.components.values():
+            for nid1, nid2 in self.adjacent_pairs(comp):
+                cand = self.intra_candidate(nid1, nid2)
+                if cand is not None:
+                    yield cand
+        # Inter-component: every collision-free alignment of port pairs.
+        comps = sorted(self.components.values(), key=lambda c: c.cid)
+        for ca, cb in itertools.combinations(comps, 2):
+            slots_a = self.open_slots(ca)
+            for nid2 in cb.node_ids():
+                for nid1, p1 in slots_a:
+                    for p2 in self.ports:
+                        yield from self.inter_candidates(nid1, p1, nid2, p2)
+
+    def candidate_count(self) -> int:
+        """|Perm|: the number of permissible interactions (exact)."""
+        return sum(1 for _ in self.enumerate_candidates())
+
+    # ------------------------------------------------------------------
+    # Applying an interaction
+    # ------------------------------------------------------------------
+
+    def apply(self, cand: Candidate, update: Update) -> None:
+        """Apply an effective update to a selected candidate.
+
+        Updates the two node states and the bond, merging the two components
+        when a bond forms across components and splitting when a removed
+        bond disconnects a component.
+        """
+        s1, s2, new_bond = update
+        rec1, rec2 = self.nodes[cand.nid1], self.nodes[cand.nid2]
+        self.set_state(cand.nid1, s1)
+        self.set_state(cand.nid2, s2)
+        same = rec1.component_id == rec2.component_id
+        if same:
+            comp = self.components[rec1.component_id]
+            bond = bond_of(cand.nid1, cand.port1, cand.nid2, cand.port2)
+            had = bond in comp.bonds
+            if new_bond and not had:
+                comp.bonds.add(bond)
+                comp.version += 1
+            elif not new_bond and had:
+                comp.bonds.discard(bond)
+                comp.version += 1
+                self._split_if_disconnected(comp)
+        else:
+            if new_bond:
+                if cand.rotation is None or cand.translation is None:
+                    raise SimulationError(
+                        "inter-component bonding requires a placement"
+                    )
+                self._merge(cand)
+            # else: they touched and drifted apart; states already updated.
+
+    def _merge(self, cand: Candidate) -> None:
+        rec1, rec2 = self.nodes[cand.nid1], self.nodes[cand.nid2]
+        comp1 = self.components[rec1.component_id]
+        comp2 = self.components[rec2.component_id]
+        rot = cand.rotation
+        trans = cand.translation
+        assert rot is not None and trans is not None
+        for cell, nid in list(comp2.cells.items()):
+            new_cell = rot.apply(cell) + trans
+            if new_cell in comp1.cells:
+                raise CollisionError(
+                    f"merge places node {nid} over occupied cell {new_cell!r}"
+                )
+            rec = self.nodes[nid]
+            rec.pos = new_cell
+            rec.orientation = rot.compose(rec.orientation)
+            rec.component_id = comp1.cid
+            comp1.cells[new_cell] = nid
+        comp1.bonds.update(comp2.bonds)
+        comp1.bonds.add(bond_of(cand.nid1, cand.port1, cand.nid2, cand.port2))
+        comp1.version += 1
+        del self.components[comp2.cid]
+
+    def _split_if_disconnected(self, comp: Component) -> None:
+        """After a bond removal, split the component into bond-connected
+        fragments; each fragment keeps its coordinates in a fresh frame."""
+        adjacency: Dict[int, List[int]] = {nid: [] for nid in comp.cells.values()}
+        for bond in comp.bonds:
+            (a, _), (b, _) = tuple(bond)
+            adjacency[a].append(b)
+            adjacency[b].append(a)
+        unseen = set(adjacency)
+        groups: List[Set[int]] = []
+        while unseen:
+            start = next(iter(unseen))
+            group = {start}
+            stack = [start]
+            unseen.discard(start)
+            while stack:
+                v = stack.pop()
+                for w in adjacency[v]:
+                    if w in unseen:
+                        unseen.discard(w)
+                        group.add(w)
+                        stack.append(w)
+            groups.append(group)
+        if len(groups) <= 1:
+            return
+        # Deterministic: largest fragment keeps the cid, ties by least nid
+        # (groups themselves are discovered in set-iteration order, which
+        # is hash-dependent — the sort must fully decide).
+        groups.sort(key=lambda g: (-len(g), min(g)))
+        keep = groups[0]
+        for group in groups[1:]:
+            cid = self._next_cid
+            self._next_cid += 1
+            newc = Component(cid)
+            for nid in group:
+                rec = self.nodes[nid]
+                rec.component_id = cid
+                newc.cells[rec.pos] = nid
+            newc.bonds = {
+                b for b in comp.bonds if all(nid in group for nid, _ in b)
+            }
+            self.components[cid] = newc
+        comp.cells = {
+            cell: nid for cell, nid in comp.cells.items() if nid in keep
+        }
+        comp.bonds = {b for b in comp.bonds if all(nid in keep for nid, _ in b)}
+        comp.version += 1
+
+    # ------------------------------------------------------------------
+    # Surgery (used by orchestrated constructors; see DESIGN.md)
+    # ------------------------------------------------------------------
+
+    def free_singleton(self, nid: int, state: State) -> None:
+        """Cut all of a node's bonds and release it as a free node.
+
+        This is the "release into the solution" operation the §6.2 leader
+        performs on nodes of incomplete replications. The remainder of the
+        component is split into its bond-connected fragments.
+        """
+        rec = self.nodes[nid]
+        comp = self.components[rec.component_id]
+        comp.bonds = {b for b in comp.bonds if all(x != nid for x, _ in b)}
+        if comp.size() > 1:
+            del comp.cells[rec.pos]
+            comp.version += 1
+            cid = self._next_cid
+            self._next_cid += 1
+            single = Component(cid)
+            rec.component_id = cid
+            rec.pos = Vec(0, 0, 0)
+            rec.orientation = identity_rotation
+            single.cells[rec.pos] = nid
+            self.components[cid] = single
+            self._resplit(comp)
+        self.set_state(nid, state)
+
+    def _resplit(self, comp: Component) -> None:
+        """Split a component whose bond graph may have become disconnected."""
+        if comp.size() == 0:
+            del self.components[comp.cid]
+            return
+        if comp.size() == 1:
+            return
+        adjacency: Dict[int, List[int]] = {n: [] for n in comp.cells.values()}
+        for bond in comp.bonds:
+            (a, _), (b, _) = tuple(bond)
+            adjacency[a].append(b)
+            adjacency[b].append(a)
+        start = next(iter(adjacency))
+        seen = {start}
+        stack = [start]
+        while stack:
+            v = stack.pop()
+            for w in adjacency[v]:
+                if w not in seen:
+                    seen.add(w)
+                    stack.append(w)
+        if len(seen) == comp.size():
+            return
+        # Reuse the bond-removal splitter by rebuilding groups.
+        self._split_if_disconnected(comp)
+
+    def transplant_line(
+        self,
+        line_nids: List[int],
+        target_cells: List[Vec],
+        into_cid: int,
+        new_state: State,
+        bond_cells: bool = True,
+    ) -> None:
+        """Move a free line component into another component, cell by cell.
+
+        ``line_nids`` (in order) land on ``target_cells`` (grid cells of the
+        destination component's frame, which must be unoccupied); states are
+        set to ``new_state`` and bonds are created between consecutive line
+        cells and, when ``bond_cells``, to any adjacent occupied cell of the
+        destination. Orientations must be identity (all paper constructions
+        bond opposite ports, so this always holds here).
+        """
+        if len(line_nids) != len(target_cells):
+            raise SimulationError("transplant: length mismatch")
+        target = self.components[into_cid]
+        src_comp = self.components[self.nodes[line_nids[0]].component_id]
+        if any(self.nodes[nid].component_id != src_comp.cid for nid in line_nids):
+            raise SimulationError("transplant: nodes from different components")
+        if set(src_comp.cells.values()) != set(line_nids):
+            raise SimulationError("transplant: component has extra nodes")
+        for cell in target_cells:
+            if cell in target.cells:
+                raise CollisionError(f"transplant target {cell!r} occupied")
+        for nid, cell in zip(line_nids, target_cells):
+            rec = self.nodes[nid]
+            if rec.orientation is not identity_rotation and rec.orientation != identity_rotation:
+                raise SimulationError("transplant requires identity orientations")
+            rec.component_id = into_cid
+            rec.pos = cell
+            target.cells[cell] = nid
+            self.set_state(nid, new_state)
+        del self.components[src_comp.cid]
+        # Bond consecutive line cells and (optionally) all adjacent target cells.
+        for nid, cell in zip(line_nids, target_cells):
+            for delta in _positive_units(self.dimension):
+                other_cell = cell + delta
+                other = target.cells.get(other_cell)
+                if other is None:
+                    continue
+                if not bond_cells and other not in line_nids:
+                    continue
+                pa = port_facing(identity_rotation, delta)
+                pb = port_facing(identity_rotation, -delta)
+                target.bonds.add(bond_of(nid, pa, other, pb))
+        target.version += 1
+
+    # ------------------------------------------------------------------
+    # Shape extraction
+    # ------------------------------------------------------------------
+
+    def component_shape(self, cid: int, with_states: bool = False) -> Shape:
+        """The geometric shape of a component (normalized to the origin)."""
+        comp = self.components[cid]
+        cells = list(comp.cells)
+        edges = []
+        for bond in comp.bonds:
+            (a, _), (b, _) = tuple(bond)
+            edges.append(frozenset((self.nodes[a].pos, self.nodes[b].pos)))
+        labels = None
+        if with_states:
+            labels = {cell: self.nodes[nid].state for cell, nid in comp.cells.items()}
+        return Shape.from_cells(cells, edges, labels).normalize()
+
+    def output_shapes(self, protocol: Protocol) -> List[Shape]:
+        """The output ``G(C)`` of §3: shapes induced by output-state nodes
+        and the active edges between them (one Shape per output group)."""
+        out_nodes = {
+            nid for nid, rec in self.nodes.items() if protocol.is_output(rec.state)
+        }
+        shapes: List[Shape] = []
+        for comp in self.components.values():
+            members = [nid for nid in comp.cells.values() if nid in out_nodes]
+            if not members:
+                continue
+            member_set = set(members)
+            adjacency: Dict[int, List[int]] = {nid: [] for nid in members}
+            kept_bonds = []
+            for bond in comp.bonds:
+                (a, _), (b, _) = tuple(bond)
+                if a in member_set and b in member_set:
+                    adjacency[a].append(b)
+                    adjacency[b].append(a)
+                    kept_bonds.append((a, b))
+            unseen = set(members)
+            while unseen:
+                start = next(iter(unseen))
+                group = {start}
+                stack = [start]
+                unseen.discard(start)
+                while stack:
+                    v = stack.pop()
+                    for w in adjacency[v]:
+                        if w in unseen:
+                            unseen.discard(w)
+                            group.add(w)
+                            stack.append(w)
+                cells = [self.nodes[nid].pos for nid in group]
+                edges = [
+                    frozenset((self.nodes[a].pos, self.nodes[b].pos))
+                    for a, b in kept_bonds
+                    if a in group and b in group
+                ]
+                shapes.append(Shape.from_cells(cells, edges).normalize())
+        return shapes
+
+    # ------------------------------------------------------------------
+    # Invariant checking (used by tests and debug runs)
+    # ------------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Verify the structural invariants of a valid configuration.
+
+        Raises :class:`SimulationError` on any violation: stale cell maps,
+        overlapping nodes, bonds between non-facing ports, or components
+        whose bond graph is disconnected.
+        """
+        seen_nodes = set()
+        for cid, comp in self.components.items():
+            for cell, nid in comp.cells.items():
+                rec = self.nodes[nid]
+                if rec.component_id != cid:
+                    raise SimulationError(f"node {nid} component map stale")
+                if rec.pos != cell:
+                    raise SimulationError(f"node {nid} cell map stale")
+                if nid in seen_nodes:
+                    raise SimulationError(f"node {nid} in two components")
+                seen_nodes.add(nid)
+            if len(set(comp.cells)) != len(comp.cells):
+                raise SimulationError(f"component {cid} has overlapping cells")
+            for bond in comp.bonds:
+                (a, pa), (b, pb) = tuple(bond)
+                ra, rb = self.nodes[a], self.nodes[b]
+                da = world_direction(pa, ra.orientation)
+                if ra.pos + da != rb.pos:
+                    raise SimulationError(f"bond {bond!r} not at unit distance")
+                db = world_direction(pb, rb.orientation)
+                if rb.pos + db != ra.pos:
+                    raise SimulationError(f"bond {bond!r} ports not facing")
+            if comp.size() > 1:
+                adjacency: Dict[int, List[int]] = {
+                    nid: [] for nid in comp.cells.values()
+                }
+                for bond in comp.bonds:
+                    (a, _), (b, _) = tuple(bond)
+                    adjacency[a].append(b)
+                    adjacency[b].append(a)
+                start = next(iter(adjacency))
+                seen = {start}
+                stack = [start]
+                while stack:
+                    v = stack.pop()
+                    for w in adjacency[v]:
+                        if w not in seen:
+                            seen.add(w)
+                            stack.append(w)
+                if len(seen) != comp.size():
+                    raise SimulationError(
+                        f"component {cid} bond graph is disconnected"
+                    )
+        if len(seen_nodes) != len(self.nodes):
+            raise SimulationError("orphan nodes outside any component")
+
+
+def _positive_units(dimension: int) -> Tuple[Vec, ...]:
+    if dimension == 2:
+        return (Vec(1, 0, 0), Vec(0, 1, 0))
+    return (Vec(1, 0, 0), Vec(0, 1, 0), Vec(0, 0, 1))

@@ -1,0 +1,67 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish the common failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GeometryError(ReproError):
+    """An operation on grid geometry was invalid.
+
+    Raised, for example, when a shape is built from disconnected cells, when
+    a rotation index is outside the rotation group, or when an edge joins
+    non-adjacent cells.
+    """
+
+
+class InvalidShapeError(GeometryError):
+    """A set of cells/edges does not form a valid shape (Definition in §3)."""
+
+
+class ProtocolError(ReproError):
+    """A protocol definition is malformed.
+
+    Examples: a rule references a port outside the protocol's port set, two
+    rules with the same left-hand side disagree, or an agent handler returns
+    a malformed update.
+    """
+
+
+class SchedulerError(ReproError):
+    """The scheduler could not produce an interaction.
+
+    Raised when no permissible interaction exists (the world is frozen) and
+    the caller did not ask for graceful stabilization detection.
+    """
+
+
+class SimulationError(ReproError):
+    """The simulation reached an inconsistent or impossible situation."""
+
+
+class CollisionError(SimulationError):
+    """Applying an interaction would place two nodes on the same grid cell.
+
+    The scheduler never *selects* colliding interactions; this error guards
+    against internal bugs and against user code forcing invalid placements.
+    """
+
+
+class TerminationError(SimulationError):
+    """A run exceeded its step budget without reaching the requested
+    condition (termination, stabilization, or a user predicate)."""
+
+
+class MachineError(ReproError):
+    """A Turing machine definition or execution is invalid.
+
+    Examples: missing transition in a complete-TM context, head moving off a
+    bounded tape, or exceeding a configured space bound.
+    """

@@ -1,0 +1,42 @@
+"""Fault injection and self-repair (the robustness questions of §8).
+
+The paper's conclusions pose two robustness questions:
+
+* *"Imagine an environment that can at any given time break an active link
+  with some (small) probability. Under such a perpetual setback no
+  construction can ever stabilize."* — :class:`FaultySimulation` implements
+  exactly this adversary (a per-event bond-breakage probability) so the
+  claim can be exercised quantitatively.
+* *"Imagine that a shape has stabilized but a part of it detaches … Can we
+  detect and reconstruct the broken part efficiently (and without resetting
+  the whole population)? What knowledge about the whole shape should the
+  nodes have?"* — :func:`detach_part` produces such damage and
+  :func:`repair_shape` reconstructs it from a *blueprint* (the shape's own
+  pixel description, which §6's constructions already store distributedly),
+  paying interactions proportional to the damage rather than to the whole
+  shape.
+"""
+
+from repro.faults.injection import (
+    BondBreakage,
+    FaultySimulation,
+    break_random_bond,
+    random_active_bonds,
+)
+from repro.faults.repair import (
+    RepairResult,
+    damage_statistics,
+    detach_part,
+    repair_shape,
+)
+
+__all__ = [
+    "BondBreakage",
+    "FaultySimulation",
+    "break_random_bond",
+    "random_active_bonds",
+    "RepairResult",
+    "detach_part",
+    "repair_shape",
+    "damage_statistics",
+]

@@ -1,0 +1,168 @@
+"""Link-breakage adversary over a :class:`~repro.core.world.World` (§8).
+
+The environment of the paper's robustness discussion breaks an active link
+with a small probability at any time. We model it as an interleaving of the
+protocol's effective interactions with *breakage events*: after each applied
+interaction, each step independently breaks one uniformly random active bond
+with probability ``break_prob``. Splitting into connected fragments is
+handled by the world (each fragment keeps operating, exactly as the paper's
+detached parts keep floating in the solution).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.core.protocol import Protocol
+from repro.core.scheduler import Scheduler
+from repro.core.simulator import RunResult, Simulation
+from repro.core.world import Bond, World, bond_sort_key
+from repro.errors import SimulationError
+
+
+def random_active_bonds(world: World) -> List[Tuple[int, Bond]]:
+    """All active bonds of the configuration as ``(component id, bond)``.
+
+    Deterministically ordered (bond sets iterate in hash order, which
+    varies across processes; the fault coin's RNG draw indexes this list).
+    """
+    out: List[Tuple[int, Bond]] = []
+    for comp in world.components.values():
+        for bond in sorted(comp.bonds, key=bond_sort_key):
+            out.append((comp.cid, bond))
+    return out
+
+
+def break_random_bond(world: World, rng: random.Random) -> Optional[Bond]:
+    """Deactivate one uniformly random active bond; ``None`` if none exist.
+
+    The owning component is split into its bond-connected fragments when the
+    removal disconnects it, mirroring a physical link snapping.
+    """
+    bonds = random_active_bonds(world)
+    if not bonds:
+        return None
+    cid, bond = bonds[rng.randrange(len(bonds))]
+    comp = world.components[cid]
+    comp.bonds.discard(bond)
+    comp.version += 1
+    world._split_if_disconnected(comp)
+    return bond
+
+
+@dataclass
+class BondBreakage:
+    """Record of one injected fault."""
+
+    at_event: int
+    bond: Bond
+
+
+@dataclass
+class FaultySimulation:
+    """A :class:`~repro.core.simulator.Simulation` under perpetual breakage.
+
+    After every applied effective interaction, a fault coin with probability
+    ``break_prob`` is flipped; on success one uniformly random active bond
+    snaps. With ``break_prob > 0`` and a construction that needs bonds, the
+    execution keeps being set back — the quantitative face of §8's "no
+    construction can ever stabilize".
+
+    Parameters mirror :class:`Simulation`; ``max_bonds_broken`` optionally
+    stops injecting after a budget of faults so that runs can be driven to
+    stabilization *after* a burst of damage.
+    """
+
+    world: World
+    protocol: Protocol
+    break_prob: float
+    scheduler: Optional[Scheduler] = None
+    seed: Optional[int] = None
+    max_bonds_broken: Optional[int] = None
+
+    breakages: List[BondBreakage] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.break_prob <= 1.0:
+            raise SimulationError(
+                f"break probability must be in [0, 1]: {self.break_prob}"
+            )
+        self._rng = random.Random(self.seed)
+        kwargs = {}
+        if self.scheduler is not None:
+            kwargs["scheduler"] = self.scheduler
+        self._sim = Simulation(
+            self.world, self.protocol, rng=self._rng, **kwargs
+        )
+
+    @property
+    def events(self) -> int:
+        return self._sim.events
+
+    def _budget_left(self) -> bool:
+        return (
+            self.max_bonds_broken is None
+            or len(self.breakages) < self.max_bonds_broken
+        )
+
+    def _faults_possible(self) -> bool:
+        return (
+            self.break_prob > 0.0
+            and self._budget_left()
+            and any(c.bonds for c in self.components())
+        )
+
+    def components(self):
+        return self.world.components.values()
+
+    def _maybe_break(self) -> bool:
+        """Flip the fault coin; True iff a bond actually snapped."""
+        if (
+            self.break_prob > 0.0
+            and self._budget_left()
+            and self._rng.random() < self.break_prob
+        ):
+            bond = break_random_bond(self.world, self._rng)
+            if bond is not None:
+                self.breakages.append(BondBreakage(self._sim.events, bond))
+                return True
+        return False
+
+    def step(self) -> bool:
+        """One time step: a protocol event (if any) plus the fault coin.
+
+        Returns False only on *genuine* stabilization: no effective
+        interaction is permissible and no fault can ever strike again
+        (``break_prob`` is zero, the fault budget is spent, or no active
+        bond remains). While faults remain possible the configuration can
+        always change again — §8's "no construction can ever stabilize".
+        """
+        event = self._sim.step()
+        if event is not None:
+            self._maybe_break()
+            return True
+        # Protocol quiescent: only faults can move the configuration.
+        if not self._faults_possible():
+            return False
+        if self._maybe_break():
+            self._sim.stabilized = False  # damage may re-enable events
+        return True
+
+    def run(self, max_steps: int = 100_000) -> RunResult:
+        """Run until genuine stabilization or the step budget.
+
+        With unbounded faults and any bonded construction the expected
+        outcome is ``"budget"`` — perpetual setbacks preclude stabilization.
+        """
+        for _ in range(max_steps):
+            if not self.step():
+                return RunResult(
+                    self._sim.events, None, True, False, "stabilized"
+                )
+        return RunResult(self._sim.events, None, False, False, "budget")
+
+    def largest_component_size(self) -> int:
+        """Order of the largest connected component (progress metric)."""
+        return max(c.size() for c in self.world.components.values())

@@ -1,0 +1,252 @@
+"""Detecting and reconstructing broken parts of a stabilized shape (§8).
+
+The paper asks: *"imagine that a shape has stabilized but a part of it
+detaches, all the connections of the part become deactivated, and all its
+nodes become free. Can we detect and reconstruct the broken part efficiently
+(and without resetting the whole population and repeating the construction
+from the beginning)? What knowledge about the whole shape should the nodes
+have?"*
+
+The answer implemented here: the *blueprint* — the shape's own pixel
+description, which the §6 universal constructors already hold distributedly
+(the zig-zag bit string of ``S_d``) — suffices. Repair proceeds by purely
+local attachments, exactly like the squaring phase of §7.1:
+
+1. every surviving node knows its blueprint cell (its pixel index);
+2. a missing blueprint cell adjacent to a surviving cell is *locally
+   detectable* (the surviving node sees an empty port where the blueprint
+   demands a neighbor) — the analogue of Proposition 1's detection shapes;
+3. a free node arriving at such a port is attached, adopts the cell's pixel
+   index, and thereby extends the detection frontier.
+
+Since the blueprint shape is connected, induction over its cells shows the
+frontier reaches every missing cell: repair always completes, and the number
+of attachment interactions equals the number of missing cells plus the
+number of missing bonds — proportional to the *damage*, never to the whole
+shape. This answers the efficiency question affirmatively.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Set, Tuple
+
+from repro.errors import ReproError, SimulationError
+from repro.geometry.shape import Shape
+from repro.geometry.vec import UNIT_VECTORS, Vec
+
+
+def _connected(cells: Set[Vec]) -> bool:
+    if not cells:
+        return False
+    start = next(iter(cells))
+    seen = {start}
+    stack = [start]
+    while stack:
+        v = stack.pop()
+        for d in UNIT_VECTORS:
+            w = v + d
+            if w in cells and w not in seen:
+                seen.add(w)
+                stack.append(w)
+    return len(seen) == len(cells)
+
+
+def detach_part(
+    shape: Shape,
+    fraction: float,
+    rng: Optional[random.Random] = None,
+    seed: Optional[int] = None,
+    max_attempts: int = 200,
+) -> Tuple[Shape, Set[Vec]]:
+    """Detach a connected part of ``shape``, as in §8's breakage scenario.
+
+    Removes a random connected region of about ``fraction`` of the cells
+    such that the surviving region stays connected (the leader must survive
+    on it to coordinate repair). Returns ``(damaged shape, lost cells)``.
+
+    Some shapes admit no such split at the requested size (e.g. a plus sign
+    cannot lose two adjacent cells and stay connected); the target size then
+    degrades towards 1 — a single non-cut cell always exists for any shape
+    of two or more cells. Raises :class:`ReproError` only for a 1-cell shape
+    or an out-of-range fraction.
+    """
+    if rng is None:
+        rng = random.Random(seed)
+    if not 0.0 < fraction < 1.0:
+        raise ReproError(f"fraction must be in (0, 1): {fraction}")
+    target = max(1, int(round(fraction * len(shape.cells))))
+    target = min(target, len(shape.cells) - 1)
+    if target < 1:
+        raise ReproError("cannot detach a part of a single-cell shape")
+    cells = set(shape.cells)
+    for attempt in range(max_attempts):
+        # Degrade the region size every quarter of the attempt budget, so
+        # shapes with no large feasible detachment still split.
+        shrink = attempt // max(1, max_attempts // 4)
+        target_now = max(1, target - shrink * max(1, target // 3 + 1))
+        seed_cell = rng.choice(sorted(cells))
+        region = {seed_cell}
+        frontier = [seed_cell]
+        while len(region) < target_now and frontier:
+            base = frontier[rng.randrange(len(frontier))]
+            options = [
+                base + d
+                for d in UNIT_VECTORS
+                if base + d in cells and base + d not in region
+            ]
+            if not options:
+                frontier.remove(base)
+                continue
+            nxt = rng.choice(sorted(options))
+            region.add(nxt)
+            frontier.append(nxt)
+        if len(region) != target_now:
+            continue
+        remainder = cells - region
+        if not remainder or not _connected(remainder):
+            continue
+        kept_edges = {e for e in shape.edges if all(c in remainder for c in e)}
+        if not _edges_connect(remainder, kept_edges):
+            continue
+        damaged = Shape.from_cells(
+            remainder,
+            kept_edges,
+            labels={c: v for c, v in shape.labels if c in remainder} or None,
+        )
+        return damaged, region
+    raise ReproError(
+        f"no connected detachment of fraction {fraction} found "
+        f"in {max_attempts} attempts"
+    )
+
+
+def _edges_connect(cells: Set[Vec], edges: Set[frozenset]) -> bool:
+    adjacency = {c: [] for c in cells}
+    for e in edges:
+        a, b = tuple(e)
+        adjacency[a].append(b)
+        adjacency[b].append(a)
+    start = next(iter(cells))
+    seen = {start}
+    stack = [start]
+    while stack:
+        v = stack.pop()
+        for w in adjacency[v]:
+            if w not in seen:
+                seen.add(w)
+                stack.append(w)
+    return len(seen) == len(cells)
+
+
+@dataclass
+class RepairResult:
+    """Outcome of a repair run."""
+
+    repaired: Shape
+    interactions: int
+    nodes_attached: int
+    bonds_restored: int
+
+
+def repair_shape(
+    damaged: Shape,
+    blueprint: Shape,
+    rng: Optional[random.Random] = None,
+    seed: Optional[int] = None,
+) -> RepairResult:
+    """Reconstruct ``blueprint`` from its surviving part ``damaged``.
+
+    Missing cells adjacent to present cells are attached one interaction at
+    a time in random (fair) order; missing blueprint bonds between present
+    cells are re-activated likewise. The repaired shape is verified to equal
+    the blueprint exactly (same cells and active edges).
+
+    Raises :class:`ReproError` when ``damaged`` is not a subshape of the
+    blueprint (repair would not know where its cells belong).
+    """
+    if rng is None:
+        rng = random.Random(seed)
+    blue_cells = set(blueprint.cells)
+    if not set(damaged.cells) <= blue_cells:
+        raise ReproError("damaged shape has cells outside the blueprint")
+    if not set(damaged.edges) <= set(blueprint.edges):
+        raise ReproError("damaged shape has bonds the blueprint lacks")
+    cells: Set[Vec] = set(damaged.cells)
+    edges: Set[frozenset] = set(damaged.edges)
+    interactions = 0
+    attached = 0
+    restored = 0
+    while True:
+        # Locally detectable repairs: missing bonds between present cells,
+        # and missing cells adjacent to a present cell.
+        missing_bonds: List[frozenset] = [
+            e for e in blueprint.edges
+            if e not in edges and all(c in cells for c in e)
+        ]
+        frontier_cells: List[Vec] = sorted(
+            {
+                c + d
+                for c in cells
+                for d in UNIT_VECTORS
+                if (c + d) in blue_cells
+                and (c + d) not in cells
+                and frozenset((c, c + d)) in blueprint.edges
+            }
+        )
+        if not missing_bonds and not frontier_cells:
+            break
+        pick = rng.randrange(len(missing_bonds) + len(frontier_cells))
+        interactions += 1
+        if pick < len(missing_bonds):
+            edges.add(missing_bonds[pick])
+            restored += 1
+        else:
+            cell = frontier_cells[pick - len(missing_bonds)]
+            cells.add(cell)
+            attached += 1
+            # The arriving node bonds to every blueprint neighbor already
+            # present (each bond is one further interaction).
+            for d in UNIT_VECTORS:
+                other = cell + d
+                e = frozenset((cell, other))
+                if other in cells and e in blueprint.edges and e not in edges:
+                    edges.add(e)
+                    restored += 1
+                    interactions += 1
+    repaired = Shape.from_cells(
+        cells, edges, labels=blueprint.label_map or None
+    )
+    if repaired.cells != blueprint.cells or repaired.edges != blueprint.edges:
+        raise SimulationError(
+            "repair frontier exhausted without reaching the blueprint — "
+            "the blueprint must be connected"
+        )
+    return RepairResult(repaired, interactions, attached, restored)
+
+
+def damage_statistics(
+    blueprint: Shape,
+    fractions: List[float],
+    trials: int = 10,
+    seed: int = 0,
+) -> List[Tuple[float, float, float]]:
+    """Repair cost versus damage size (the §8 efficiency experiment).
+
+    For each damage fraction: returns ``(fraction, mean lost cells, mean
+    repair interactions)``. The bench asserts interactions grow with the
+    damage, not with the blueprint size.
+    """
+    rng = random.Random(seed)
+    rows = []
+    for fraction in fractions:
+        lost_total = 0
+        cost_total = 0
+        for _ in range(trials):
+            damaged, lost = detach_part(blueprint, fraction, rng=rng)
+            res = repair_shape(damaged, blueprint, rng=rng)
+            lost_total += len(lost)
+            cost_total += res.interactions
+        rows.append((fraction, lost_total / trials, cost_total / trials))
+    return rows

@@ -1,0 +1,69 @@
+"""Integer grid geometry: vectors, rotations, ports, shapes, zig-zag order.
+
+This package is the geometric substrate of the model in §3 of the paper:
+nodes occupy cells of the 2D (or 3D) unit grid, connect through ports that
+are perpendicular to neighboring ports, and connected components are rigid
+shapes (connected subgraphs of the grid).
+"""
+
+from repro.geometry.vec import Vec, ORIGIN
+from repro.geometry.rotation import (
+    Rotation,
+    ROTATIONS_2D,
+    ROTATIONS_3D,
+    identity_rotation,
+)
+from repro.geometry.ports import (
+    Port,
+    PORTS_2D,
+    PORTS_3D,
+    opposite,
+    port_direction,
+    port_from_direction,
+)
+from repro.geometry.shape import Shape, GridEdge
+from repro.geometry.grid import (
+    zigzag_index_to_cell,
+    zigzag_cell_to_index,
+    zigzag_order,
+    square_cells,
+    rectangle_cells,
+    line_cells,
+)
+from repro.geometry.rect import (
+    bounding_rect,
+    rect_dimensions,
+    max_dim,
+    min_dim,
+    enclosing_squares,
+    enclosing_square,
+)
+
+__all__ = [
+    "Vec",
+    "ORIGIN",
+    "Rotation",
+    "ROTATIONS_2D",
+    "ROTATIONS_3D",
+    "identity_rotation",
+    "Port",
+    "PORTS_2D",
+    "PORTS_3D",
+    "opposite",
+    "port_direction",
+    "port_from_direction",
+    "Shape",
+    "GridEdge",
+    "zigzag_index_to_cell",
+    "zigzag_cell_to_index",
+    "zigzag_order",
+    "square_cells",
+    "rectangle_cells",
+    "line_cells",
+    "bounding_rect",
+    "rect_dimensions",
+    "max_dim",
+    "min_dim",
+    "enclosing_squares",
+    "enclosing_square",
+]

@@ -1,0 +1,118 @@
+"""Grid helpers: zig-zag pixel indexing and standard cell families.
+
+The zig-zag order is the one of Figure 7(b): pixels of a ``d x d`` square
+are indexed starting from the bottom-left corner, moving right along the
+bottom row, then one step up, then left, one step up, then right again, and
+so on. Both directions of the bijection are provided, plus convenience
+constructors for the cell sets used throughout the paper (lines, rectangles,
+squares).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+from repro.errors import GeometryError
+from repro.geometry.vec import Vec
+
+
+def zigzag_index_to_cell(index: int, width: int, origin: Vec = Vec(0, 0)) -> Vec:
+    """The cell of pixel ``index`` in a grid of the given ``width``.
+
+    Row ``index // width`` (counted bottom-up from ``origin``); even rows run
+    left-to-right, odd rows right-to-left, exactly as in Figure 7(b).
+    """
+    if width <= 0:
+        raise GeometryError(f"width must be positive: {width!r}")
+    if index < 0:
+        raise GeometryError(f"negative pixel index: {index!r}")
+    row, offset = divmod(index, width)
+    col = offset if row % 2 == 0 else width - 1 - offset
+    return origin + Vec(col, row)
+
+
+def zigzag_cell_to_index(cell: Vec, width: int, origin: Vec = Vec(0, 0)) -> int:
+    """Inverse of :func:`zigzag_index_to_cell`."""
+    rel = cell - origin
+    if rel.z != 0:
+        raise GeometryError(f"zig-zag indexing is 2D; got {cell!r}")
+    if not (0 <= rel.x < width) or rel.y < 0:
+        raise GeometryError(f"cell outside grid of width {width}: {cell!r}")
+    col = rel.x if rel.y % 2 == 0 else width - 1 - rel.x
+    return rel.y * width + col
+
+
+def zigzag_order(width: int, height: int, origin: Vec = Vec(0, 0)) -> List[Vec]:
+    """All cells of a ``width x height`` grid in zig-zag pixel order."""
+    return [
+        zigzag_index_to_cell(i, width, origin) for i in range(width * height)
+    ]
+
+
+def line_cells(length: int, origin: Vec = Vec(0, 0), direction: Vec = Vec(1, 0)) -> List[Vec]:
+    """Cells of a straight line of the given length."""
+    if length <= 0:
+        raise GeometryError(f"length must be positive: {length!r}")
+    if not direction.is_unit():
+        raise GeometryError(f"direction must be a unit vector: {direction!r}")
+    return [origin + direction * i for i in range(length)]
+
+
+def rectangle_cells(width: int, height: int, origin: Vec = Vec(0, 0)) -> List[Vec]:
+    """Cells of a ``width x height`` axis-aligned rectangle."""
+    if width <= 0 or height <= 0:
+        raise GeometryError(f"rectangle dims must be positive: {width}x{height}")
+    return [origin + Vec(x, y) for y in range(height) for x in range(width)]
+
+
+def square_cells(side: int, origin: Vec = Vec(0, 0)) -> List[Vec]:
+    """Cells of a ``side x side`` axis-aligned square."""
+    return rectangle_cells(side, side, origin)
+
+
+def iter_box(width: int, height: int, depth: int = 1, origin: Vec = Vec(0, 0)) -> Iterator[Vec]:
+    """Iterate the cells of a 3D box (used by the §6.4 slab constructor)."""
+    if width <= 0 or height <= 0 or depth <= 0:
+        raise GeometryError(f"box dims must be positive: {width}x{height}x{depth}")
+    for z in range(depth):
+        for y in range(height):
+            for x in range(width):
+                yield origin + Vec(x, y, z)
+
+
+def integer_cbrt(n: int) -> Tuple[int, bool]:
+    """Return ``(floor(cbrt(n)), exact)`` with ``exact`` iff n is a cube.
+
+    The 3D analogue of :func:`integer_sqrt`, used by the cube constructor
+    (the leader computes it by successive cubes, exactly like §6.2's
+    successive squares).
+    """
+    if n < 0:
+        raise GeometryError(f"negative operand: {n!r}")
+    if n == 0:
+        return 0, True
+    x = round(n ** (1.0 / 3.0))
+    # Float cube roots can be off by one either way; settle exactly.
+    while x**3 > n:
+        x -= 1
+    while (x + 1) ** 3 <= n:
+        x += 1
+    return x, x**3 == n
+
+
+def integer_sqrt(n: int) -> Tuple[int, bool]:
+    """Return ``(isqrt(n), exact)`` with ``exact`` true iff n is a square.
+
+    This mirrors the leader's successive-multiplication computation of
+    ``sqrt(n)`` in §6.2 (we use Newton's method; the result is identical).
+    """
+    if n < 0:
+        raise GeometryError(f"negative operand: {n!r}")
+    if n == 0:
+        return 0, True
+    x = n
+    y = (x + 1) // 2
+    while y < x:
+        x = y
+        y = (x + n // x) // 2
+    return x, x * x == n

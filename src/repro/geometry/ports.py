@@ -1,0 +1,108 @@
+"""Ports of a node: the bounded set of connection points of §3.
+
+In the 2D model each node has four ports ``u, r, d, l`` (the paper's
+``py, px, p-y, p-x``); the 3D model adds ``f`` (+z, the paper's ``pz``) and
+``b`` (-z). Neighboring ports are perpendicular, forming the node's local
+axes; the direction of a port in the world frame is the node's orientation
+applied to the port's local direction.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Tuple
+
+from repro.errors import GeometryError
+from repro.geometry.rotation import Rotation
+from repro.geometry.vec import Vec
+
+
+class Port(enum.Enum):
+    """A local port of a node, named by its local axis direction."""
+
+    UP = "u"        # +y, the paper's p_y
+    RIGHT = "r"     # +x, the paper's p_x
+    DOWN = "d"      # -y, the paper's p_-y
+    LEFT = "l"      # -x, the paper's p_-x
+    FRONT = "f"     # +z, the paper's p_z (3D only)
+    BACK = "b"      # -z, the paper's p_-z (3D only)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Port.{self.name}"
+
+
+#: Ports of the 2D model, in the paper's u, r, d, l order.
+PORTS_2D: Tuple[Port, ...] = (Port.UP, Port.RIGHT, Port.DOWN, Port.LEFT)
+
+#: Ports of the 3D model.
+PORTS_3D: Tuple[Port, ...] = (
+    Port.UP,
+    Port.RIGHT,
+    Port.DOWN,
+    Port.LEFT,
+    Port.FRONT,
+    Port.BACK,
+)
+
+_DIRECTIONS = {
+    Port.UP: Vec(0, 1, 0),
+    Port.RIGHT: Vec(1, 0, 0),
+    Port.DOWN: Vec(0, -1, 0),
+    Port.LEFT: Vec(-1, 0, 0),
+    Port.FRONT: Vec(0, 0, 1),
+    Port.BACK: Vec(0, 0, -1),
+}
+
+_OPPOSITES = {
+    Port.UP: Port.DOWN,
+    Port.DOWN: Port.UP,
+    Port.RIGHT: Port.LEFT,
+    Port.LEFT: Port.RIGHT,
+    Port.FRONT: Port.BACK,
+    Port.BACK: Port.FRONT,
+}
+
+_BY_DIRECTION = {v: p for p, v in _DIRECTIONS.items()}
+
+
+def ports_for_dimension(dimension: int) -> Tuple[Port, ...]:
+    """Return the port set of the model with the given dimension."""
+    if dimension == 2:
+        return PORTS_2D
+    if dimension == 3:
+        return PORTS_3D
+    raise GeometryError(f"unsupported dimension: {dimension!r}")
+
+
+def port_direction(port: Port) -> Vec:
+    """The local unit direction of a port."""
+    return _DIRECTIONS[port]
+
+
+def opposite(port: Port) -> Port:
+    """The port on the opposite local axis (the paper's ``j-bar``)."""
+    return _OPPOSITES[port]
+
+
+def port_from_direction(direction: Vec) -> Port:
+    """The port whose local direction equals ``direction``.
+
+    Raises :class:`GeometryError` if ``direction`` is not a unit vector.
+    """
+    try:
+        return _BY_DIRECTION[direction]
+    except KeyError:
+        raise GeometryError(f"not a unit direction: {direction!r}") from None
+
+
+def world_direction(port: Port, orientation: Rotation) -> Vec:
+    """The world-frame direction of ``port`` on a node with ``orientation``."""
+    return orientation.apply(_DIRECTIONS[port])
+
+
+def port_facing(orientation: Rotation, world_dir: Vec) -> Port:
+    """The port of a node with ``orientation`` that points along ``world_dir``.
+
+    Inverse of :func:`world_direction` in its first argument.
+    """
+    return port_from_direction(orientation.inverse().apply(world_dir))

@@ -1,0 +1,36 @@
+"""Random connected shapes for tests and replication benchmarks."""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.geometry.shape import Shape
+from repro.geometry.vec import Vec
+
+_DIRS = (Vec(0, 1), Vec(1, 0), Vec(0, -1), Vec(-1, 0))
+
+
+def random_connected_shape(
+    size: int, rng: Optional[random.Random] = None, seed: Optional[int] = None
+) -> Shape:
+    """A uniform-ish random connected polyomino of ``size`` cells.
+
+    Grown by repeatedly attaching a random free neighbor of the current
+    cell set (the standard Eden growth model); always connected.
+    """
+    if rng is None:
+        rng = random.Random(seed)
+    cells = {Vec(0, 0)}
+    frontier: List[Vec] = [Vec(0, 0) + d for d in _DIRS]
+    while len(cells) < size:
+        idx = rng.randrange(len(frontier))
+        cell = frontier.pop(idx)
+        if cell in cells:
+            continue
+        cells.add(cell)
+        for d in _DIRS:
+            nxt = cell + d
+            if nxt not in cells:
+                frontier.append(nxt)
+    return Shape.from_cells(cells).normalize()

@@ -1,0 +1,103 @@
+"""Bounding rectangles ``R_G`` and enclosing squares ``S_G`` of §3.
+
+Every 2D shape ``G`` has a unique minimum enclosing rectangle ``R_G``; it is
+represented as a {0,1}-labeled shape where cells of ``G`` carry label 1 and
+filler cells label 0, with all grid edges active. ``R_G`` extends to
+``max_dim x max_dim`` squares ``S_G`` in ``max_dim - min_dim + 1`` ways;
+all of them are enumerated.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.errors import GeometryError
+from repro.geometry.shape import Shape
+from repro.geometry.vec import Vec
+
+
+def bounding_box(shape: Shape) -> Tuple[Vec, Vec]:
+    """Return ``(min_corner, max_corner)`` of the shape's bounding box."""
+    xs = [c.x for c in shape.cells]
+    ys = [c.y for c in shape.cells]
+    zs = [c.z for c in shape.cells]
+    return Vec(min(xs), min(ys), min(zs)), Vec(max(xs), max(ys), max(zs))
+
+
+def rect_dimensions(shape: Shape) -> Tuple[int, int]:
+    """``(h_G, v_G)``: horizontal and vertical extent of the shape (§3)."""
+    lo, hi = bounding_box(shape)
+    return hi.x - lo.x + 1, hi.y - lo.y + 1
+
+
+def max_dim(shape: Shape) -> int:
+    """``max_dim_G = max(h_G, v_G)``."""
+    return max(rect_dimensions(shape))
+
+
+def min_dim(shape: Shape) -> int:
+    """``min_dim_G = min(h_G, v_G)``."""
+    return min(rect_dimensions(shape))
+
+
+def bounding_rect(shape: Shape) -> Shape:
+    """The labeled minimum rectangle ``R_G`` enclosing a 2D shape.
+
+    Cells of ``G`` are labeled 1, filler cells 0; all grid edges are active
+    (the paper: "It is like filling G with additional nodes and edges to
+    make it a rectangle").
+    """
+    if not shape.is_2d():
+        raise GeometryError("bounding_rect is defined for 2D shapes")
+    lo, hi = bounding_box(shape)
+    cells = [
+        Vec(x, y)
+        for y in range(lo.y, hi.y + 1)
+        for x in range(lo.x, hi.x + 1)
+    ]
+    labels = {c: (1 if c in shape.cells else 0) for c in cells}
+    return Shape.from_cells(cells, labels=labels)
+
+
+def enclosing_squares(shape: Shape) -> List[Shape]:
+    """All ``max_dim x max_dim`` labeled squares ``S_G`` enclosing the shape.
+
+    ``R_G`` is extended by ``max_dim - min_dim`` rows or columns; the extra
+    rows/columns can be placed in ``max_dim - min_dim + 1`` distinct ways
+    relative to ``G`` (the paper's example: a horizontal line of length d
+    extends to a square in d ways). All squares have size ``|S_G|``.
+    """
+    rect = bounding_rect(shape)
+    lo, hi = bounding_box(rect)
+    width = hi.x - lo.x + 1
+    height = hi.y - lo.y + 1
+    side = max(width, height)
+    slack = side - min(width, height)
+    squares: List[Shape] = []
+    for shift in range(slack + 1):
+        if width >= height:
+            origin = Vec(lo.x, lo.y - shift)
+        else:
+            origin = Vec(lo.x - shift, lo.y)
+        cells = [
+            Vec(x, y)
+            for y in range(origin.y, origin.y + side)
+            for x in range(origin.x, origin.x + side)
+        ]
+        labels = {c: (1 if c in shape.cells else 0) for c in cells}
+        squares.append(Shape.from_cells(cells, labels=labels))
+    return squares
+
+
+def enclosing_square(shape: Shape) -> Shape:
+    """A canonical choice among :func:`enclosing_squares` (the first one)."""
+    return enclosing_squares(shape)[0]
+
+
+def waste(square_side: int, shape: Shape) -> int:
+    """Nodes of a ``square_side``-square not belonging to the shape.
+
+    This is the paper's *waste* of a construction on ``square_side ** 2``
+    processes (Definition 4 / Theorem 4).
+    """
+    return square_side * square_side - len(shape.cells)

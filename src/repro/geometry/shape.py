@@ -1,0 +1,280 @@
+"""Shapes: connected subnetworks of the unit grid (§3, Definition of shapes).
+
+A :class:`Shape` is an immutable set of grid cells together with a set of
+active grid edges between adjacent cells, such that the edges connect the
+cells into a single component. Shapes support translation, rotation,
+normalization and congruence tests, and optional ``{0,1}`` (or arbitrary)
+labels per cell, which is how the paper represents labeled squares ``S_d``
+and rectangles ``R_G``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (
+    AbstractSet,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    Mapping,
+    Optional,
+    Tuple,
+)
+
+from repro.errors import InvalidShapeError
+from repro.geometry.rotation import Rotation, rotations_for_dimension
+from repro.geometry.vec import UNIT_VECTORS, Vec
+
+#: A grid edge: an unordered pair of adjacent cells.
+GridEdge = FrozenSet[Vec]
+
+
+def grid_edge(a: Vec, b: Vec) -> GridEdge:
+    """Build a grid edge, validating unit distance."""
+    if (a - b).manhattan() != 1:
+        raise InvalidShapeError(f"cells are not adjacent: {a!r}, {b!r}")
+    return frozenset((a, b))
+
+
+def _adjacent_pairs(cells: AbstractSet[Vec]) -> Iterator[GridEdge]:
+    for c in cells:
+        for d in UNIT_VECTORS:
+            other = c + d
+            if other in cells and (c.x, c.y, c.z) < (other.x, other.y, other.z):
+                yield frozenset((c, other))
+
+
+def _is_connected(cells: AbstractSet[Vec], edges: AbstractSet[GridEdge]) -> bool:
+    if not cells:
+        return True
+    adjacency: Dict[Vec, list] = {c: [] for c in cells}
+    for e in edges:
+        a, b = tuple(e)
+        adjacency[a].append(b)
+        adjacency[b].append(a)
+    start = next(iter(cells))
+    seen = {start}
+    stack = [start]
+    while stack:
+        v = stack.pop()
+        for w in adjacency[v]:
+            if w not in seen:
+                seen.add(w)
+                stack.append(w)
+    return len(seen) == len(cells)
+
+
+@dataclass(frozen=True)
+class Shape:
+    """An immutable connected grid shape with optional per-cell labels.
+
+    Parameters
+    ----------
+    cells:
+        The occupied grid cells.
+    edges:
+        The active edges; must connect ``cells`` into one component. When
+        omitted, all grid edges between adjacent cells are active (the
+        "rigid" default).
+    labels:
+        Optional mapping from cell to an arbitrary hashable label (the
+        paper's on/off bits or pattern colors).
+    """
+
+    cells: FrozenSet[Vec]
+    edges: FrozenSet[GridEdge]
+    labels: Tuple[Tuple[Vec, object], ...] = field(default=())
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def from_cells(
+        cells: Iterable[Vec],
+        edges: Optional[Iterable[GridEdge]] = None,
+        labels: Optional[Mapping[Vec, object]] = None,
+    ) -> "Shape":
+        """Build and validate a shape.
+
+        When ``edges`` is omitted, every grid edge between adjacent cells is
+        activated. Raises :class:`InvalidShapeError` when the result is not
+        a single connected shape or an edge is invalid.
+        """
+        cell_set = frozenset(cells)
+        if not cell_set:
+            raise InvalidShapeError("a shape must contain at least one cell")
+        if edges is None:
+            edge_set = frozenset(_adjacent_pairs(cell_set))
+        else:
+            edge_set = frozenset(edges)
+            for e in edge_set:
+                if len(e) != 2:
+                    raise InvalidShapeError(f"malformed edge: {e!r}")
+                a, b = tuple(e)
+                if (a - b).manhattan() != 1:
+                    raise InvalidShapeError(f"edge not at unit distance: {e!r}")
+                if a not in cell_set or b not in cell_set:
+                    raise InvalidShapeError(f"edge endpoint outside shape: {e!r}")
+        if not _is_connected(cell_set, edge_set):
+            raise InvalidShapeError("cells/edges do not form a connected shape")
+        label_items: Tuple[Tuple[Vec, object], ...] = ()
+        if labels:
+            for c in labels:
+                if c not in cell_set:
+                    raise InvalidShapeError(f"label on cell outside shape: {c!r}")
+            label_items = tuple(sorted(labels.items(), key=lambda kv: kv[0]))
+        return Shape(cell_set, edge_set, label_items)
+
+    @staticmethod
+    def single(cell: Vec = Vec(0, 0)) -> "Shape":
+        """The one-node shape at ``cell``."""
+        return Shape.from_cells([cell])
+
+    # ------------------------------------------------------------------
+    # Basic queries
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    def __contains__(self, cell: Vec) -> bool:
+        return cell in self.cells
+
+    @property
+    def label_map(self) -> Dict[Vec, object]:
+        """The labels as a plain dict (possibly empty)."""
+        return dict(self.labels)
+
+    def is_2d(self) -> bool:
+        """True iff every cell lies in the z = 0 plane."""
+        return all(c.z == 0 for c in self.cells)
+
+    def neighbors(self, cell: Vec) -> Tuple[Vec, ...]:
+        """Cells of the shape grid-adjacent to ``cell``."""
+        return tuple(cell + d for d in UNIT_VECTORS if cell + d in self.cells)
+
+    def edge_active(self, a: Vec, b: Vec) -> bool:
+        """True iff the grid edge between ``a`` and ``b`` is active."""
+        return frozenset((a, b)) in self.edges
+
+    def degree(self, cell: Vec) -> int:
+        """Number of active edges incident to ``cell``."""
+        return sum(1 for e in self.edges if cell in e)
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+
+    def translate(self, delta: Vec) -> "Shape":
+        """Return the shape translated by ``delta``."""
+        mapping = {c: c + delta for c in self.cells}
+        return self._mapped(mapping)
+
+    def rotate(self, rotation: Rotation) -> "Shape":
+        """Return the shape rotated about the origin."""
+        mapping = {c: rotation.apply(c) for c in self.cells}
+        return self._mapped(mapping)
+
+    def _mapped(self, mapping: Dict[Vec, Vec]) -> "Shape":
+        cells = frozenset(mapping.values())
+        edges = frozenset(
+            frozenset((mapping[a], mapping[b])) for e in self.edges for a, b in [tuple(e)]
+        )
+        labels = tuple(sorted(((mapping[c], v) for c, v in self.labels), key=lambda kv: kv[0]))
+        return Shape(cells, edges, labels)
+
+    def normalize(self) -> "Shape":
+        """Translate so the minimum corner of the bounding box is the origin."""
+        min_x = min(c.x for c in self.cells)
+        min_y = min(c.y for c in self.cells)
+        min_z = min(c.z for c in self.cells)
+        return self.translate(Vec(-min_x, -min_y, -min_z))
+
+    def canonical(self, dimension: int = 2) -> "Shape":
+        """A canonical representative of the congruence class of the shape.
+
+        Minimizes (over the rotation group and translations) the sorted cell
+        tuple; two shapes are congruent iff their canonical forms are equal.
+        Labels participate in the canonical ordering.
+        """
+        best: Optional[Shape] = None
+        best_key = None
+        for rot in rotations_for_dimension(dimension):
+            cand = self.rotate(rot).normalize()
+            key = (tuple(sorted(cand.cells)), tuple(sorted(map(tuple, cand.edges), key=sorted)), cand.labels)
+            if best_key is None or key < best_key:
+                best_key = key
+                best = cand
+        assert best is not None
+        return best
+
+    def congruent(self, other: "Shape", dimension: int = 2) -> bool:
+        """True iff the shapes are equal up to rotation and translation."""
+        return self.canonical(dimension) == other.canonical(dimension)
+
+    def same_up_to_translation(self, other: "Shape") -> bool:
+        """True iff the shapes are equal up to translation only."""
+        return self.normalize() == other.normalize()
+
+    # ------------------------------------------------------------------
+    # Shape-theoretic predicates used by the paper
+    # ------------------------------------------------------------------
+
+    def is_full_rectangle(self) -> bool:
+        """True iff cells fill the bounding box and all edges are active.
+
+        This is the predicate the replication leader tests when deciding the
+        squaring phase is complete (§7.1).
+        """
+        if not self.is_2d():
+            return False
+        xs = [c.x for c in self.cells]
+        ys = [c.y for c in self.cells]
+        width = max(xs) - min(xs) + 1
+        height = max(ys) - min(ys) + 1
+        if len(self.cells) != width * height:
+            return False
+        return len(self.edges) == len(frozenset(_adjacent_pairs(self.cells)))
+
+    def is_full_box(self) -> bool:
+        """True iff cells fill the 3D bounding box and all edges are active.
+
+        The 3D analogue of :meth:`is_full_rectangle`, used by the cube
+        constructor to validate its output.
+        """
+        xs = [c.x for c in self.cells]
+        ys = [c.y for c in self.cells]
+        zs = [c.z for c in self.cells]
+        volume = (
+            (max(xs) - min(xs) + 1)
+            * (max(ys) - min(ys) + 1)
+            * (max(zs) - min(zs) + 1)
+        )
+        if len(self.cells) != volume:
+            return False
+        return len(self.edges) == len(frozenset(_adjacent_pairs(self.cells)))
+
+    def is_line(self) -> bool:
+        """True iff the shape is a straight line (spanning-line output, §4.1)."""
+        xs = {c.x for c in self.cells}
+        ys = {c.y for c in self.cells}
+        zs = {c.z for c in self.cells}
+        fixed = sum(1 for s in (xs, ys, zs) if len(s) == 1)
+        if fixed < 2:
+            return False
+        lo = min(self.cells)
+        hi = max(self.cells)
+        return (hi - lo).manhattan() == len(self.cells) - 1
+
+    def on_subshape(self, on_label: object = 1) -> "Shape":
+        """The shape induced by cells labeled ``on_label`` (the paper's G_d).
+
+        Raises :class:`InvalidShapeError` when the on-cells are not
+        connected, mirroring the paper's connectivity requirement on
+        computed shapes.
+        """
+        on_cells = {c for c, v in self.labels if v == on_label}
+        edges = {e for e in self.edges if all(c in on_cells for c in e)}
+        return Shape.from_cells(on_cells, edges)

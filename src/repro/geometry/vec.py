@@ -1,0 +1,78 @@
+"""Immutable integer vectors on the 2D/3D unit grid.
+
+A single :class:`Vec` type serves both the 2D and the 3D model; 2D vectors
+simply keep ``z == 0``. All arithmetic is exact integer arithmetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+
+@dataclass(frozen=True, order=True)
+class Vec:
+    """An immutable integer vector / grid cell.
+
+    Supports addition, subtraction, negation, integer scaling, Manhattan
+    norm, and iteration (so ``tuple(v)`` works). Instances are hashable and
+    totally ordered (lexicographically), which makes them usable as dict
+    keys and sortable for canonical forms.
+    """
+
+    x: int
+    y: int
+    z: int = 0
+
+    def __add__(self, other: "Vec") -> "Vec":
+        return Vec(self.x + other.x, self.y + other.y, self.z + other.z)
+
+    def __sub__(self, other: "Vec") -> "Vec":
+        return Vec(self.x - other.x, self.y - other.y, self.z - other.z)
+
+    def __neg__(self) -> "Vec":
+        return Vec(-self.x, -self.y, -self.z)
+
+    def __mul__(self, k: int) -> "Vec":
+        return Vec(self.x * k, self.y * k, self.z * k)
+
+    __rmul__ = __mul__
+
+    def __iter__(self) -> Iterator[int]:
+        yield self.x
+        yield self.y
+        yield self.z
+
+    def manhattan(self) -> int:
+        """Return the Manhattan (L1) norm."""
+        return abs(self.x) + abs(self.y) + abs(self.z)
+
+    def is_unit(self) -> bool:
+        """True iff this is one of the axis-aligned unit vectors."""
+        return self.manhattan() == 1
+
+    def is_2d(self) -> bool:
+        """True iff the vector lies in the z = 0 plane."""
+        return self.z == 0
+
+    def as_tuple(self) -> Tuple[int, int, int]:
+        """Return the plain tuple ``(x, y, z)``."""
+        return (self.x, self.y, self.z)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if self.z == 0:
+            return f"Vec({self.x}, {self.y})"
+        return f"Vec({self.x}, {self.y}, {self.z})"
+
+
+ORIGIN = Vec(0, 0, 0)
+
+#: The six axis-aligned unit vectors (2D uses the first four).
+UNIT_VECTORS = (
+    Vec(0, 1, 0),   # +y (up)
+    Vec(1, 0, 0),   # +x (right)
+    Vec(0, -1, 0),  # -y (down)
+    Vec(-1, 0, 0),  # -x (left)
+    Vec(0, 0, 1),   # +z (front)
+    Vec(0, 0, -1),  # -z (back)
+)

@@ -1,0 +1,37 @@
+"""Hybrid active/passive mobility (the §8 Nubot-style future-work model).
+
+The paper's conclusions propose *"a hybrid model combining active mobility
+controlled by the protocol and passive mobility controlled by the
+environment. For example it could be a combination of the Nubot model and
+the model presented in this work."*
+
+This subpackage prototypes exactly that combination:
+
+* passive mobility is unchanged — the scheduler still brings node-port
+  pairs into contact exactly as in §3;
+* active mobility adds Nubot's *movement rule* primitive, restricted to
+  the tractable leaf case: an interaction across an active bond may rotate
+  a degree-1 node 90° about its unique neighbor into a free adjacent cell
+  (the "monomer rotation" of [WCG+13], without sub-assembly pushing).
+
+Even this single primitive yields protocol-controlled locomotion: the
+:func:`walker_protocol` dimer alternates which endpoint pivots and thereby
+*walks* across the grid — active motion the passive §3 model cannot
+express at all (a passive component's internal geometry is forever rigid).
+"""
+
+from repro.hybrid.movement import (
+    HybridSimulation,
+    MovementProtocol,
+    MovementRule,
+    rotate_leaf,
+    walker_protocol,
+)
+
+__all__ = [
+    "MovementRule",
+    "MovementProtocol",
+    "HybridSimulation",
+    "rotate_leaf",
+    "walker_protocol",
+]

@@ -1,0 +1,92 @@
+"""Turing machines and shape-constructing programs (Definition 3, §6.3).
+
+* :mod:`repro.machines.tm` — a deterministic single-tape TM substrate with
+  step and space metering.
+* :mod:`repro.machines.programs` — hand-written machines used by the
+  constructors (binary comparator, always-accept, etc.).
+* :mod:`repro.machines.shape_programs` — shape-constructing programs: the
+  ``(pixel i, dimension d) -> on/off`` deciders of Definition 3, either
+  backed by a genuine TM or by a space-metered predicate (the documented
+  stand-in for arbitrary TMs), plus the concrete shape languages used in
+  the paper's examples (spanning line, star of Figure 7(c), etc.).
+"""
+
+from repro.machines.tm import TuringMachine, TMResult, Transition
+from repro.machines.programs import (
+    always_accept_tm,
+    binary_less_than_tm,
+    encode_comparison,
+    parity_tm,
+)
+from repro.machines.arithmetic import (
+    SqrtTrace,
+    binary_equal_tm,
+    binary_increment_tm,
+    decode_tape_binary,
+    divisible_by_tm,
+    increment_binary_sequence,
+    leader_square_root,
+    successive_squares_sqrt,
+)
+from repro.machines.shape_programs import (
+    PatternProgram,
+    PredicateShapeProgram,
+    ShapeProgram,
+    TMShapeProgram,
+    checkerboard_pattern_program,
+    checkerboard_with_spine_program,
+    comb_program,
+    cross_program,
+    diamond_program,
+    expected_pattern,
+    expected_shape,
+    frame_program,
+    full_square_program,
+    gradient_pattern_program,
+    line_program,
+    ring_pattern_program,
+    serpentine_program,
+    sierpinski_pattern_program,
+    star_program,
+    stripes_program,
+)
+
+__all__ = [
+    "TuringMachine",
+    "TMResult",
+    "Transition",
+    "binary_less_than_tm",
+    "always_accept_tm",
+    "parity_tm",
+    "encode_comparison",
+    # arithmetic machines (§6.2 leader computations)
+    "binary_increment_tm",
+    "binary_equal_tm",
+    "divisible_by_tm",
+    "decode_tape_binary",
+    "increment_binary_sequence",
+    "SqrtTrace",
+    "successive_squares_sqrt",
+    "leader_square_root",
+    # shape / pattern programs
+    "ShapeProgram",
+    "TMShapeProgram",
+    "PredicateShapeProgram",
+    "PatternProgram",
+    "line_program",
+    "full_square_program",
+    "cross_program",
+    "star_program",
+    "frame_program",
+    "checkerboard_with_spine_program",
+    "comb_program",
+    "serpentine_program",
+    "diamond_program",
+    "stripes_program",
+    "ring_pattern_program",
+    "checkerboard_pattern_program",
+    "sierpinski_pattern_program",
+    "gradient_pattern_program",
+    "expected_shape",
+    "expected_pattern",
+]

@@ -1,0 +1,212 @@
+"""Binary arithmetic on tapes: the leader's §6 computations, made concrete.
+
+§6.2 describes the leader computing ``√n`` on its line: *"the leader can
+execute one after the other the multiplications 1·1, 2·2, 3·3, … in binary
+until the result becomes equal to n. Each of these operations can be
+executed in the initial log n space of the line of the leader. The time
+needed, though exponential in the binary representation of n, is still
+linear in the population size n."*
+
+This module provides that computation with explicit cost metering
+(:func:`successive_squares_sqrt`), plus small genuine Turing machines for
+the primitive tape operations (increment, equality, divisibility) used by
+shape programs and tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional
+
+from repro.errors import MachineError
+from repro.machines.tm import (
+    LEFT,
+    RIGHT,
+    TMResult,
+    TuringMachine,
+    binary_digits,
+)
+
+
+def binary_increment_tm() -> TuringMachine:
+    """A TM replacing an MSB-first binary number with its successor.
+
+    Walks to the least significant digit, then carries leftwards: ``1``
+    becomes ``0`` while carrying, the first ``0`` becomes ``1``. A carry
+    falling off the left end writes a new leading ``1`` (the tape grows by
+    one cell, exactly like the leader's line growing in §6.1). Always
+    accepts; the result is on the tape.
+    """
+    t: Dict = {}
+    for sym in ("0", "1"):
+        t[("seek", sym)] = ("seek", sym, RIGHT)
+    t[("seek", "_")] = ("carry", "_", LEFT)
+    t[("carry", "1")] = ("carry", "0", LEFT)
+    t[("carry", "0")] = ("rewind", "1", LEFT)
+    t[("carry", "_")] = ("accept", "1", RIGHT)  # overflow: new MSB
+    for sym in ("0", "1"):
+        t[("rewind", sym)] = ("rewind", sym, LEFT)
+    t[("rewind", "_")] = ("accept", "_", RIGHT)
+    return TuringMachine(
+        t, start="seek", accept="accept", reject="reject", name="binary-increment"
+    )
+
+
+def binary_equal_tm() -> TuringMachine:
+    """A TM accepting ``a # b`` iff the two equal-width numbers are equal.
+
+    The zig-zag marking scheme of the comparator machine
+    (:func:`~repro.machines.programs.binary_less_than_tm`), specialized to
+    equality: any differing pair rejects, full agreement accepts.
+    """
+    t: Dict = {}
+    t[("find", "X")] = ("find", "X", RIGHT)
+    t[("find", "0")] = ("carry0", "X", RIGHT)
+    t[("find", "1")] = ("carry1", "X", RIGHT)
+    t[("find", "#")] = ("accept", "#", RIGHT)  # all digits matched
+    for carry in ("carry0", "carry1"):
+        for sym in ("0", "1"):
+            t[(carry, sym)] = (carry, sym, RIGHT)
+        t[(carry, "#")] = (f"scan-{carry}", "#", RIGHT)
+    for carry, digit in (("carry0", "0"), ("carry1", "1")):
+        scan = f"scan-{carry}"
+        t[(scan, "Y")] = (scan, "Y", RIGHT)
+        t[(scan, digit)] = ("return", "Y", LEFT)
+        other = "1" if digit == "0" else "0"
+        t[(scan, other)] = ("reject", other, RIGHT)
+    for sym in ("0", "1", "#", "X", "Y"):
+        t[("return", sym)] = ("return", sym, LEFT)
+    t[("return", "_")] = ("find", "_", RIGHT)
+    return TuringMachine(
+        t, start="find", accept="accept", reject="reject", name="binary-equal"
+    )
+
+
+def divisible_by_tm(k: int) -> TuringMachine:
+    """A TM accepting MSB-first binary numbers divisible by ``k``.
+
+    One left-to-right pass tracking the value modulo ``k`` in the control
+    state (``m`` goes to ``2m + digit mod k``); ``k + 2`` states, constant
+    workspace beyond the input. The machine behind the periodic stripe
+    shapes.
+    """
+    if k < 1:
+        raise MachineError(f"divisor must be positive: {k}")
+    t: Dict = {}
+    for m in range(k):
+        for digit in ("0", "1"):
+            t[((("mod", m)), digit)] = (
+                ("mod", (2 * m + int(digit)) % k),
+                digit,
+                RIGHT,
+            )
+        t[(("mod", m), "_")] = (
+            "accept" if m == 0 else "reject",
+            "_",
+            RIGHT,
+        )
+    return TuringMachine(
+        t,
+        start=("mod", 0),
+        accept="accept",
+        reject="reject",
+        name=f"divisible-by-{k}",
+    )
+
+
+def decode_tape_binary(result: TMResult) -> int:
+    """Read the MSB-first binary number left on a TM's tape."""
+    digit_cells = sorted(
+        i for i, sym in result.tape.items() if sym in ("0", "1")
+    )
+    if not digit_cells:
+        raise MachineError("no binary digits on the tape")
+    lo, hi = digit_cells[0], digit_cells[-1]
+    value = 0
+    for i in range(lo, hi + 1):
+        sym = result.tape.get(i)
+        if sym not in ("0", "1"):
+            raise MachineError(f"non-digit {sym!r} inside the number")
+        value = 2 * value + int(sym)
+    return value
+
+
+# ----------------------------------------------------------------------
+# §6.2: sqrt by successive squares, with explicit cost metering
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class SqrtTrace:
+    """Cost record of the leader's √n computation (§6.2).
+
+    ``bit_ops`` counts elementary tape-cell operations (one per binary
+    digit touched); ``space_cells`` is the widest tape ever used. The
+    paper's claim: time exponential in ``|bin(n)|`` yet linear in ``n``,
+    within the ``O(log n)`` line.
+    """
+
+    n: int
+    root: int
+    bit_ops: int
+    space_cells: int
+    multiplications: int
+
+
+def successive_squares_sqrt(n: int) -> SqrtTrace:
+    """Compute ``√n`` the way the §6.2 leader does, metering the cost.
+
+    Squares are enumerated incrementally — ``(k+1)² = k² + 2k + 1``, one
+    binary addition per candidate, which is exactly "execute one after the
+    other the multiplications 1·1, 2·2, …" with the standard running-sum
+    optimization; each addition is charged one bit-op per digit of the
+    operands. Raises :class:`MachineError` when ``n`` is not a perfect
+    square (the paper's constructions only call this for ``n = d²``).
+    """
+    if n < 1:
+        raise MachineError(f"need n >= 1: {n}")
+    width = max(1, n.bit_length())
+    bit_ops = 0
+    k = 1
+    square = 1
+    multiplications = 0
+    while square < n:
+        # One addition: square += 2k + 1, charged per digit touched.
+        addend = 2 * k + 1
+        bit_ops += max(square.bit_length(), addend.bit_length()) + 1
+        square += addend
+        k += 1
+        multiplications += 1
+        # Comparing against n costs one pass over the operand width.
+        bit_ops += width
+    if square != n:
+        raise MachineError(f"{n} is not a perfect square")
+    # Two numbers (running square and k) plus n itself live on the line.
+    space_cells = 3 * width + 2
+    return SqrtTrace(n, k, bit_ops, space_cells, multiplications)
+
+
+def leader_square_root(n: int) -> int:
+    """The √n value the §6.2 leader obtains (convenience wrapper)."""
+    return successive_squares_sqrt(n).root
+
+
+def increment_binary_sequence(
+    value: int, count: int, width: Optional[int] = None
+) -> List[int]:
+    """Run the increment TM ``count`` times from ``value``; the results.
+
+    Used by tests to exercise the genuine machine over ranges (including
+    carries that grow the tape).
+    """
+    machine = binary_increment_tm()
+    out: List[int] = []
+    current = value
+    for _ in range(count):
+        tape: List[Hashable] = binary_digits(current, width)
+        result = machine.run(tape)
+        if not result.accepted:  # pragma: no cover - machine always accepts
+            raise MachineError("increment machine rejected")
+        current = decode_tape_binary(result)
+        out.append(current)
+    return out

@@ -1,0 +1,94 @@
+"""Hand-written Turing machines used by the shape constructors.
+
+The central one is :func:`binary_less_than_tm`: a genuine comparator TM
+deciding ``a < b`` for two equal-width MSB-first binary strings written as
+``a # b``. It is the decision core of the pixel-membership machines (e.g.
+"pixel index < d" builds the spanning line of Theorem 4's worst-case waste
+example).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, List, Tuple
+
+from repro.errors import MachineError
+from repro.machines.tm import LEFT, RIGHT, Transition, TuringMachine, binary_digits
+
+
+def encode_comparison(a: int, b: int, width: int) -> List[str]:
+    """Tape encoding ``bin(a) # bin(b)`` with both numbers ``width`` wide."""
+    return binary_digits(a, width) + ["#"] + binary_digits(b, width)
+
+
+def binary_less_than_tm() -> TuringMachine:
+    """A TM accepting ``a # b`` iff ``a < b`` (equal-width MSB-first).
+
+    Strategy: repeatedly fetch the leftmost unmarked digit of ``a``
+    (marking it ``X``), carry it across ``#`` to the leftmost unmarked
+    digit of ``b`` (marking it ``Y``): the first differing pair decides;
+    all-equal rejects. 9 control states.
+    """
+    t: dict = {}
+
+    def add(state, sym, nstate, nsym, move):
+        key = (state, sym)
+        if key in t:
+            raise MachineError(f"duplicate transition {key}")
+        t[key] = (nstate, nsym, move)
+
+    # find: locate leftmost unmarked digit of a.
+    for sym in ("X",):
+        add("find", sym, "find", sym, RIGHT)
+    add("find", "0", "carry0", "X", RIGHT)
+    add("find", "1", "carry1", "X", RIGHT)
+    add("find", "#", "equal", "#", RIGHT)  # all of a marked: a == b
+    # carry0/carry1: skip to b's region.
+    for carry in ("carry0", "carry1"):
+        for sym in ("0", "1"):
+            add(carry, sym, carry, sym, RIGHT)
+        add(carry, "#", f"scan-{carry}", "#", RIGHT)
+    # scan: find leftmost unmarked digit of b and compare.
+    for carry, digit in (("carry0", "0"), ("carry1", "1")):
+        scan = f"scan-{carry}"
+        add(scan, "Y", scan, "Y", RIGHT)
+        if digit == "0":
+            add(scan, "0", "return", "Y", LEFT)   # 0 vs 0: continue
+            add(scan, "1", "accept", "Y", RIGHT)  # 0 vs 1: a < b
+        else:
+            add(scan, "1", "return", "Y", LEFT)   # 1 vs 1: continue
+            add(scan, "0", "reject", "Y", RIGHT)  # 1 vs 0: a > b
+    # return: rewind to the start of the tape.
+    for sym in ("0", "1", "#", "X", "Y"):
+        add("return", sym, "return", sym, LEFT)
+    add("return", "_", "find", "_", RIGHT)
+    # equal: a == b, not strictly less.
+    add("equal", "Y", "equal", "Y", RIGHT)
+    add("equal", "_", "reject", "_", RIGHT)
+    return TuringMachine(t, start="find", accept="accept", reject="reject",
+                         name="binary-less-than")
+
+
+def always_accept_tm() -> TuringMachine:
+    """The one-step machine accepting every input (full-square shapes)."""
+    return TuringMachine(
+        {("s", sym): ("accept", sym, RIGHT) for sym in ("0", "1", "#", "_")},
+        start="s",
+        accept="accept",
+        reject="reject",
+        name="always-accept",
+    )
+
+
+def parity_tm() -> TuringMachine:
+    """Accepts binary strings (MSB-first) whose last bit is 0 (even values).
+
+    A minimal example machine used in tests of the distributed simulation.
+    """
+    t: dict = {}
+    for sym in ("0", "1"):
+        t[("s", sym)] = ("s", sym, RIGHT)
+    t[("s", "_")] = ("back", "_", LEFT)
+    t[("back", "0")] = ("accept", "0", LEFT)
+    t[("back", "1")] = ("reject", "1", LEFT)
+    return TuringMachine(t, start="s", accept="accept", reject="reject",
+                         name="parity")

@@ -1,0 +1,132 @@
+"""A deterministic single-tape Turing machine with step/space metering.
+
+The constructors of §6 simulate shape-constructing TMs on the distributed
+tape formed by the nodes of a square; this module provides the machine
+model itself. Tapes are unbounded in both directions unless a space bound
+is set, in which case exceeding it raises (Definition 3 asks for space
+``O(f(d))`` — the meter lets tests verify the bound).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.errors import MachineError
+
+#: Head movements.
+LEFT, STAY, RIGHT = -1, 0, 1
+
+#: A transition: (new_state, written_symbol, head_move).
+Transition = Tuple[Hashable, Hashable, int]
+
+
+@dataclass
+class TMResult:
+    """Outcome of a TM run."""
+
+    accepted: bool
+    steps: int
+    space: int
+    tape: Dict[int, Hashable]
+    head: int
+
+
+class TuringMachine:
+    """A deterministic single-tape TM.
+
+    Parameters
+    ----------
+    transitions:
+        Mapping ``(state, symbol) -> (state', symbol', move)``. Missing
+        entries mean the machine halts and *rejects* in that configuration
+        (the common convention for decider tables).
+    start, accept, reject:
+        Control states; ``accept``/``reject`` halt immediately.
+    blank:
+        The blank tape symbol.
+    """
+
+    def __init__(
+        self,
+        transitions: Dict[Tuple[Hashable, Hashable], Transition],
+        start: Hashable,
+        accept: Hashable,
+        reject: Hashable,
+        blank: Hashable = "_",
+        name: str = "tm",
+    ) -> None:
+        for (state, _sym), (nstate, _nsym, move) in transitions.items():
+            if move not in (LEFT, STAY, RIGHT):
+                raise MachineError(f"bad head move in transition from {state!r}")
+            if state in (accept, reject):
+                raise MachineError("halting states cannot have outgoing transitions")
+            del nstate
+        self.transitions = dict(transitions)
+        self.start = start
+        self.accept = accept
+        self.reject = reject
+        self.blank = blank
+        self.name = name
+
+    @property
+    def states(self) -> frozenset:
+        found = {self.start, self.accept, self.reject}
+        for (s, _), (ns, _, _) in self.transitions.items():
+            found.add(s)
+            found.add(ns)
+        return frozenset(found)
+
+    def run(
+        self,
+        tape_input: Sequence[Hashable],
+        max_steps: int = 10_000_000,
+        max_space: Optional[int] = None,
+    ) -> TMResult:
+        """Run on the input written at cells ``0..len-1``, head at 0."""
+        tape: Dict[int, Hashable] = {
+            i: sym for i, sym in enumerate(tape_input) if sym != self.blank
+        }
+        visited = set(range(len(tape_input))) or {0}
+        state = self.start
+        head = 0
+        steps = 0
+        while state not in (self.accept, self.reject):
+            if steps >= max_steps:
+                raise MachineError(
+                    f"TM {self.name!r} exceeded {max_steps} steps"
+                )
+            sym = tape.get(head, self.blank)
+            trans = self.transitions.get((state, sym))
+            if trans is None:
+                state = self.reject
+                break
+            state, write, move = trans
+            if write == self.blank:
+                tape.pop(head, None)
+            else:
+                tape[head] = write
+            head += move
+            visited.add(head)
+            if max_space is not None and len(visited) > max_space:
+                raise MachineError(
+                    f"TM {self.name!r} exceeded space bound {max_space}"
+                )
+            steps += 1
+        return TMResult(state == self.accept, steps, len(visited), tape, head)
+
+    def accepts(self, tape_input: Sequence[Hashable], **kwargs) -> bool:
+        """Convenience: run and return acceptance."""
+        return self.run(tape_input, **kwargs).accepted
+
+
+def binary_digits(value: int, width: Optional[int] = None) -> List[str]:
+    """MSB-first binary digits of a non-negative integer, zero-padded."""
+    if value < 0:
+        raise MachineError(f"negative value: {value}")
+    bits = bin(value)[2:]
+    if width is not None:
+        if len(bits) > width:
+            raise MachineError(f"{value} does not fit in {width} bits")
+        bits = bits.rjust(width, "0")
+    return list(bits)

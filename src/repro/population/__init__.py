@@ -1,0 +1,51 @@
+"""Population-protocol substrate and the §5 counting protocols.
+
+The protocols of §5 are presented by the paper in the classical population
+protocol setting: no ports, no geometry, a uniform random scheduler that
+selects one of the ``n(n-1)/2`` node pairs per step. This package provides
+that substrate (:mod:`repro.population.model`) and the counting protocols:
+
+* :class:`~repro.population.counting.CountingUpperBound` — §5.1, Theorem 1.
+* :mod:`repro.population.leaderless` — the §5.2 experiments supporting
+  Conjecture 1.
+* :class:`~repro.population.counting_uid.SimpleUIDCounting` — §5.3.1,
+  Theorem 2.
+* :class:`~repro.population.counting_uid.UIDCounting` — Protocol 3, §5.3.2,
+  Theorem 3.
+"""
+
+from repro.population.model import (
+    PairwiseProtocol,
+    PopulationResult,
+    PopulationSimulator,
+)
+from repro.population.counting import (
+    CountingResult,
+    CountingUpperBound,
+    run_counting,
+)
+from repro.population.counting_uid import (
+    SimpleUIDCounting,
+    UIDCounting,
+    UIDResult,
+)
+from repro.population.leaderless import (
+    LeaderlessObservation,
+    early_termination_experiment,
+    state_multiplicity_experiment,
+)
+
+__all__ = [
+    "PairwiseProtocol",
+    "PopulationSimulator",
+    "PopulationResult",
+    "CountingUpperBound",
+    "CountingResult",
+    "run_counting",
+    "SimpleUIDCounting",
+    "UIDCounting",
+    "UIDResult",
+    "LeaderlessObservation",
+    "early_termination_experiment",
+    "state_multiplicity_experiment",
+]

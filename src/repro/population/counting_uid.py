@@ -1,0 +1,217 @@
+"""Counting with unique ids and no leader (§5.3, Theorems 2 and 3).
+
+* :class:`SimpleUIDCounting` — the feasibility protocol of §5.3.1: every
+  node remembers the id sequence of its first ``b`` interactions and halts
+  when a later window of ``b`` consecutive interactions repeats it exactly;
+  it then outputs the number of distinct ids it has met. Correct w.h.p.,
+  expected termination time ``b(n-1)^b = Theta(n^b)`` (Theorem 2).
+* :class:`UIDCounting` — Protocol 3: every node simulates the §5.1 leader,
+  deactivating itself whenever it touches evidence of a larger id, so that
+  only the maximum id survives; when a node halts, w.h.p. it is ``u_max``
+  and its output ``2 * count1`` is an upper bound on ``n`` (Theorem 3).
+
+A note on Protocol 3's pseudocode: lines 5-9 (first marking) and lines
+13-19 (second marking) must be exclusive branches of the same interaction;
+executed sequentially as printed, a first meeting would be immediately
+followed by a second marking in the same interaction, collapsing the two
+counters. We implement them as ``elif`` branches (first meeting XOR second
+meeting), matching the protocol's informal description.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Set, Tuple
+
+from repro.errors import TerminationError
+from repro.population.model import PairwiseProtocol, PopulationSimulator
+
+
+@dataclass
+class UIDResult:
+    """Outcome of a unique-id counting run."""
+
+    n: int
+    b: int
+    halter_uid: int
+    max_uid: int
+    output: int
+    interactions: int
+
+    @property
+    def halter_is_max(self) -> bool:
+        return self.halter_uid == self.max_uid
+
+    @property
+    def output_is_upper_bound(self) -> bool:
+        return self.output >= self.n
+
+    @property
+    def success(self) -> bool:
+        """Theorem 3's guarantee (for the simple protocol: exact count)."""
+        return self.output_is_upper_bound
+
+
+# ----------------------------------------------------------------------
+# §5.3.1 — the simple repeated-window protocol
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class SimpleUIDState:
+    uid: int
+    first_window: List[int] = field(default_factory=list)
+    current_window: List[int] = field(default_factory=list)
+    met: Set[int] = field(default_factory=set)
+    halted: bool = False
+
+    def observe(self, other_uid: int, b: int) -> None:
+        if self.halted:
+            return
+        self.met.add(other_uid)
+        if len(self.first_window) < b:
+            self.first_window.append(other_uid)
+            return
+        self.current_window.append(other_uid)
+        if len(self.current_window) == b:
+            if self.current_window == self.first_window:
+                self.halted = True
+            else:
+                self.current_window.clear()
+
+    @property
+    def count(self) -> int:
+        """|A_u|: distinct ids met, plus the node itself."""
+        return len(self.met) + 1
+
+
+class SimpleUIDCounting(PairwiseProtocol):
+    """The §5.3.1 protocol; ids are a random permutation of ``0..n-1``."""
+
+    def __init__(self, b: int = 2) -> None:
+        if b < 1:
+            raise TerminationError(f"window length b must be >= 1: {b}")
+        self.b = b
+
+    def initial_states(self, n: int, rng: random.Random) -> List[SimpleUIDState]:
+        uids = list(range(n))
+        rng.shuffle(uids)
+        return [SimpleUIDState(uid) for uid in uids]
+
+    def interact(self, a: SimpleUIDState, b: SimpleUIDState, rng):
+        a.observe(b.uid, self.b)
+        b.observe(a.uid, self.b)
+        return a, b
+
+    def halted(self, state: SimpleUIDState) -> bool:
+        return state.halted
+
+
+def run_simple_uid(
+    n: int, b: int = 2, seed: Optional[int] = None, max_interactions: int = 50_000_000
+) -> UIDResult:
+    """One run of the §5.3.1 protocol; raises if the budget is exhausted."""
+    sim = PopulationSimulator(SimpleUIDCounting(b), n, seed=seed)
+    res = sim.run(max_interactions=max_interactions, require_halt=True)
+    assert res.halted_index is not None
+    halter = sim.states[res.halted_index]
+    max_uid = max(s.uid for s in sim.states)
+    return UIDResult(n, b, halter.uid, max_uid, halter.count, res.interactions)
+
+
+# ----------------------------------------------------------------------
+# §5.3.2 — Protocol 3
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class UIDNodeState:
+    """Per-node variables of Protocol 3 (initialization as in the paper)."""
+
+    uid: int
+    belongs: Optional[int] = None
+    marked: int = 0
+    count1: int = 0
+    count2: int = 0
+    active: bool = True
+    halted: bool = False
+
+
+class UIDCounting(PairwiseProtocol):
+    """Protocol 3: leaderless counting with unique ids (Theorem 3)."""
+
+    def __init__(self, b: int = 4) -> None:
+        if b < 1:
+            raise TerminationError(f"head start b must be >= 1: {b}")
+        self.b = b
+
+    def initial_states(self, n: int, rng: random.Random) -> List[UIDNodeState]:
+        uids = list(range(n))
+        rng.shuffle(uids)
+        return [UIDNodeState(uid) for uid in uids]
+
+    def interact(self, a: UIDNodeState, b: UIDNodeState, rng):
+        # The pseudocode is written for the ordered pair with id_u > id_v.
+        if a.uid > b.uid:
+            self._ordered(a, b)
+        else:
+            self._ordered(b, a)
+        return a, b
+
+    def _ordered(self, u: UIDNodeState, v: UIDNodeState) -> None:
+        if u.halted or v.halted:
+            return
+        if v.active:
+            v.active = False
+        if not u.active:
+            return
+        if v.belongs is None or v.belongs < u.uid:
+            # First meeting: mark v once and claim it.
+            v.belongs = u.uid
+            v.marked = 1
+            u.count1 += 1
+        elif v.belongs > u.uid:
+            # v carries evidence of a larger id: u stops counting.
+            u.active = False
+        elif v.belongs == u.uid and v.marked == 1 and u.count1 >= self.b:
+            # Second meeting (only counted after the b head start).
+            v.marked = 2
+            u.count2 += 1
+            if u.count1 == u.count2:
+                u.halted = True
+
+    def halted(self, state: UIDNodeState) -> bool:
+        return state.halted
+
+
+def run_uid_counting(
+    n: int, b: int = 4, seed: Optional[int] = None, max_interactions: int = 500_000_000
+) -> UIDResult:
+    """One run of Protocol 3; raises if the budget is exhausted."""
+    sim = PopulationSimulator(UIDCounting(b), n, seed=seed)
+    res = sim.run(max_interactions=max_interactions, require_halt=True)
+    assert res.halted_index is not None
+    halter = sim.states[res.halted_index]
+    max_uid = max(s.uid for s in sim.states)
+    return UIDResult(n, b, halter.uid, max_uid, 2 * halter.count1, res.interactions)
+
+
+def uid_success_rate(
+    ns: List[int], b: int = 4, trials: int = 20, seed: int = 0
+) -> List[Tuple[int, float, float, float]]:
+    """Theorem 3 experiment: ``(n, P[halter is max], P[2*count1 >= n],
+    mean interactions)`` per population size."""
+    rows = []
+    rng = random.Random(seed)
+    for n in ns:
+        is_max = 0
+        bound_ok = 0
+        total_steps = 0
+        for t in range(trials):
+            res = run_uid_counting(n, b, seed=rng.randrange(2**31))
+            is_max += int(res.halter_is_max)
+            bound_ok += int(res.output_is_upper_bound)
+            total_steps += res.interactions
+        rows.append((n, is_max / trials, bound_ok / trials, total_steps / trials))
+    return rows

@@ -1,0 +1,208 @@
+"""Evidence for Conjecture 1 (§5.2): anonymous terminating counting fails.
+
+The paper conjectures that any *anonymous* always-terminating protocol has
+(at least) a constant probability that some node terminates after a
+constant number of interactions — and therefore cannot count ``n`` w.h.p.
+Its supporting argument has three parts: (1) some configuration with every
+state at ``Theta(n)`` multiplicity is reached with constant probability,
+(2) multiplicities stay ``Theta(n)`` for ``Theta(n)`` steps, and (3) some
+node then observes any fixed terminating sequence ``s0`` with constant
+probability.
+
+This module provides the experimental counterparts used by
+``benchmarks/bench_leaderless.py``:
+
+* :func:`state_multiplicity_experiment` — runs a representative anonymous
+  protocol and records the minimum state multiplicity over a window of
+  ``Theta(n)`` steps (argument parts 1-2).
+* :func:`early_termination_experiment` — runs the anonymous analogue of the
+  §5.3.1 window protocol (ids replaced by states, as anonymity forces) and
+  measures how often a node terminates within a constant number of
+  interactions and how wrong its count is (argument part 3 and the
+  conjecture's consequence).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.population.model import PairwiseProtocol, PopulationSimulator
+
+
+@dataclass
+class LeaderlessObservation:
+    """Aggregated outcome of a leaderless experiment."""
+
+    n: int
+    trials: int
+    early_termination_rate: float
+    mean_interactions_of_terminator: float
+    mean_relative_count_error: float
+
+
+# ----------------------------------------------------------------------
+# Part 1-2: state multiplicities of an anonymous protocol stay Theta(n)
+# ----------------------------------------------------------------------
+
+
+class CyclicAnonymous(PairwiseProtocol):
+    """A representative anonymous protocol with recurrent state dynamics.
+
+    States are ``0..k-1``; when two equal states meet, the initiator (the
+    lower index in the unordered pair — a symmetric convention) advances by
+    one modulo ``k``. Starting from all-zeros, the multiset of states mixes
+    toward all states having ``Theta(n)`` multiplicity.
+    """
+
+    def __init__(self, k: int = 3) -> None:
+        self.k = k
+
+    def initial_states(self, n: int, rng: random.Random) -> List[int]:
+        return [0] * n
+
+    def interact(self, a: int, b: int, rng) -> Tuple[int, int]:
+        if a == b:
+            return (a + 1) % self.k, b
+        return a, b
+
+
+def state_multiplicity_experiment(
+    n: int,
+    k: int = 3,
+    warmup_factor: int = 20,
+    window_factor: int = 5,
+    seed: Optional[int] = None,
+) -> Tuple[float, Dict[int, int]]:
+    """Run :class:`CyclicAnonymous` and measure the multiplicity floor.
+
+    After ``warmup_factor * n`` steps, tracks the minimum over a
+    ``window_factor * n`` step window of the least state multiplicity,
+    normalized by ``n``. A floor bounded away from 0 as ``n`` grows is
+    exactly the paper's argument parts (1)-(2). Returns
+    ``(floor / n, final state histogram)``.
+    """
+    sim = PopulationSimulator(CyclicAnonymous(k), n, seed=seed)
+    for _ in range(warmup_factor * n):
+        sim.step()
+    floor = n
+    for _ in range(window_factor * n):
+        sim.step()
+        counts: Dict[int, int] = {}
+        for s in sim.states:
+            counts[s] = counts.get(s, 0) + 1
+        if len(counts) < k:
+            floor = 0
+        else:
+            floor = min(floor, min(counts.values()))
+    histogram: Dict[int, int] = {}
+    for s in sim.states:
+        histogram[s] = histogram.get(s, 0) + 1
+    return floor / n, histogram
+
+
+# ----------------------------------------------------------------------
+# Part 3 + consequence: the anonymous window protocol terminates early
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class AnonymousWindowState:
+    """A §5.3.1-style node that can only observe *states*, not ids.
+
+    Anonymity leaves nothing distinguishing to record, so the observed
+    sequence is over the partner's current phase (its interaction count
+    modulo a constant) — the best an anonymous finite-state node can show.
+    """
+
+    phase: int = 0
+    first_window: List[int] = field(default_factory=list)
+    current_window: List[int] = field(default_factory=list)
+    interactions: int = 0
+    distinct_proxy: int = 0
+    halted: bool = False
+
+
+class AnonymousWindowCounting(PairwiseProtocol):
+    """The anonymous analogue of the simple UID protocol of §5.3.1.
+
+    Nodes record the phases of their first ``b`` partners and halt when a
+    later ``b``-window repeats the recording. Without ids the recorded
+    symbols carry (at most) constant information, so windows repeat after a
+    constant expected number of trials — some node halts after O(b)
+    interactions with constant probability, having counted essentially
+    nothing. This is the conjecture's consequence made concrete.
+    """
+
+    def __init__(self, b: int = 2, phases: int = 4) -> None:
+        self.b = b
+        self.phases = phases
+
+    def initial_states(self, n: int, rng: random.Random) -> List[AnonymousWindowState]:
+        return [AnonymousWindowState() for _ in range(n)]
+
+    def interact(self, a: AnonymousWindowState, b: AnonymousWindowState, rng):
+        sa, sb = a.phase, b.phase
+        self._observe(a, sb)
+        self._observe(b, sa)
+        return a, b
+
+    def _observe(self, node: AnonymousWindowState, symbol: int) -> None:
+        if node.halted:
+            return
+        node.interactions += 1
+        node.phase = (node.phase + 1) % self.phases
+        node.distinct_proxy += 1  # the anonymous "count": interactions seen
+        if len(node.first_window) < self.b:
+            node.first_window.append(symbol)
+            return
+        node.current_window.append(symbol)
+        if len(node.current_window) == self.b:
+            if node.current_window == node.first_window:
+                node.halted = True
+            else:
+                node.current_window.clear()
+
+    def halted(self, state: AnonymousWindowState) -> bool:
+        return state.halted
+
+
+def early_termination_experiment(
+    n: int,
+    b: int = 2,
+    trials: int = 50,
+    early_cutoff_factor: int = 1,
+    seed: int = 0,
+) -> LeaderlessObservation:
+    """Measure early-termination behavior of the anonymous window protocol.
+
+    ``early_termination_rate`` is the fraction of trials in which the first
+    halting node had participated in at most ``early_cutoff_factor * 4 * b``
+    interactions — a constant independent of ``n``. The conjecture predicts
+    this stays bounded away from 0 as ``n`` grows; the count error shows the
+    protocol learned nothing about ``n``.
+    """
+    rng = random.Random(seed)
+    cutoff = early_cutoff_factor * 4 * b
+    early = 0
+    terminator_steps = []
+    errors = []
+    for _ in range(trials):
+        sim = PopulationSimulator(
+            AnonymousWindowCounting(b), n, seed=rng.randrange(2**31)
+        )
+        res = sim.run(max_interactions=5000 * n, require_halt=True)
+        assert res.halted_index is not None
+        halter = sim.states[res.halted_index]
+        terminator_steps.append(halter.interactions)
+        if halter.interactions <= cutoff:
+            early += 1
+        errors.append(abs(halter.distinct_proxy - n) / n)
+    return LeaderlessObservation(
+        n=n,
+        trials=trials,
+        early_termination_rate=early / trials,
+        mean_interactions_of_terminator=sum(terminator_steps) / trials,
+        mean_relative_count_error=sum(errors) / trials,
+    )

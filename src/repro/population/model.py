@@ -1,0 +1,144 @@
+"""Classical population-protocol substrate (no geometry).
+
+"In every step, a uniform random scheduler selects equiprobably one of the
+``n(n-1)/2`` possible node pairs, and the selected nodes interact and update
+their states according to the transition function" (§5.1). The substrate is
+deliberately minimal: node states are arbitrary Python objects owned by the
+protocol, pairs are unordered, and the simulator counts every raw step.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Generic, List, Optional, Sequence, Tuple, TypeVar
+
+from repro.errors import TerminationError
+
+S = TypeVar("S")
+
+
+class PairwiseProtocol(Generic[S]):
+    """A population protocol over node states of type ``S``.
+
+    Subclasses implement :meth:`interact`, mutating/replacing the two
+    states, and :meth:`halted` for termination detection. States may be
+    mutable objects (e.g. the leader's counters); the simulator treats them
+    opaquely.
+    """
+
+    def initial_states(self, n: int, rng: random.Random) -> List[S]:
+        """The initial configuration for a population of size ``n``."""
+        raise NotImplementedError
+
+    def interact(self, a: S, b: S, rng: random.Random) -> Tuple[S, S]:
+        """Apply the transition to an unordered pair, returning new states.
+
+        ``rng`` is provided for protocols needing initialization randomness
+        (e.g. unique-id assignment); transition functions themselves are
+        deterministic in all paper protocols.
+        """
+        raise NotImplementedError
+
+    def halted(self, state: S) -> bool:
+        """True iff a node in this state has terminated."""
+        return False
+
+
+@dataclass
+class PopulationResult:
+    """Outcome of a population run."""
+
+    n: int
+    interactions: int
+    halted_index: Optional[int]
+    states: Sequence[object]
+
+    @property
+    def terminated(self) -> bool:
+        return self.halted_index is not None
+
+
+class PopulationSimulator(Generic[S]):
+    """Uniform-random pair scheduler over a population.
+
+    Every raw step selects one unordered pair uniformly from the
+    ``n(n-1)/2`` possibilities; the run stops when any node halts, when an
+    optional predicate fires, or when the step budget runs out.
+    """
+
+    def __init__(
+        self,
+        protocol: PairwiseProtocol[S],
+        n: int,
+        seed: Optional[int] = None,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if n < 2:
+            raise TerminationError("a population needs at least 2 nodes")
+        self.protocol = protocol
+        self.n = n
+        self.rng = rng if rng is not None else random.Random(seed)
+        self.states: List[S] = protocol.initial_states(n, self.rng)
+        if len(self.states) != n:
+            raise TerminationError("protocol returned wrong number of states")
+        self.interactions = 0
+
+    def step(self) -> Tuple[int, int]:
+        """One raw scheduler step; returns the interacting pair's indices."""
+        rng = self.rng
+        i = rng.randrange(self.n)
+        j = rng.randrange(self.n - 1)
+        if j >= i:
+            j += 1
+        a, b = self.protocol.interact(self.states[i], self.states[j], rng)
+        self.states[i] = a
+        self.states[j] = b
+        self.interactions += 1
+        return i, j
+
+    def first_halted(self) -> Optional[int]:
+        """Index of a halted node, if any."""
+        for idx, s in enumerate(self.states):
+            if self.protocol.halted(s):
+                return idx
+        return None
+
+    def run(
+        self,
+        max_interactions: int = 100_000_000,
+        until: Optional[Callable[[List[S]], bool]] = None,
+        require_halt: bool = False,
+    ) -> PopulationResult:
+        """Run until some node halts / the predicate fires / budget is hit."""
+        protocol = self.protocol
+        for _ in range(max_interactions):
+            i, j = self.step()
+            if protocol.halted(self.states[i]) or protocol.halted(self.states[j]):
+                halted = i if protocol.halted(self.states[i]) else j
+                return PopulationResult(self.n, self.interactions, halted, self.states)
+            if until is not None and until(self.states):
+                return PopulationResult(self.n, self.interactions, None, self.states)
+        if require_halt:
+            raise TerminationError(
+                f"population did not halt within {max_interactions} interactions"
+            )
+        return PopulationResult(self.n, self.interactions, None, self.states)
+
+
+def geometric_skip(rng: random.Random, p: float) -> int:
+    """Sample the number of Bernoulli(p) trials up to and including the
+    first success (a Geometric(p) variable on {1, 2, ...}).
+
+    Used by accelerated simulators to account for the raw scheduler steps
+    spent on ineffective interactions, exactly in law.
+    """
+    if p <= 0.0:
+        raise TerminationError("geometric skip with success probability 0")
+    if p >= 1.0:
+        return 1
+    import math
+
+    u = rng.random()
+    # Inverse CDF of the geometric distribution on {1, 2, ...}.
+    return 1 + int(math.log(max(u, 1e-300)) / math.log(1.0 - p))

@@ -1,0 +1,44 @@
+"""The paper's explicit rule-table protocols (§4 and Protocols 4/5).
+
+Every protocol in this package is a :class:`~repro.core.protocol.RuleProtocol`
+transcribed from the paper's tables:
+
+* :func:`~repro.protocols.line.spanning_line_protocol` and
+  :func:`~repro.protocols.line.simple_line_protocol` — §4.1.
+* :func:`~repro.protocols.square.square_protocol` — Protocol 1 (§4.2).
+* :func:`~repro.protocols.square2.square2_protocol` — Protocol 2 (§4.2).
+* :func:`~repro.protocols.replication.line_replication_protocol` — Protocol 4.
+* :func:`~repro.protocols.replication.no_leader_line_replication_protocol`
+  — Protocol 5.
+* :func:`~repro.protocols.replication.self_replicating_lines_protocol` —
+  the three-variant composition (original -> seed -> replicas) used by
+  Square-Knowing-n (§6.2).
+* :func:`~repro.protocols.leaderless_line.leaderless_spanning_line_protocol`
+  — the leaderless spanning line (§4.1's closing remark / Remark 5),
+  expressed as an agent protocol (election ties need ordered pairs).
+"""
+
+from repro.protocols.line import simple_line_protocol, spanning_line_protocol
+from repro.protocols.square import square_protocol
+from repro.protocols.square2 import square2_protocol
+from repro.protocols.leaderless_line import (
+    is_spanning_line_configuration,
+    leaderless_spanning_line_protocol,
+)
+from repro.protocols.replication import (
+    line_replication_protocol,
+    no_leader_line_replication_protocol,
+    self_replicating_lines_protocol,
+)
+
+__all__ = [
+    "spanning_line_protocol",
+    "simple_line_protocol",
+    "square_protocol",
+    "square2_protocol",
+    "line_replication_protocol",
+    "no_leader_line_replication_protocol",
+    "self_replicating_lines_protocol",
+    "leaderless_spanning_line_protocol",
+    "is_spanning_line_configuration",
+]

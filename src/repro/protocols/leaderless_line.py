@@ -1,0 +1,139 @@
+"""The leaderless spanning line (§4.1's closing remark, Remark 5).
+
+The paper notes that *"the unique leader assumption is in all the above
+cases not necessary"* and that leaderless constructions arise by pairwise
+elimination (Remark 5's reinitialization technique, as in [MS14]). This
+module realizes the technique for the spanning line:
+
+* every node starts as a *singleton leader* ``L0``;
+* a leader absorbs free material (``q0``, singleton leaders, released
+  dismantler remnants) exactly like §4.1's leader, staying at the growing
+  end of a straight line;
+* when two *line* leaders meet, one loses the election and becomes a
+  *dismantler* that walks its own line, releasing its nodes back into the
+  solution as free ``q0`` material one interaction at a time;
+* eventually one leader survives and absorbs everything: the population
+  stabilizes as a single spanning line. Termination is necessarily
+  sacrificed (Remark 5) — the construction is stabilizing.
+
+The protocol is expressed as an :class:`~repro.core.protocol.AgentProtocol`
+because the leader-vs-leader election between *identical* states has no
+unordered-consistent rule table: the tie is broken by the presentation
+order of the pair, exactly the ordered (initiator, responder) interaction
+convention of population protocols [AAD+06].
+
+State glossary: ``L0`` singleton leader; ``("L", i)`` line leader expanding
+via its local port ``i`` (its line hangs off the opposite port);
+``("Dl", k)`` dismantler whose remaining line hangs off its ``k`` port;
+``q1`` line body; ``q0`` free material.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.protocol import AgentProtocol, InteractionView, State, Update
+from repro.geometry.ports import PORTS_2D, Port, opposite
+
+
+def _is_line_leader(state: State) -> bool:
+    return isinstance(state, tuple) and len(state) == 2 and state[0] == "L"
+
+
+def _is_dismantler(state: State) -> bool:
+    return isinstance(state, tuple) and len(state) == 2 and state[0] == "Dl"
+
+
+def _oriented(
+    s1: State, p1: Port, s2: State, p2: Port, bond: int
+) -> Optional[Update]:
+    """The ordered transition function; the handler tries both orders."""
+    # --- absorption over an inactive edge -------------------------------
+    if bond == 0:
+        leaderish = s1 == "L0" or (_is_line_leader(s1) and p1 == s1[1])
+        if leaderish:
+            # Free material: q0, a singleton leader, or a spent dismantler
+            # offering the port its (empty) line side points to — for a
+            # dismantler any other port could drag a remaining line into
+            # an L-bend, so only its k port is absorbable (it is free
+            # exactly when the dismantler is a spent singleton).
+            if s2 == "q0" or s2 == "L0":
+                return ("q1", ("L", opposite(p2)), 1)
+            if _is_dismantler(s2) and p2 == s2[1]:
+                return ("q1", ("L", opposite(p2)), 1)
+        # Election between two *line* leaders: the initiator wins, the
+        # responder starts dismantling its line (which hangs off the port
+        # opposite to its expansion port).
+        if _is_line_leader(s1) and _is_line_leader(s2):
+            return (s1, ("Dl", opposite(s2[1])), 0)
+        return None
+    # --- dismantling over an active edge --------------------------------
+    if _is_dismantler(s1) and p1 == s1[1] and s2 == "q1":
+        # The dismantler frees itself as q0; its neighbor takes over. The
+        # neighbor's port labels are its own (absorption bonds arbitrary
+        # port pairs), but a body node's two bonds always sit on mutually
+        # opposite local ports — so its remaining line hangs off
+        # ``opposite(p2)``.
+        return ("q0", ("Dl", opposite(p2)), 0)
+    return None
+
+
+def _handler(view: InteractionView) -> Optional[Update]:
+    update = _oriented(
+        view.state1, view.port1, view.state2, view.port2, view.bond
+    )
+    if update is not None:
+        return update
+    update = _oriented(
+        view.state2, view.port2, view.state1, view.port1, view.bond
+    )
+    if update is not None:
+        return (update[1], update[0], update[2])
+    return None
+
+
+def _hot(state: State) -> bool:
+    return state == "L0" or _is_line_leader(state) or _is_dismantler(state)
+
+
+def _output(state: State) -> bool:
+    return state == "q1" or _is_line_leader(state)
+
+
+def leaderless_spanning_line_protocol() -> AgentProtocol:
+    """The leaderless spanning-line constructor (all nodes start ``L0``).
+
+    Stabilizes (does not terminate — Remark 5's price) with all ``n``
+    nodes on one straight line: one surviving leader at an end, ``q1``
+    body nodes elsewhere.
+    """
+    return AgentProtocol(
+        _handler,
+        initial_state="L0",
+        hot=_hot,
+        output=_output,
+        name="leaderless-spanning-line",
+    )
+
+
+def is_spanning_line_configuration(world) -> bool:
+    """True iff the world is a single straight line of all ``n`` nodes
+    with exactly one surviving leader at an end."""
+    if len(world.components) != 1:
+        return False
+    comp = next(iter(world.components.values()))
+    if comp.size() != world.size:
+        return False
+    shape = world.component_shape(comp.cid)
+    if not shape.is_line():
+        return False
+    leaders = [
+        nid
+        for nid in world.nodes
+        if _is_line_leader(world.state_of(nid)) or world.state_of(nid) == "L0"
+    ]
+    return len(leaders) == 1
+
+
+#: Port list re-exported for tests that sweep election orientations.
+ALL_PORTS = PORTS_2D

@@ -1,0 +1,98 @@
+"""Spanning line protocols (§4.1 Global Line).
+
+The general protocol: a unique leader in state ``L_r`` (``L_i`` = "waiting
+to expand via my local port i") absorbs free ``q0`` nodes one by one:
+
+    (L_i, i), (q0, j), 0 -> (q1, L_jbar, 1)   for all i, j in {u, r, d, l}
+
+The leader bonds its expansion port ``i`` to any port ``j`` of a free node,
+moves onto the new node, and continues via the port opposite to ``j`` —
+which keeps the line straight. The simplified variant only expands through
+matching ``r``/``l`` ports and is slower (fewer effective encounters), a
+difference measured by ``benchmarks/bench_line.py``.
+"""
+
+from __future__ import annotations
+
+from repro.core.protocol import Rule, RuleProtocol
+from repro.geometry.ports import PORTS_2D, opposite, ports_for_dimension
+
+
+def leader_state(port) -> str:
+    """The leader state ``L_i`` waiting to expand via local port ``i``."""
+    return f"L{port.value}"
+
+
+LEADER_STATES = tuple(leader_state(p) for p in PORTS_2D)
+
+
+def spanning_line_protocol(dimension: int = 2) -> RuleProtocol:
+    """The general spanning-line protocol of §4.1.
+
+    Initial configuration: one leader in ``Lr``, all other nodes ``q0``.
+    Stabilizes with all nodes on one straight line (stably constructs the
+    spanning line; it is a stabilizing, not terminating, protocol).
+
+    The protocol generalizes to the 3D model verbatim (``dimension=3``,
+    six ports): straightness only needs the new leader to expand via the
+    port *opposite* its bond port — colinear through the node by
+    definition — so the 3D rotational freedom (a node may attach twisted
+    about the bond axis) cannot bend the line.
+    """
+    ports = ports_for_dimension(dimension)
+    rules = []
+    for i in ports:
+        for j in ports:
+            rules.append(
+                Rule(
+                    state1=leader_state(i),
+                    port1=i,
+                    state2="q0",
+                    port2=j,
+                    bond=0,
+                    new_state1="q1",
+                    new_state2=leader_state(opposite(j)),
+                    new_bond=1,
+                )
+            )
+    leader_states = tuple(leader_state(p) for p in ports)
+    return RuleProtocol(
+        rules,
+        initial_state="q0",
+        leader_state="Lr",
+        output_states={"q1", *leader_states},
+        hot_states=leader_states,
+        dimension=dimension,
+        name=f"spanning-line-{dimension}d" if dimension == 3 else "spanning-line",
+    )
+
+
+def simple_line_protocol() -> RuleProtocol:
+    """The simplified (slower) variant: ``(L, r), (q0, l), 0 -> (q1, L, 1)``.
+
+    An effective interaction now requires the leader's ``r`` port to meet
+    precisely the ``l`` port of a free node, so expansions are rarer under
+    the uniform scheduler but the protocol has only 3 states.
+    """
+    from repro.geometry.ports import Port
+
+    rules = [
+        Rule(
+            state1="L",
+            port1=Port.RIGHT,
+            state2="q0",
+            port2=Port.LEFT,
+            bond=0,
+            new_state1="q1",
+            new_state2="L",
+            new_bond=1,
+        )
+    ]
+    return RuleProtocol(
+        rules,
+        initial_state="q0",
+        leader_state="L",
+        output_states={"q1", "L"},
+        hot_states=("L",),
+        name="simple-line",
+    )

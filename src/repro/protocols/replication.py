@@ -1,0 +1,257 @@
+"""Line self-replication: Protocol 4 and Protocol 5 of the paper (§6.2).
+
+A line ``L, i, i, ..., i, e`` (leader left endpoint, internal ``i`` nodes,
+right endpoint ``e``) attracts free ``q0`` nodes to the ports below it; the
+attached nodes bond horizontally into a *replica* row, which is then
+detached, restored to ``C, i, ..., i, e`` (``C`` the child's left-endpoint
+state) and released into the solution. Protocol 4 drives detachment and
+restoration with a leader walk; Protocol 5 needs no leader and detaches
+per-node by degree counting.
+
+Two *documented deviations* from the verbatim tables (both are benign
+races the tables leave open; see DESIGN.md):
+
+1. **Protocol 4 restore placeholder.** The paper's restore walk temporarily
+   sets the walked line's left endpoint to ``e'``
+   (``(x^t, r), (i', l), 1 -> (e', x^t', 1)``). A free line whose left
+   endpoint is ``e'`` can be docked by the rule ``(i', r), (e', l), 0`` of a
+   *different* component's half-built replica, merging the two and
+   deadlocking both. We use a fresh placeholder state ``f'`` instead of
+   ``e'`` for the endpoint under restoration; ``f'`` has no bond-0 rules, so
+   the dock is impossible, and it is converted to the final endpoint state
+   by the last restore step exactly as ``e'`` would have been.
+
+2. **Protocol 5 parent-side states.** The paper reuses ``i1``/``e1`` for
+   both the parent node and the freshly attached replica node
+   (``(i, d), (q0, u), 0 -> (i1, i1, 1)``). A parent endpoint in ``e1``
+   exposes its outward port to the dock rule ``(e1, r), (i1, l), 0`` of a
+   foreign half-built replica, again merging two components into a non-line.
+   We give parent-side nodes the distinct states ``ip``/``ep`` ("parent
+   busy"), which appear in no bond-0 rule; the detach rules restore them to
+   ``i``/``e``.
+
+Both deviations only remove unintended cross-component interactions; all
+single-component executions are unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.protocol import Rule, RuleProtocol
+from repro.core.world import World
+from repro.geometry.ports import Port
+from repro.geometry.vec import Vec
+
+U, R, D, L = Port.UP, Port.RIGHT, Port.DOWN, Port.LEFT
+
+#: Shared worker states of Protocol 4 (replica row assembly + walks).
+CHAIN = tuple(f"L{j}s" for j in range(1, 8))
+
+
+def _variant_rules(
+    parent_left: str, parent_restored: str, child_left: str
+) -> List[Rule]:
+    """Protocol 4 rules for one parent type.
+
+    ``parent_left`` is the state of the parent line's left endpoint that
+    triggers replication; after one replication the parent's left endpoint
+    becomes ``parent_restored`` and the released child's becomes
+    ``child_left``. The paper gives the table for ``(L, Lstart, Ls)`` and
+    notes the seed/replica variants are "almost identical" — this generator
+    produces them.
+    """
+    blocked = f"{parent_left}'"
+    # Child restore walker states (tagged by the child type they produce).
+    cts, ct1, ct2 = (f"T{child_left}", f"T'{child_left}", f"T''{child_left}")
+    # Parent restore walker states (tagged by the parent's restored type).
+    pts, pt1, pt2 = (f"P{parent_restored}", f"P'{parent_restored}", f"P''{parent_restored}")
+    rules = [
+        # Replication starts: the chain seed attaches below the left end.
+        Rule(parent_left, D, "q0", U, 0, blocked, "L1s", 1),
+        # Chain completion: detach the replica from the blocked parent and
+        # start both restore walks.
+        Rule("L7s", U, blocked, D, 1, cts, pts, 0),
+    ]
+    for walker, final in ((cts, child_left), (pts, parent_restored)):
+        w1 = ct1 if walker == cts else pt1
+        w2 = ct2 if walker == cts else pt2
+        rules.extend(
+            [
+                # Left endpoint parked as the f' placeholder (deviation 1),
+                # walker moves right over the still-primed nodes.
+                Rule(walker, R, "i'", L, 1, "f'", w1, 1),
+                Rule(w1, R, "i'", L, 1, "i'", w1, 1),
+                # Right endpoint restored to e; walker turns around.
+                Rule(w1, R, "e'", L, 1, w2, "e", 1),
+                # Left walk converts i' -> i strictly behind the walker, so
+                # early attachments below freshly restored nodes (which
+                # re-prime them) can never block the walk.
+                Rule("i'", R, w2, L, 1, w2, "i", 1),
+                # Back at the placeholder: restore the final endpoint state.
+                Rule("f'", R, w2, L, 1, final, "i", 1),
+            ]
+        )
+    return rules
+
+
+def _shared_rules() -> List[Rule]:
+    """Protocol 4 rules independent of the parent type."""
+    return [
+        # Free q0 nodes attach below internal/endpoint nodes of a line.
+        Rule("i", D, "q0", U, 0, "i'", "i'", 1),
+        Rule("e", D, "q0", U, 0, "e'", "e'", 1),
+        # Replica row bonds horizontally.
+        Rule("i'", R, "i'", L, 0, "i'", "i'", 1),
+        Rule("i'", R, "e'", L, 0, "i'", "e'", 1),
+        # Chain walk: L1s hands off to L2s which walks right bonding as it
+        # goes, until the replica's right endpoint becomes L3s.
+        Rule("L1s", R, "i'", L, 0, "e'", "L2s", 1),
+        Rule("L2s", R, "i'", L, 0, "i'", "L2s", 1),
+        Rule("L2s", R, "i'", L, 1, "i'", "L2s", 1),
+        Rule("L2s", R, "e'", L, 0, "i'", "L3s", 1),
+        Rule("L2s", R, "e'", L, 1, "i'", "L3s", 1),
+        # Detach walk: cut the vertical bonds right-to-left.
+        Rule("L3s", U, "e'", D, 1, "L4s", "e'", 0),
+        Rule("i'", R, "L4s", L, 1, "L5s", "e'", 1),
+        Rule("L5s", U, "i'", D, 1, "L6s", "i'", 0),
+        Rule("i'", R, "L6s", L, 1, "L5s", "i'", 1),
+        Rule("e'", R, "L6s", L, 1, "L7s", "i'", 1),
+    ]
+
+
+def line_replication_protocol() -> RuleProtocol:
+    """Protocol 4 verbatim (single-shot): an ``L``-line replicates once.
+
+    The original line ``L, i, ..., i, e`` produces a seed child
+    ``Ls, i, ..., i, e`` and restores itself to ``Lstart, i, ..., i, e``
+    (Figure 5). Lines must have length >= 3 (the paper's chain needs an
+    internal node).
+    """
+    rules = _shared_rules() + _variant_rules("L", "Lstart", "Ls")
+    return RuleProtocol(
+        rules,
+        initial_state="q0",
+        leader_state="L",
+        output_states={"L", "Lstart", "Ls", "i", "e"},
+        name="line-replication-protocol-4",
+    )
+
+
+def self_replicating_lines_protocol() -> RuleProtocol:
+    """The full §6.2 replication system: original -> seed -> replicas.
+
+    The original ``L`` line replicates once into the seed ``Ls``; the seed
+    keeps producing ``Lr`` replicas; ``Lr`` replicas are themselves totally
+    self-replicating (their children also begin in ``Lr``), exactly as
+    described for Square-Knowing-n.
+    """
+    rules = (
+        _shared_rules()
+        + _variant_rules("L", "Lstart", "Ls")
+        + _variant_rules("Ls", "Ls", "Lr")
+        + _variant_rules("Lr", "Lr", "Lr")
+    )
+    return RuleProtocol(
+        rules,
+        initial_state="q0",
+        leader_state="L",
+        output_states={"L", "Lstart", "Ls", "Lr", "i", "e"},
+        name="self-replicating-lines",
+    )
+
+
+def no_leader_line_replication_protocol() -> RuleProtocol:
+    """Protocol 5: leaderless line replication by degree counting.
+
+    A line ``e, i, ..., i, e`` attracts free nodes below; replica nodes
+    count their active connections in their state index and detach from the
+    parent only when fully connected (degree 3 internally, 2 at the
+    endpoints), which guarantees the replica detaches only at full length.
+    Parent-side nodes use ``ip``/``ep`` while busy (deviation 2 above).
+    """
+    rules = [
+        # Attachment below the parent (parent-side goes busy).
+        Rule("i", D, "q0", U, 0, "ip", "i1", 1),
+        Rule("e", D, "q0", U, 0, "ep", "e1", 1),
+        # Replica-row bonding with degree counting.
+        Rule("i1", R, "e1", L, 0, "i2", "e2", 1),
+        Rule("i2", R, "e1", L, 0, "i3", "e2", 1),
+        Rule("e1", R, "i1", L, 0, "e2", "i2", 1),
+        Rule("e1", R, "i2", L, 0, "e2", "i3", 1),
+        # Detachment: only fully connected replica nodes let go.
+        Rule("i3", U, "ip", D, 1, "i", "i", 0),
+        Rule("e2", U, "ep", D, 1, "e", "e", 0),
+    ]
+    for j in (1, 2):
+        for k in (1, 2):
+            rules.append(Rule(f"i{j}", R, f"i{k}", L, 0, f"i{j + 1}", f"i{k + 1}", 1))
+    return RuleProtocol(
+        rules,
+        initial_state="q0",
+        output_states={"i", "e"},
+        name="no-leader-line-replication-protocol-5",
+    )
+
+
+# ----------------------------------------------------------------------
+# World helpers for replication experiments
+# ----------------------------------------------------------------------
+
+
+def add_line(
+    world: World,
+    length: int,
+    left_state: str,
+    internal_state: str = "i",
+    right_state: str = "e",
+    origin: Vec = Vec(0, 0),
+) -> Dict[Vec, int]:
+    """Add a horizontal bonded line component to a world."""
+    states: Dict[Vec, object] = {}
+    for k in range(length):
+        cell = origin + Vec(k, 0)
+        if k == 0:
+            states[cell] = left_state
+        elif k == length - 1:
+            states[cell] = right_state
+        else:
+            states[cell] = internal_state
+    return world.add_component_from_cells(states)
+
+
+def replication_world(
+    length: int,
+    free_nodes: Optional[int] = None,
+    leader_left: str = "L",
+    right_state: str = "e",
+) -> World:
+    """A world with one parent line plus free ``q0`` nodes.
+
+    ``free_nodes`` defaults to exactly one replica's worth (``length``).
+    """
+    world = World(dimension=2)
+    add_line(world, length, leader_left, right_state=right_state)
+    count = length if free_nodes is None else free_nodes
+    for _ in range(count):
+        world.add_free_node("q0")
+    return world
+
+
+def extract_lines(world: World) -> List[Tuple[str, int]]:
+    """Summarize the line components of a world as (left-state, length).
+
+    Only components that are straight horizontal-or-vertical lines are
+    reported; singletons are skipped.
+    """
+    lines: List[Tuple[str, int]] = []
+    for comp in world.components.values():
+        if comp.size() < 2:
+            continue
+        shape = world.component_shape(comp.cid)
+        if not shape.is_line():
+            continue
+        cells = sorted(comp.cells)
+        first = comp.cells[cells[0]]
+        lines.append((str(world.state_of(first)), comp.size()))
+    return lines

@@ -1,0 +1,43 @@
+"""Protocol 1 *Square* (§4.2): stabilizing ``sqrt(n) x sqrt(n)`` square.
+
+Transcribed verbatim from the paper. A unique leader starts in ``Lu``; it
+first constructs a 2x2 square and then grows the square perimetrically in
+the clockwise direction: whenever the leader tries to move through its
+current heading and bumps into an already-attached ``q1``, it activates the
+bond with it and turns; when the cell ahead is free, a fresh ``q0`` attaches
+there and leadership transfers onto it.
+"""
+
+from __future__ import annotations
+
+from repro.core.protocol import Rule, RuleProtocol
+from repro.geometry.ports import Port
+
+U, R, D, L = Port.UP, Port.RIGHT, Port.DOWN, Port.LEFT
+
+
+def square_protocol() -> RuleProtocol:
+    """Protocol 1 of the paper (6 states, 8 effective rules)."""
+    rules = [
+        # Growth: attach a free q0 ahead, move leadership onto it, rotate
+        # heading clockwise (u -> r -> d -> l -> u).
+        Rule("Lu", U, "q0", D, 0, "q1", "Lr", 1),
+        Rule("Lr", R, "q0", L, 0, "q1", "Ld", 1),
+        Rule("Ld", D, "q0", U, 0, "q1", "Ll", 1),
+        Rule("Ll", L, "q0", R, 0, "q1", "Lu", 1),
+        # Turning: the cell ahead is occupied by a q1 of the square; bond to
+        # it and turn counter-clockwise (u -> l -> d -> r -> u) to keep
+        # walking around the perimeter.
+        Rule("Lu", U, "q1", D, 0, "Ll", "q1", 1),
+        Rule("Lr", R, "q1", L, 0, "Lu", "q1", 1),
+        Rule("Ld", D, "q1", U, 0, "Lr", "q1", 1),
+        Rule("Ll", L, "q1", R, 0, "Ld", "q1", 1),
+    ]
+    return RuleProtocol(
+        rules,
+        initial_state="q0",
+        leader_state="Lu",
+        output_states={"q1", "Lu", "Lr", "Ld", "Ll"},
+        hot_states=("Lu", "Lr", "Ld", "Ll"),
+        name="square-protocol-1",
+    )

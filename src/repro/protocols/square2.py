@@ -1,0 +1,93 @@
+"""Protocol 2 *Square2* (§4.2): square construction with turning marks.
+
+Transcribed from the paper's table. The unique leader begins in ``L2d``.
+Phase 1 builds a 2x2 core while dropping *turning marks* (``q1`` nodes
+attached just outside the corners); in each subsequent phase the leader
+walks the new perimeter and turns only when it meets the mark left by the
+previous phase, introducing the new corner plus a fresh mark for the next
+phase (Figure 2). Nodes of the new perimeter may remain unbonded to their
+internal neighbors for a while; the rigidity rules
+``(q1, i), (q1, ibar), 0 -> (q1, q1, 1)`` eventually bond them.
+
+Note on the paper's table: the state set is printed as ``{L_i, L2_i, L3_i,
+L4_i, Lend, q0, q1}`` while the rules also use ``L1_i``; ``L1_i`` and
+``L_i`` must be distinct states (otherwise two rules share a left-hand side
+with different results), so Q here contains both.
+"""
+
+from __future__ import annotations
+
+from repro.core.protocol import Rule, RuleProtocol
+from repro.geometry.ports import PORTS_2D, Port, opposite
+
+U, R, D, L = Port.UP, Port.RIGHT, Port.DOWN, Port.LEFT
+
+
+def square2_protocol() -> RuleProtocol:
+    """Protocol 2 of the paper (turning-mark square constructor)."""
+    rules = [
+        # --- Phase 1: build the 2x2 core, dropping the four first marks.
+        Rule("L2d", D, "q0", U, 0, "L1u", "q1", 1),
+        Rule("L2l", L, "q0", R, 0, "L1r", "q1", 1),
+        Rule("L2u", U, "q0", D, 0, "L1d", "q1", 1),
+        Rule("L2r", R, "q0", L, 0, "Lend", "q1", 1),
+        Rule("L1u", U, "q0", D, 0, "q1", "L2l", 1),
+        Rule("L1r", R, "q0", L, 0, "q1", "L2u", 1),
+        Rule("L1d", D, "q0", U, 0, "q1", "L2r", 1),
+        # NOTE: the paper's table also lists (L1r, u), (q0, d), 0 ->
+        # (q1, L2l, 1). From the unique reachable L1r configuration of
+        # phase 1 both that rule and (L1r, r), (q0, l) above are enabled,
+        # and taking the u-port rule derails the leader into an unbounded
+        # staircase instead of the 2x2 core of Figure 2. We treat it as an
+        # erratum and omit it; with the remaining 29 rules the execution
+        # reproduces Figure 2's phases exactly (see tests/test_square2.py).
+        # --- Phase transition: from Lend start walking the next perimeter.
+        Rule("Lend", D, "q0", U, 0, "q1", "Ll", 1),
+        # --- Straight perimeter walk: extend through free nodes...
+        Rule("Ll", L, "q0", R, 0, "q1", "Ll", 1),
+        Rule("Lu", U, "q0", D, 0, "q1", "Lu", 1),
+        Rule("Lr", R, "q0", L, 0, "q1", "Lr", 1),
+        Rule("Ld", D, "q0", U, 0, "q1", "Ld", 1),
+        # ... until the turning mark (a q1) of the previous phase is met;
+        # leadership jumps onto the mark in state L3.
+        Rule("Ll", L, "q1", R, 0, "q1", "L3l", 1),
+        Rule("Lu", U, "q1", D, 0, "q1", "L3u", 1),
+        Rule("Lr", R, "q1", L, 0, "q1", "L3r", 1),
+        Rule("Ld", D, "q1", U, 0, "q1", "L3d", 1),
+        # --- At a mark: attach the new corner (L4 continues past it)...
+        Rule("L3l", L, "q0", R, 0, "q1", "L4d", 1),
+        Rule("L3u", U, "q0", D, 0, "q1", "L4l", 1),
+        Rule("L3r", R, "q0", L, 0, "q1", "L4u", 1),
+        Rule("L3d", D, "q0", U, 0, "q1", "L4r", 1),
+        # ... and drop the next phase's mark adjacent to the corner, turning.
+        Rule("L4d", D, "q0", U, 0, "Lu", "q1", 1),
+        Rule("L4l", L, "q0", R, 0, "Lr", "q1", 1),
+        Rule("L4u", U, "q0", D, 0, "Ld", "q1", 1),
+        Rule("L4r", R, "q0", L, 0, "Lend", "q1", 1),
+        # --- Side bonding of the leader while walking the perimeter.
+        Rule("Lu", R, "q1", L, 0, "Lu", "q1", 1),
+        Rule("Lr", D, "q1", U, 0, "Lr", "q1", 1),
+        Rule("Ld", L, "q1", R, 0, "Ld", "q1", 1),
+        Rule("Ll", U, "q1", D, 0, "Ll", "q1", 1),
+    ]
+    # Rigidity rules: adjacent attached q1 nodes eventually bond.
+    for i in PORTS_2D:
+        rules.append(Rule("q1", i, "q1", opposite(i), 0, "q1", "q1", 1))
+    leaderish = [
+        s
+        for s in (
+            "L2d", "L2l", "L2u", "L2r",
+            "L1u", "L1r", "L1d",
+            "Lend", "Ll", "Lu", "Lr", "Ld",
+            "L3l", "L3u", "L3r", "L3d",
+            "L4d", "L4l", "L4u", "L4r",
+        )
+    ]
+    return RuleProtocol(
+        rules,
+        initial_state="q0",
+        leader_state="L2d",
+        output_states={"q1", *leaderish},
+        hot_states=(*leaderish, "q1"),
+        name="square-protocol-2",
+    )

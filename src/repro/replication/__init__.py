@@ -1,0 +1,20 @@
+"""Shape self-replication (§7): squaring, shifting, column replication."""
+
+from repro.replication.squaring import (
+    Deficiency,
+    SquaringResult,
+    find_deficiencies,
+    run_squaring,
+)
+from repro.replication.shifting import ReplicationResult, replicate_by_shifting
+from repro.replication.columns import replicate_by_columns
+
+__all__ = [
+    "Deficiency",
+    "SquaringResult",
+    "find_deficiencies",
+    "run_squaring",
+    "ReplicationResult",
+    "replicate_by_shifting",
+    "replicate_by_columns",
+]

@@ -1,0 +1,118 @@
+"""Replication Approach 2 (§7.2): column-by-column replication with keys.
+
+After squaring, every column gets a unique matching key (column ``i``
+matches only column ``i - 1``, as in §6.4.2's segments). The rightmost
+column is replicated by attaching free nodes to its right, copying each
+cell's on/off label and the key; then first the replica column and then
+the original column are released into the solution. Replica columns use a
+distinct key *kind* so original and replica columns never mix. Once all
+columns float free, the two rectangles self-assemble by key matching; a
+final de-squaring releases the label-0 dummies of both.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.geometry.shape import Shape
+from repro.geometry.vec import Vec
+from repro.replication.shifting import ReplicationResult
+from repro.replication.squaring import run_squaring
+
+
+@dataclass
+class _Column:
+    index: int
+    kind: str  # "orig" | "copy"
+    labels: Tuple[int, ...]
+
+    @property
+    def key_black(self) -> int:
+        return self.index
+
+    @property
+    def key_gray(self) -> int:
+        return self.index + 1
+
+
+def _assemble(columns: List[_Column], rng: random.Random) -> Tuple[List[_Column], int]:
+    """Random key-matching assembly; returns (ordered columns, contacts)."""
+    clusters: List[List[_Column]] = [[c] for c in columns]
+    contacts = 0
+    guard = 0
+    while len(clusters) > 1:
+        guard += 1
+        if guard > 10_000_000:  # pragma: no cover - safety net
+            raise SimulationError("assembly did not converge")
+        i, j = rng.sample(range(len(clusters)), 2)
+        contacts += 1
+        a, b = clusters[i], clusters[j]
+        if a[0].kind != b[0].kind:
+            continue  # different kinds never bond
+        if a[-1].key_gray == b[0].key_black:
+            merged = a + b
+        elif b[-1].key_gray == a[0].key_black:
+            merged = b + a
+        else:
+            continue
+        clusters = [c for idx, c in enumerate(clusters) if idx not in (i, j)]
+        clusters.append(merged)
+    return clusters[0], contacts
+
+
+def replicate_by_columns(
+    shape: Shape,
+    rng: Optional[random.Random] = None,
+    seed: Optional[int] = None,
+) -> ReplicationResult:
+    """Replicate a connected 2D shape via column replication (§7.2)."""
+    if rng is None:
+        rng = random.Random(seed)
+    shape = shape.normalize()
+    squaring = run_squaring(shape, rng=rng)
+    rect = squaring.rectangle.normalize()
+    labels = rect.label_map
+    width = max(c.x for c in rect.cells) + 1
+    height = max(c.y for c in rect.cells) + 1
+    interactions = squaring.interactions
+
+    originals: List[_Column] = []
+    copies: List[_Column] = []
+    # Replicate the rightmost column, release replica then original, repeat.
+    for x in range(width - 1, -1, -1):
+        column = tuple(labels[Vec(x, y)] for y in range(height))
+        interactions += height  # attach free nodes for the copy
+        interactions += height  # copy labels and the key marks
+        interactions += 2       # release replica column, release original
+        originals.append(_Column(x, "orig", column))
+        copies.append(_Column(x, "copy", column))
+
+    ordered_orig, contacts1 = _assemble(originals, rng)
+    ordered_copy, contacts2 = _assemble(copies, rng)
+    interactions += contacts1 + contacts2
+    for ordered in (ordered_orig, ordered_copy):
+        if [c.index for c in ordered] != list(range(width)):
+            raise SimulationError("columns assembled out of order")
+
+    def rebuild(ordered: List[_Column]) -> Shape:
+        cells = [
+            Vec(x, y)
+            for x, col in enumerate(ordered)
+            for y, v in enumerate(col.labels)
+            if v == 1
+        ]
+        return Shape.from_cells(cells).normalize()
+
+    dummies = sum(1 for v in labels.values() if v == 0)
+    interactions += 2 * dummies  # de-squaring both rectangles
+    rect_size = width * height
+    return ReplicationResult(
+        original=rebuild(ordered_orig),
+        replica=rebuild(ordered_copy),
+        interactions=interactions,
+        nodes_used=2 * rect_size,
+        waste=2 * (rect_size - len(shape.cells)),
+    )

@@ -1,0 +1,103 @@
+"""Replication Approach 1 (§7.1): squaring + column shifting.
+
+After the squaring phase encloses the shape in ``R_G``, the leader copies
+the column configuration (the on/off label of every cell) column by column
+to the right: round ``r`` shifts the replica one column rightward,
+appending a fresh column of free nodes when the replica's rightmost column
+leaves the original rectangle. After ``w`` rounds (``w`` the rectangle
+width) the replica rectangle stands immediately right of the original; the
+leader deactivates the seam, both rectangles de-square (release their
+label-0 dummies), and two identical shapes float in the solution.
+
+Interactions are charged one per cell copied, one per node attached or
+released, and one per seam bond cut — the cost profile of the leader's
+walks in the paper.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.errors import SimulationError
+from repro.geometry.rect import bounding_rect
+from repro.geometry.shape import Shape
+from repro.geometry.vec import Vec
+from repro.replication.squaring import run_squaring
+
+
+@dataclass
+class ReplicationResult:
+    """Outcome of a shape replication."""
+
+    original: Shape
+    replica: Shape
+    interactions: int
+    nodes_used: int
+    waste: int
+
+    @property
+    def identical(self) -> bool:
+        return self.original.same_up_to_translation(self.replica)
+
+
+def replicate_by_shifting(
+    shape: Shape,
+    rng: Optional[random.Random] = None,
+    seed: Optional[int] = None,
+) -> ReplicationResult:
+    """Replicate a connected 2D shape via squaring + shifting.
+
+    Requires (and consumes) ``2 |V(R_G)|`` nodes in total; the waste is
+    ``2 (|V(R_G)| - |V(G)|)`` released dummies, exactly the paper's
+    accounting.
+    """
+    if rng is None:
+        rng = random.Random(seed)
+    shape = shape.normalize()
+    squaring = run_squaring(shape, rng=rng)
+    rect = squaring.rectangle.normalize()
+    labels: Dict[Vec, object] = rect.label_map
+    width = max(c.x for c in rect.cells) + 1
+    height = max(c.y for c in rect.cells) + 1
+    interactions = squaring.interactions
+
+    # The replica's label plane, built column by column. Round r copies
+    # column w-1-r of the replica frontier rightward; we account one
+    # interaction per cell copied and one per fresh node attached.
+    replica: Dict[Vec, object] = {}
+    for r in range(width):
+        src_x = width - 1 - r
+        # Appending the fresh rightmost replica column.
+        for y in range(height):
+            interactions += 1  # attach a free node
+        # Shift every already-copied column one step right (copy walk).
+        interactions += len(replica)
+        replica = {Vec(c.x + 1, c.y): v for c, v in replica.items()}
+        for y in range(height):
+            replica[Vec(width, y)] = labels[Vec(src_x, y)]
+        # The dict keeps replica cells at x >= width throughout.
+    # After width rounds the replica occupies x in [width, 2 width).
+    replica_cells = {Vec(width + x, y): labels[Vec(x, y)] for x in range(width) for y in range(height)}
+    if replica != replica_cells:
+        raise SimulationError("shifting produced a misaligned replica")
+
+    # Seam release: cut the bonds between column width-1 and column width.
+    interactions += height
+    # De-squaring both rectangles: release every label-0 dummy.
+    dummies = sum(1 for v in labels.values() if v == 0)
+    interactions += 2 * dummies
+
+    original_shape = rect.on_subshape(1)
+    replica_shape = Shape.from_cells(
+        [c for c, v in replica_cells.items() if v == 1]
+    )
+    rect_size = width * height
+    return ReplicationResult(
+        original=original_shape.normalize(),
+        replica=replica_shape.normalize(),
+        interactions=interactions,
+        nodes_used=2 * rect_size,
+        waste=2 * (rect_size - len(shape.cells)),
+    )

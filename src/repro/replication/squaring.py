@@ -1,0 +1,137 @@
+"""The squaring phase (§7.1, Proposition 1, Figure 10).
+
+A connected *on*-labeled shape ``G`` is completed to its minimum enclosing
+rectangle ``R_G`` by purely local detections: whenever two present adjacent
+nodes miss their edge, activate it; whenever one of the four Figure 10
+"detection shapes" is present (an L of three nodes around an empty corner
+cell), a free node is attached at the empty cell. Proposition 1 states a
+non-rectangle always exhibits at least one such deficiency — which this
+implementation both relies on (progress) and exposes for testing
+(:func:`find_deficiencies`).
+
+Filler nodes are labeled ``off`` (the paper's label-0 nodes); the leader's
+rectangle-detection walk at the end is charged one interaction per
+perimeter cell.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Set, Tuple
+
+from repro.errors import SimulationError
+from repro.geometry.rect import bounding_rect
+from repro.geometry.shape import Shape
+from repro.geometry.vec import Vec
+
+_DIRS = (Vec(0, 1), Vec(1, 0), Vec(0, -1), Vec(-1, 0))
+
+
+@dataclass(frozen=True)
+class Deficiency:
+    """A locally detectable reason the shape is not yet a rectangle.
+
+    ``kind`` is ``"edge"`` (two adjacent present cells, inactive edge) or
+    ``"node"`` (an empty cell with an L of three present cells around it,
+    one of the four detection shapes of Figure 10(a)).
+    """
+
+    kind: str
+    cell: Vec
+    other: Optional[Vec] = None
+
+
+def find_deficiencies(cells: Set[Vec], edges: Set[frozenset]) -> List[Deficiency]:
+    """All deficiencies of the current (cells, active-edges) configuration."""
+    found: List[Deficiency] = []
+    for c in cells:
+        for d in _DIRS:
+            o = c + d
+            if o in cells and frozenset((c, o)) not in edges:
+                if (c.x, c.y, c.z) < (o.x, o.y, o.z):
+                    found.append(Deficiency("edge", c, o))
+    # Figure 10(a): an empty corner cell with two perpendicular present
+    # neighbors whose mutual diagonal neighbor is also present.
+    for c in cells:
+        for dx, dy in ((1, 1), (1, -1), (-1, 1), (-1, -1)):
+            corner = c + Vec(dx, dy)
+            if corner in cells:
+                continue
+            a = c + Vec(dx, 0)
+            b = c + Vec(0, dy)
+            if a in cells and b in cells:
+                found.append(Deficiency("node", corner))
+    # Deduplicate node deficiencies detected from several Ls.
+    seen = set()
+    unique: List[Deficiency] = []
+    for df in found:
+        key = (df.kind, df.cell, df.other)
+        if key not in seen:
+            seen.add(key)
+            unique.append(df)
+    return unique
+
+
+@dataclass
+class SquaringResult:
+    """Outcome of the squaring phase."""
+
+    rectangle: Shape
+    interactions: int
+    fillers_used: int
+
+
+def run_squaring(
+    shape: Shape,
+    rng: Optional[random.Random] = None,
+    seed: Optional[int] = None,
+) -> SquaringResult:
+    """Complete ``shape`` to its minimum enclosing rectangle ``R_G``.
+
+    Deficiencies are resolved one interaction at a time in random order
+    (any fair resolution order converges, per Proposition 1's progress
+    argument); the result is the {0,1}-labeled rectangle with ``shape``'s
+    cells labeled 1.
+    """
+    if rng is None:
+        rng = random.Random(seed)
+    cells: Set[Vec] = set(shape.cells)
+    edges: Set[frozenset] = set(shape.edges)
+    original = set(shape.cells)
+    interactions = 0
+    fillers = 0
+    while True:
+        deficiencies = find_deficiencies(cells, edges)
+        if not deficiencies:
+            break
+        df = deficiencies[rng.randrange(len(deficiencies))]
+        interactions += 1
+        if df.kind == "edge":
+            assert df.other is not None
+            edges.add(frozenset((df.cell, df.other)))
+        else:
+            cells.add(df.cell)
+            fillers += 1
+            for d in _DIRS:
+                o = df.cell + d
+                if o in cells:
+                    edges.add(frozenset((df.cell, o)))
+                    interactions += 1
+    result = Shape.from_cells(
+        cells, edges, labels={c: (1 if c in original else 0) for c in cells}
+    )
+    if not result.is_full_rectangle():
+        raise SimulationError(
+            "squaring stopped with deficiencies exhausted but no rectangle — "
+            "this contradicts Proposition 1"
+        )
+    expected = bounding_rect(shape)
+    if result.normalize().cells != expected.normalize().cells:
+        raise SimulationError("squaring produced a rectangle other than R_G")
+    # The leader's final rectangle-detection walk around the perimeter.
+    xs = [c.x for c in cells]
+    ys = [c.y for c in cells]
+    perimeter = 2 * (max(xs) - min(xs) + 1) + 2 * (max(ys) - min(ys) + 1)
+    interactions += perimeter
+    return SquaringResult(result, interactions, fillers)

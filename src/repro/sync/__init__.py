@@ -1,0 +1,41 @@
+"""The two-speed refinement of §8: synchronous components, scheduled encounters.
+
+The paper's conclusions propose distinguishing *"the speed of the scheduler
+and the internal operation speed of a component: a connected component will
+operate in synchronous rounds, where in each round a node observes its
+neighborhood and its own state and updates its state based on what it sees
+… a connection is formed/dropped if both nodes agree"*.
+
+This subpackage implements that refinement:
+
+* :class:`SynchronousProgram` — a per-round node update rule: each node sees
+  its own state and its bonded neighbors' states (per port) and returns a
+  new state plus per-port bond proposals; intra-component bond changes
+  require the agreement policy (both endpoints by default, either endpoint
+  optionally, matching the two variants the paper sketches).
+* :class:`TwoSpeedSimulation` — interleaves scheduler *encounters* (the
+  classical pairwise interactions of §3, which is how separate components
+  meet and bond) with ``rounds_per_encounter`` synchronous rounds inside
+  every component.
+"""
+
+from repro.sync.model import (
+    BondProposal,
+    RoundOutcome,
+    RoundView,
+    SynchronousProgram,
+    broadcast_program,
+    distance_wave_program,
+)
+from repro.sync.runner import TwoSpeedSimulation, run_component_rounds
+
+__all__ = [
+    "SynchronousProgram",
+    "RoundView",
+    "RoundOutcome",
+    "BondProposal",
+    "broadcast_program",
+    "distance_wave_program",
+    "TwoSpeedSimulation",
+    "run_component_rounds",
+]

@@ -1,0 +1,176 @@
+"""Synchronous per-round node programs (§8's component-speed refinement).
+
+In one synchronous round, every node of a component simultaneously:
+
+1. observes its own state and the states of its bonded neighbors, per local
+   port (:class:`RoundView`);
+2. computes a new state and, optionally, per-port *bond proposals*
+   (:class:`RoundOutcome`).
+
+All state updates of a round are applied atomically. A bond between two
+adjacent nodes changes only when the agreement policy is met: with policy
+``"both"`` (the paper's default reading) the two endpoints must both
+propose the same new bond value; with ``"either"`` one proposal suffices
+(the alternative the paper mentions: "allow a link change state if at least
+one of the nodes say so").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Hashable, Mapping, Optional
+
+from repro.errors import ProtocolError
+from repro.geometry.ports import Port
+
+State = Hashable
+
+#: A per-port bond proposal: the desired bond value (0 drop / 1 form).
+BondProposal = Dict[Port, int]
+
+
+@dataclass(frozen=True)
+class RoundView:
+    """What one node sees during a synchronous round.
+
+    ``neighbors`` maps each local port to the state of the node bonded via
+    that port (ports with no active bond are absent). ``adjacent`` maps each
+    port to the state of a grid-adjacent node of the same component that is
+    *not* bonded via that port — these are the pairs to which a "form"
+    proposal may apply.
+    """
+
+    state: State
+    neighbors: Mapping[Port, State]
+    adjacent: Mapping[Port, State]
+
+
+@dataclass(frozen=True)
+class RoundOutcome:
+    """A node's round decision: its next state and its bond proposals."""
+
+    state: State
+    proposals: Mapping[Port, int] = field(default_factory=dict)
+
+
+#: The synchronous update rule executed by every node, every round.
+RoundRule = Callable[[RoundView], RoundOutcome]
+
+
+class SynchronousProgram:
+    """A common synchronous program run by all nodes of every component.
+
+    Parameters
+    ----------
+    rule:
+        The per-round update; must be deterministic and local (depend only
+        on the :class:`RoundView`).
+    agreement:
+        ``"both"`` — a bond changes only if both endpoints propose the same
+        new value; ``"either"`` — one endpoint's proposal is enough (ties
+        between contradictory proposals keep the current value).
+    name:
+        Cosmetic.
+    """
+
+    def __init__(
+        self,
+        rule: RoundRule,
+        agreement: str = "both",
+        name: str = "sync-program",
+    ) -> None:
+        if agreement not in ("both", "either"):
+            raise ProtocolError(
+                f"agreement must be 'both' or 'either': {agreement!r}"
+            )
+        self.rule = rule
+        self.agreement = agreement
+        self.name = name
+
+    def decide_bond(
+        self,
+        current: int,
+        proposal_a: Optional[int],
+        proposal_b: Optional[int],
+    ) -> int:
+        """Combine the two endpoints' proposals under the agreement policy."""
+        if proposal_a is None and proposal_b is None:
+            return current
+        if self.agreement == "both":
+            if proposal_a is not None and proposal_a == proposal_b:
+                return proposal_a
+            return current
+        # "either": a single proposal wins; contradictory ones cancel.
+        values = {v for v in (proposal_a, proposal_b) if v is not None}
+        if len(values) == 1:
+            return values.pop()
+        return current
+
+
+# ----------------------------------------------------------------------
+# Stock programs (used by tests, benches and the examples)
+# ----------------------------------------------------------------------
+
+
+def broadcast_program(
+    source_state: State = "L",
+    susceptible: Optional[Callable[[State], bool]] = None,
+) -> SynchronousProgram:
+    """One-bit flooding: nodes bonded to an informed node become informed.
+
+    States are ``source_state`` (always informed), ``"informed"``, and
+    anything else (uninformed). In each round every uninformed *susceptible*
+    node with at least one informed bonded neighbor becomes ``"informed"``
+    — the textbook synchronous flood whose completion time is the
+    component's eccentricity from the source. ``susceptible`` (default:
+    everyone) restricts which states may convert, so the flood can coexist
+    with a concurrently running constructor whose control states (e.g. a
+    moving leader) must not be overwritten. Used to measure how the
+    internal component speed affects information spread (the §8
+    experiment).
+    """
+
+    def informed(state: State) -> bool:
+        return state == source_state or state == "informed"
+
+    def rule(view: RoundView) -> RoundOutcome:
+        if (
+            not informed(view.state)
+            and (susceptible is None or susceptible(view.state))
+            and any(informed(s) for s in view.neighbors.values())
+        ):
+            return RoundOutcome("informed")
+        return RoundOutcome(view.state)
+
+    return SynchronousProgram(rule, name="broadcast")
+
+
+def distance_wave_program(source_state: State = "L") -> SynchronousProgram:
+    """BFS distance labeling: each node learns its hop distance to the source.
+
+    Uninformed nodes adopt ``1 + min(neighbor distances)``; the source is
+    distance 0. After ``ecc`` rounds (the source's eccentricity) every node
+    of the component holds its exact BFS distance — a synchronous-round
+    primitive the asynchronous §3 model cannot express without extra states.
+    """
+
+    def distance_of(state: State) -> Optional[int]:
+        if state == source_state:
+            return 0
+        if isinstance(state, tuple) and len(state) == 2 and state[0] == "dist":
+            return state[1]
+        return None
+
+    def rule(view: RoundView) -> RoundOutcome:
+        if distance_of(view.state) is not None:
+            return RoundOutcome(view.state)
+        dists = [
+            d
+            for d in (distance_of(s) for s in view.neighbors.values())
+            if d is not None
+        ]
+        if dists:
+            return RoundOutcome(("dist", 1 + min(dists)))
+        return RoundOutcome(view.state)
+
+    return SynchronousProgram(rule, name="distance-wave")

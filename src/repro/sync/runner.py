@@ -1,0 +1,204 @@
+"""The two-speed execution loop: scheduled encounters + synchronous rounds.
+
+§8's refinement separates two clocks: the (slow, adversarial) scheduler
+that brings components into contact, and the (fast, synchronous) internal
+operation of each connected component. :class:`TwoSpeedSimulation` realizes
+the refinement on top of the unchanged §3 world: after every scheduler
+*encounter* (one classical pairwise interaction), every component executes
+``rounds_per_encounter`` synchronous rounds of a
+:class:`~repro.sync.model.SynchronousProgram`. Fractional rates accumulate
+(e.g. ``0.25`` runs one round every fourth encounter), so the full spectrum
+from "scheduler much faster" to "components much faster" is expressible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.core.protocol import Protocol
+from repro.core.scheduler import HotScheduler, Scheduler
+from repro.core.simulator import Simulation
+from repro.core.world import Component, World, bond_of
+from repro.errors import SimulationError
+from repro.geometry.ports import Port, port_facing
+from repro.sync.model import RoundOutcome, RoundView, SynchronousProgram
+
+
+def _component_views(
+    world: World, comp: Component
+) -> Dict[int, RoundView]:
+    """Build every node's :class:`RoundView` for one synchronous round."""
+    views: Dict[int, RoundView] = {}
+    for cell, nid in comp.cells.items():
+        rec = world.nodes[nid]
+        neighbors: Dict[Port, object] = {}
+        adjacent: Dict[Port, object] = {}
+        for port in world.ports:
+            delta = world.world_port_direction(nid, port)
+            other = comp.cells.get(cell + delta)
+            if other is None:
+                continue
+            other_rec = world.nodes[other]
+            other_port = port_facing(other_rec.orientation, -delta)
+            if bond_of(nid, port, other, other_port) in comp.bonds:
+                neighbors[port] = other_rec.state
+            else:
+                adjacent[port] = other_rec.state
+        views[nid] = RoundView(rec.state, neighbors, adjacent)
+    return views
+
+
+def run_component_rounds(
+    world: World,
+    program: SynchronousProgram,
+    rounds: int = 1,
+) -> int:
+    """Execute synchronous rounds on *every* component of the world.
+
+    All nodes of all components update simultaneously within a round (the
+    §8 semantics); bond proposals are resolved under the program's
+    agreement policy, and components whose bond graph disconnects split.
+    Returns the total number of state/bond changes applied.
+    """
+    if rounds < 0:
+        raise SimulationError(f"rounds must be nonnegative: {rounds}")
+    changes = 0
+    for _ in range(rounds):
+        round_changes = 0
+        # Snapshot the component list: splits during the round must not
+        # re-run the same round on the fragments.
+        for cid in list(world.components):
+            comp = world.components.get(cid)
+            if comp is None or comp.size() == 0:
+                continue
+            round_changes += _one_round(world, program, comp)
+        changes += round_changes
+    return changes
+
+
+def _one_round(
+    world: World, program: SynchronousProgram, comp: Component
+) -> int:
+    views = _component_views(world, comp)
+    outcomes: Dict[int, RoundOutcome] = {
+        nid: program.rule(view) for nid, view in views.items()
+    }
+    changes = 0
+    # Apply all state updates atomically.
+    for nid, outcome in outcomes.items():
+        if outcome.state != world.nodes[nid].state:
+            world.set_state(nid, outcome.state)
+            changes += 1
+    # Resolve bond proposals per adjacent pair (each pair has one facing
+    # port pair; both endpoints' proposals are read from their own port).
+    dropped = False
+    for nid1, nid2 in world.adjacent_pairs(comp):
+        ports = world.intra_pair_ports(nid1, nid2)
+        if ports is None:  # pragma: no cover - adjacency implies ports
+            continue
+        p1, p2 = ports
+        bond = bond_of(nid1, p1, nid2, p2)
+        current = int(bond in comp.bonds)
+        decided = program.decide_bond(
+            current,
+            outcomes[nid1].proposals.get(p1),
+            outcomes[nid2].proposals.get(p2),
+        )
+        if decided == current:
+            continue
+        if decided == 1:
+            comp.bonds.add(bond)
+        else:
+            comp.bonds.discard(bond)
+            dropped = True
+        comp.version += 1
+        changes += 1
+    if dropped:
+        world._split_if_disconnected(comp)
+    return changes
+
+
+@dataclass
+class TwoSpeedSimulation:
+    """Interleaves scheduler encounters with synchronous component rounds.
+
+    Parameters
+    ----------
+    world, protocol:
+        The §3 configuration and the *encounter* protocol (the pairwise
+        rules the scheduler drives — typically a constructor from §4/§6).
+    program:
+        The synchronous per-round program components run internally.
+    rounds_per_encounter:
+        The speed ratio λ between the internal clock and the scheduler:
+        λ = 2 runs two rounds after every encounter, λ = 0.25 one round
+        every fourth encounter. Must be nonnegative.
+    """
+
+    world: World
+    protocol: Protocol
+    program: SynchronousProgram
+    rounds_per_encounter: float = 1.0
+    scheduler: Scheduler = field(default_factory=HotScheduler)
+    seed: Optional[int] = None
+
+    encounters: int = 0
+    rounds: int = 0
+    sync_changes: int = 0
+
+    def __post_init__(self) -> None:
+        if self.rounds_per_encounter < 0:
+            raise SimulationError(
+                f"speed ratio must be nonnegative: {self.rounds_per_encounter}"
+            )
+        self._sim = Simulation(
+            self.world,
+            self.protocol,
+            scheduler=self.scheduler,
+            rng=random.Random(self.seed),
+        )
+        self._credit = 0.0
+
+    def step(self) -> bool:
+        """One encounter plus the accrued synchronous rounds.
+
+        Returns False when both clocks are quiescent: no effective
+        encounter is permissible and a full synchronous round changes
+        nothing anywhere.
+        """
+        event = self._sim.step()
+        progressed = event is not None
+        if progressed:
+            self.encounters += 1
+            self._credit += self.rounds_per_encounter
+            while self._credit >= 1.0:
+                self._credit -= 1.0
+                self.rounds += 1
+                self.sync_changes += run_component_rounds(
+                    self.world, self.program, 1
+                )
+        else:
+            # Encounters exhausted; drain the synchronous dynamics.
+            self.rounds += 1
+            changed = run_component_rounds(self.world, self.program, 1)
+            self.sync_changes += changed
+            progressed = changed > 0
+            if changed:
+                # Synchronous bond changes may re-enable encounters.
+                self._sim.stabilized = False
+        return progressed
+
+    def run(self, max_steps: int = 100_000) -> Tuple[int, int]:
+        """Run to two-clock quiescence; returns ``(encounters, rounds)``.
+
+        Raises :class:`SimulationError` when the budget is exhausted first
+        (the stock programs all quiesce).
+        """
+        for _ in range(max_steps):
+            if not self.step():
+                return self.encounters, self.rounds
+        raise SimulationError(
+            f"two-speed run exceeded {max_steps} steps without quiescing"
+        )

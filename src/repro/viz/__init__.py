@@ -1,0 +1,10 @@
+"""ASCII rendering of shapes, worlds and patterns (figure analogues)."""
+
+from repro.viz.ascii_art import (
+    render_labels,
+    render_layers,
+    render_shape,
+    render_world,
+)
+
+__all__ = ["render_shape", "render_world", "render_labels", "render_layers"]

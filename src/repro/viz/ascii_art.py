@@ -1,0 +1,126 @@
+"""ASCII renderings of shapes and worlds.
+
+These produce the textual analogues of the paper's figures: the square of
+Figure 7(a), the star of Figure 7(c), the released shape of Figure 7(d).
+The y axis points up (row 0 is printed last), matching the paper's
+bottom-left-origin convention.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Mapping, Optional
+
+from repro.geometry.shape import Shape
+from repro.geometry.vec import Vec
+
+
+def render_shape(
+    shape: Shape,
+    on_char: str = "#",
+    off_char: str = ".",
+    label_chars: Optional[Mapping[object, str]] = None,
+) -> str:
+    """Render a 2D shape; labeled shapes render their labels.
+
+    Unlabeled cells use ``on_char``; grid cells inside the bounding box but
+    outside the shape use ``off_char``.
+    """
+    labels = shape.label_map
+    xs = [c.x for c in shape.cells]
+    ys = [c.y for c in shape.cells]
+    lines = []
+    for y in range(max(ys), min(ys) - 1, -1):
+        row = []
+        for x in range(min(xs), max(xs) + 1):
+            cell = Vec(x, y)
+            if cell not in shape.cells:
+                row.append(off_char)
+                continue
+            if cell in labels:
+                value = labels[cell]
+                if label_chars is not None and value in label_chars:
+                    row.append(label_chars[value])
+                else:
+                    row.append(str(value)[:1] or on_char)
+            else:
+                row.append(on_char)
+        lines.append("".join(row))
+    return "\n".join(lines)
+
+
+def render_labels(cells: Mapping[Vec, object], off_char: str = ".") -> str:
+    """Render an arbitrary cell -> label mapping (e.g. a Remark 4 pattern)."""
+    if not cells:
+        return ""
+    xs = [c.x for c in cells]
+    ys = [c.y for c in cells]
+    lines = []
+    for y in range(max(ys), min(ys) - 1, -1):
+        row = []
+        for x in range(min(xs), max(xs) + 1):
+            value = cells.get(Vec(x, y))
+            row.append(off_char if value is None else str(value)[:1])
+        lines.append("".join(row))
+    return "\n".join(lines)
+
+
+def render_layers(
+    shape: Shape,
+    on_char: str = "#",
+    off_char: str = ".",
+) -> str:
+    """Render a 3D shape layer by layer (one z slice per block).
+
+    Slices are printed from the highest z to the lowest; each slice uses
+    the same bounding box so layers align visually. 2D shapes render as a
+    single slice.
+    """
+    xs = [c.x for c in shape.cells]
+    ys = [c.y for c in shape.cells]
+    zs = sorted({c.z for c in shape.cells}, reverse=True)
+    labels = shape.label_map
+    blocks = []
+    for z in zs:
+        lines = [f"z = {z}:"]
+        for y in range(max(ys), min(ys) - 1, -1):
+            row = []
+            for x in range(min(xs), max(xs) + 1):
+                cell = Vec(x, y, z)
+                if cell not in shape.cells:
+                    row.append(off_char)
+                elif cell in labels:
+                    row.append(str(labels[cell])[:1] or on_char)
+                else:
+                    row.append(on_char)
+            lines.append("".join(row))
+        blocks.append("\n".join(lines))
+    return "\n\n".join(blocks)
+
+
+def render_world(
+    world,
+    state_char: Optional[Callable[[object], str]] = None,
+    include_free: bool = False,
+) -> str:
+    """Render every multi-node component of a world, one block per component.
+
+    ``state_char`` maps a node state to a single display character
+    (defaults to the state's first character).
+    """
+    blocks = []
+    for cid in sorted(world.components):
+        comp = world.components[cid]
+        if comp.size() == 1 and not include_free:
+            continue
+        cells: Dict[Vec, str] = {}
+        for cell, nid in comp.cells.items():
+            state = world.state_of(nid)
+            if state_char is not None:
+                cells[cell] = state_char(state)
+            else:
+                cells[cell] = str(state)[:1]
+        blocks.append(f"component {cid} ({comp.size()} nodes):\n" + render_labels(cells))
+    if include_free:
+        free = len(world.free_node_ids())
+        blocks.append(f"free nodes: {free}")
+    return "\n\n".join(blocks)

@@ -1,0 +1,159 @@
+"""Tests for the binary-arithmetic machines (repro.machines.arithmetic)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MachineError
+from repro.machines.arithmetic import (
+    binary_equal_tm,
+    binary_increment_tm,
+    decode_tape_binary,
+    divisible_by_tm,
+    increment_binary_sequence,
+    leader_square_root,
+    successive_squares_sqrt,
+)
+from repro.machines.programs import encode_comparison
+from repro.machines.tm import binary_digits
+
+
+class TestBinaryIncrementTM:
+    def test_simple_increment(self):
+        machine = binary_increment_tm()
+        result = machine.run(binary_digits(5))
+        assert result.accepted
+        assert decode_tape_binary(result) == 6
+
+    def test_carry_chain(self):
+        machine = binary_increment_tm()
+        result = machine.run(binary_digits(7))  # 111 -> 1000
+        assert decode_tape_binary(result) == 8
+
+    def test_overflow_grows_tape(self):
+        machine = binary_increment_tm()
+        result = machine.run(["1", "1", "1", "1"])
+        assert decode_tape_binary(result) == 16
+        # The new MSB lives one cell left of the original input.
+        assert min(result.tape) == -1
+
+    def test_zero(self):
+        machine = binary_increment_tm()
+        result = machine.run(["0"])
+        assert decode_tape_binary(result) == 1
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=60, deadline=None)
+    def test_increment_matches_arithmetic(self, value):
+        machine = binary_increment_tm()
+        result = machine.run(binary_digits(value))
+        assert result.accepted
+        assert decode_tape_binary(result) == value + 1
+
+    def test_sequence_runner(self):
+        assert increment_binary_sequence(10, 5) == [11, 12, 13, 14, 15]
+
+    def test_sequence_through_overflow(self):
+        assert increment_binary_sequence(14, 4) == [15, 16, 17, 18]
+
+
+class TestBinaryEqualTM:
+    @pytest.mark.parametrize(
+        "a,b,expected",
+        [(0, 0, True), (5, 5, True), (5, 6, False), (6, 5, False),
+         (15, 15, True), (8, 0, False)],
+    )
+    def test_small_cases(self, a, b, expected):
+        machine = binary_equal_tm()
+        assert machine.accepts(encode_comparison(a, b, 5)) is expected
+
+    @given(
+        st.integers(min_value=0, max_value=255),
+        st.integers(min_value=0, max_value=255),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_python_equality(self, a, b):
+        machine = binary_equal_tm()
+        assert machine.accepts(encode_comparison(a, b, 8)) is (a == b)
+
+
+class TestDivisibleByTM:
+    @pytest.mark.parametrize("k", [1, 2, 3, 5, 7])
+    def test_small_range_against_modulo(self, k):
+        machine = divisible_by_tm(k)
+        for value in range(0, 64):
+            assert machine.accepts(binary_digits(value)) is (value % k == 0)
+
+    def test_rejects_bad_divisor(self):
+        with pytest.raises(MachineError):
+            divisible_by_tm(0)
+
+    def test_single_pass(self):
+        # The machine is a DFA in disguise: steps == digits + 1.
+        machine = divisible_by_tm(3)
+        result = machine.run(binary_digits(57))
+        assert result.steps == len(binary_digits(57)) + 1
+
+    @given(
+        st.integers(min_value=1, max_value=9),
+        st.integers(min_value=0, max_value=5000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_random_values(self, k, value):
+        machine = divisible_by_tm(k)
+        assert machine.accepts(binary_digits(value)) is (value % k == 0)
+
+
+class TestDecodeTapeBinary:
+    def test_rejects_empty_tape(self):
+        machine = binary_increment_tm()
+        result = machine.run(binary_digits(1))
+        result.tape.clear()
+        with pytest.raises(MachineError):
+            decode_tape_binary(result)
+
+    def test_rejects_gap_in_digits(self):
+        machine = binary_increment_tm()
+        result = machine.run(binary_digits(2))
+        result.tape[5] = "1"  # digit separated by blanks
+        with pytest.raises(MachineError):
+            decode_tape_binary(result)
+
+
+class TestSuccessiveSquaresSqrt:
+    @pytest.mark.parametrize("root", [1, 2, 3, 5, 10, 31, 100])
+    def test_perfect_squares(self, root):
+        trace = successive_squares_sqrt(root * root)
+        assert trace.root == root
+        assert trace.multiplications == root - 1
+
+    def test_rejects_non_square(self):
+        with pytest.raises(MachineError):
+            successive_squares_sqrt(10)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(MachineError):
+            successive_squares_sqrt(0)
+
+    def test_cost_linear_in_n(self):
+        # §6.2: exponential in |bin(n)| but still linear in n.
+        for root in (8, 16, 32, 64):
+            n = root * root
+            trace = successive_squares_sqrt(n)
+            assert trace.bit_ops <= 4 * n
+            # ... and clearly super-polynomial in the input length log n:
+            assert trace.bit_ops >= root - 1
+
+    def test_space_logarithmic(self):
+        trace = successive_squares_sqrt(64 * 64)
+        assert trace.space_cells <= 3 * (64 * 64).bit_length() + 2
+
+    def test_wrapper(self):
+        assert leader_square_root(49) == 7
+
+    @given(st.integers(min_value=1, max_value=120))
+    @settings(max_examples=40, deadline=None)
+    def test_agrees_with_isqrt(self, root):
+        assert leader_square_root(root * root) == math.isqrt(root * root)

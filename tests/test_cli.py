@@ -1,0 +1,99 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import pytest
+
+from repro.cli import PATTERNS, SHAPES, build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_unknown_shape_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["construct", "blob"])
+
+    def test_catalogues_nonempty(self):
+        assert "star" in SHAPES
+        assert "serpentine" in SHAPES
+        assert "sierpinski" in PATTERNS
+
+
+class TestCommands:
+    def test_demo(self, capsys):
+        assert main(["demo", "-n", "6", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "spanning line on 6 nodes" in out
+        assert "######" in out
+        assert "3x3 square" in out
+
+    def test_count(self, capsys):
+        assert main(["count", "64", "--trials", "5", "--seed", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "counting n = 64" in out
+        assert "success rate" in out
+
+    @pytest.mark.parametrize("shape", ["star", "cross", "serpentine"])
+    def test_construct(self, capsys, shape):
+        assert main(["construct", shape, "-d", "7"]) == 0
+        out = capsys.readouterr().out
+        assert f"constructed {shape!r}" in out
+        assert "#" in out
+
+    @pytest.mark.parametrize("pattern", ["checkerboard", "sierpinski"])
+    def test_pattern(self, capsys, pattern):
+        assert main(["pattern", pattern, "-d", "6"]) == 0
+        out = capsys.readouterr().out
+        assert f"pattern {pattern!r}" in out
+        assert "0" in out and "1" in out
+
+    def test_cube(self, capsys):
+        assert main(["cube", "-m", "3", "--seed", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "3x3x3 cube on 27 nodes" in out
+        assert out.count("z =") == 3
+
+    def test_replicate_shifting(self, capsys):
+        assert main(["replicate", "--size", "8", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "identical: True" in out
+        assert "original:" in out and "replica:" in out
+
+    def test_replicate_columns(self, capsys):
+        assert main(
+            ["replicate", "--size", "8", "--approach", "columns", "--seed", "3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "by columns" in out
+        assert "identical: True" in out
+
+    def test_repair(self, capsys):
+        assert main(["repair", "-d", "7", "--fraction", "0.25", "--seed", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "repaired in" in out
+        assert "damaged:" in out and "repaired:" in out
+
+
+class TestInspectCommand:
+    def test_inspect_square(self, capsys):
+        assert main(["inspect", "square"]) == 0
+        out = capsys.readouterr().out
+        assert "|Q| = 6" in out
+        assert "->" in out
+        assert "lint: clean" in out
+
+    def test_inspect_protocol5_lints_clean_with_seeds(self, capsys):
+        assert main(["inspect", "protocol5"]) == 0
+        out = capsys.readouterr().out
+        assert "lint: clean" in out
+
+    def test_inspect_rejects_unknown(self):
+        import pytest
+
+        with pytest.raises(SystemExit):
+            main(["inspect", "nonexistent"])

@@ -1,0 +1,98 @@
+"""Theorems 2 and 3: counting with unique ids (§5.3)."""
+
+import random
+
+import pytest
+
+from repro.population.counting_uid import (
+    SimpleUIDCounting,
+    UIDCounting,
+    UIDNodeState,
+    run_simple_uid,
+    run_uid_counting,
+)
+from repro.population.model import PopulationSimulator
+
+
+def test_simple_protocol_counts_exactly_whp():
+    """Theorem 2: when a node terminates, w.h.p. |A_u| = n.
+
+    The guarantee needs ``n^b`` to dominate the meet-everybody time, so b
+    must be at least 3 (with b = 2 termination races the coupon collector
+    and the count is frequently short — see the bench).
+    """
+    hits = 0
+    for seed in range(10):
+        res = run_simple_uid(6, b=3, seed=seed)
+        hits += int(res.output == 6)
+    assert hits >= 8
+
+
+def test_simple_protocol_windows():
+    from repro.population.counting_uid import SimpleUIDState
+
+    s = SimpleUIDState(uid=0)
+    for other in (1, 2):
+        s.observe(other, b=2)
+    assert s.first_window == [1, 2] and not s.halted
+    s.observe(1, b=2)
+    s.observe(3, b=2)
+    assert not s.halted and s.current_window == []  # mismatch cleared
+    s.observe(1, b=2)
+    s.observe(2, b=2)
+    assert s.halted
+    assert s.count == 4  # ids 1, 2, 3 plus itself
+
+
+def test_simple_protocol_larger_b_takes_longer():
+    t2 = run_simple_uid(5, b=2, seed=3).interactions
+    t3 = run_simple_uid(5, b=3, seed=3).interactions
+    # Theta(n^b): one more exponent should dominate (allow slack for noise).
+    assert t3 > t2
+
+
+@pytest.mark.parametrize("n", [8, 32, 96])
+def test_protocol3_halter_is_max_and_bound_holds(n):
+    ok_max = 0
+    ok_bound = 0
+    trials = 8
+    for seed in range(trials):
+        res = run_uid_counting(n, b=4, seed=seed)
+        ok_max += int(res.halter_is_max)
+        ok_bound += int(res.output_is_upper_bound)
+    assert ok_max >= trials - 1
+    assert ok_bound >= trials - 1
+
+
+def test_protocol3_deactivation_semantics():
+    proto = UIDCounting(b=2)
+    u = UIDNodeState(uid=10)
+    v = UIDNodeState(uid=3)
+    proto._ordered(u, v)
+    assert not v.active  # smaller id deactivated on contact
+    assert v.belongs == 10 and v.marked == 1 and u.count1 == 1
+    # A medium node that meets v later sees the bigger owner and stops.
+    w = UIDNodeState(uid=7)
+    proto._ordered(w, v)
+    assert not w.active and w.count1 == 0
+
+
+def test_protocol3_second_marking_requires_head_start():
+    proto = UIDCounting(b=3)
+    u = UIDNodeState(uid=10)
+    v = UIDNodeState(uid=1)
+    proto._ordered(u, v)
+    assert v.marked == 1
+    proto._ordered(u, v)  # count1 = 1 < b: second marking deferred
+    assert v.marked == 1 and u.count2 == 0
+
+
+def test_protocol3_halts_via_simulator():
+    sim = PopulationSimulator(UIDCounting(b=3), 20, seed=5)
+    res = sim.run(max_interactions=10_000_000, require_halt=True)
+    assert res.terminated
+
+
+def test_uid_assignment_is_permutation():
+    states = SimpleUIDCounting(b=2).initial_states(10, random.Random(0))
+    assert sorted(s.uid for s in states) == list(range(10))

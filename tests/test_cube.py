@@ -1,0 +1,121 @@
+"""Tests for the 3D cube constructor and its substrate helpers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constructors.cube import run_cube_known_n
+from repro.errors import SimulationError
+from repro.geometry.grid import integer_cbrt
+from repro.geometry.shape import Shape
+from repro.geometry.vec import Vec
+from repro.viz.ascii_art import render_layers
+
+
+class TestIntegerCbrt:
+    @pytest.mark.parametrize(
+        "n,root,exact",
+        [(0, 0, True), (1, 1, True), (8, 2, True), (27, 3, True),
+         (26, 2, False), (28, 3, False), (1000, 10, True),
+         (999, 9, False)],
+    )
+    def test_known_values(self, n, root, exact):
+        assert integer_cbrt(n) == (root, exact)
+
+    def test_rejects_negative(self):
+        from repro.errors import GeometryError
+
+        with pytest.raises(GeometryError):
+            integer_cbrt(-1)
+
+    @given(st.integers(min_value=0, max_value=10**9))
+    @settings(max_examples=100, deadline=None)
+    def test_floor_property(self, n):
+        root, exact = integer_cbrt(n)
+        assert root**3 <= n < (root + 1) ** 3
+        assert exact is (root**3 == n)
+
+
+class TestIsFullBox:
+    def test_cube_is_full_box(self):
+        cells = [Vec(x, y, z) for x in range(2) for y in range(2) for z in range(2)]
+        assert Shape.from_cells(cells).is_full_box()
+
+    def test_2d_rectangle_is_also_a_box(self):
+        cells = [Vec(x, y) for x in range(3) for y in range(2)]
+        assert Shape.from_cells(cells).is_full_box()
+
+    def test_missing_cell_is_not_a_box(self):
+        cells = [Vec(x, y, z) for x in range(2) for y in range(2) for z in range(2)]
+        cells.remove(Vec(1, 1, 1))
+        assert not Shape.from_cells(cells).is_full_box()
+
+    def test_missing_edge_is_not_a_box(self):
+        cells = [Vec(0, 0), Vec(1, 0), Vec(0, 1), Vec(1, 1)]
+        chain = [
+            frozenset((Vec(0, 0), Vec(1, 0))),
+            frozenset((Vec(1, 0), Vec(1, 1))),
+            frozenset((Vec(1, 1), Vec(0, 1))),
+        ]
+        assert not Shape.from_cells(cells, chain).is_full_box()
+
+
+class TestCubeKnownN:
+    def test_rejects_non_cube_population(self):
+        with pytest.raises(SimulationError):
+            run_cube_known_n(30)
+
+    def test_rejects_small_side(self):
+        with pytest.raises(SimulationError):
+            run_cube_known_n(8)  # side 2 < 3
+
+    def test_builds_3x3x3_cube(self):
+        result = run_cube_known_n(27, seed=0)
+        assert result.side == 3
+        assert result.n == 27
+        shape = result.cube_shape()
+        assert len(shape.cells) == 27
+        assert shape.is_full_box()
+        # Every slab ran the genuine scheduler-driven 2D pipeline.
+        assert len(result.slabs) == 3
+        assert all(s.side == 3 for s in result.slabs)
+        assert result.scheduler_events > 0
+        assert result.leader_interactions > 0
+        result.world.check_invariants()
+
+    def test_leader_marked_at_origin_corner(self):
+        result = run_cube_known_n(27, seed=1)
+        leaders = [
+            rec for rec in result.world.nodes.values() if rec.state == "cb_L"
+        ]
+        assert len(leaders) == 1
+
+    def test_interaction_accounting_includes_stacking(self):
+        result = run_cube_known_n(27, seed=2)
+        slab_cost = sum(s.leader_interactions for s in result.slabs)
+        # Stacking adds side² per slab walk plus side² per interface.
+        stacking = 3 * 9 + 2 * 9
+        assert result.leader_interactions == slab_cost + stacking
+
+    def test_distinct_seeds_same_cube(self):
+        a = run_cube_known_n(27, seed=3).cube_shape()
+        b = run_cube_known_n(27, seed=4).cube_shape()
+        assert a.normalize().cells == b.normalize().cells
+
+
+class TestRenderLayers:
+    def test_cube_renders_one_block_per_layer(self):
+        cells = [Vec(x, y, z) for x in range(2) for y in range(2) for z in range(2)]
+        out = render_layers(Shape.from_cells(cells))
+        assert out.count("z =") == 2
+        assert out.count("##") == 4
+
+    def test_2d_shape_single_block(self):
+        out = render_layers(Shape.from_cells([Vec(0, 0), Vec(1, 0)]))
+        assert out.startswith("z = 0:")
+        assert "##" in out
+
+    def test_off_cells_rendered(self):
+        cells = [Vec(0, 0, 0), Vec(1, 0, 0), Vec(0, 0, 1)]
+        out = render_layers(Shape.from_cells(cells))
+        assert "#." in out  # layer z=1 has an off cell

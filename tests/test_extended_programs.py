@@ -1,0 +1,157 @@
+"""Tests for the extended shape and pattern programs."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InvalidShapeError, MachineError
+from repro.geometry.grid import zigzag_index_to_cell
+from repro.machines.arithmetic import divisible_by_tm
+from repro.machines.shape_programs import (
+    checkerboard_pattern_program,
+    diamond_program,
+    expected_pattern,
+    expected_shape,
+    gradient_pattern_program,
+    serpentine_program,
+    sierpinski_pattern_program,
+    stripes_program,
+)
+from repro.machines.tm import binary_digits
+
+
+class TestSerpentineProgram:
+    @given(st.integers(min_value=1, max_value=20))
+    @settings(max_examples=20, deadline=None)
+    def test_connected_for_every_d(self, d):
+        shape = expected_shape(serpentine_program(), d)  # raises if not
+        assert len(shape) >= d
+
+    def test_even_rows_full(self):
+        d = 7
+        shape = expected_shape(serpentine_program(), d)
+        for y in range(0, d, 2):
+            row = [c for c in shape.cells if c.y == y]
+            assert len(row) == d
+
+    def test_odd_rows_single_connector(self):
+        d = 8
+        shape = expected_shape(serpentine_program(), d)
+        for y in range(1, d, 2):
+            row = [c for c in shape.cells if c.y == y]
+            assert len(row) == 1
+            assert row[0].x == (d - 1 if y % 4 == 1 else 0)
+
+    def test_size_formula(self):
+        # ceil(d/2) full rows of d cells + floor(d/2) connectors.
+        for d in (3, 4, 9, 10):
+            shape = expected_shape(serpentine_program(), d)
+            assert len(shape) == ((d + 1) // 2) * d + d // 2
+
+
+class TestDiamondProgram:
+    @given(st.integers(min_value=1, max_value=21))
+    @settings(max_examples=20, deadline=None)
+    def test_connected_for_every_d(self, d):
+        expected_shape(diamond_program(), d)
+
+    def test_odd_d_size_formula(self):
+        for d in (3, 5, 9, 13):
+            c = (d - 1) // 2
+            shape = expected_shape(diamond_program(), d)
+            assert len(shape) == 2 * c * c + 2 * c + 1
+
+    def test_center_always_on(self):
+        for d in (3, 5, 7):
+            prog = diamond_program()
+            c = (d - 1) // 2
+            assert any(
+                zigzag_index_to_cell(i, d).as_tuple() == (c, c, 0)
+                for i in range(d * d)
+                if prog.decide(i, d)
+            )
+
+    def test_corners_off_for_large_d(self):
+        shape = expected_shape(diamond_program(), 9)
+        corner_cells = {(0, 0), (8, 0), (0, 8), (8, 8)}
+        assert all(
+            (c.x, c.y) not in corner_cells for c in shape.cells
+        )
+
+
+class TestStripesProgram:
+    @given(
+        st.integers(min_value=1, max_value=5),
+        st.integers(min_value=1, max_value=15),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_connected_for_every_period(self, k, d):
+        expected_shape(stripes_program(k), d)
+
+    def test_rejects_bad_period(self):
+        with pytest.raises(MachineError):
+            stripes_program(0)
+
+    def test_columns_match_divisibility_machine(self):
+        # The predicate's x % k == 0 test is exactly the genuine TM's
+        # language; cross-validate them.
+        k, d = 3, 9
+        machine = divisible_by_tm(k)
+        prog = stripes_program(k)
+        for i in range(d * d):
+            cell = zigzag_index_to_cell(i, d)
+            if cell.y == 0:
+                continue
+            assert prog.decide(i, d) is machine.accepts(
+                binary_digits(cell.x)
+            )
+
+    def test_period_one_is_full_square(self):
+        shape = expected_shape(stripes_program(1), 5)
+        assert len(shape) == 25
+
+
+class TestPatterns:
+    def test_checkerboard_alternates(self):
+        pattern = expected_pattern(checkerboard_pattern_program(), 6)
+        for cell, color in pattern.items():
+            assert color == (cell.x + cell.y) % 2
+
+    def test_checkerboard_on_cells_disconnected(self):
+        # The canonical Remark 4 motivation: as a *shape* this would be
+        # invalid (disconnected); as a pattern it is fine.
+        pattern = expected_pattern(checkerboard_pattern_program(), 4)
+        on_cells = [c for c, v in pattern.items() if v == 1]
+        from repro.geometry.shape import Shape
+
+        with pytest.raises(InvalidShapeError):
+            Shape.from_cells(on_cells)
+
+    def test_sierpinski_row_counts_are_powers_of_two(self):
+        # Row y of the Sierpinski pattern has 2^popcount(~y restricted)
+        # on-cells within x < 2^k; for d a power of two the count of on
+        # cells in row y is 2^(k - popcount(y)) ... simpler invariant:
+        # cell (x, y) on iff x & y == 0, so row y has exactly
+        # 2^(number of zero bits of y below log2 d) on-cells.
+        d = 8
+        pattern = expected_pattern(sierpinski_pattern_program(), d)
+        for y in range(d):
+            on = sum(1 for c, v in pattern.items() if c.y == y and v == 1)
+            zero_bits = sum(1 for b in range(3) if not (y >> b) & 1)
+            assert on == 2**zero_bits
+
+    def test_gradient_bands_monotone(self):
+        pattern = expected_pattern(gradient_pattern_program(4), 8)
+        for cell, color in pattern.items():
+            assert color == min(3, cell.x * 4 // 8)
+
+    def test_gradient_uses_full_palette(self):
+        pattern = expected_pattern(gradient_pattern_program(4), 8)
+        assert set(pattern.values()) == {0, 1, 2, 3}
+
+    def test_pattern_rejects_out_of_palette_color(self):
+        from repro.machines.shape_programs import PatternProgram
+
+        bad = PatternProgram(lambda x, y, d: 99, (0, 1), name="bad")
+        with pytest.raises(MachineError):
+            bad.color(0, 3)

@@ -1,0 +1,82 @@
+"""Zig-zag indexing (Figure 7(b)) and grid helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry.grid import (
+    integer_sqrt,
+    iter_box,
+    line_cells,
+    rectangle_cells,
+    square_cells,
+    zigzag_cell_to_index,
+    zigzag_index_to_cell,
+    zigzag_order,
+)
+from repro.geometry.vec import Vec
+
+
+def test_zigzag_matches_figure_7b():
+    # Bottom row left-to-right, then one up, then right-to-left, ...
+    d = 3
+    expected = [
+        Vec(0, 0), Vec(1, 0), Vec(2, 0),
+        Vec(2, 1), Vec(1, 1), Vec(0, 1),
+        Vec(0, 2), Vec(1, 2), Vec(2, 2),
+    ]
+    assert [zigzag_index_to_cell(i, d) for i in range(9)] == expected
+
+
+@given(st.integers(min_value=1, max_value=30), st.integers(min_value=0, max_value=899))
+def test_zigzag_bijection(width, index):
+    cell = zigzag_index_to_cell(index, width)
+    assert zigzag_cell_to_index(cell, width) == index
+
+
+def test_zigzag_order_covers_grid():
+    cells = zigzag_order(4, 3)
+    assert len(cells) == 12
+    assert len(set(cells)) == 12
+    assert all(0 <= c.x < 4 and 0 <= c.y < 3 for c in cells)
+    # Consecutive pixels are always grid-adjacent (the tape is walkable).
+    for a, b in zip(cells, cells[1:]):
+        assert (a - b).manhattan() == 1
+
+
+def test_zigzag_errors():
+    with pytest.raises(GeometryError):
+        zigzag_index_to_cell(0, 0)
+    with pytest.raises(GeometryError):
+        zigzag_index_to_cell(-1, 3)
+    with pytest.raises(GeometryError):
+        zigzag_cell_to_index(Vec(5, 0), 3)
+    with pytest.raises(GeometryError):
+        zigzag_cell_to_index(Vec(0, 0, 1), 3)
+
+
+def test_cell_families():
+    assert line_cells(3) == [Vec(0, 0), Vec(1, 0), Vec(2, 0)]
+    assert line_cells(2, direction=Vec(0, 1)) == [Vec(0, 0), Vec(0, 1)]
+    assert len(rectangle_cells(3, 2)) == 6
+    assert len(square_cells(4)) == 16
+    assert len(list(iter_box(2, 2, 2))) == 8
+    with pytest.raises(GeometryError):
+        line_cells(0)
+    with pytest.raises(GeometryError):
+        line_cells(3, direction=Vec(1, 1))
+    with pytest.raises(GeometryError):
+        rectangle_cells(0, 3)
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+def test_integer_sqrt(n):
+    root, exact = integer_sqrt(n)
+    assert root * root <= n < (root + 1) * (root + 1)
+    assert exact == (root * root == n)
+
+
+def test_integer_sqrt_negative():
+    with pytest.raises(GeometryError):
+        integer_sqrt(-1)

@@ -1,0 +1,192 @@
+"""Tests for the hybrid active/passive mobility model (repro.hybrid, §8)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.world import World
+from repro.errors import SimulationError
+from repro.geometry.vec import Vec
+from repro.hybrid.movement import (
+    HybridSimulation,
+    MovementProtocol,
+    MovementRule,
+    make_walker_world,
+    rotate_leaf,
+    walker_protocol,
+)
+
+
+def dimer(state_a="a", state_b="b"):
+    world = World(2)
+    nids = world.add_component_from_cells(
+        {Vec(0, 0): state_a, Vec(1, 0): state_b}
+    )
+    return world, nids[Vec(0, 0)], nids[Vec(1, 0)]
+
+
+class TestRotateLeaf:
+    def test_clockwise_quarter_swing(self):
+        world, a, b = dimer()
+        # a at (0,0) swings cw about b at (1,0): lands at (1,1).
+        assert rotate_leaf(world, a, clockwise=True)
+        assert world.nodes[a].pos == Vec(1, 1)
+        world.check_invariants()
+
+    def test_counterclockwise_quarter_swing(self):
+        world, a, b = dimer()
+        assert rotate_leaf(world, a, clockwise=False)
+        assert world.nodes[a].pos == Vec(1, -1)
+        world.check_invariants()
+
+    def test_four_swings_return_home(self):
+        world, a, _b = dimer()
+        for _ in range(4):
+            assert rotate_leaf(world, a, clockwise=True)
+        assert world.nodes[a].pos == Vec(0, 0)
+        world.check_invariants()
+
+    def test_blocked_by_occupied_cell(self):
+        world = World(2)
+        nids = world.add_component_from_cells(
+            {Vec(0, 0): "x", Vec(1, 0): "y", Vec(1, 1): "z"},
+            bonds=[(Vec(0, 0), Vec(1, 0)), (Vec(1, 0), Vec(1, 1))],
+        )
+        a = nids[Vec(0, 0)]
+        # cw target (1,1) is occupied: blocked, nothing changes.
+        assert not rotate_leaf(world, a, clockwise=True)
+        assert world.nodes[a].pos == Vec(0, 0)
+        world.check_invariants()
+
+    def test_non_leaf_rejected(self):
+        world = World(2)
+        nids = world.add_component_from_cells(
+            {Vec(0, 0): "x", Vec(1, 0): "y", Vec(2, 0): "z"}
+        )
+        middle = nids[Vec(1, 0)]
+        with pytest.raises(SimulationError):
+            rotate_leaf(world, middle, clockwise=True)
+
+    def test_free_node_rejected(self):
+        world = World(2)
+        nid = world.add_free_node("q0")
+        with pytest.raises(SimulationError):
+            rotate_leaf(world, nid, clockwise=True)
+
+    def test_3d_world_rejected(self):
+        world = World(3)
+        nids = world.add_component_from_cells(
+            {Vec(0, 0, 0): "x", Vec(1, 0, 0): "y"}
+        )
+        with pytest.raises(SimulationError):
+            rotate_leaf(world, nids[Vec(0, 0, 0)], clockwise=True)
+
+    def test_longer_tail_leaf_swings(self):
+        # The leaf of a 3-line swings; the middle node stays put.
+        world = World(2)
+        nids = world.add_component_from_cells(
+            {Vec(0, 0): "x", Vec(1, 0): "y", Vec(2, 0): "z"}
+        )
+        leaf = nids[Vec(2, 0)]
+        assert rotate_leaf(world, leaf, clockwise=True)
+        assert world.nodes[leaf].pos == Vec(1, -1)
+        world.check_invariants()
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=12))
+    @settings(max_examples=40, deadline=None)
+    def test_random_swings_keep_invariants(self, turns):
+        world, a, _b = dimer()
+        for clockwise in turns:
+            rotate_leaf(world, a, clockwise=clockwise)
+            world.check_invariants()
+        # The leaf is always at distance 1 from the pivot.
+        assert (world.nodes[a].pos - world.nodes[_b].pos).manhattan() == 1
+
+
+class TestMovementProtocol:
+    def test_rejects_duplicate_pair_rules(self):
+        rules = [
+            MovementRule("a", "b", "a", "b", True),
+            MovementRule("a", "b", "a", "b", False),
+        ]
+        with pytest.raises(SimulationError):
+            MovementProtocol(rules)
+
+    def test_movement_states_are_hot(self):
+        protocol = walker_protocol()
+        assert protocol.is_hot("M1")
+        assert protocol.is_hot("P")
+        assert not protocol.is_hot("inert")
+
+    def test_rule_lookup(self):
+        protocol = walker_protocol()
+        assert protocol.movement_rule_for("M1", "P") is not None
+        assert protocol.movement_rule_for("P", "M1") is None
+
+
+class TestWalker:
+    def test_walker_translates(self):
+        world, mover, pivot = make_walker_world()
+        sim = HybridSimulation(world, walker_protocol(), seed=0)
+        start = min(world.nodes[mover].pos.x, world.nodes[pivot].pos.x)
+        for _ in range(40):
+            if not sim.step():
+                break
+        end = min(world.nodes[mover].pos.x, world.nodes[pivot].pos.x)
+        # 40 interactions = 10 full cycles = +20 cells of travel.
+        assert end - start == 20
+        assert sim.moves == 40
+        world.check_invariants()
+
+    def test_walker_never_stabilizes(self):
+        world, _m, _p = make_walker_world()
+        sim = HybridSimulation(world, walker_protocol(), seed=1)
+        sim.run(max_events=100)
+        assert not sim.stabilized
+        assert sim.events == 100
+
+    def test_walker_stays_on_row_pair(self):
+        # The cartwheel gait only ever uses rows y = 0 and y = 1.
+        world, mover, pivot = make_walker_world()
+        sim = HybridSimulation(world, walker_protocol(), seed=2)
+        for _ in range(60):
+            sim.step()
+            ys = {world.nodes[mover].pos.y, world.nodes[pivot].pos.y}
+            assert ys <= {0, 1}
+
+    def test_passive_protocol_alone_cannot_move(self):
+        # Ablation: without movement rules nothing is applicable and the
+        # dimer's geometry is frozen (the passive model's rigidity).
+        world, mover, pivot = make_walker_world()
+        protocol = MovementProtocol([], name="inert")
+        sim = HybridSimulation(world, protocol, seed=0)
+        assert sim.run(max_events=50) == 0
+        assert sim.stabilized
+        assert world.nodes[mover].pos == Vec(0, 0)
+        assert world.nodes[pivot].pos == Vec(1, 0)
+
+
+class TestHybridWithPassiveBase:
+    def test_union_of_candidate_sets(self):
+        # A passive gluing rule and an active swing coexist: a free node can
+        # bond to the walker's pivot while the walker keeps moving.
+        from repro.core.protocol import Rule, RuleProtocol
+        from repro.geometry.ports import PORTS_2D, opposite
+
+        glue = RuleProtocol(
+            [Rule("q0", p, "P", opposite(p), 0, "stuck", "P", 1) for p in PORTS_2D],
+            initial_state="q0",
+            name="glue-to-pivot",
+        )
+        protocol = MovementProtocol(
+            walker_protocol().movement_rules, base=glue, initial_state="q0"
+        )
+        world, _mover, _pivot = make_walker_world()
+        world.add_free_node("q0")
+        sim = HybridSimulation(world, protocol, seed=3)
+        sim.run(max_events=200)
+        states = {rec.state for rec in world.nodes.values()}
+        # The free node eventually glued on (and, being bonded to the
+        # pivot, may have frozen the walker by raising its degree).
+        assert "stuck" in states
+        world.check_invariants()

@@ -1,0 +1,39 @@
+"""§5.2: evidence for Conjecture 1 (anonymous counting fails)."""
+
+from repro.population.leaderless import (
+    early_termination_experiment,
+    state_multiplicity_experiment,
+)
+
+
+def test_state_multiplicities_stay_linear():
+    """Argument parts (1)-(2): every state keeps Theta(n) multiplicity."""
+    floor_small, hist_small = state_multiplicity_experiment(60, k=3, seed=1)
+    floor_big, hist_big = state_multiplicity_experiment(240, k=3, seed=1)
+    assert floor_small > 0.05
+    assert floor_big > 0.05
+    assert sum(hist_big.values()) == 240
+
+
+def test_early_termination_rate_does_not_vanish():
+    """The anonymous window protocol has some node terminating after a
+    constant number of interactions with probability bounded away from 0,
+    for growing n — the conjecture's consequence."""
+    small = early_termination_experiment(30, b=2, trials=30, seed=0)
+    big = early_termination_experiment(120, b=2, trials=30, seed=0)
+    assert small.early_termination_rate > 0.5
+    assert big.early_termination_rate > 0.5
+
+
+def test_anonymous_count_is_meaningless():
+    obs = early_termination_experiment(100, b=2, trials=20, seed=3)
+    # The terminating node's "count" bears no relation to n.
+    assert obs.mean_relative_count_error > 0.5
+
+
+def test_terminator_interactions_independent_of_n():
+    small = early_termination_experiment(40, b=2, trials=30, seed=5)
+    big = early_termination_experiment(160, b=2, trials=30, seed=5)
+    # Mean interactions of the first terminator stay O(b), not Omega(n).
+    assert small.mean_interactions_of_terminator < 40
+    assert big.mean_interactions_of_terminator < 40

@@ -1,0 +1,161 @@
+"""Tests for the leaderless spanning-line constructor (§4.1 / Remark 5)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.protocol import InteractionView
+from repro.core.simulator import Simulation
+from repro.core.world import World
+from repro.geometry.ports import Port, opposite
+from repro.geometry.vec import Vec
+from repro.protocols.leaderless_line import (
+    is_spanning_line_configuration,
+    leaderless_spanning_line_protocol,
+)
+
+
+def run_leaderless(n: int, seed: int, max_events: int = 100_000):
+    protocol = leaderless_spanning_line_protocol()
+    world = World.of_free_nodes(n, protocol)  # NO leader: all start L0
+    sim = Simulation(world, protocol, seed=seed)
+    result = sim.run_to_stabilization(max_events=max_events)
+    return world, result
+
+
+class TestHandler:
+    def setup_method(self):
+        self.protocol = leaderless_spanning_line_protocol()
+
+    def test_singleton_leaders_bond(self):
+        view = InteractionView("L0", Port.RIGHT, "L0", Port.LEFT, 0)
+        update = self.protocol.handle(view)
+        assert update == ("q1", ("L", Port.RIGHT), 1)
+
+    def test_line_leader_absorbs_free_node(self):
+        view = InteractionView(("L", Port.UP), Port.UP, "q0", Port.DOWN, 0)
+        update = self.protocol.handle(view)
+        assert update == ("q1", ("L", Port.UP), 1)
+
+    def test_line_leader_wrong_port_is_ineffective(self):
+        view = InteractionView(("L", Port.UP), Port.LEFT, "q0", Port.DOWN, 0)
+        assert self.protocol.handle(view) is None
+
+    def test_election_between_line_leaders(self):
+        view = InteractionView(
+            ("L", Port.UP), Port.LEFT, ("L", Port.RIGHT), Port.DOWN, 0
+        )
+        update = self.protocol.handle(view)
+        assert update == (("L", Port.UP), ("Dl", Port.LEFT), 0)
+
+    def test_dismantler_releases_itself(self):
+        view = InteractionView(
+            ("Dl", Port.LEFT), Port.LEFT, "q1", Port.RIGHT, 1
+        )
+        update = self.protocol.handle(view)
+        assert update == ("q0", ("Dl", Port.LEFT), 0)
+
+    def test_spent_dismantler_absorbable_only_via_line_port(self):
+        leader = ("L", Port.RIGHT)
+        ok = InteractionView(leader, Port.RIGHT, ("Dl", Port.UP), Port.UP, 0)
+        assert self.protocol.handle(ok) is not None
+        bad = InteractionView(leader, Port.RIGHT, ("Dl", Port.UP), Port.DOWN, 0)
+        assert self.protocol.handle(bad) is None
+
+    def test_swapped_presentation_mirrors(self):
+        view = InteractionView("q0", Port.DOWN, ("L", Port.UP), Port.UP, 0)
+        update = self.protocol.handle(view)
+        assert update == (("L", Port.UP), "q1", 1)
+
+    def test_body_pairs_ineffective(self):
+        assert self.protocol.handle(
+            InteractionView("q1", Port.RIGHT, "q1", Port.LEFT, 0)
+        ) is None
+        assert self.protocol.handle(
+            InteractionView("q0", Port.RIGHT, "q0", Port.LEFT, 0)
+        ) is None
+
+    def test_hot_cover(self):
+        protocol = self.protocol
+        assert protocol.is_hot("L0")
+        assert protocol.is_hot(("L", Port.UP))
+        assert protocol.is_hot(("Dl", Port.LEFT))
+        assert not protocol.is_hot("q0")
+        assert not protocol.is_hot("q1")
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("n", [2, 3, 5, 8])
+    def test_stabilizes_to_spanning_line(self, n):
+        world, _result = run_leaderless(n, seed=0)
+        assert is_spanning_line_configuration(world)
+        world.check_invariants()
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_many_seeds_n10(self, seed):
+        world, _result = run_leaderless(10, seed=seed)
+        assert is_spanning_line_configuration(world)
+
+    def test_single_node_population(self):
+        protocol = leaderless_spanning_line_protocol()
+        world = World.of_free_nodes(1, protocol)
+        # One L0 node: nothing to interact with; trivially a line.
+        assert is_spanning_line_configuration(world)
+
+    def test_elections_actually_happen(self):
+        # With many nodes, at least one dismantling release must occur for
+        # some seed (two lines grow concurrently, then one dissolves).
+        saw_dismantle = False
+        for seed in range(10):
+            protocol = leaderless_spanning_line_protocol()
+            world = World.of_free_nodes(12, protocol)
+            sim = Simulation(world, protocol, seed=seed)
+            events = []
+
+            def trace(_i, _cand, update, _world):
+                events.append(update)
+
+            sim.trace = trace
+            sim.run_to_stabilization(max_events=200_000)
+            if any(u[0] == "q0" or u[1] == "q0" for u in events):
+                saw_dismantle = True
+                break
+        assert saw_dismantle
+
+    @given(st.integers(min_value=2, max_value=9), st.integers(min_value=0, max_value=50))
+    @settings(max_examples=20, deadline=None)
+    def test_random_sizes_and_seeds(self, n, seed):
+        world, _result = run_leaderless(n, seed=seed)
+        assert is_spanning_line_configuration(world)
+
+
+class TestConfigurationPredicate:
+    def test_rejects_multiple_components(self):
+        protocol = leaderless_spanning_line_protocol()
+        world = World.of_free_nodes(3, protocol)
+        assert not is_spanning_line_configuration(world)
+
+    def test_rejects_bent_shape(self):
+        world = World(2)
+        world.add_component_from_cells(
+            {Vec(0, 0): "q1", Vec(1, 0): "q1", Vec(1, 1): ("L", Port.UP)}
+        )
+        assert not is_spanning_line_configuration(world)
+
+    def test_rejects_two_leaders(self):
+        world = World(2)
+        world.add_component_from_cells(
+            {Vec(0, 0): ("L", Port.LEFT), Vec(1, 0): ("L", Port.RIGHT)}
+        )
+        assert not is_spanning_line_configuration(world)
+
+    def test_accepts_proper_line(self):
+        world = World(2)
+        world.add_component_from_cells(
+            {
+                Vec(0, 0): ("L", Port.LEFT),
+                Vec(1, 0): "q1",
+                Vec(2, 0): "q1",
+            }
+        )
+        assert is_spanning_line_configuration(world)

@@ -1,0 +1,96 @@
+"""Parallel simulation schemes (§6.4, Theorem 5)."""
+
+import pytest
+
+from repro.constructors.parallel import (
+    _make_segments,
+    _segments_match,
+    run_parallel_3d,
+    run_parallel_segments,
+)
+from repro.machines.shape_programs import (
+    cross_program,
+    expected_shape,
+    line_program,
+    star_program,
+)
+
+
+@pytest.mark.parametrize("d", [3, 5, 7])
+def test_parallel_3d_builds_the_shape(d):
+    res = run_parallel_3d(cross_program(), d)
+    assert res.shape.same_up_to_translation(expected_shape(cross_program(), d))
+    assert res.n == res.k * d * d
+
+
+def test_parallel_3d_speedup_grows_with_d():
+    small = run_parallel_3d(line_program(), 3)
+    big = run_parallel_3d(line_program(), 6)
+    assert big.speedup > small.speedup > 1.0
+
+
+def test_parallel_3d_waste_accounting():
+    d = 4
+    res = run_parallel_3d(line_program(), d)
+    # All memories plus the off pixels are waste.
+    assert res.waste == res.n - d
+
+
+def test_parallel_3d_without_world_matches():
+    a = run_parallel_3d(star_program(), 5, build_world=True)
+    b = run_parallel_3d(star_program(), 5, build_world=False)
+    assert a.shape.same_up_to_translation(b.shape)
+
+
+def test_segment_keys_are_unique():
+    d = 6
+    segments = _make_segments([False] * (d * d), d)
+    for a in segments:
+        matches = [b.index for b in segments if _segments_match(a, b, d)]
+        if a.index < d:
+            assert matches == [a.index + 1]
+        else:
+            assert matches == []
+
+
+@pytest.mark.parametrize("d", [3, 5])
+def test_parallel_segments_assemble_the_square(d):
+    res = run_parallel_segments(star_program(), d, seed=7)
+    assert res.shape.same_up_to_translation(expected_shape(star_program(), d))
+    assert res.assembly_interactions >= d - 1
+
+
+def test_segment_assembly_is_random_but_correct():
+    shapes = set()
+    for seed in range(5):
+        res = run_parallel_segments(cross_program(), 4, seed=seed)
+        shapes.add(tuple(sorted(res.shape.cells)))
+    assert len(shapes) == 1  # different contact orders, same square
+
+
+def test_parallel_beats_sequential_in_wall_clock():
+    res = run_parallel_segments(line_program(), 5, seed=2)
+    assert res.parallel_interactions < res.sequential_interactions
+
+
+def test_parallel_3d_with_extended_catalogue():
+    from repro.machines.shape_programs import diamond_program, serpentine_program
+
+    for program in (serpentine_program(), diamond_program()):
+        res = run_parallel_3d(program, 5)
+        assert res.shape.same_up_to_translation(expected_shape(program, 5))
+
+
+def test_segment_scheme_unique_for_many_sizes():
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    @given(st.integers(min_value=2, max_value=20))
+    @settings(max_examples=19, deadline=None)
+    def check(d):
+        segments = _make_segments([False] * (d * d), d)
+        for a in segments:
+            matches = [b.index for b in segments if _segments_match(a, b, d)]
+            assert matches == ([a.index + 1] if a.index < d else [])
+
+    check()

@@ -1,0 +1,88 @@
+"""Theorem 1: the Counting-Upper-Bound protocol (§5.1)."""
+
+import random
+
+import pytest
+
+from repro.analysis.stats import binomial_confidence
+from repro.analysis.walks import counting_failure_bound
+from repro.population.counting import (
+    CountingPopulation,
+    CountingUpperBound,
+    LeaderState,
+    estimate_quality,
+    run_counting,
+)
+from repro.population.model import PopulationSimulator
+
+
+@pytest.mark.parametrize("n", [4, 16, 64, 256])
+def test_always_halts(n):
+    for seed in range(5):
+        res = CountingUpperBound(n, b=4, seed=seed).run()
+        assert res.r0 == res.r1  # the halting condition
+
+
+def test_invariants_of_the_proof():
+    """r0 >= r1 and r0 + r1 = #effective interactions, as in Figure 3."""
+    res = CountingUpperBound(100, b=4, seed=7).run()
+    assert res.r0 >= res.r1
+    assert res.effective_interactions == res.r0 + res.r1 - res.b
+    assert res.raw_interactions >= res.effective_interactions
+
+
+def test_whp_success():
+    """With b = 5 the failure bound is 1/n^3; over 200 trials at n = 64
+    we should essentially never fail."""
+    rng = random.Random(0)
+    trials, successes = 200, 0
+    for _ in range(trials):
+        res = CountingUpperBound(64, b=5, rng=rng).run()
+        successes += int(res.success)
+    low, _high = binomial_confidence(successes, trials)
+    assert low > 1 - 10 * counting_failure_bound(64, 5) - 0.05
+
+
+def test_estimate_close_to_nine_tenths():
+    """Remark 2: estimates are close to (9/10) n and usually higher."""
+    rows = estimate_quality([200, 500], b=4, trials=10, seed=1)
+    for _n, mean_ratio, _min_ratio, success_rate in rows:
+        assert mean_ratio > 0.8
+        assert success_rate == 1.0
+
+
+def test_head_start_capped_for_tiny_populations():
+    res = CountingUpperBound(3, b=10, seed=0).run()
+    assert res.b == 2  # min(b, n - 1)
+
+
+def test_upper_bound_and_estimate_accessors():
+    res = CountingUpperBound(64, b=4, seed=5).run()
+    assert res.estimate == res.r0
+    assert res.upper_bound == 2 * res.r0
+    assert res.r0 <= 63  # can never count more than n - 1 others
+
+
+def test_raw_scheduler_agrees_with_accelerated_in_law():
+    """Cross-validation: the mean of r0 under the raw pairwise simulator
+    matches the accelerated urn sampler (same process, same law)."""
+    n, trials = 24, 60
+    fast = [run_counting(n, b=3, seed=s).r0 for s in range(trials)]
+    slow = [run_counting(n, b=3, seed=s, raw_scheduler=True).r0 for s in range(trials)]
+    mean_fast = sum(fast) / trials
+    mean_slow = sum(slow) / trials
+    assert abs(mean_fast - mean_slow) < 2.5
+
+
+def test_raw_protocol_halts_and_leader_is_first():
+    sim = PopulationSimulator(CountingPopulation(b=3), 12, seed=2)
+    res = sim.run(max_interactions=1_000_000, require_halt=True)
+    assert res.terminated
+    leader = [s for s in sim.states if isinstance(s, LeaderState)]
+    assert len(leader) == 1 and leader[0].halted
+
+
+def test_failure_bound_shape():
+    assert counting_failure_bound(10, 2) == 1.0
+    assert counting_failure_bound(10, 4) == pytest.approx(0.01)
+    assert counting_failure_bound(100, 4) < counting_failure_bound(10, 4)

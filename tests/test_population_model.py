@@ -1,0 +1,143 @@
+"""Tests for the population-protocol substrate primitives (§5.1's scheduler)."""
+
+import math
+import random
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TerminationError
+from repro.population.model import (
+    PairwiseProtocol,
+    PopulationSimulator,
+    geometric_skip,
+)
+
+
+class Noop(PairwiseProtocol):
+    def initial_states(self, n, rng):
+        return ["s"] * n
+
+    def interact(self, a, b, rng):
+        return a, b
+
+
+class HaltAfter(PairwiseProtocol):
+    """Each state counts its interactions; halts at a threshold."""
+
+    def __init__(self, threshold: int) -> None:
+        self.threshold = threshold
+
+    def initial_states(self, n, rng):
+        return [0] * n
+
+    def interact(self, a, b, rng):
+        return a + 1, b + 1
+
+    def halted(self, state):
+        return state >= self.threshold
+
+
+class TestPopulationSimulator:
+    def test_rejects_tiny_population(self):
+        with pytest.raises(TerminationError):
+            PopulationSimulator(Noop(), 1)
+
+    def test_rejects_wrong_initial_length(self):
+        class Broken(Noop):
+            def initial_states(self, n, rng):
+                return ["s"] * (n - 1)
+
+        with pytest.raises(TerminationError):
+            PopulationSimulator(Broken(), 5)
+
+    def test_pair_selection_is_uniform(self):
+        # Chi-square-free check: all C(4,2) = 6 unordered pairs occur with
+        # similar frequency over many steps.
+        sim = PopulationSimulator(Noop(), 4, seed=0)
+        counts = Counter()
+        steps = 6000
+        for _ in range(steps):
+            i, j = sim.step()
+            counts[frozenset((i, j))] += 1
+        assert len(counts) == 6
+        expected = steps / 6
+        for pair, count in counts.items():
+            assert abs(count - expected) < 0.2 * expected, pair
+
+    def test_never_selects_a_node_with_itself(self):
+        sim = PopulationSimulator(Noop(), 3, seed=1)
+        for _ in range(2000):
+            i, j = sim.step()
+            assert i != j
+
+    def test_halt_detection_returns_halter(self):
+        sim = PopulationSimulator(HaltAfter(3), 5, seed=2)
+        res = sim.run(require_halt=True)
+        assert res.terminated
+        assert sim.states[res.halted_index] >= 3
+
+    def test_until_predicate(self):
+        sim = PopulationSimulator(HaltAfter(10**9), 5, seed=3)
+        res = sim.run(until=lambda states: sum(states) >= 20)
+        assert not res.terminated
+        assert sum(sim.states) >= 20
+
+    def test_budget_raises_with_require_halt(self):
+        sim = PopulationSimulator(Noop(), 4, seed=4)
+        with pytest.raises(TerminationError):
+            sim.run(max_interactions=50, require_halt=True)
+
+    def test_budget_returns_without_require_halt(self):
+        sim = PopulationSimulator(Noop(), 4, seed=5)
+        res = sim.run(max_interactions=50)
+        assert res.interactions == 50
+        assert not res.terminated
+
+
+class TestGeometricSkip:
+    def test_certain_success_is_one_step(self):
+        rng = random.Random(0)
+        assert geometric_skip(rng, 1.0) == 1
+
+    def test_rejects_zero_probability(self):
+        with pytest.raises(TerminationError):
+            geometric_skip(random.Random(0), 0.0)
+
+    @pytest.mark.parametrize("p", [0.5, 0.1, 0.02])
+    def test_mean_matches_1_over_p(self, p):
+        rng = random.Random(7)
+        trials = 20000
+        total = sum(geometric_skip(rng, p) for _ in range(trials))
+        mean = total / trials
+        assert abs(mean - 1.0 / p) < 0.05 / p
+
+    @pytest.mark.parametrize("p", [0.3, 0.05])
+    def test_tail_matches_geometric_law(self, p):
+        # P[X > k] = (1-p)^k; check at k = 1/p.
+        rng = random.Random(9)
+        k = int(1 / p)
+        trials = 20000
+        exceed = sum(geometric_skip(rng, p) > k for _ in range(trials))
+        expected = (1 - p) ** k
+        assert abs(exceed / trials - expected) < 0.02
+
+    @given(st.floats(min_value=0.01, max_value=1.0))
+    @settings(max_examples=50, deadline=None)
+    def test_support_is_positive_integers(self, p):
+        rng = random.Random(11)
+        value = geometric_skip(rng, p)
+        assert isinstance(value, int)
+        assert value >= 1
+
+    def test_extreme_uniform_draw_does_not_overflow(self):
+        # The inverse-CDF clamps u away from 0; even the tiniest draw maps
+        # to a finite skip.
+        class TinyRandom(random.Random):
+            def random(self):
+                return 0.0
+
+        value = geometric_skip(TinyRandom(), 0.5)
+        assert value >= 1 and math.isfinite(value)

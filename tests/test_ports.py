@@ -1,0 +1,63 @@
+"""Port semantics: directions, opposites, orientation round-trips."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry.ports import (
+    PORTS_2D,
+    PORTS_3D,
+    Port,
+    opposite,
+    port_direction,
+    port_facing,
+    port_from_direction,
+    ports_for_dimension,
+    world_direction,
+)
+from repro.geometry.rotation import ROTATIONS_3D
+from repro.geometry.vec import Vec
+
+
+def test_port_sets():
+    assert len(PORTS_2D) == 4
+    assert len(PORTS_3D) == 6
+    assert set(PORTS_2D) <= set(PORTS_3D)
+    assert ports_for_dimension(2) == PORTS_2D
+    with pytest.raises(GeometryError):
+        ports_for_dimension(1)
+
+
+def test_directions_are_distinct_units():
+    dirs = [port_direction(p) for p in PORTS_3D]
+    assert len(set(dirs)) == 6
+    assert all(d.is_unit() for d in dirs)
+
+
+def test_opposites_negate_direction():
+    for p in PORTS_3D:
+        assert port_direction(opposite(p)) == -port_direction(p)
+        assert opposite(opposite(p)) == p
+
+
+def test_perpendicular_neighbors_2d():
+    # u, r, d, l in cyclic order: consecutive ports are perpendicular
+    # (dot product zero) — the paper's local axes property.
+    for a, b in zip(PORTS_2D, PORTS_2D[1:] + PORTS_2D[:1]):
+        da, db = port_direction(a), port_direction(b)
+        assert da.x * db.x + da.y * db.y + da.z * db.z == 0
+
+
+def test_port_from_direction_roundtrip():
+    for p in PORTS_3D:
+        assert port_from_direction(port_direction(p)) == p
+    with pytest.raises(GeometryError):
+        port_from_direction(Vec(1, 1, 0))
+
+
+@given(st.sampled_from(ROTATIONS_3D), st.sampled_from(PORTS_3D))
+def test_world_direction_facing_roundtrip(rotation, port):
+    d = world_direction(port, rotation)
+    assert d.is_unit()
+    assert port_facing(rotation, d) == port

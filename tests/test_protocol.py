@@ -1,0 +1,138 @@
+"""Protocol definitions: rule tables, swap consistency, hints (Definition 1)."""
+
+import pytest
+
+from repro.core.protocol import (
+    AgentProtocol,
+    InteractionView,
+    Rule,
+    RuleProtocol,
+    rules_from_tuples,
+)
+from repro.errors import ProtocolError
+from repro.geometry.ports import Port
+
+U, R, D, L = Port.UP, Port.RIGHT, Port.DOWN, Port.LEFT
+
+
+def _simple():
+    return RuleProtocol(
+        [Rule("L", R, "q0", L, 0, "q1", "L", 1)],
+        leader_state="L",
+    )
+
+
+def test_rule_effectiveness():
+    assert Rule("a", R, "b", L, 0, "a", "b", 1).is_effective()
+    assert not Rule("a", R, "b", L, 0, "a", "b", 0).is_effective()
+
+
+def test_ineffective_rule_rejected():
+    with pytest.raises(ProtocolError):
+        RuleProtocol([Rule("a", R, "b", L, 0, "a", "b", 0)])
+
+
+def test_3d_port_in_2d_protocol_rejected():
+    with pytest.raises(ProtocolError):
+        RuleProtocol([Rule("a", Port.FRONT, "b", Port.BACK, 0, "a", "b", 1)])
+
+
+def test_conflicting_rules_rejected():
+    rules = [
+        Rule("a", R, "b", L, 0, "x", "y", 1),
+        Rule("a", R, "b", L, 0, "x", "z", 1),
+    ]
+    with pytest.raises(ProtocolError):
+        RuleProtocol(rules)
+
+
+def test_swap_inconsistency_rejected():
+    rules = [
+        Rule("a", R, "b", L, 0, "x", "y", 1),
+        Rule("b", L, "a", R, 0, "x", "y", 1),  # should be (y, x, 1)
+    ]
+    with pytest.raises(ProtocolError):
+        RuleProtocol(rules)
+
+
+def test_swap_consistent_pair_accepted():
+    rules = [
+        Rule("a", R, "b", L, 0, "x", "y", 1),
+        Rule("b", L, "a", R, 0, "y", "x", 1),
+    ]
+    RuleProtocol(rules)  # must not raise
+
+
+def test_halting_state_with_rule_rejected():
+    with pytest.raises(ProtocolError):
+        RuleProtocol(
+            [Rule("h", R, "b", L, 0, "h", "c", 1)], halting_states={"h"}
+        )
+
+
+def test_handle_matches_both_orders():
+    p = _simple()
+    fwd = p.handle(InteractionView("L", R, "q0", L, 0))
+    assert fwd == ("q1", "L", 1)
+    rev = p.handle(InteractionView("q0", L, "L", R, 0))
+    assert rev == ("L", "q1", 1)
+    assert p.handle(InteractionView("q0", R, "q0", L, 0)) is None
+
+
+def test_hot_cover_covers_all_rules():
+    p = _simple()
+    assert p.is_hot("L") or p.is_hot("q0")
+
+
+def test_explicit_hot_states_validated():
+    with pytest.raises(ProtocolError):
+        RuleProtocol(
+            [Rule("L", R, "q0", L, 0, "q1", "L", 1)], hot_states=["q1"]
+        )
+    p = RuleProtocol(
+        [Rule("L", R, "q0", L, 0, "q1", "L", 1)], hot_states=["L"]
+    )
+    assert p.is_hot("L") and not p.is_hot("q0")
+
+
+def test_pair_compatibility_and_port_hints():
+    p = _simple()
+    assert p.pair_compatible("L", "q0")
+    assert p.pair_compatible("q0", "L")
+    assert not p.pair_compatible("q0", "q0")
+    hints = p.port_hints("L", "q0")
+    assert (R, L) in hints and (L, R) in hints
+    assert p.port_hints("q1", "q1") == frozenset()
+
+
+def test_protocol_size_counts_states():
+    p = _simple()
+    assert p.size == 3  # L, q0, q1
+
+
+def test_rules_from_tuples():
+    (rule,) = rules_from_tuples([((("a", R), ("b", L), 0), ("x", "y", 1))])
+    assert rule.state1 == "a" and rule.new_bond == 1
+
+
+def test_agent_protocol_normalizes_identity_updates():
+    p = AgentProtocol(lambda view: (view.state1, view.state2, view.bond))
+    assert p.handle(InteractionView("a", R, "b", L, 0)) is None
+
+
+def test_agent_protocol_rejects_malformed_update():
+    p = AgentProtocol(lambda view: ("a", "b", 7))
+    with pytest.raises(ProtocolError):
+        p.handle(InteractionView("a", R, "b", L, 0))
+
+
+def test_agent_protocol_predicates():
+    p = AgentProtocol(
+        lambda view: None,
+        hot=lambda s: s == "x",
+        halted=lambda s: s == "h",
+        compatible=lambda a, b: a != b,
+    )
+    assert p.is_hot("x") and not p.is_hot("y")
+    assert p.is_halted("h") and p.is_output("h")
+    assert p.pair_compatible("a", "b") and not p.pair_compatible("a", "a")

@@ -1,0 +1,80 @@
+"""Bounding rectangles R_G and enclosing squares S_G (§3)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.random_shapes import random_connected_shape
+from repro.geometry.rect import (
+    bounding_rect,
+    enclosing_square,
+    enclosing_squares,
+    max_dim,
+    min_dim,
+    rect_dimensions,
+    waste,
+)
+from repro.geometry.shape import Shape
+from repro.geometry.vec import Vec
+
+shapes = st.integers(min_value=1, max_value=20).flatmap(
+    lambda size: st.integers(min_value=0, max_value=2**31).map(
+        lambda seed: random_connected_shape(size, seed=seed)
+    )
+)
+
+
+def _line(d):
+    return Shape.from_cells([Vec(x, 0) for x in range(d)])
+
+
+def test_dimensions_of_line():
+    s = _line(5)
+    assert rect_dimensions(s) == (5, 1)
+    assert max_dim(s) == 5
+    assert min_dim(s) == 1
+
+
+def test_bounding_rect_of_l_shape():
+    s = Shape.from_cells([Vec(0, 0), Vec(1, 0), Vec(1, 1)])
+    rect = bounding_rect(s)
+    assert len(rect.cells) == 4
+    assert rect.label_map[Vec(0, 1)] == 0
+    assert rect.label_map[Vec(0, 0)] == 1
+    assert rect.is_full_rectangle()
+
+
+def test_line_extends_to_d_squares():
+    # The paper's example: a horizontal line of length d extends to a
+    # d x d square in d distinct ways, all of size d^2.
+    d = 4
+    squares = enclosing_squares(_line(d))
+    assert len(squares) == d
+    assert all(len(sq.cells) == d * d for sq in squares)
+    for sq in squares:
+        ons = [c for c, v in sq.labels if v == 1]
+        assert len(ons) == d
+
+
+@settings(max_examples=25, deadline=None)
+@given(shapes)
+def test_rect_contains_shape_and_is_minimal(shape):
+    rect = bounding_rect(shape)
+    assert shape.cells <= rect.cells
+    w, h = rect_dimensions(shape)
+    assert len(rect.cells) == w * h
+    on = {c for c, v in rect.labels if v == 1}
+    assert on == set(shape.cells)
+
+
+@settings(max_examples=25, deadline=None)
+@given(shapes)
+def test_enclosing_square_size(shape):
+    sq = enclosing_square(shape)
+    side = max_dim(shape)
+    assert len(sq.cells) == side * side
+    assert shape.cells <= sq.cells
+
+
+def test_waste_definition():
+    s = _line(3)
+    assert waste(3, s) == 6  # (d-1) d for a line, Theorem 4's worst case

@@ -1,0 +1,119 @@
+"""Protocols 4 and 5: line self-replication (§6.2)."""
+
+import pytest
+
+from repro.core.simulator import Simulation
+from repro.core.world import World
+from repro.protocols.replication import (
+    add_line,
+    extract_lines,
+    line_replication_protocol,
+    no_leader_line_replication_protocol,
+    replication_world,
+    self_replicating_lines_protocol,
+)
+
+
+@pytest.mark.parametrize("length", [3, 4, 6, 8])
+def test_protocol4_replicates_once(length):
+    protocol = line_replication_protocol()
+    world = replication_world(length)
+    sim = Simulation(world, protocol, seed=length * 5 + 1, check_invariants=True)
+    sim.run_to_stabilization(max_events=100_000)
+    lines = sorted(extract_lines(world))
+    assert lines == [("Ls", length), ("Lstart", length)]
+
+
+def test_protocol4_restores_internal_states():
+    protocol = line_replication_protocol()
+    world = replication_world(5)
+    Simulation(world, protocol, seed=9).run_to_stabilization(max_events=100_000)
+    for comp in world.components.values():
+        if comp.size() == 1:
+            continue
+        cells = sorted(comp.cells)
+        states = [world.state_of(comp.cells[c]) for c in cells]
+        assert states[0] in ("Ls", "Lstart")
+        assert states[-1] == "e"
+        assert all(s == "i" for s in states[1:-1])
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_protocol4_many_seeds(seed):
+    protocol = line_replication_protocol()
+    world = replication_world(4)
+    Simulation(world, protocol, seed=seed).run_to_stabilization(max_events=100_000)
+    assert sorted(extract_lines(world)) == [("Ls", 4), ("Lstart", 4)]
+
+
+def test_protocol5_replicates_without_leader():
+    # Standalone Protocol 5 may also *deadlock* when concurrent half-built
+    # replicas split the free material (see bench_line_replication.py), so
+    # the test sweeps seeds: most must replicate, and any run that stops
+    # early must be a genuine material-exhaustion deadlock (no free q0
+    # left).
+    length = 4
+    successes = 0
+    for seed in range(6):
+        protocol = no_leader_line_replication_protocol()
+        world = replication_world(
+            length, free_nodes=3 * length, leader_left="e"
+        )
+
+        def has_two_complete_lines(w):
+            return (
+                sum(1 for _, size in extract_lines(w) if size == length) >= 2
+            )
+
+        sim = Simulation(world, protocol, seed=seed, check_invariants=True)
+        res = sim.run(max_events=100_000, until=has_two_complete_lines)
+        if res.stopped:
+            successes += 1
+        else:
+            assert res.stabilized
+            assert not world.by_state.get("q0")
+    assert successes >= 4
+
+
+def test_protocol5_never_detaches_short_lines():
+    """The degree-counting argument: any detached fragment that is a line
+    has the full parent length (checked along the whole execution)."""
+    length = 5
+    protocol = no_leader_line_replication_protocol()
+    world = replication_world(length, free_nodes=2 * length, leader_left="e")
+    sim = Simulation(world, protocol, seed=23)
+    for _ in range(5_000):
+        if sim.step() is None:
+            break
+        for comp in world.components.values():
+            if 1 < comp.size() < length:
+                shape = world.component_shape(comp.cid)
+                # Fragments smaller than the parent must never be free
+                # lines — they are always still-bonded partial rows.
+                states = {world.state_of(n) for n in comp.cells.values()}
+                assert not (shape.is_line() and states <= {"i", "e"})
+
+
+def test_self_replicating_lines_produce_replicas():
+    protocol = self_replicating_lines_protocol()
+    length = 4
+    world = replication_world(length, free_nodes=6 * length)
+
+    def two_replicas(w):
+        # Each fully restored replica carries exactly one Lr left endpoint
+        # (the line may already host early attachments of its next child,
+        # so we count Lr endpoints rather than pure line components).
+        return len(w.by_state.get("Lr", ())) >= 2
+
+    sim = Simulation(world, protocol, seed=31)
+    res = sim.run(max_events=200_000, until=two_replicas)
+    assert res.stopped
+
+
+def test_add_line_helper():
+    world = World(2)
+    nids = add_line(world, 4, "L")
+    assert len(nids) == 4
+    comp = world.component_of(next(iter(nids.values())))
+    assert comp.size() == 4
+    world.check_invariants()

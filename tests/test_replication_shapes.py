@@ -1,0 +1,100 @@
+"""§7: squaring (Proposition 1) and the two replication approaches."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.random_shapes import random_connected_shape
+from repro.geometry.rect import bounding_rect
+from repro.geometry.shape import Shape
+from repro.geometry.vec import Vec
+from repro.replication.columns import replicate_by_columns
+from repro.replication.shifting import replicate_by_shifting
+from repro.replication.squaring import find_deficiencies, run_squaring
+
+shapes = st.integers(min_value=1, max_value=18).flatmap(
+    lambda size: st.integers(min_value=0, max_value=2**31).map(
+        lambda seed: random_connected_shape(size, seed=seed)
+    )
+)
+
+
+def test_proposition_1_rectangles_have_no_deficiencies():
+    rect = Shape.from_cells([Vec(x, y) for x in range(3) for y in range(2)])
+    assert find_deficiencies(set(rect.cells), set(rect.edges)) == []
+
+
+def test_proposition_1_non_rectangles_have_deficiencies():
+    l_shape = Shape.from_cells([Vec(0, 0), Vec(1, 0), Vec(1, 1)])
+    defs = find_deficiencies(set(l_shape.cells), set(l_shape.edges))
+    assert any(d.kind == "node" and d.cell == Vec(0, 1) for d in defs)
+
+
+def test_missing_edge_detected():
+    cells = [Vec(0, 0), Vec(1, 0), Vec(1, 1), Vec(0, 1)]
+    ring = Shape.from_cells(
+        cells,
+        edges=[
+            frozenset((Vec(0, 0), Vec(1, 0))),
+            frozenset((Vec(1, 0), Vec(1, 1))),
+            frozenset((Vec(1, 1), Vec(0, 1))),
+        ],
+    )
+    defs = find_deficiencies(set(ring.cells), set(ring.edges))
+    assert any(d.kind == "edge" for d in defs)
+
+
+@settings(max_examples=25, deadline=None)
+@given(shapes)
+def test_squaring_completes_to_bounding_rect(shape):
+    result = run_squaring(shape, seed=0)
+    assert result.rectangle.is_full_rectangle()
+    expected = bounding_rect(shape)
+    assert result.rectangle.normalize().cells == expected.normalize().cells
+    # On-labels preserved exactly.
+    on = {c for c, v in result.rectangle.normalize().labels if v == 1}
+    assert on == set(shape.normalize().cells)
+
+
+def test_squaring_counts_fillers():
+    l_shape = Shape.from_cells([Vec(0, 0), Vec(1, 0), Vec(1, 1)])
+    result = run_squaring(l_shape, seed=1)
+    assert result.fillers_used == 1
+    assert result.interactions > 0
+
+
+@settings(max_examples=15, deadline=None)
+@given(shapes)
+def test_shifting_replicates_exactly(shape):
+    res = replicate_by_shifting(shape, seed=1)
+    assert res.identical
+    assert res.original.same_up_to_translation(shape.normalize())
+
+
+@settings(max_examples=15, deadline=None)
+@given(shapes)
+def test_columns_replicate_exactly(shape):
+    res = replicate_by_columns(shape, seed=2)
+    assert res.identical
+    assert res.original.same_up_to_translation(shape.normalize())
+
+
+def test_waste_is_twice_the_rect_slack():
+    shape = Shape.from_cells([Vec(0, 0), Vec(1, 0), Vec(2, 0), Vec(2, 1)])
+    rect_size = 6  # 3 x 2
+    for replicate in (replicate_by_shifting, replicate_by_columns):
+        res = replicate(shape, seed=3)
+        assert res.nodes_used == 2 * rect_size
+        assert res.waste == 2 * (rect_size - 4)
+
+
+def test_both_approaches_agree():
+    rng = random.Random(9)
+    for _ in range(5):
+        shape = random_connected_shape(12, rng)
+        a = replicate_by_shifting(shape, seed=4)
+        b = replicate_by_columns(shape, seed=5)
+        assert a.replica.same_up_to_translation(b.replica)
+        assert a.waste == b.waste

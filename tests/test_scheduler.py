@@ -1,0 +1,136 @@
+"""Scheduler correctness: support agreement, law cross-checks, stabilization."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.core.protocol import Rule, RuleProtocol
+from repro.core.scheduler import (
+    EnumeratingScheduler,
+    HotScheduler,
+    RejectionScheduler,
+    RoundRobinScheduler,
+    make_scheduler,
+)
+from repro.core.simulator import Simulation
+from repro.core.world import World
+from repro.errors import SchedulerError
+from repro.geometry.ports import Port
+from repro.protocols.line import spanning_line_protocol
+
+R, L = Port.RIGHT, Port.LEFT
+
+
+def _absorb_protocol():
+    """L absorbs q0s through r-l meetings (a tiny growth protocol)."""
+    return RuleProtocol(
+        [Rule("L", R, "q0", L, 0, "q1", "L", 1)],
+        leader_state="L",
+        hot_states=["L"],
+    )
+
+
+def test_factory():
+    assert isinstance(make_scheduler("enumerate"), EnumeratingScheduler)
+    assert isinstance(make_scheduler("rejection"), RejectionScheduler)
+    assert isinstance(make_scheduler("hot"), HotScheduler)
+    assert isinstance(make_scheduler("round-robin"), RoundRobinScheduler)
+    with pytest.raises(SchedulerError):
+        make_scheduler("nope")
+
+
+def test_all_schedulers_build_the_same_line():
+    protocol = _absorb_protocol()
+    for kind in ("enumerate", "rejection", "hot", "round-robin"):
+        world = World.of_free_nodes(5, protocol, leaders=1)
+        sim = Simulation(
+            world, protocol, scheduler=make_scheduler(kind), seed=3,
+            check_invariants=True,
+        )
+        res = sim.run_to_stabilization(max_events=1000)
+        assert res.events == 4
+        assert len(world.components) == 1
+        assert world.component_shape(next(iter(world.components))).is_line()
+
+
+def test_raw_step_tracking():
+    protocol = _absorb_protocol()
+    world = World.of_free_nodes(4, protocol, leaders=1)
+    sim = Simulation(
+        world, protocol, scheduler=EnumeratingScheduler(), seed=5
+    )
+    res = sim.run_to_stabilization(max_events=100)
+    assert res.raw_steps is not None and res.raw_steps >= res.events
+
+
+def test_hot_scheduler_reports_no_raw_steps():
+    protocol = _absorb_protocol()
+    world = World.of_free_nodes(4, protocol, leaders=1)
+    sim = Simulation(world, protocol, seed=5)
+    res = sim.run_to_stabilization(max_events=100)
+    assert res.raw_steps is None
+
+
+def test_stabilization_detected_by_all_schedulers():
+    protocol = _absorb_protocol()
+    for kind in ("enumerate", "rejection", "hot"):
+        world = World.of_free_nodes(3, protocol, leaders=0)  # no leader
+        sim = Simulation(world, protocol, scheduler=make_scheduler(kind), seed=1)
+        res = sim.run(max_events=10)
+        assert res.stabilized and res.events == 0
+
+
+def test_scheduler_error_on_single_node():
+    protocol = _absorb_protocol()
+    world = World.of_free_nodes(1, protocol, leaders=1)
+    with pytest.raises(SchedulerError):
+        RejectionScheduler().next_event(world, protocol, random.Random(0))
+
+
+def test_first_event_law_agreement():
+    """Enumerate and rejection draw the first effective interaction with
+    the same distribution (chi-square style tolerance)."""
+    protocol = _absorb_protocol()
+    trials = 400
+
+    def first_partner(scheduler_kind: str, seed: int):
+        world = World.of_free_nodes(4, protocol, leaders=1)
+        sched = make_scheduler(scheduler_kind)
+        event = sched.next_event(world, protocol, random.Random(seed))
+        assert event is not None
+        cand = event.candidate
+        return cand.nid2 if world.state_of(cand.nid1) == "L" else cand.nid1
+
+    for kind in ("enumerate", "rejection", "hot"):
+        counts = Counter(first_partner(kind, s) for s in range(trials))
+        # Three q0 partners, each ~1/3.
+        assert len(counts) == 3
+        for v in counts.values():
+            assert trials / 3 * 0.6 < v < trials / 3 * 1.4
+
+
+def test_round_robin_is_deterministic():
+    protocol = spanning_line_protocol()
+
+    def run_once():
+        world = World.of_free_nodes(6, protocol, leaders=1)
+        sim = Simulation(
+            world, protocol, scheduler=RoundRobinScheduler(), seed=0
+        )
+        sim.run_to_stabilization(max_events=1000)
+        cid = next(iter(world.components))
+        return tuple(sorted(world.component_shape(cid).cells))
+
+    assert run_once() == run_once()
+
+
+def test_rejection_matches_enumerate_trajectory_counts():
+    protocol = spanning_line_protocol()
+    events = {}
+    for kind in ("enumerate", "rejection"):
+        world = World.of_free_nodes(5, protocol, leaders=1)
+        sim = Simulation(world, protocol, scheduler=make_scheduler(kind), seed=11)
+        res = sim.run_to_stabilization(max_events=1000)
+        events[kind] = res.events
+    assert events["enumerate"] == events["rejection"] == 4

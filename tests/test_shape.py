@@ -1,0 +1,131 @@
+"""Shape construction, validation, transforms and congruence."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InvalidShapeError
+from repro.geometry.random_shapes import random_connected_shape
+from repro.geometry.rotation import ROTATIONS_2D
+from repro.geometry.shape import Shape, grid_edge
+from repro.geometry.vec import Vec
+
+shapes = st.integers(min_value=1, max_value=25).flatmap(
+    lambda size: st.integers(min_value=0, max_value=2**31).map(
+        lambda seed: random_connected_shape(size, seed=seed)
+    )
+)
+
+
+def test_single_and_membership():
+    s = Shape.single(Vec(3, 4))
+    assert len(s) == 1 and Vec(3, 4) in s
+
+
+def test_from_cells_default_edges():
+    s = Shape.from_cells([Vec(0, 0), Vec(1, 0), Vec(1, 1)])
+    assert len(s.edges) == 2
+    assert s.edge_active(Vec(0, 0), Vec(1, 0))
+    assert not s.edge_active(Vec(0, 0), Vec(1, 1))
+
+
+def test_disconnected_cells_rejected():
+    with pytest.raises(InvalidShapeError):
+        Shape.from_cells([Vec(0, 0), Vec(2, 0)])
+
+
+def test_disconnected_edges_rejected():
+    # Cells adjacent but the provided edge set does not connect them.
+    with pytest.raises(InvalidShapeError):
+        Shape.from_cells([Vec(0, 0), Vec(1, 0)], edges=[])
+
+
+def test_bad_edges_rejected():
+    with pytest.raises(InvalidShapeError):
+        grid_edge(Vec(0, 0), Vec(2, 0))
+    with pytest.raises(InvalidShapeError):
+        Shape.from_cells(
+            [Vec(0, 0), Vec(1, 0)],
+            edges=[frozenset((Vec(0, 0), Vec(5, 5)))],
+        )
+
+
+def test_empty_rejected():
+    with pytest.raises(InvalidShapeError):
+        Shape.from_cells([])
+
+
+def test_labels_validated():
+    with pytest.raises(InvalidShapeError):
+        Shape.from_cells([Vec(0, 0)], labels={Vec(9, 9): 1})
+    s = Shape.from_cells([Vec(0, 0)], labels={Vec(0, 0): 1})
+    assert s.label_map == {Vec(0, 0): 1}
+
+
+def test_degree_and_neighbors():
+    s = Shape.from_cells([Vec(0, 0), Vec(1, 0), Vec(0, 1)])
+    assert s.degree(Vec(0, 0)) == 2
+    assert set(s.neighbors(Vec(0, 0))) == {Vec(1, 0), Vec(0, 1)}
+
+
+def test_is_line():
+    assert Shape.from_cells([Vec(0, 0), Vec(1, 0), Vec(2, 0)]).is_line()
+    assert Shape.from_cells([Vec(0, 0), Vec(0, 1)]).is_line()
+    assert not Shape.from_cells([Vec(0, 0), Vec(1, 0), Vec(1, 1)]).is_line()
+
+
+def test_is_full_rectangle():
+    full = Shape.from_cells([Vec(x, y) for x in range(3) for y in range(2)])
+    assert full.is_full_rectangle()
+    notched = Shape.from_cells(
+        [Vec(x, y) for x in range(3) for y in range(2) if (x, y) != (2, 1)]
+    )
+    assert not notched.is_full_rectangle()
+
+
+def test_on_subshape():
+    cells = [Vec(x, 0) for x in range(4)]
+    s = Shape.from_cells(cells, labels={c: (1 if c.x < 2 else 0) for c in cells})
+    on = s.on_subshape(1)
+    assert on.cells == frozenset({Vec(0, 0), Vec(1, 0)})
+
+
+def test_on_subshape_disconnected_raises():
+    cells = [Vec(x, 0) for x in range(3)]
+    s = Shape.from_cells(cells, labels={cells[0]: 1, cells[1]: 0, cells[2]: 1})
+    with pytest.raises(InvalidShapeError):
+        s.on_subshape(1)
+
+
+@settings(max_examples=30, deadline=None)
+@given(shapes)
+def test_normalize_touches_origin(shape):
+    n = shape.normalize()
+    assert min(c.x for c in n.cells) == 0
+    assert min(c.y for c in n.cells) == 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(shapes, st.sampled_from(ROTATIONS_2D))
+def test_congruence_under_rotation_and_translation(shape, rotation):
+    moved = shape.rotate(rotation).translate(Vec(7, -3))
+    assert shape.congruent(moved)
+    assert moved.canonical() == shape.canonical()
+
+
+@settings(max_examples=30, deadline=None)
+@given(shapes)
+def test_translation_preserves_structure(shape):
+    t = shape.translate(Vec(5, 9))
+    assert len(t.cells) == len(shape.cells)
+    assert len(t.edges) == len(shape.edges)
+    assert t.same_up_to_translation(shape)
+
+
+@settings(max_examples=20, deadline=None)
+@given(shapes)
+def test_random_shapes_are_connected_by_construction(shape):
+    # Shape.from_cells would have raised otherwise; double-check degrees.
+    assert all(shape.degree(c) >= 1 or len(shape) == 1 for c in shape.cells)

@@ -1,0 +1,96 @@
+"""Shape-language programs (Definition 3): connectivity, shapes, patterns."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MachineError
+from repro.geometry.vec import Vec
+from repro.machines.shape_programs import (
+    PatternProgram,
+    PredicateShapeProgram,
+    comb_program,
+    cross_program,
+    expected_pattern,
+    expected_shape,
+    frame_program,
+    full_square_program,
+    line_program,
+    ring_pattern_program,
+    star_program,
+)
+
+ALL_PROGRAMS = [
+    full_square_program(),
+    cross_program(),
+    star_program(),
+    frame_program(),
+    comb_program(),
+]
+
+
+@settings(max_examples=12, deadline=None)
+@given(st.integers(min_value=2, max_value=12))
+def test_all_programs_give_connected_shapes(d):
+    for program in ALL_PROGRAMS:
+        expected_shape(program, d)  # raises when disconnected
+
+
+@pytest.mark.parametrize("d", [1, 2, 3, 5, 9])
+def test_line_program_is_bottom_row(d):
+    shape = expected_shape(line_program(), d)
+    assert shape.cells == frozenset(Vec(x, 0) for x in range(d))
+
+
+def test_line_program_space_is_logarithmic():
+    program = line_program()
+    program.decide(0, 32)
+    assert program.last_space <= program.space_bound(32)
+    assert program.space_bound(32) < 32  # O(log d), not O(d^2)
+
+
+def test_full_square_has_zero_waste():
+    d = 5
+    shape = expected_shape(full_square_program(), d)
+    assert len(shape.cells) == d * d
+
+
+def test_cross_and_frame_counts():
+    d = 5
+    assert len(expected_shape(cross_program(), d).cells) == 2 * d - 1
+    assert len(expected_shape(frame_program(), d).cells) == 4 * (d - 1)
+
+
+def test_star_contains_cross():
+    d = 7
+    star = expected_shape(star_program(), d)
+    cross = expected_shape(cross_program(), d)
+    assert cross.cells <= star.cells
+
+
+def test_predicate_program_rejects_bad_pixels():
+    program = cross_program()
+    with pytest.raises(MachineError):
+        program.decide(99, 3)
+
+
+def test_pattern_palette_enforced():
+    bad = PatternProgram(lambda x, y, d: 99, colors=(0, 1), name="bad")
+    with pytest.raises(MachineError):
+        bad.color(0, 3)
+
+
+def test_ring_pattern_colors():
+    program = ring_pattern_program(3)
+    pattern = expected_pattern(program, 6)
+    assert len(pattern) == 36
+    assert set(pattern.values()) <= {0, 1, 2}
+    # The border ring is color 0.
+    assert pattern[Vec(0, 0)] == 0
+    assert pattern[Vec(1, 1)] == 1
+    assert pattern[Vec(2, 2)] == 2
+
+
+def test_custom_predicate_program_space_default():
+    program = PredicateShapeProgram(lambda x, y, d: True, name="x")
+    assert program.space_bound(16) >= 4

@@ -1,0 +1,54 @@
+"""Square-Knowing-n (§6.2, Lemma 2)."""
+
+import math
+
+import pytest
+
+from repro.constructors.square_known_n import run_square_known_n
+from repro.errors import SimulationError
+
+
+@pytest.mark.parametrize("n", [9, 16, 25, 36])
+def test_constructs_the_square_and_terminates(n):
+    res = run_square_known_n(n, seed=n * 2 + 1)
+    d = math.isqrt(n)
+    comp = res.square_component()
+    assert comp.size() == n
+    xs = {c.x for c in comp.cells}
+    ys = {c.y for c in comp.cells}
+    assert len(xs) == d and len(ys) == d
+    assert res.rows_attached == d - 1
+    res.world.check_invariants()
+
+
+def test_node_conservation():
+    res = run_square_known_n(25, seed=77)
+    assert res.world.size == 25
+    # Every node ended inside the square: no free nodes remain.
+    assert len(res.world.free_node_ids()) == 0
+
+
+def test_states_are_inert_square_states():
+    res = run_square_known_n(16, seed=3)
+    states = {res.world.state_of(nid) for nid in res.square_component().cells.values()}
+    assert states == {"sq", "sq_L"}
+
+
+def test_leader_work_scales_with_rows():
+    small = run_square_known_n(9, seed=1)
+    big = run_square_known_n(36, seed=1)
+    assert big.leader_interactions > small.leader_interactions
+    assert big.total_interactions > big.scheduler_events
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_many_seeds(seed):
+    res = run_square_known_n(16, seed=seed)
+    assert res.square_component().size() == 16
+
+
+def test_rejects_non_squares_and_tiny_sides():
+    with pytest.raises(SimulationError):
+        run_square_known_n(10)
+    with pytest.raises(SimulationError):
+        run_square_known_n(4)  # side 2 < 3

@@ -1,0 +1,291 @@
+"""Tests for the two-speed synchronous-component model (repro.sync, §8)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.world import World
+from repro.errors import ProtocolError, SimulationError
+from repro.geometry.ports import Port
+from repro.geometry.vec import Vec
+from repro.protocols.line import spanning_line_protocol
+from repro.sync.model import (
+    RoundOutcome,
+    RoundView,
+    SynchronousProgram,
+    broadcast_program,
+    distance_wave_program,
+)
+from repro.sync.runner import TwoSpeedSimulation, run_component_rounds
+
+
+def line_world(n: int, leader_at: int = 0) -> World:
+    world = World(2)
+    states = {
+        Vec(i, 0): ("L" if i == leader_at else "q") for i in range(n)
+    }
+    world.add_component_from_cells(states)
+    return world
+
+
+def grid_world(w: int, h: int) -> World:
+    world = World(2)
+    states = {
+        Vec(x, y): ("L" if (x, y) == (0, 0) else "q")
+        for x in range(w)
+        for y in range(h)
+    }
+    world.add_component_from_cells(states)
+    return world
+
+
+def states_of(world: World):
+    return [rec.state for rec in world.nodes.values()]
+
+
+# ----------------------------------------------------------------------
+# SynchronousProgram / agreement policies
+# ----------------------------------------------------------------------
+
+
+class TestSynchronousProgram:
+    def test_rejects_unknown_agreement(self):
+        with pytest.raises(ProtocolError):
+            SynchronousProgram(lambda v: RoundOutcome(v.state), agreement="any")
+
+    def test_both_policy_requires_matching_proposals(self):
+        prog = SynchronousProgram(lambda v: RoundOutcome(v.state), "both")
+        assert prog.decide_bond(0, 1, 1) == 1
+        assert prog.decide_bond(0, 1, None) == 0
+        assert prog.decide_bond(0, 1, 0) == 0
+        assert prog.decide_bond(1, 0, 0) == 0
+        assert prog.decide_bond(1, None, None) == 1
+
+    def test_either_policy_single_proposal_wins(self):
+        prog = SynchronousProgram(lambda v: RoundOutcome(v.state), "either")
+        assert prog.decide_bond(0, 1, None) == 1
+        assert prog.decide_bond(1, 0, None) == 0
+        assert prog.decide_bond(0, 1, 0) == 0  # contradiction keeps current
+        assert prog.decide_bond(1, None, None) == 1
+
+    @given(
+        st.sampled_from(["both", "either"]),
+        st.integers(min_value=0, max_value=1),
+        st.sampled_from([None, 0, 1]),
+        st.sampled_from([None, 0, 1]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_decide_bond_always_returns_valid_value(self, policy, cur, a, b):
+        prog = SynchronousProgram(lambda v: RoundOutcome(v.state), policy)
+        assert prog.decide_bond(cur, a, b) in (0, 1)
+
+
+# ----------------------------------------------------------------------
+# run_component_rounds
+# ----------------------------------------------------------------------
+
+
+class TestRunComponentRounds:
+    def test_broadcast_advances_one_hop_per_round(self):
+        n = 6
+        world = line_world(n)
+        prog = broadcast_program()
+        for round_idx in range(1, n):
+            changed = run_component_rounds(world, prog, 1)
+            assert changed == 1  # exactly the next node got informed
+            informed = sum(1 for s in states_of(world) if s in ("L", "informed"))
+            assert informed == 1 + round_idx
+        assert run_component_rounds(world, prog, 1) == 0  # quiescent
+
+    def test_broadcast_needs_eccentricity_rounds_on_grid(self):
+        world = grid_world(4, 3)
+        prog = broadcast_program()
+        rounds = 0
+        while run_component_rounds(world, prog, 1):
+            rounds += 1
+        # Manhattan eccentricity of the corner on a 4x3 grid is 3 + 2 = 5.
+        assert rounds == 5
+        assert all(s in ("L", "informed") for s in states_of(world))
+
+    def test_distance_wave_computes_bfs_distances(self):
+        world = grid_world(5, 4)
+        prog = distance_wave_program()
+        while run_component_rounds(world, prog, 1):
+            pass
+        for rec in world.nodes.values():
+            expected = rec.pos.x + rec.pos.y  # grid BFS = Manhattan here
+            if expected == 0:
+                assert rec.state == "L"
+            else:
+                assert rec.state == ("dist", expected)
+
+    def test_multi_round_argument(self):
+        world = line_world(8)
+        prog = broadcast_program()
+        changed = run_component_rounds(world, prog, 3)
+        assert changed == 3
+
+    def test_rejects_negative_rounds(self):
+        world = line_world(3)
+        with pytest.raises(SimulationError):
+            run_component_rounds(world, broadcast_program(), -1)
+
+    def test_free_nodes_are_unaffected(self):
+        world = World(2)
+        world.add_free_node("L")
+        world.add_free_node("q")
+        assert run_component_rounds(world, broadcast_program(), 5) == 0
+        assert sorted(map(str, states_of(world))) == ["L", "q"]
+
+    def test_bond_drop_splits_component(self):
+        # A program whose informed nodes drop their right-port bond.
+        def rule(view: RoundView) -> RoundOutcome:
+            if view.state == "L":
+                return RoundOutcome("L", {Port.RIGHT: 0})
+            if Port.LEFT in view.neighbors and view.neighbors[Port.LEFT] == "L":
+                return RoundOutcome(view.state, {Port.LEFT: 0})
+            return RoundOutcome(view.state)
+
+        prog = SynchronousProgram(rule, agreement="both")
+        world = line_world(4)
+        assert len(world.components) == 1
+        changed = run_component_rounds(world, prog, 1)
+        assert changed == 1
+        assert len(world.components) == 2
+        world.check_invariants()
+
+    def test_both_policy_blocks_unilateral_drop(self):
+        def rule(view: RoundView) -> RoundOutcome:
+            if view.state == "L":
+                return RoundOutcome("L", {Port.RIGHT: 0})
+            return RoundOutcome(view.state)  # partner does not agree
+
+        prog = SynchronousProgram(rule, agreement="both")
+        world = line_world(3)
+        assert run_component_rounds(world, prog, 1) == 0
+        assert len(world.components) == 1
+
+    def test_either_policy_allows_unilateral_drop(self):
+        def rule(view: RoundView) -> RoundOutcome:
+            if view.state == "L":
+                return RoundOutcome("L", {Port.RIGHT: 0})
+            return RoundOutcome(view.state)
+
+        prog = SynchronousProgram(rule, agreement="either")
+        world = line_world(3)
+        assert run_component_rounds(world, prog, 1) == 1
+        assert len(world.components) == 2
+        world.check_invariants()
+
+    def test_bond_formation_between_adjacent_unbonded_cells(self):
+        # Build a 2x2 block missing one ring bond; nodes propose forming it.
+        world = World(2)
+        cells = {Vec(0, 0): "q", Vec(1, 0): "q", Vec(0, 1): "q", Vec(1, 1): "q"}
+        bonds = [
+            (Vec(0, 0), Vec(1, 0)),
+            (Vec(1, 0), Vec(1, 1)),
+            (Vec(1, 1), Vec(0, 1)),
+        ]
+        world.add_component_from_cells(cells, bonds)
+
+        def rule(view: RoundView) -> RoundOutcome:
+            proposals = {p: 1 for p in view.adjacent}
+            return RoundOutcome(view.state, proposals)
+
+        prog = SynchronousProgram(rule, agreement="both")
+        changed = run_component_rounds(world, prog, 1)
+        assert changed == 1
+        comp = next(iter(world.components.values()))
+        assert len(comp.bonds) == 4
+        world.check_invariants()
+
+
+# ----------------------------------------------------------------------
+# TwoSpeedSimulation
+# ----------------------------------------------------------------------
+
+
+class TestTwoSpeedSimulation:
+    def test_rejects_negative_ratio(self):
+        protocol = spanning_line_protocol()
+        world = World.of_free_nodes(4, protocol, leaders=1)
+        with pytest.raises(SimulationError):
+            TwoSpeedSimulation(
+                world, protocol, broadcast_program(), rounds_per_encounter=-1
+            )
+
+    @staticmethod
+    def _growth_with_wave(n: int, ratio: float, seed: int):
+        """A spanning line grows under the scheduler while an 'informed'
+        wave floods the q1 body from a pinned source at the original
+        leader's node. Returns the finished TwoSpeedSimulation."""
+        protocol = spanning_line_protocol()
+        world = World.of_free_nodes(n, protocol, leaders=1)
+        program = broadcast_program(
+            source_state="S", susceptible=lambda s: s == "q1"
+        )
+        sim = TwoSpeedSimulation(
+            world, protocol, program, rounds_per_encounter=ratio, seed=seed
+        )
+        # After the first encounter the original leader (node 0) becomes a
+        # q1 body node; pin it as the wave source "S".
+        assert sim.step()
+        assert world.nodes[0].state == "q1"
+        world.set_state(0, "S")
+        return sim
+
+    @staticmethod
+    def _informed_and_body(world: World):
+        informed = sum(
+            1
+            for rec in world.nodes.values()
+            if rec.state in ("S", "informed")
+        )
+        body = sum(
+            1
+            for rec in world.nodes.values()
+            if rec.state in ("S", "informed", "q1")
+        )
+        return informed, body
+
+    def test_line_grows_and_broadcast_completes(self):
+        n = 8
+        sim = self._growth_with_wave(n, ratio=1.0, seed=0)
+        sim.run()
+        world = sim.world
+        assert sim.encounters == n - 1  # the line needs n - 1 attachments
+        assert len(world.components) == 1
+        informed, body = self._informed_and_body(world)
+        assert body == n - 1  # all but the final leader are body nodes
+        assert informed == body  # the drain phase finished the flood
+        world.check_invariants()
+
+    def test_faster_internal_clock_fewer_lagging_nodes(self):
+        # With λ high the wave keeps up with the growth front; with λ low
+        # it lags behind (more grown-but-uninformed nodes at some instant).
+        def max_lag(ratio: float) -> int:
+            sim = self._growth_with_wave(12, ratio=ratio, seed=3)
+            lag_samples = []
+            while sim.step():
+                informed, body = self._informed_and_body(sim.world)
+                lag_samples.append(body - informed)
+            return max(lag_samples)
+
+        assert max_lag(8.0) <= max_lag(0.25)
+
+    def test_fractional_ratio_accumulates(self):
+        sim = self._growth_with_wave(9, ratio=0.5, seed=1)
+        sim.run()
+        assert sim.encounters == 8
+        # 0.5 rounds per encounter over 7 further encounters -> >= 3 rounds
+        # during growth, plus the drain rounds at the end.
+        assert sim.rounds >= 3
+
+    def test_zero_ratio_still_drains_at_the_end(self):
+        sim = self._growth_with_wave(6, ratio=0.0, seed=2)
+        sim.run()
+        assert sim.encounters == 5
+        # All flooding happened in the drain phase; the whole body must
+        # still end informed.
+        informed, body = self._informed_and_body(sim.world)
+        assert informed == body == 5

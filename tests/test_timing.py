@@ -1,0 +1,117 @@
+"""Tests for the expected-time models (repro.analysis.timing)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.timing import (
+    counting_time_model,
+    expected_epidemic_time,
+    expected_leader_meet_all,
+    harmonic,
+    simulate_epidemic,
+    simulate_leader_meet_all,
+    timing_table,
+)
+from repro.errors import ReproError
+from repro.population.counting import CountingUpperBound
+
+
+class TestHarmonic:
+    def test_small_values(self):
+        assert harmonic(0) == 0.0
+        assert harmonic(1) == 1.0
+        assert harmonic(2) == pytest.approx(1.5)
+        assert harmonic(4) == pytest.approx(25 / 12)
+
+    def test_asymptotic_branch_continuous(self):
+        # The exact sum and the Euler–Maclaurin branch agree at the switch.
+        exact = sum(1.0 / k for k in range(1, 150 + 1))
+        assert harmonic(150) == pytest.approx(exact, rel=1e-9)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ReproError):
+            harmonic(-1)
+
+    @given(st.integers(min_value=1, max_value=500))
+    @settings(max_examples=50, deadline=None)
+    def test_monotone_and_log_like(self, n):
+        assert harmonic(n) < harmonic(n + 1)
+        assert math.log(n + 1) < harmonic(n) <= 1 + math.log(n) + 1e-12
+
+
+class TestClosedForms:
+    def test_leader_meet_all_small_n(self):
+        # n = 2: single pair; one step meets the only partner.
+        assert expected_leader_meet_all(2) == pytest.approx(1.0)
+        # n = 3: (3/2) * 2 * H_2 = 4.5.
+        assert expected_leader_meet_all(3) == pytest.approx(4.5)
+
+    def test_epidemic_small_n(self):
+        assert expected_epidemic_time(2) == pytest.approx(1.0)
+        # n = 3: 3 * (1/2 + 1/2) = 3.
+        assert expected_epidemic_time(3) == pytest.approx(3.0)
+
+    def test_epidemic_closed_form_identity(self):
+        # C(n,2) * sum 1/(k(n-k)) == (n-1) H_{n-1}.
+        for n in (5, 17, 64):
+            assert expected_epidemic_time(n) == pytest.approx(
+                (n - 1) * harmonic(n - 1), rel=1e-9
+            )
+
+    def test_growth_orders(self):
+        # meet-everybody is ~ n²log n; epidemic ~ n log n: their ratio
+        # grows linearly.
+        r1 = expected_leader_meet_all(64) / expected_epidemic_time(64)
+        r2 = expected_leader_meet_all(256) / expected_epidemic_time(256)
+        assert r2 / r1 == pytest.approx(4.0, rel=0.01)
+
+    def test_rejects_tiny_populations(self):
+        with pytest.raises(ReproError):
+            expected_leader_meet_all(1)
+        with pytest.raises(ReproError):
+            expected_epidemic_time(1)
+
+
+class TestSimulatorsMatchModels:
+    def test_leader_meet_all(self):
+        n = 24
+        measured = simulate_leader_meet_all(n, trials=300, seed=1)
+        model = expected_leader_meet_all(n)
+        assert abs(measured - model) / model < 0.15
+
+    def test_epidemic(self):
+        n = 48
+        measured = simulate_epidemic(n, trials=300, seed=2)
+        model = expected_epidemic_time(n)
+        assert abs(measured - model) / model < 0.15
+
+    def test_timing_table_rows(self):
+        rows = timing_table([8, 16], trials=50, seed=0)
+        assert [r[0] for r in rows] == [8, 16]
+        for _n, mm, ms, em, es in rows:
+            assert abs(ms - mm) / mm < 0.4
+            assert abs(es - em) / em < 0.4
+
+
+class TestRemark1Model:
+    def test_counting_raw_time_within_model(self):
+        # Remark 1: counting terminates within about two meet-everybodies.
+        n, b = 48, 4
+        model = counting_time_model(n)
+        trials = 60
+        total = 0
+        for t in range(trials):
+            total += CountingUpperBound(n, b, seed=1000 + t).run().raw_interactions
+        measured = total / trials
+        # The protocol usually finishes well before the model bound but
+        # within the same n² log n regime.
+        assert measured < 1.5 * model
+        assert measured > model / 20
+
+    def test_model_scales_as_n2_log_n(self):
+        ratio = counting_time_model(512) / counting_time_model(128)
+        expected = (512**2 * math.log(511)) / (128**2 * math.log(127))
+        assert ratio == pytest.approx(expected, rel=0.02)

@@ -1,0 +1,88 @@
+"""Turing machine substrate and the hand-written machines."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MachineError
+from repro.machines.programs import (
+    always_accept_tm,
+    binary_less_than_tm,
+    encode_comparison,
+    parity_tm,
+)
+from repro.machines.tm import RIGHT, TuringMachine, binary_digits
+
+
+def test_binary_digits():
+    assert binary_digits(0) == ["0"]
+    assert binary_digits(5) == ["1", "0", "1"]
+    assert binary_digits(5, width=5) == ["0", "0", "1", "0", "1"]
+    with pytest.raises(MachineError):
+        binary_digits(8, width=3)
+    with pytest.raises(MachineError):
+        binary_digits(-1)
+
+
+def test_comparator_exhaustive():
+    tm = binary_less_than_tm()
+    for a in range(20):
+        for b in range(20):
+            assert tm.accepts(encode_comparison(a, b, 5)) == (a < b), (a, b)
+
+
+def test_comparator_metering():
+    tm = binary_less_than_tm()
+    res = tm.run(encode_comparison(3, 9, 4))
+    assert res.accepted and res.steps > 0 and res.space >= 9
+
+
+def test_space_bound_enforced():
+    tm = binary_less_than_tm()
+    with pytest.raises(MachineError):
+        tm.run(encode_comparison(3, 9, 6), max_space=5)
+
+
+def test_step_bound_enforced():
+    looper = TuringMachine(
+        {("s", "_"): ("s", "_", RIGHT)}, start="s", accept="a", reject="r"
+    )
+    with pytest.raises(MachineError):
+        looper.run([], max_steps=100)
+
+
+def test_missing_transition_rejects():
+    tm = TuringMachine({}, start="s", accept="a", reject="r")
+    assert not tm.accepts(["0"])
+
+
+def test_halting_states_cannot_transition():
+    with pytest.raises(MachineError):
+        TuringMachine(
+            {("a", "0"): ("a", "0", RIGHT)}, start="s", accept="a", reject="r"
+        )
+
+
+def test_bad_move_rejected():
+    with pytest.raises(MachineError):
+        TuringMachine(
+            {("s", "0"): ("s", "0", 5)}, start="s", accept="a", reject="r"
+        )
+
+
+def test_always_accept_and_parity():
+    assert always_accept_tm().accepts(["0", "1"])
+    assert parity_tm().accepts(["1", "0"])
+    assert not parity_tm().accepts(["0", "1"])
+
+
+def test_states_property():
+    tm = parity_tm()
+    assert {"s", "back", "accept", "reject"} <= tm.states
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(0, 500), st.integers(0, 500))
+def test_comparator_property(a, b):
+    tm = binary_less_than_tm()
+    assert tm.accepts(encode_comparison(a, b, 10)) == (a < b)

@@ -1,0 +1,70 @@
+"""The end-to-end universal constructor (Theorem 4)."""
+
+import pytest
+
+from repro.constructors.universal import run_universal
+from repro.errors import SimulationError
+from repro.machines.shape_programs import (
+    cross_program,
+    line_program,
+    star_program,
+)
+
+
+@pytest.mark.parametrize("program", [cross_program(), star_program()],
+                         ids=lambda p: p.name)
+def test_universal_constructs_on_perfect_square_population(program):
+    res = run_universal(program, 25, seed=2)
+    assert res.count_exact
+    assert res.d == 5
+    assert res.matches(program)
+    assert res.waste == 25 - len(res.shape.cells)
+
+
+def test_universal_line_worst_case_waste():
+    res = run_universal(line_program(), 16, seed=1)
+    assert res.matches(line_program())
+    # Theorem 4: waste (d-1) d when the shape is a line of length d.
+    assert res.waste == (res.d - 1) * res.d
+
+
+def test_universal_with_non_square_population_wastes_surplus():
+    res = run_universal(cross_program(), 27, seed=3)
+    assert res.d == 5  # floor(sqrt(27)) = 5
+    assert res.waste >= 27 - 25
+
+
+def test_universal_interaction_accounting():
+    res = run_universal(cross_program(), 16, seed=5)
+    assert res.total_interactions == (
+        res.counting_events + res.square_events + res.construction_interactions
+    )
+    assert res.counting_events > 0 and res.square_events > 0
+
+
+def test_universal_rejects_tiny_populations():
+    with pytest.raises(SimulationError):
+        run_universal(cross_program(), 5)
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_universal_repeatable_success(seed):
+    res = run_universal(cross_program(), 16, seed=seed)
+    assert res.matches(cross_program())
+
+
+def test_universal_with_extended_catalogue():
+    from repro.machines.shape_programs import diamond_program, serpentine_program
+
+    for program in (serpentine_program(), diamond_program()):
+        res = run_universal(program, 25, seed=4)
+        assert res.count_exact
+        assert res.matches(program), program.name
+
+
+def test_universal_result_reports_stage_breakdown():
+    res = run_universal(star_program(), 36, seed=6)
+    assert res.d == 6
+    assert res.n_estimate == 36
+    # The released star is a strict subset of the square.
+    assert 0 < len(res.shape.cells) < 36

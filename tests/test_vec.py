@@ -1,0 +1,69 @@
+"""Unit tests for integer grid vectors."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry.vec import ORIGIN, UNIT_VECTORS, Vec
+
+coords = st.integers(min_value=-50, max_value=50)
+vecs = st.builds(Vec, coords, coords, coords)
+
+
+def test_basic_arithmetic():
+    a = Vec(1, 2, 3)
+    b = Vec(-1, 0, 5)
+    assert a + b == Vec(0, 2, 8)
+    assert a - b == Vec(2, 2, -2)
+    assert -a == Vec(-1, -2, -3)
+    assert a * 2 == Vec(2, 4, 6)
+    assert 3 * a == Vec(3, 6, 9)
+
+
+def test_iteration_and_tuple():
+    assert tuple(Vec(4, 5, 6)) == (4, 5, 6)
+    assert Vec(4, 5).as_tuple() == (4, 5, 0)
+
+
+def test_manhattan_and_unit():
+    assert Vec(1, -2, 3).manhattan() == 6
+    assert ORIGIN.manhattan() == 0
+    for u in UNIT_VECTORS:
+        assert u.is_unit()
+    assert not Vec(1, 1).is_unit()
+    assert not ORIGIN.is_unit()
+
+
+def test_2d_predicate():
+    assert Vec(3, -4).is_2d()
+    assert not Vec(0, 0, 1).is_2d()
+
+
+def test_ordering_is_lexicographic():
+    assert Vec(0, 5, 9) < Vec(1, 0, 0)
+    assert Vec(1, 1) < Vec(1, 2)
+    assert sorted([Vec(2, 0), Vec(0, 2), Vec(1, 1)])[0] == Vec(0, 2)
+
+
+def test_hashable_as_dict_key():
+    d = {Vec(1, 2): "a", Vec(1, 2, 1): "b"}
+    assert d[Vec(1, 2, 0)] == "a"
+
+
+@given(vecs, vecs)
+def test_addition_commutes(a, b):
+    assert a + b == b + a
+
+
+@given(vecs, vecs, vecs)
+def test_addition_associates(a, b, c):
+    assert (a + b) + c == a + (b + c)
+
+
+@given(vecs)
+def test_negation_is_inverse(a):
+    assert a + (-a) == ORIGIN
+
+
+@given(vecs, vecs)
+def test_triangle_inequality(a, b):
+    assert (a + b).manhattan() <= a.manhattan() + b.manhattan()

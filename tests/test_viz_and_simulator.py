@@ -1,0 +1,94 @@
+"""ASCII rendering and simulation-loop odds and ends."""
+
+import pytest
+
+from repro.core.protocol import Rule, RuleProtocol
+from repro.core.simulator import Simulation
+from repro.core.world import World
+from repro.errors import TerminationError
+from repro.geometry.ports import Port
+from repro.geometry.shape import Shape
+from repro.geometry.vec import Vec
+from repro.machines.shape_programs import expected_shape, star_program
+from repro.viz.ascii_art import render_labels, render_shape, render_world
+
+R, L = Port.RIGHT, Port.LEFT
+
+
+def test_render_plain_shape():
+    shape = Shape.from_cells([Vec(0, 0), Vec(1, 0), Vec(1, 1)])
+    out = render_shape(shape)
+    assert out == ".#\n##"
+
+
+def test_render_labeled_shape():
+    cells = [Vec(0, 0), Vec(1, 0)]
+    shape = Shape.from_cells(cells, labels={cells[0]: 1, cells[1]: 0})
+    assert render_shape(shape) == "10"
+    assert render_shape(shape, label_chars={1: "#", 0: "."}) == "#."
+
+
+def test_render_star_is_symmetric():
+    art = render_shape(expected_shape(star_program(), 7))
+    rows = art.splitlines()
+    assert len(rows) == 7
+    assert rows == [r for r in reversed(rows)]  # vertical symmetry
+
+
+def test_render_labels_map():
+    out = render_labels({Vec(0, 0): "a", Vec(2, 0): "b"})
+    assert out == "a.b"
+    assert render_labels({}) == ""
+
+
+def test_render_world_blocks():
+    world = World(2)
+    world.add_component_from_cells({Vec(0, 0): "x", Vec(1, 0): "y"})
+    world.add_free_node("q0")
+    out = render_world(world, include_free=True)
+    assert "component" in out and "free nodes: 1" in out
+
+
+def _absorb():
+    return RuleProtocol(
+        [Rule("L", R, "q0", L, 0, "q1", "L", 1)],
+        leader_state="L",
+        hot_states=["L"],
+    )
+
+
+def test_simulation_budget_raises_when_required():
+    protocol = _absorb()
+    world = World.of_free_nodes(10, protocol, leaders=1)
+    sim = Simulation(world, protocol, seed=1)
+    with pytest.raises(TerminationError):
+        sim.run(max_events=2, require_stop=True)
+
+
+def test_simulation_until_predicate_checked_before_first_event():
+    protocol = _absorb()
+    world = World.of_free_nodes(3, protocol, leaders=1)
+    sim = Simulation(world, protocol, seed=1)
+    res = sim.run(until=lambda w: True)
+    assert res.stopped and res.events == 0
+
+
+def test_states_by_count_and_any_halted():
+    protocol = _absorb()
+    world = World.of_free_nodes(4, protocol, leaders=1)
+    sim = Simulation(world, protocol, seed=1)
+    counts = dict(sim.states_by_count())
+    assert counts == {"q0": 3, "L": 1}
+    assert not sim.any_halted()
+
+
+def test_trace_hook_sees_every_event():
+    protocol = _absorb()
+    world = World.of_free_nodes(5, protocol, leaders=1)
+    seen = []
+    sim = Simulation(
+        world, protocol, seed=2,
+        trace=lambda i, cand, upd, w: seen.append(i),
+    )
+    res = sim.run_to_stabilization(max_events=100)
+    assert seen == list(range(1, res.events + 1))

@@ -1,0 +1,101 @@
+"""Random-walk analysis behind Theorem 1 (Figure 4, Ehrenfest, ruin)."""
+
+import math
+import random
+
+import pytest
+
+from repro.analysis.stats import fit_power_law, mean, ratio_to_model
+from repro.analysis.walks import (
+    CountingWalk,
+    counting_failure_bound,
+    ehrenfest_mean_recurrence,
+    ehrenfest_return_probability,
+    gambler_ruin_win_probability,
+    simulate_ehrenfest_return,
+    walk_failure_table,
+)
+from repro.errors import ReproError
+from repro.population.counting import CountingUpperBound
+
+
+def test_ruin_formula_limits():
+    # Fair game: 1/b.
+    assert gambler_ruin_win_probability(1.0, 4) == pytest.approx(0.25)
+    # Strongly unfavorable: ~ x^{-(b-1)}.
+    x = 100.0
+    assert gambler_ruin_win_probability(x, 3) == pytest.approx(
+        1 / x**2, rel=0.05
+    )
+    with pytest.raises(ReproError):
+        gambler_ruin_win_probability(2.0, 0)
+
+
+def test_kac_recurrence_at_empty_urn():
+    """Kac: at k = -R the mean recurrence time is 2^(2R)."""
+    for R in (2, 5, 10):
+        assert ehrenfest_mean_recurrence(R, -R) == pytest.approx(2.0 ** (2 * R))
+    with pytest.raises(ReproError):
+        ehrenfest_mean_recurrence(3, 7)
+
+
+def test_kac_recurrence_center_is_small():
+    # Recurrence at the balanced state is tiny compared to the empty urn.
+    assert ehrenfest_mean_recurrence(10, 0) < ehrenfest_mean_recurrence(10, -10)
+
+
+def test_ehrenfest_dp_matches_monte_carlo():
+    exact = ehrenfest_return_probability(20, 3, 40)
+    approx = simulate_ehrenfest_return(20, 3, 40, trials=4000, seed=1)
+    assert abs(exact - approx) < 0.03
+
+
+def test_ehrenfest_return_is_rare_from_deep_start():
+    """Theorem 1's reduction: starting b deep, emptying within n steps is
+    unlikely — and decreases with b."""
+    n = 60
+    p3 = ehrenfest_return_probability(n, 3, n)
+    p5 = ehrenfest_return_probability(n, 5, n)
+    assert p5 < p3 < 0.1
+
+
+def test_counting_walk_failure_below_bound():
+    walk = CountingWalk(64, 4)
+    fail, steps = walk.failure_probability(3000, seed=2)
+    assert fail <= counting_failure_bound(64, 4) + 0.02
+    assert steps > 0
+
+
+def test_counting_walk_matches_protocol_failure():
+    """The Figure 4 walk is the exact effective-subsequence law of the
+    protocol: success rates must agree closely."""
+    n, b, trials = 32, 3, 1500
+    rng = random.Random(3)
+    walk_fail, _ = CountingWalk(n, b).failure_probability(trials, seed=4)
+    proto_fail = 0
+    for _ in range(trials):
+        res = CountingUpperBound(n, b, rng=rng).run()
+        proto_fail += int(not res.success)
+    proto_fail /= trials
+    assert abs(walk_fail - proto_fail) < 0.03
+
+
+def test_walk_failure_table_shape():
+    rows = walk_failure_table([16, 32], [3, 4], trials=200, seed=0)
+    assert len(rows) == 4
+    for n, b, fail, bound in rows:
+        assert 0 <= fail <= 1
+        assert bound == counting_failure_bound(n, b)
+
+
+def test_stats_helpers():
+    assert mean([1.0, 2.0, 3.0]) == 2.0
+    with pytest.raises(ReproError):
+        mean([])
+    alpha, c = fit_power_law([1, 2, 4, 8], [3, 12, 48, 192])
+    assert alpha == pytest.approx(2.0, abs=0.01)
+    assert c == pytest.approx(3.0, rel=0.05)
+    ratios = ratio_to_model([1, 2], [2, 8], lambda x: x**2)
+    assert ratios == [2.0, 2.0]
+    with pytest.raises(ReproError):
+        fit_power_law([1], [1])

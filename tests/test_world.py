@@ -1,0 +1,174 @@
+"""World mechanics: permissibility, bonding, merging, splitting, surgery."""
+
+import pytest
+
+from repro.core.protocol import Rule, RuleProtocol
+from repro.core.world import Candidate, World, bond_of
+from repro.errors import SimulationError
+from repro.geometry.ports import Port
+from repro.geometry.vec import Vec
+
+U, R, D, L = Port.UP, Port.RIGHT, Port.DOWN, Port.LEFT
+
+
+def _two_free():
+    w = World(2)
+    a = w.add_free_node("x")
+    b = w.add_free_node("y")
+    return w, a, b
+
+
+def test_free_nodes_are_singletons():
+    w, a, b = _two_free()
+    assert w.size == 2
+    assert w.is_free(a) and w.is_free(b)
+    assert set(w.free_node_ids()) == {a, b}
+    assert w.by_state == {"x": {a}, "y": {b}}
+
+
+def test_inter_alignment_unique_in_2d():
+    w, a, b = _two_free()
+    alignments = w.inter_alignments(a, R, b, L)
+    assert len(alignments) == 1
+    alignments_same_port = w.inter_alignments(a, R, b, R)
+    assert len(alignments_same_port) == 1  # a 180-degree rotation aligns it
+
+
+def test_bonding_merges_components():
+    w, a, b = _two_free()
+    (rot, trans) = w.inter_alignments(a, R, b, L)[0]
+    cand = Candidate(a, R, b, L, 0, rot, trans)
+    w.apply(cand, ("x2", "y2", 1))
+    assert w.component_of(a) is w.component_of(b)
+    assert w.bond_state(a, R, b, L) == 1
+    assert w.nodes[b].pos - w.nodes[a].pos == Vec(1, 0)
+    w.check_invariants()
+
+
+def test_touch_without_bond_keeps_components_apart():
+    w, a, b = _two_free()
+    (rot, trans) = w.inter_alignments(a, R, b, L)[0]
+    w.apply(Candidate(a, R, b, L, 0, rot, trans), ("x2", "y2", 0))
+    assert w.component_of(a) is not w.component_of(b)
+    assert w.state_of(a) == "x2" and w.state_of(b) == "y2"
+
+
+def test_unbonding_splits_component():
+    w, a, b = _two_free()
+    (rot, trans) = w.inter_alignments(a, R, b, L)[0]
+    w.apply(Candidate(a, R, b, L, 0, rot, trans), ("x", "y", 1))
+    cand = w.check_intra(a, R, b, L)
+    assert cand is not None and cand.bond == 1
+    w.apply(cand, ("x", "y", 0))
+    assert w.component_of(a) is not w.component_of(b)
+    w.check_invariants()
+
+
+def test_occupied_slot_blocks_alignment():
+    w = World(2)
+    nids = w.add_component_from_cells({Vec(0, 0): "a", Vec(1, 0): "a"})
+    free = w.add_free_node("q")
+    left_nid = nids[Vec(0, 0)]
+    # The right port of the left node faces its neighbor: no alignment.
+    assert w.inter_alignments(left_nid, R, free, L) == []
+    # Its left port is open.
+    assert len(w.inter_alignments(left_nid, L, free, R)) == 1
+
+
+def test_collision_blocks_component_alignment():
+    w = World(2)
+    # An L-shaped component and a 2-node bar that would overlap it.
+    w.add_component_from_cells(
+        {Vec(0, 0): "a", Vec(1, 0): "a", Vec(1, 1): "a"}
+    )
+    w.add_component_from_cells({Vec(0, 0): "b", Vec(0, 1): "b"})
+    a_ids = [nid for nid, rec in w.nodes.items() if rec.state == "a"]
+    b_ids = [nid for nid, rec in w.nodes.items() if rec.state == "b"]
+    corner = next(nid for nid in a_ids if w.nodes[nid].pos == Vec(0, 0))
+    bottom_b = next(nid for nid in b_ids if w.nodes[nid].pos == Vec(0, 0))
+    # Placing b's bottom to the right of a's corner at (1, 0)... occupied.
+    assert w.inter_alignments(corner, R, bottom_b, L) == []
+    # Placing it to the left at (-1, 0) is fine: column fits.
+    assert len(w.inter_alignments(corner, L, bottom_b, R)) == 1
+
+
+def test_intra_pair_requires_adjacency():
+    w = World(2)
+    nids = w.add_component_from_cells(
+        {Vec(0, 0): "a", Vec(1, 0): "a", Vec(2, 0): "a"}
+    )
+    far = w.intra_candidate(nids[Vec(0, 0)], nids[Vec(2, 0)])
+    assert far is None
+    near = w.intra_candidate(nids[Vec(0, 0)], nids[Vec(1, 0)])
+    assert near is not None and (near.port1, near.port2) == (R, L)
+
+
+def test_enumerate_candidates_on_small_world():
+    w, a, b = _two_free()
+    cands = list(w.enumerate_candidates())
+    # Two free nodes in 2D: all 4x4 port combinations are permissible.
+    assert len(cands) == 16
+    assert all(c.rotation is not None for c in cands)
+
+
+def test_add_component_validates_connectivity():
+    w = World(2)
+    with pytest.raises(SimulationError):
+        w.add_component_from_cells(
+            {Vec(0, 0): "a", Vec(1, 0): "a"}, bonds=[]
+        )
+
+
+def test_free_singleton_surgery():
+    w = World(2)
+    nids = w.add_component_from_cells(
+        {Vec(0, 0): "a", Vec(1, 0): "a", Vec(2, 0): "a"}
+    )
+    w.free_singleton(nids[Vec(1, 0)], "q0")
+    # The middle node leaves; the two ends are now separate components.
+    assert w.is_free(nids[Vec(1, 0)])
+    assert w.state_of(nids[Vec(1, 0)]) == "q0"
+    assert w.component_of(nids[Vec(0, 0)]) is not w.component_of(nids[Vec(2, 0)])
+    w.check_invariants()
+
+
+def test_transplant_line_surgery():
+    w = World(2)
+    square = w.add_component_from_cells({Vec(0, 0): "sq", Vec(1, 0): "sq"})
+    line = w.add_component_from_cells(
+        {Vec(5, 5): "i", Vec(6, 5): "i"}
+    )
+    into = w.nodes[square[Vec(0, 0)]].component_id
+    w.transplant_line(
+        [line[Vec(5, 5)], line[Vec(6, 5)]],
+        [Vec(0, -1), Vec(1, -1)],
+        into,
+        "sq",
+    )
+    comp = w.components[into]
+    assert comp.size() == 4
+    w.check_invariants()
+
+
+def test_output_shapes():
+    protocol = RuleProtocol(
+        [Rule("L", R, "q0", L, 0, "q1", "L", 1)],
+        leader_state="L",
+        output_states={"q1", "L"},
+        hot_states=["L"],
+    )
+    w = World(2)
+    w.add_component_from_cells({Vec(0, 0): "q1", Vec(1, 0): "L"})
+    w.add_free_node("q0")
+    shapes = w.output_shapes(protocol)
+    assert len(shapes) == 1
+    assert len(shapes[0].cells) == 2
+
+
+def test_invariant_checker_catches_corruption():
+    w = World(2)
+    nids = w.add_component_from_cells({Vec(0, 0): "a", Vec(1, 0): "a"})
+    comp = w.component_of(nids[Vec(0, 0)])
+    comp.bonds.add(bond_of(nids[Vec(0, 0)], U, nids[Vec(1, 0)], D))
+    with pytest.raises(SimulationError):
+        w.check_invariants()

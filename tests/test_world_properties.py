@@ -1,0 +1,207 @@
+"""Hypothesis property tests for world dynamics under random protocols.
+
+These complement the example-based tests in ``test_world.py`` by driving
+random interaction sequences (random gluing, random breakage, random
+hybrid swings) and asserting the §3 structural invariants after every
+event: no overlapping cells, bonds only between facing ports at unit
+distance, bond graphs connected per component.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.protocol import Rule, RuleProtocol
+from repro.core.scheduler import (
+    EnumeratingScheduler,
+    HotScheduler,
+    RejectionScheduler,
+)
+from repro.core.simulator import Simulation
+from repro.core.world import World
+from repro.faults.injection import break_random_bond
+from repro.geometry.ports import PORTS_2D, opposite
+from repro.geometry.random_shapes import random_connected_shape
+from repro.geometry.shape import Shape
+
+
+def gluing_protocol(dimension: int = 2) -> RuleProtocol:
+    rules = [
+        Rule("g", p, "g", opposite(p), 0, "g", "g", 1) for p in PORTS_2D
+    ]
+    return RuleProtocol(rules, initial_state="g", dimension=dimension,
+                        name="gluing")
+
+
+class TestRandomGluing:
+    @given(
+        st.integers(min_value=2, max_value=10),
+        st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_invariants_throughout_random_gluing(self, n, seed):
+        protocol = gluing_protocol()
+        world = World(2)
+        for _ in range(n):
+            world.add_free_node("g")
+        sim = Simulation(world, protocol, seed=seed, check_invariants=True)
+        sim.run(max_events=300)
+        world.check_invariants()
+        # Gluing preserves population and never unbonds: the bond count
+        # per component is at least a spanning tree's.
+        assert sum(c.size() for c in world.components.values()) == n
+        for comp in world.components.values():
+            if comp.size() > 1:
+                assert len(comp.bonds) >= comp.size() - 1
+
+    @given(
+        st.integers(min_value=3, max_value=9),
+        st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_glue_then_shatter_roundtrip(self, n, seed):
+        protocol = gluing_protocol()
+        world = World(2)
+        for _ in range(n):
+            world.add_free_node("g")
+        Simulation(world, protocol, seed=seed).run(max_events=300)
+        rng = random.Random(seed + 1)
+        while break_random_bond(world, rng) is not None:
+            world.check_invariants()
+        # Every node is free again and holds its state.
+        assert len(world.components) == n
+        assert all(world.is_free(nid) for nid in world.nodes)
+
+
+class TestSchedulerAgreement:
+    @given(st.integers(min_value=2, max_value=6), st.integers(min_value=0, max_value=200))
+    @settings(max_examples=15, deadline=None)
+    def test_hot_and_enumerating_agree_on_effective_support(self, n, seed):
+        # The hot scheduler's candidate set must equal the effective subset
+        # of the full enumeration, whatever the configuration.
+        protocol = gluing_protocol()
+        world = World(2)
+        for _ in range(n):
+            world.add_free_node("g")
+        # Random mid-execution configuration.
+        Simulation(world, protocol, seed=seed).run(max_events=seed % (n + 1))
+
+        from repro.core.scheduler import evaluate
+
+        full = set()
+        for cand in world.enumerate_candidates():
+            if evaluate(protocol, world, cand) is not None:
+                full.add(
+                    (cand.nid1, cand.port1, cand.nid2, cand.port2,
+                     cand.rotation, cand.translation)
+                )
+        hot = {
+            (c.nid1, c.port1, c.nid2, c.port2, c.rotation, c.translation)
+            for c, _u in HotScheduler._effective_candidates(world, protocol)
+        }
+
+        def normalize(items):
+            # An unordered interaction may be enumerated from either side
+            # (with the placement expressed in either component's frame);
+            # in 2D the alignment per node-port pair is unique, so the
+            # unordered endpoint pair identifies the candidate.
+            return {
+                frozenset(((a, pa), (b, pb)))
+                for a, pa, b, pb, _rot, _tr in items
+            }
+
+        assert normalize(hot) == normalize(full)
+
+    def test_three_schedulers_same_law_on_first_event(self):
+        # Chi-square-free sanity: over many seeds, each scheduler picks
+        # every one of the k symmetric candidates with similar frequency.
+        protocol = gluing_protocol()
+
+        def first_pick(scheduler, seed):
+            world = World(2)
+            for _ in range(3):
+                world.add_free_node("g")
+            sim = Simulation(world, protocol, scheduler=scheduler, seed=seed)
+            event = sim.step()
+            assert event is not None
+            return event.candidate.nid1, event.candidate.nid2
+
+        trials = 200
+        counts = {}
+        for kind in ("hot", "enumerate", "rejection"):
+            picks = {}
+            for s in range(trials):
+                scheduler = {
+                    "hot": HotScheduler(),
+                    "enumerate": EnumeratingScheduler(),
+                    "rejection": RejectionScheduler(),
+                }[kind]
+                pair = tuple(sorted(first_pick(scheduler, s)))
+                picks[pair] = picks.get(pair, 0) + 1
+            counts[kind] = picks
+        for kind, picks in counts.items():
+            assert len(picks) == 3, kind  # all three node pairs occur
+            assert min(picks.values()) > trials / 9, kind
+
+
+class TestShapeProperties:
+    @given(
+        st.integers(min_value=1, max_value=16),
+        st.integers(min_value=0, max_value=500),
+        st.integers(min_value=0, max_value=3),
+        st.integers(min_value=-5, max_value=5),
+        st.integers(min_value=-5, max_value=5),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_congruence_invariant_under_motion(self, size, seed, rot_idx, dx, dy):
+        from repro.geometry.rotation import ROTATIONS_2D
+        from repro.geometry.vec import Vec
+
+        shape = random_connected_shape(size, seed=seed)
+        moved = shape.rotate(ROTATIONS_2D[rot_idx]).translate(Vec(dx, dy))
+        assert shape.congruent(moved)
+        assert shape.canonical() == moved.canonical()
+
+    @given(st.integers(min_value=1, max_value=16), st.integers(min_value=0, max_value=500))
+    @settings(max_examples=30, deadline=None)
+    def test_canonical_idempotent(self, size, seed):
+        shape = random_connected_shape(size, seed=seed)
+        canon = shape.canonical()
+        assert canon.canonical() == canon
+
+    @given(st.integers(min_value=2, max_value=14), st.integers(min_value=0, max_value=500))
+    @settings(max_examples=30, deadline=None)
+    def test_component_shape_roundtrip(self, size, seed):
+        # Loading a random shape into a world and reading it back is the
+        # identity up to normalization.
+        shape = random_connected_shape(size, seed=seed)
+        world = World(2)
+        world.add_component_from_cells({c: "s" for c in shape.cells})
+        cid = next(iter(world.components))
+        back = world.component_shape(cid)
+        assert back.normalize().cells == shape.normalize().cells
+
+
+class TestOutputShapes:
+    @given(st.integers(min_value=2, max_value=12), st.integers(min_value=0, max_value=300))
+    @settings(max_examples=25, deadline=None)
+    def test_output_restricted_to_output_states(self, size, seed):
+        # Label a random connected sub-segment as output; output_shapes
+        # must return exactly its connected pieces.
+        shape = random_connected_shape(size, seed=seed)
+        rng = random.Random(seed)
+        cells = sorted(shape.cells)
+        marked = {c for c in cells if rng.random() < 0.6}
+        world = World(2)
+        world.add_component_from_cells(
+            {c: ("out" if c in marked else "other") for c in cells}
+        )
+        protocol = RuleProtocol(
+            [], initial_state="other", output_states={"out"}, name="mark"
+        )
+        shapes = world.output_shapes(protocol)
+        assert sum(len(s) for s in shapes) == len(marked)
+        for s in shapes:
+            assert isinstance(s, Shape)  # connectivity validated on build
