@@ -27,6 +27,7 @@ from repro.constructors.tm_construction import (
     run_pattern_construction,
     run_shape_construction,
 )
+from repro.core.scheduler import make_scheduler
 from repro.core.simulator import Simulation
 from repro.core.world import World
 from repro.faults.repair import detach_part, repair_shape
@@ -59,6 +60,9 @@ from repro.protocols.square2 import square2_protocol
 from repro.replication.columns import replicate_by_columns
 from repro.replication.shifting import replicate_by_shifting
 from repro.viz.ascii_art import render_labels, render_layers, render_shape, render_world
+
+#: Scheduler kinds selectable from the command line (see ``make_scheduler``).
+SCHEDULERS = ("hot", "enumerate", "rejection", "round-robin")
 
 #: The shape catalogue exposed by ``construct``.
 SHAPES: Dict[str, Callable[[], ShapeProgram]] = {
@@ -96,14 +100,18 @@ PROTOCOLS: Dict[str, Callable[[], object]] = {
 def _cmd_demo(args: argparse.Namespace) -> int:
     protocol = spanning_line_protocol()
     world = World.of_free_nodes(args.n, protocol, leaders=1)
-    result = Simulation(world, protocol, seed=args.seed).run_to_stabilization()
+    result = Simulation(
+        world, protocol, scheduler=make_scheduler(args.scheduler), seed=args.seed
+    ).run_to_stabilization()
     print(f"spanning line on {args.n} nodes: {result.events} effective interactions")
     print(render_world(world, state_char=lambda s: "#"))
     side = max(3, int(args.n**0.5))
     n_sq = side * side
     protocol = square_protocol()
     world = World.of_free_nodes(n_sq, protocol, leaders=1)
-    result = Simulation(world, protocol, seed=args.seed).run_to_stabilization()
+    result = Simulation(
+        world, protocol, scheduler=make_scheduler(args.scheduler), seed=args.seed
+    ).run_to_stabilization()
     print(f"\n{side}x{side} square on {n_sq} nodes: {result.events} effective interactions")
     print(render_world(world, state_char=lambda s: "#"))
     return 0
@@ -227,6 +235,15 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("demo", help="quickstart: spanning line + square")
     p.add_argument("-n", type=int, default=10, help="population size")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--scheduler",
+        choices=SCHEDULERS,
+        default="hot",
+        help=(
+            "uniform-scheduler implementation (all produce identical seeded "
+            "trajectories) or the deterministic fair round-robin adversary"
+        ),
+    )
     p.set_defaults(func=_cmd_demo)
 
     p = sub.add_parser("count", help="Theorem 1 terminating counting")

@@ -14,10 +14,18 @@ from repro.core.protocol import (
     Update,
 )
 from repro.core.world import Candidate, Component, NodeRecord, World
+from repro.core.candidates import (
+    EffectiveCandidateCache,
+    candidate_sort_key,
+    hot_effective_candidates,
+    reference_effective_candidates,
+)
+from repro.core.sampling import geometric_skip
 from repro.core.scheduler import (
     EnumeratingScheduler,
     HotScheduler,
     RejectionScheduler,
+    RoundRobinScheduler,
     Scheduler,
     make_scheduler,
 )
@@ -54,7 +62,14 @@ __all__ = [
     "EnumeratingScheduler",
     "RejectionScheduler",
     "HotScheduler",
+    "RoundRobinScheduler",
     "make_scheduler",
+    # candidate layer
+    "EffectiveCandidateCache",
+    "candidate_sort_key",
+    "hot_effective_candidates",
+    "reference_effective_candidates",
+    "geometric_skip",
     "Simulation",
     "RunResult",
     # introspection

@@ -1,0 +1,388 @@
+"""The shared effective-candidate layer behind every scheduler.
+
+All schedulers of ``repro.core.scheduler`` select among the *effective*
+permissible interactions of the current configuration. This module owns
+that set, in three interchangeable forms that provably produce the same
+canonically ordered list:
+
+* :func:`reference_effective_candidates` — filter the world's full
+  permissible enumeration (the §3 reference; also yields ``|Perm|``, needed
+  for exact raw-step accounting).
+* :func:`hot_effective_candidates` — brute-force enumeration restricted to
+  *hot* nodes (states that can appear in effective interactions). Same
+  result, skips provably ineffective pairs.
+* :class:`EffectiveCandidateCache` — incremental maintenance of the hot
+  enumeration. After each event only the *dirty neighborhood* is
+  re-examined: nodes whose state changed (tracked by the
+  :class:`~repro.core.world.World` change journal) and nodes of components
+  whose ``Component.version`` bumped (merges, splits, bond changes, moves,
+  surgery). Entries between untouched components survive verbatim.
+
+Canonical form
+--------------
+
+A physical interaction can be described from either endpoint (with the
+placement expressed in either component's frame). To make the three forms
+comparable — and seeded runs identical across schedulers — every candidate
+is produced in a *canonical orientation*:
+
+* intra-component: the smaller node id is ``nid1``;
+* inter-component: ``nid1`` belongs to the component with the smaller id
+  (component ids are never reused, so this is stable between events).
+
+and the final list is sorted by :func:`candidate_sort_key`, a total order
+over full candidate identity **including rotation and translation** (two
+inter-component candidates may differ only in alignment; dropping the
+placement from the key made the round-robin adversary tie-break on hash
+order, breaking cross-process determinism — the bug fixed by this module).
+
+Correctness of the incremental form rests on locality: a candidate's
+permissibility and effectiveness depend only on the states, ports, and
+bond of its two endpoints and on the cell sets of their two components.
+Any mutation of those — state writes, bond flips, merges, splits, moves,
+surgery — either lands the endpoint in the change journal or bumps the
+owning component's version, so the sweep in :meth:`refresh` invalidates
+exactly the entries that may have changed. Property tests
+(``tests/test_scheduler_equivalence.py``) drive random executions with
+merges, splits, fault injection, and synchronous rounds and assert the
+cache equals the reference after every event.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.core.protocol import Protocol, Update
+from repro.core.world import Candidate, World
+
+#: Identity key of a candidate: endpoints, ports, and placement rotation.
+#: (The translation and bond are determined by these plus the current
+#: configuration, so the key is unique within one configuration.)
+CandidateKey = Tuple[int, str, int, str, Optional[tuple]]
+
+#: A cached entry: the candidate and its (effective) update.
+Entry = Tuple[Candidate, Update]
+
+
+def candidate_key(cand: Candidate) -> CandidateKey:
+    """A hashable identity key for a canonical candidate."""
+    return (
+        cand.nid1,
+        cand.port1.value,
+        cand.nid2,
+        cand.port2.value,
+        None if cand.rotation is None else cand.rotation.matrix,
+    )
+
+
+def candidate_sort_key(cand: Candidate):
+    """A deterministic total order over candidates.
+
+    Includes the bond and the full placement (rotation matrix and
+    translation): inter-component candidates may differ *only* in
+    alignment, and the order of this list feeds RNG-indexed draws and the
+    round-robin adversary's turn — it must be decided by value, never by
+    set/hash iteration order.
+    """
+    return (
+        cand.nid1,
+        cand.port1.value,
+        cand.nid2,
+        cand.port2.value,
+        cand.bond,
+        () if cand.rotation is None else cand.rotation.matrix,
+        () if cand.translation is None else cand.translation.as_tuple(),
+    )
+
+
+def canonicalize(world: World, cand: Candidate) -> Candidate:
+    """Re-orient a candidate into the canonical form described above.
+
+    Intra candidates are flipped by swapping endpoints (the bond is
+    symmetric); inter candidates produced by the world's reference
+    enumeration are already canonical (it enumerates component pairs in
+    component-id order), so only the intra case needs work.
+    """
+    if cand.intra:
+        if cand.nid1 > cand.nid2:
+            return Candidate(
+                cand.nid2, cand.port2, cand.nid1, cand.port1, cand.bond
+            )
+        return cand
+    cid1 = world.nodes[cand.nid1].component_id
+    cid2 = world.nodes[cand.nid2].component_id
+    if cid1 > cid2:  # pragma: no cover - reference enumeration is canonical
+        raise AssertionError(
+            "inter candidate not in canonical component order; generate it "
+            "from the lower-id component instead of flipping frames"
+        )
+    return cand
+
+
+def iter_node_candidates(
+    world: World, protocol: Protocol, nid: int
+) -> Iterator[Candidate]:
+    """Every *possibly effective* canonical candidate involving ``nid``.
+
+    Prunes with the protocol's hot/pair/port hints (all over-approximate,
+    so no effective candidate is missed); the caller evaluates the
+    survivors. Candidates whose two endpoints are both enumerated (e.g.
+    both dirty, or both hot) are yielded once per endpoint — deduplicate
+    by :func:`candidate_key`.
+    """
+    rec = world.nodes[nid]
+    comp = world.components[rec.component_id]
+    state = rec.state
+    nid_hot = protocol.is_hot(state)
+    # Intra-component: the (at most one per port) grid-adjacent pairs.
+    for port in world.ports:
+        cell = rec.pos + world.world_port_direction(nid, port)
+        other = comp.cells.get(cell)
+        if other is None:
+            continue
+        other_state = world.nodes[other].state
+        if not (nid_hot or protocol.is_hot(other_state)):
+            continue
+        if not protocol.pair_compatible(state, other_state):
+            continue
+        a, b = (nid, other) if nid < other else (other, nid)
+        cand = world.intra_candidate(a, b)
+        if cand is not None:
+            yield cand
+    # Inter-component: nid against every node of another component whose
+    # state passes the hints, oriented by component id.
+    for partner_state, members in world.by_state.items():
+        if not (nid_hot or protocol.is_hot(partner_state)):
+            continue
+        if not protocol.pair_compatible(state, partner_state):
+            continue
+        hints = protocol.port_hints(state, partner_state)
+        for other in members:
+            if other == nid:
+                continue
+            other_rec = world.nodes[other]
+            if other_rec.component_id == rec.component_id:
+                continue
+            first_is_nid = rec.component_id < other_rec.component_id
+            if hints is None:
+                combos: Iterator[Tuple] = (
+                    (p1, p2) for p1 in world.ports for p2 in world.ports
+                )
+            elif first_is_nid:
+                combos = iter(hints)
+            else:
+                # Hints are oriented (port of nid, port of partner).
+                combos = ((p2, p1) for p1, p2 in hints)
+            first, second = (nid, other) if first_is_nid else (other, nid)
+            for p1, p2 in combos:
+                yield from world.inter_candidates(first, p1, second, p2)
+
+
+def hot_effective_candidates(
+    world: World,
+    protocol: Protocol,
+    evaluate: Callable[[Protocol, World, Candidate], Optional[Update]],
+) -> List[Entry]:
+    """Brute-force hot enumeration: the canonical effective list.
+
+    Enumerates candidates involving each hot node, deduplicates by key,
+    evaluates, and sorts. Equal to the effective subset of the reference
+    enumeration because hotness over-approximates ("an interaction between
+    two non-hot states is ineffective").
+    """
+    entries: Dict[CandidateKey, Entry] = {}
+    seen: Set[CandidateKey] = set()
+    for state in world.by_state:
+        if not protocol.is_hot(state):
+            continue
+        for nid in world.by_state[state]:
+            for cand in iter_node_candidates(world, protocol, nid):
+                key = candidate_key(cand)
+                if key in seen:  # already evaluated from the other endpoint
+                    continue
+                seen.add(key)
+                update = evaluate(protocol, world, cand)
+                if update is not None:
+                    entries[key] = (cand, update)
+    out = list(entries.values())
+    out.sort(key=lambda cu: candidate_sort_key(cu[0]))
+    return out
+
+
+def reference_effective_candidates(
+    world: World,
+    protocol: Protocol,
+    evaluate: Callable[[Protocol, World, Candidate], Optional[Update]],
+) -> Tuple[List[Entry], int]:
+    """The canonical effective list via full enumeration, plus ``|Perm|``.
+
+    The reference form: every permissible interaction is evaluated, so the
+    exact schedulers can compute the effectiveness probability
+    ``|Eff| / |Perm|`` for raw-step accounting.
+    """
+    effective: List[Entry] = []
+    permissible = 0
+    for raw in world.enumerate_candidates():
+        permissible += 1
+        cand = canonicalize(world, raw)
+        update = evaluate(protocol, world, cand)
+        if update is not None:
+            effective.append((cand, update))
+    effective.sort(key=lambda cu: candidate_sort_key(cu[0]))
+    return effective, permissible
+
+
+class EffectiveCandidateCache:
+    """Incrementally maintained canonical effective-candidate list.
+
+    Bound lazily to one (world, protocol) pair; :meth:`refresh` returns the
+    current sorted list, re-examining only the dirty neighborhood since the
+    previous call:
+
+    * nodes recorded in the world's change journal (state writes, the two
+      endpoints of every applied interaction);
+    * all nodes of components whose ``version`` counter moved, appeared,
+      or vanished (merges, splits, bond flips, leaf rotations, surgery).
+
+    If the journal was truncated under the cache (an unboundedly long gap
+    between refreshes) or the binding changed, the cache falls back to a
+    full rebuild — never to a stale answer.
+    """
+
+    def __init__(self) -> None:
+        self._world: Optional[World] = None
+        self._protocol: Optional[Protocol] = None
+        self._cursor = 0
+        self._comp_versions: Dict[int, int] = {}
+        self._comp_members: Dict[int, Tuple[int, ...]] = {}
+        self._entries: Dict[CandidateKey, Entry] = {}
+        self._by_node: Dict[int, Set[CandidateKey]] = {}
+        self._sorted: Optional[List[Entry]] = None
+        #: Protocol-delta evaluations performed (the scheduler cost metric
+        #: reported by ``benchmarks/bench_schedulers.py``).
+        self.evaluations = 0
+        self.full_rebuilds = 0
+        self.refreshed_nodes = 0
+
+    # ------------------------------------------------------------------
+
+    def refresh(
+        self,
+        world: World,
+        protocol: Protocol,
+        evaluate: Callable[[Protocol, World, Candidate], Optional[Update]],
+    ) -> List[Entry]:
+        """The canonical sorted effective list for the current configuration."""
+        if world is not self._world or protocol is not self._protocol:
+            self._rebuild(world, protocol, evaluate)
+            assert self._sorted is not None
+            return self._sorted
+        dirty = world.changes_since(self._cursor)
+        if dirty is None:  # journal truncated under us
+            self._rebuild(world, protocol, evaluate)
+            assert self._sorted is not None
+            return self._sorted
+        self._cursor = world.change_cursor()
+        self._sweep_component_versions(world, dirty)
+        if dirty:
+            self._invalidate(dirty)
+            seen: Set[CandidateKey] = set()
+            for nid in sorted(dirty):
+                if nid in world.nodes:
+                    self._generate_for_node(world, protocol, evaluate, nid, seen)
+            self._sorted = None
+        if self._sorted is None:
+            self._sorted = sorted(
+                self._entries.values(),
+                key=lambda cu: candidate_sort_key(cu[0]),
+            )
+        return self._sorted
+
+    # ------------------------------------------------------------------
+
+    def _rebuild(
+        self,
+        world: World,
+        protocol: Protocol,
+        evaluate: Callable[[Protocol, World, Candidate], Optional[Update]],
+    ) -> None:
+        self._world = world
+        self._protocol = protocol
+        self._cursor = world.change_cursor()
+        self._entries.clear()
+        self._by_node.clear()
+        self._comp_versions = {
+            cid: comp.version for cid, comp in world.components.items()
+        }
+        self._comp_members = {
+            cid: tuple(comp.cells.values())
+            for cid, comp in world.components.items()
+        }
+        self.full_rebuilds += 1
+        seen: Set[CandidateKey] = set()
+        for state in world.by_state:
+            if not protocol.is_hot(state):
+                continue
+            for nid in world.by_state[state]:
+                self._generate_for_node(world, protocol, evaluate, nid, seen)
+        self._sorted = sorted(
+            self._entries.values(), key=lambda cu: candidate_sort_key(cu[0])
+        )
+
+    def _sweep_component_versions(self, world: World, dirty: Set[int]) -> None:
+        """Fold component-version movement into the dirty node set."""
+        seen = set()
+        for cid, comp in world.components.items():
+            seen.add(cid)
+            version = comp.version
+            if self._comp_versions.get(cid) == version:
+                continue
+            # New component or bumped version: its previous and current
+            # members all carry potentially stale geometry.
+            dirty.update(self._comp_members.get(cid, ()))
+            members = tuple(comp.cells.values())
+            dirty.update(members)
+            self._comp_versions[cid] = version
+            self._comp_members[cid] = members
+        for cid in list(self._comp_versions):
+            if cid not in seen:  # vanished (merged away)
+                dirty.update(self._comp_members.pop(cid, ()))
+                del self._comp_versions[cid]
+
+    def _invalidate(self, dirty: Set[int]) -> None:
+        for nid in dirty:
+            keys = self._by_node.pop(nid, None)
+            if not keys:
+                continue
+            for key in keys:
+                if self._entries.pop(key, None) is None:
+                    continue
+                other = key[2] if key[0] == nid else key[0]
+                peer = self._by_node.get(other)
+                if peer is not None:
+                    peer.discard(key)
+
+    def _generate_for_node(
+        self,
+        world: World,
+        protocol: Protocol,
+        evaluate: Callable[[Protocol, World, Candidate], Optional[Update]],
+        nid: int,
+        seen: Set[CandidateKey],
+    ) -> None:
+        """Regenerate entries for one node; ``seen`` spans one refresh so
+        a candidate whose endpoints are both being regenerated (or an
+        ineffective one) is evaluated once, not once per endpoint."""
+        self.refreshed_nodes += 1
+        for cand in iter_node_candidates(world, protocol, nid):
+            key = candidate_key(cand)
+            if key in seen:
+                continue  # regenerated from the partner this refresh
+            seen.add(key)
+            self.evaluations += 1
+            update = evaluate(protocol, world, cand)
+            if update is None:
+                continue
+            self._entries[key] = (cand, update)
+            self._by_node.setdefault(cand.nid1, set()).add(key)
+            self._by_node.setdefault(cand.nid2, set()).add(key)

@@ -1,0 +1,46 @@
+"""Exact sampling helpers shared by schedulers and accelerated simulators.
+
+The uniform random scheduler's raw-step accounting reduces to geometric
+waiting times ("how many permissible draws until the first effective
+one?"). :func:`geometric_skip` samples that wait exactly, by inverse CDF,
+in O(1) — replacing the naive ``while rng.random() >= p`` loop whose cost
+is O(1/p) when the effective fraction is tiny.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.errors import TerminationError
+
+
+def geometric_from_uniform(u: float, p: float) -> int:
+    """Map one uniform draw ``u`` in [0, 1) to a Geometric(p) variable on
+    {1, 2, ...} by inverse CDF.
+
+    Split out from :func:`geometric_skip` so callers that must consume
+    exactly one RNG draw per event (the scheduler RNG contract; see
+    ``repro.core.scheduler``) can draw ``u`` themselves unconditionally.
+    """
+    if p <= 0.0:
+        raise TerminationError("geometric skip with success probability 0")
+    if p >= 1.0:
+        return 1
+    # Inverse CDF of the geometric distribution on {1, 2, ...}.
+    return 1 + int(math.log(max(u, 1e-300)) / math.log(1.0 - p))
+
+
+def geometric_skip(rng: random.Random, p: float) -> int:
+    """Sample the number of Bernoulli(p) trials up to and including the
+    first success (a Geometric(p) variable on {1, 2, ...}).
+
+    Used by accelerated simulators and the exact schedulers to account for
+    the raw scheduler steps spent on ineffective interactions, exactly in
+    law, with a single ``rng.random()`` draw.
+    """
+    if p <= 0.0:
+        raise TerminationError("geometric skip with success probability 0")
+    if p >= 1.0:
+        return 1
+    return geometric_from_uniform(rng.random(), p)

@@ -1,35 +1,73 @@
 """Schedulers: the adversary / uniform-random interaction selection of §3.
 
-Three interchangeable implementations of the *uniform random scheduler*
+Four interchangeable implementations of the *uniform random scheduler*
 ("in every step, selects independently and uniformly at random one of the
-interactions permitted by E(t)"):
+interactions permitted by E(t)"), all built on the shared canonical
+effective-candidate layer of :mod:`repro.core.candidates`:
 
 * :class:`EnumeratingScheduler` — reference implementation; enumerates the
-  permissible set, draws the geometric number of ineffective steps exactly,
-  then picks uniformly among effective interactions. Exact in both
-  trajectory law and raw step counts.
-* :class:`RejectionScheduler` — draws node-port pairs uniformly from the
-  full superset and accepts permissible ones. The accepted sequence is
-  uniform over the permissible set (standard rejection argument), so the
-  law is identical to the reference; raw step counts are exact as well.
-* :class:`HotScheduler` — enumerates only candidates involving *hot* nodes
-  (states that can appear in effective interactions) and picks uniformly
-  among the effective ones. Because ineffective interactions do not change
-  the configuration, the induced trajectory law equals the uniform
-  scheduler's; raw step counts are not tracked (reported as ``None``).
+  full permissible set, draws the geometric number of ineffective steps by
+  exact inverse CDF, and picks uniformly among effective interactions.
+  Exact in both trajectory law and raw step counts.
+* :class:`RejectionScheduler` — same trajectory (it shares the canonical
+  effective list, incrementally cached by default like ``HotScheduler``),
+  but estimates the raw step count by rejection-sampling node-port pairs
+  from the full superset (the accepted sequence is uniform over the
+  permissible set, so the wait until the first effective draw has exactly
+  the geometric law) instead of computing ``|Perm|``; falls back to the
+  exact geometric tail after ``max_trials`` draws, without double-counting
+  the observed wait.
+* :class:`HotScheduler` — samples the effective-interaction jump chain
+  directly and does not track raw steps. By default it maintains the
+  effective set *incrementally* (:class:`EffectiveCandidateCache`),
+  re-examining only the dirty neighborhood of the previous event;
+  ``incremental=False`` re-enumerates the hot neighborhood from scratch
+  every event (the pre-cache behavior, kept for benchmarking and as a
+  cross-check oracle).
+* :class:`RoundRobinScheduler` — a deterministic *fair* adversary cycling
+  through the same canonical candidate list.
 
-A deterministic :class:`RoundRobinScheduler` is provided as a *fair*
-adversary for executions where no probabilistic assumption is made.
+Scheduler contract
+------------------
+
+``next_event`` returns ``None`` — and consumes **no randomness** — exactly
+when no *effective* interaction is permissible (the configuration has
+stabilized). It never raises for an empty permissible set: a single free
+node is simply a stabilized configuration. (Historically the enumerating
+scheduler raised ``SchedulerError`` here, diverging from ``HotScheduler``
+and from this contract.)
+
+Otherwise every scheduler consumes exactly two draws from ``rng`` per
+event, in this order:
+
+1. ``rng.randrange(len(effective))`` — the selection, indexing the
+   canonically sorted effective list;
+2. ``rng.random()`` — the raw-step accounting draw (schedulers that do not
+   track raw steps still consume it).
+
+Because the effective list is identical across implementations (same
+canonical orientation, same total sort order) and the RNG consumption is
+identical, *seeded trajectories are identical across all the uniform
+schedulers*, not merely equal in law — the property pinned by
+``tests/test_scheduler_equivalence.py``. The round-robin adversary is
+deterministic and consumes no randomness.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Tuple
+from typing import List, Optional
 
 from repro.errors import SchedulerError
+from repro.core.candidates import (
+    EffectiveCandidateCache,
+    Entry,
+    hot_effective_candidates,
+    reference_effective_candidates,
+)
 from repro.core.protocol import InteractionView, Protocol, Update
+from repro.core.sampling import geometric_from_uniform
 from repro.core.world import Candidate, World
 
 
@@ -64,12 +102,28 @@ class Scheduler:
 
     tracks_raw_steps: bool = False
 
+    def __init__(self) -> None:
+        #: Protocol-delta evaluations performed so far — the dominant cost
+        #: of candidate discovery, reported by the scheduler benchmarks.
+        self.evaluations = 0
+
     def next_event(
         self, world: World, protocol: Protocol, rng: random.Random
     ) -> Optional[ScheduledEvent]:
         """The next effective interaction, or ``None`` once no effective
-        interaction is permissible (the configuration has stabilized)."""
+        interaction is permissible (the configuration has stabilized).
+
+        See the module docstring for the full contract (RNG consumption,
+        canonical ordering, stabilization)."""
         raise NotImplementedError
+
+    # ------------------------------------------------------------------
+
+    def _evaluate(
+        self, protocol: Protocol, world: World, cand: Candidate
+    ) -> Optional[Update]:
+        self.evaluations += 1
+        return evaluate(protocol, world, cand)
 
 
 class EnumeratingScheduler(Scheduler):
@@ -80,61 +134,80 @@ class EnumeratingScheduler(Scheduler):
     def next_event(
         self, world: World, protocol: Protocol, rng: random.Random
     ) -> Optional[ScheduledEvent]:
-        candidates = list(world.enumerate_candidates())
-        if not candidates:
-            raise SchedulerError("no permissible interaction exists")
-        effective: List[Tuple[Candidate, Update]] = []
-        for cand in candidates:
-            update = evaluate(protocol, world, cand)
-            if update is not None:
-                effective.append((cand, update))
+        effective, permissible = reference_effective_candidates(
+            world, protocol, self._evaluate
+        )
         if not effective:
             return None
-        # Raw steps until the first effective interaction: geometric with
-        # success probability |Eff| / |Perm|.
-        p = len(effective) / len(candidates)
-        raw = 1
-        while rng.random() >= p:
-            raw += 1
         cand, update = effective[rng.randrange(len(effective))]
+        # Raw steps until the first effective interaction: geometric with
+        # success probability |Eff| / |Perm|, by exact inverse CDF.
+        raw = geometric_from_uniform(rng.random(), len(effective) / permissible)
         return ScheduledEvent(cand, update, raw)
 
 
 class RejectionScheduler(Scheduler):
-    """Uniform scheduler by rejection sampling from the pair superset.
+    """Uniform scheduler whose raw steps come from rejection sampling.
 
-    Every accepted draw is one raw scheduler step; draws rejected for
-    impermissibility are not steps (the scheduler only ever selects
-    permissible interactions). Falls back to enumeration after
-    ``max_trials`` consecutive rejections/ineffective steps so that
-    stabilization is always detected.
+    The event itself is the canonical selection shared by every scheduler;
+    the *raw step count* is sampled by drawing node-port pairs uniformly
+    from the full superset with a subsidiary RNG (seeded from the
+    accounting draw, so the main stream stays in lockstep with the other
+    schedulers), skipping impermissible draws, and counting permissible
+    ones until the first effective draw. The count is Geometric(|Eff|/|Perm|)
+    exactly — the standard rejection argument — without ever computing
+    ``|Perm|``. After ``max_trials`` draws the exact geometric tail is
+    added instead (memorylessness: the remaining wait after ``k`` observed
+    ineffective steps is again geometric), so the wait is counted once,
+    never twice.
     """
 
     tracks_raw_steps = True
 
-    def __init__(self, max_trials: Optional[int] = None) -> None:
+    def __init__(
+        self, max_trials: Optional[int] = None, incremental: bool = True
+    ) -> None:
+        super().__init__()
         self.max_trials = max_trials
+        self._cache = EffectiveCandidateCache() if incremental else None
 
     def next_event(
         self, world: World, protocol: Protocol, rng: random.Random
     ) -> Optional[ScheduledEvent]:
+        if self._cache is not None:
+            effective = self._cache.refresh(world, protocol, self._evaluate)
+        else:
+            effective = hot_effective_candidates(world, protocol, self._evaluate)
+        if not effective:
+            return None
+        cand, update = effective[rng.randrange(len(effective))]
+        sub = random.Random(rng.random())
+        raw = self._sample_raw_steps(world, protocol, sub, len(effective))
+        return ScheduledEvent(cand, update, raw)
+
+    def _sample_raw_steps(
+        self,
+        world: World,
+        protocol: Protocol,
+        sub: random.Random,
+        n_effective: int,
+    ) -> int:
         n = world.size
-        if n < 2:
+        if n < 2:  # pragma: no cover - one node has no effective interaction
             raise SchedulerError("need at least two nodes to interact")
         ports = world.ports
         n_align = 1 if world.dimension == 2 else 4
         limit = self.max_trials if self.max_trials is not None else max(2000, 100 * n)
         raw = 0
         node_ids = list(world.nodes)
-        fallback = EnumeratingScheduler()
         for _ in range(limit):
-            nid1 = node_ids[rng.randrange(n)]
-            nid2 = node_ids[rng.randrange(n)]
+            nid1 = node_ids[sub.randrange(n)]
+            nid2 = node_ids[sub.randrange(n)]
             if nid1 == nid2:
                 continue
-            p1 = ports[rng.randrange(len(ports))]
-            p2 = ports[rng.randrange(len(ports))]
-            g = rng.randrange(n_align)
+            p1 = ports[sub.randrange(len(ports))]
+            p2 = ports[sub.randrange(len(ports))]
+            g = sub.randrange(n_align)
             rec1 = world.nodes[nid1]
             rec2 = world.nodes[nid2]
             if rec1.component_id == rec2.component_id:
@@ -154,140 +227,101 @@ class RejectionScheduler(Scheduler):
                 rot, trans = alignments[g]
                 cand = Candidate(nid1, p1, nid2, p2, 0, rot, trans)
             raw += 1
-            update = evaluate(protocol, world, cand)
-            if update is not None:
-                return ScheduledEvent(cand, update, raw)
-        # Too many rejections: either Eff is tiny or empty. Resolve exactly.
-        event = fallback.next_event(world, protocol, rng)
-        if event is None:
-            return None
-        return ScheduledEvent(event.candidate, event.update, raw + (event.raw_steps or 1))
+            if self._evaluate(protocol, world, cand) is not None:
+                return raw
+        # Too many ineffective draws (Eff is a tiny fraction): add the exact
+        # geometric tail for the remaining wait. By memorylessness this is
+        # the conditional law given the observed ineffective prefix — the
+        # prefix is counted once, here, and never again.
+        permissible = world.candidate_count()
+        return raw + geometric_from_uniform(
+            sub.random(), n_effective / permissible
+        )
 
 
 class HotScheduler(Scheduler):
     """Accelerated scheduler sampling the effective-interaction jump chain.
 
-    Exactly reproduces the trajectory law of the uniform random scheduler
-    (the conditional law of a uniform permissible draw given effectiveness
-    is uniform on the effective set) without paying for ineffective steps.
+    Exactly reproduces the trajectory of the uniform random scheduler (the
+    conditional law of a uniform permissible draw given effectiveness is
+    uniform on the effective set) without paying for ineffective steps.
+    With ``incremental=True`` (the default) the effective set is maintained
+    by an :class:`EffectiveCandidateCache` and each event re-examines only
+    the neighborhood the previous event dirtied; with ``incremental=False``
+    the hot neighborhood is re-enumerated from scratch every event.
     """
 
     tracks_raw_steps = False
 
+    def __init__(self, incremental: bool = True) -> None:
+        super().__init__()
+        self.incremental = incremental
+        self._cache = EffectiveCandidateCache() if incremental else None
+
+    def _effective(self, world: World, protocol: Protocol) -> List[Entry]:
+        if self._cache is not None:
+            return self._cache.refresh(world, protocol, self._evaluate)
+        return hot_effective_candidates(world, protocol, self._evaluate)
+
     def next_event(
         self, world: World, protocol: Protocol, rng: random.Random
     ) -> Optional[ScheduledEvent]:
-        effective = self._effective_candidates(world, protocol)
+        effective = self._effective(world, protocol)
         if not effective:
             return None
         cand, update = effective[rng.randrange(len(effective))]
+        rng.random()  # accounting draw (unused): keep the RNG contract
         return ScheduledEvent(cand, update, None)
-
-    @staticmethod
-    def _effective_candidates(
-        world: World, protocol: Protocol
-    ) -> List[Tuple[Candidate, Update]]:
-        hot_states = [s for s in world.by_state if protocol.is_hot(s)]
-        hot: List[int] = []
-        for s in hot_states:
-            hot.extend(world.by_state[s])
-        hot_set = set(hot)
-        out: List[Tuple[Candidate, Update]] = []
-
-        def consider(cand: Optional[Candidate]) -> None:
-            if cand is None:
-                return
-            update = evaluate(protocol, world, cand)
-            if update is not None:
-                out.append((cand, update))
-
-        for h in hot:
-            rec = world.nodes[h]
-            comp = world.components[rec.component_id]
-            # Intra-component: adjacent pairs touching h.
-            for port in world.ports:
-                cell = rec.pos + world.world_port_direction(h, port)
-                other = comp.cells.get(cell)
-                if other is None:
-                    continue
-                if other in hot_set and other < h:
-                    continue  # both hot: enumerate once
-                if not protocol.pair_compatible(rec.state, world.state_of(other)):
-                    continue
-                consider(world.intra_candidate(h, other))
-            # Inter-component: h against every node (of another component)
-            # whose state is pair-compatible. Enumerating h always on the
-            # first side covers all candidates involving h, because
-            # permissibility requires h's slot to be open anyway.
-            for partner_state in list(world.by_state):
-                if not protocol.pair_compatible(rec.state, partner_state):
-                    continue
-                hints = protocol.port_hints(rec.state, partner_state)
-                partner_hot = protocol.is_hot(partner_state)
-                for nid2 in world.by_state[partner_state]:
-                    if nid2 == h:
-                        continue
-                    if world.nodes[nid2].component_id == comp.cid:
-                        continue
-                    if partner_hot and nid2 in hot_set and nid2 < h:
-                        continue
-                    if hints is None:
-                        combos: Iterable[Tuple] = (
-                            (p1, p2) for p1 in world.ports for p2 in world.ports
-                        )
-                    else:
-                        # Sort: frozenset iteration order is hash-dependent
-                        # and the candidate order feeds the RNG draw.
-                        combos = sorted(
-                            hints, key=lambda pp: (pp[0].value, pp[1].value)
-                        )
-                    for p1, p2 in combos:
-                        for cand in world.inter_candidates(h, p1, nid2, p2):
-                            consider(cand)
-        return out
 
 
 class RoundRobinScheduler(Scheduler):
     """A deterministic *fair* adversary.
 
-    Cycles through effective interactions ordered by a stable key, ensuring
-    every persistently enabled interaction is eventually selected. Used to
+    Cycles through the canonical effective list, ensuring every
+    persistently enabled interaction is eventually selected. Used to
     exercise the "halts in every fair execution" side of the theorems
-    without probabilistic assumptions.
+    without probabilistic assumptions. The canonical order is total over
+    full candidate identity — including the placement rotation and
+    translation, so inter-component candidates differing only in alignment
+    are ordered by value, never by hash order (which varies across
+    processes and broke fair-adversary determinism). Consumes no
+    randomness.
     """
 
     tracks_raw_steps = False
 
-    def __init__(self) -> None:
+    def __init__(self, incremental: bool = True) -> None:
+        super().__init__()
         self._turn = 0
+        self._cache = EffectiveCandidateCache() if incremental else None
 
     def next_event(
         self, world: World, protocol: Protocol, rng: random.Random
     ) -> Optional[ScheduledEvent]:
-        effective = HotScheduler._effective_candidates(world, protocol)
+        if self._cache is not None:
+            effective = self._cache.refresh(world, protocol, self._evaluate)
+        else:
+            effective = hot_effective_candidates(world, protocol, self._evaluate)
         if not effective:
             return None
-        effective.sort(
-            key=lambda cu: (
-                cu[0].nid1,
-                cu[0].nid2,
-                cu[0].port1.value,
-                cu[0].port2.value,
-            )
-        )
         cand, update = effective[self._turn % len(effective)]
         self._turn += 1
         return ScheduledEvent(cand, update, None)
 
 
 def make_scheduler(kind: str = "hot", **kwargs) -> Scheduler:
-    """Factory: ``"enumerate"``, ``"rejection"``, ``"hot"``, ``"round-robin"``."""
+    """Factory: ``"enumerate"``, ``"rejection"``, ``"hot"``, ``"round-robin"``.
+
+    Keyword arguments are forwarded to the scheduler constructor, e.g.
+    ``make_scheduler("hot", incremental=False)`` for the non-cached hot
+    scheduler or ``make_scheduler("rejection", max_trials=500)``.
+    """
     if kind == "enumerate":
-        return EnumeratingScheduler()
+        return EnumeratingScheduler(**kwargs)
     if kind == "rejection":
         return RejectionScheduler(**kwargs)
     if kind == "hot":
-        return HotScheduler()
+        return HotScheduler(**kwargs)
     if kind == "round-robin":
-        return RoundRobinScheduler()
+        return RoundRobinScheduler(**kwargs)
     raise SchedulerError(f"unknown scheduler kind: {kind!r}")

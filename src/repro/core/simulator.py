@@ -6,6 +6,16 @@ execution one effective interaction at a time. It detects *stabilization*
 (no effective interaction is permissible anymore) and supports arbitrary
 stop predicates, e.g. "some node reached a halting state" for terminating
 protocols.
+
+Stabilization is signalled by the scheduler contract
+(``Scheduler.next_event`` returns ``None``; see ``repro.core.scheduler``):
+a configuration with no effective interaction — including degenerate
+single-node worlds with no permissible interaction at all — ends the run
+with ``stabilized=True`` rather than raising. World mutations performed
+*between* steps (fault injection, synchronous rounds, constructor surgery)
+are picked up automatically by incremental schedulers through the world's
+change journal and the component version counters; no explicit cache
+invalidation call exists or is needed.
 """
 
 from __future__ import annotations
@@ -135,6 +145,16 @@ class Simulation:
     # ------------------------------------------------------------------
     # Convenience queries
     # ------------------------------------------------------------------
+
+    @property
+    def evaluations(self) -> Optional[int]:
+        """Protocol-delta evaluations the scheduler performed so far.
+
+        The dominant cost of candidate discovery (see
+        ``benchmarks/bench_schedulers.py``); ``None`` for third-party
+        schedulers that do not track it.
+        """
+        return getattr(self.scheduler, "evaluations", None)
 
     def any_halted(self) -> bool:
         """True iff some node is in a halting state."""

@@ -77,7 +77,16 @@ class NodeRecord:
 
 @dataclass
 class Component:
-    """A connected component: rigid shape in its own local frame."""
+    """A connected component: rigid shape in its own local frame.
+
+    ``version`` is the component's geometry/membership counter: it is
+    bumped whenever the cell set, node positions/orientations, or
+    fragment structure change (merges, splits, moves, surgery). Incremental
+    schedulers treat a bump as "every candidate touching a node of this
+    component is stale". Per-node changes that leave geometry intact
+    (state writes, flips of a single bond) go through the finer-grained
+    ``World.note_change`` journal instead.
+    """
 
     cid: int
     cells: Dict[Vec, int] = field(default_factory=dict)  # cell -> node id
@@ -123,6 +132,10 @@ class World:
     merge, unbonding with component split).
     """
 
+    #: Change-journal bound: beyond this many unconsumed entries the oldest
+    #: half is dropped and lagging consumers fall back to a full rebuild.
+    CHANGE_LOG_LIMIT = 65536
+
     def __init__(self, dimension: int = 2) -> None:
         if dimension not in (2, 3):
             raise SimulationError(f"unsupported dimension: {dimension!r}")
@@ -134,6 +147,45 @@ class World:
         self.by_state: Dict[State, Set[int]] = {}
         self._next_nid = 0
         self._next_cid = 0
+        # Change journal: node ids whose state / bond endpoints changed,
+        # consumed by incremental schedulers (see repro.core.candidates).
+        # Geometry changes are signalled by Component.version instead.
+        self._change_log: List[int] = []
+        self._change_base = 0
+
+    # ------------------------------------------------------------------
+    # Change journal (consumed by incremental candidate caches)
+    # ------------------------------------------------------------------
+
+    def note_change(self, nid: int) -> None:
+        """Record that a node's interaction-relevant attributes changed.
+
+        Called internally on state writes, interaction endpoints, and node
+        creation; external surgery that mutates component *geometry*
+        signals through ``Component.version`` bumps instead. Consumers
+        (``EffectiveCandidateCache``) read the journal via
+        :meth:`changes_since`.
+        """
+        log = self._change_log
+        log.append(nid)
+        if len(log) > self.CHANGE_LOG_LIMIT:
+            drop = len(log) // 2
+            del log[:drop]
+            self._change_base += drop
+
+    def change_cursor(self) -> int:
+        """The journal position *after* all changes recorded so far."""
+        return self._change_base + len(self._change_log)
+
+    def changes_since(self, cursor: int) -> Optional[Set[int]]:
+        """Node ids journalled at or after ``cursor``.
+
+        Returns ``None`` when the journal has been truncated past the
+        cursor — the consumer must fall back to a full re-scan.
+        """
+        if cursor < self._change_base:
+            return None
+        return set(self._change_log[cursor - self._change_base:])
 
     # ------------------------------------------------------------------
     # Population setup
@@ -150,6 +202,7 @@ class World:
         comp.cells[Vec(0, 0, 0)] = nid
         self.components[cid] = comp
         self.by_state.setdefault(state, set()).add(nid)
+        self.note_change(nid)
         return nid
 
     def add_component_from_cells(
@@ -177,6 +230,7 @@ class World:
             comp.cells[cell] = nid
             nids[cell] = nid
             self.by_state.setdefault(states[cell], set()).add(nid)
+            self.note_change(nid)
         if bonds is None:
             pairs = [
                 (cell, cell + delta)
@@ -257,6 +311,7 @@ class World:
                 del self.by_state[rec.state]
         rec.state = state
         self.by_state.setdefault(state, set()).add(nid)
+        self.note_change(nid)
 
     def component_of(self, nid: int) -> Component:
         return self.components[self.nodes[nid].component_id]
@@ -427,17 +482,21 @@ class World:
         rec1, rec2 = self.nodes[cand.nid1], self.nodes[cand.nid2]
         self.set_state(cand.nid1, s1)
         self.set_state(cand.nid2, s2)
+        # Journal both endpoints unconditionally: the bond between them may
+        # flip even when neither state changes.
+        self.note_change(cand.nid1)
+        self.note_change(cand.nid2)
         same = rec1.component_id == rec2.component_id
         if same:
             comp = self.components[rec1.component_id]
             bond = bond_of(cand.nid1, cand.port1, cand.nid2, cand.port2)
             had = bond in comp.bonds
             if new_bond and not had:
+                # Geometry is untouched by an intra bond flip; the endpoint
+                # journal entries above are the invalidation signal.
                 comp.bonds.add(bond)
-                comp.version += 1
             elif not new_bond and had:
                 comp.bonds.discard(bond)
-                comp.version += 1
                 self._split_if_disconnected(comp)
         else:
             if new_bond:

@@ -47,7 +47,10 @@ def break_random_bond(world: World, rng: random.Random) -> Optional[Bond]:
     cid, bond = bonds[rng.randrange(len(bonds))]
     comp = world.components[cid]
     comp.bonds.discard(bond)
-    comp.version += 1
+    # Journal the endpoints so incremental schedulers see the snapped link;
+    # a disconnecting removal splits below, bumping component versions.
+    for nid, _port in bond:
+        world.note_change(nid)
     world._split_if_disconnected(comp)
     return bond
 

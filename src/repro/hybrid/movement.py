@@ -18,8 +18,9 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.core.candidates import EffectiveCandidateCache
 from repro.core.protocol import Protocol, State, Update
-from repro.core.scheduler import HotScheduler
+from repro.core.scheduler import evaluate
 from repro.core.world import Candidate, World, bond_of, bond_sort_key
 from repro.errors import SimulationError
 from repro.geometry.ports import port_facing
@@ -150,11 +151,14 @@ class MovementProtocol(Protocol):
 class HybridSimulation:
     """Uniform-random execution over passive *and* active interactions.
 
-    Each step enumerates the effective passive candidates (the base
-    protocol's δ) and the applicable movement candidates (bonded leaf/pivot
-    pairs matching a movement rule whose swing target is free) and selects
-    uniformly among their union — the natural extension of the §3 uniform
-    scheduler to the hybrid rule set.
+    Each step takes the effective passive candidates (the base protocol's
+    δ, maintained incrementally by an
+    :class:`~repro.core.candidates.EffectiveCandidateCache` — leaf swings
+    bump the component's version, so moved geometry invalidates exactly
+    the swung component's entries) plus the applicable movement candidates
+    (bonded leaf/pivot pairs matching a movement rule whose swing target
+    is free) and selects uniformly among their union — the natural
+    extension of the §3 uniform scheduler to the hybrid rule set.
     """
 
     world: World
@@ -165,9 +169,11 @@ class HybridSimulation:
     moves: int = 0
     stabilized: bool = False
     _rng: random.Random = field(init=False, repr=False)
+    _cache: EffectiveCandidateCache = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
         self._rng = random.Random(self.seed)
+        self._cache = EffectiveCandidateCache()
 
     def _movement_candidates(self) -> List[Tuple[int, MovementRule]]:
         out: List[Tuple[int, MovementRule]] = []
@@ -199,8 +205,8 @@ class HybridSimulation:
 
     def step(self) -> bool:
         """One uniform draw over passive + active candidates."""
-        passive: List[Tuple[Candidate, Update]] = (
-            HotScheduler._effective_candidates(self.world, self.protocol)
+        passive: List[Tuple[Candidate, Update]] = self._cache.refresh(
+            self.world, self.protocol, evaluate
         )
         active = self._movement_candidates()
         total = len(passive) + len(active)

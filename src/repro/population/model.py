@@ -110,8 +110,19 @@ class PopulationSimulator(Generic[S]):
         until: Optional[Callable[[List[S]], bool]] = None,
         require_halt: bool = False,
     ) -> PopulationResult:
-        """Run until some node halts / the predicate fires / budget is hit."""
+        """Run until some node halts / the predicate fires / budget is hit.
+
+        Both stop conditions are checked against the *initial* configuration
+        before the first step: a population that starts with a halted node
+        terminates immediately with ``interactions == 0``. (Detection used
+        to depend on the scheduler happening to select the halted node.)
+        """
         protocol = self.protocol
+        halted = self.first_halted()
+        if halted is not None:
+            return PopulationResult(self.n, self.interactions, halted, self.states)
+        if until is not None and until(self.states):
+            return PopulationResult(self.n, self.interactions, None, self.states)
         for _ in range(max_interactions):
             i, j = self.step()
             if protocol.halted(self.states[i]) or protocol.halted(self.states[j]):
@@ -126,19 +137,13 @@ class PopulationSimulator(Generic[S]):
         return PopulationResult(self.n, self.interactions, None, self.states)
 
 
-def geometric_skip(rng: random.Random, p: float) -> int:
-    """Sample the number of Bernoulli(p) trials up to and including the
-    first success (a Geometric(p) variable on {1, 2, ...}).
+# Canonical implementation lives in repro.core.sampling so the geometric
+# schedulers can share it; re-exported here for backward compatibility.
+from repro.core.sampling import geometric_skip  # noqa: E402
 
-    Used by accelerated simulators to account for the raw scheduler steps
-    spent on ineffective interactions, exactly in law.
-    """
-    if p <= 0.0:
-        raise TerminationError("geometric skip with success probability 0")
-    if p >= 1.0:
-        return 1
-    import math
-
-    u = rng.random()
-    # Inverse CDF of the geometric distribution on {1, 2, ...}.
-    return 1 + int(math.log(max(u, 1e-300)) / math.log(1.0 - p))
+__all__ = [
+    "PairwiseProtocol",
+    "PopulationResult",
+    "PopulationSimulator",
+    "geometric_skip",
+]

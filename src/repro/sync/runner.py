@@ -113,7 +113,12 @@ def _one_round(
         else:
             comp.bonds.discard(bond)
             dropped = True
-        comp.version += 1
+        # A bond flip leaves component geometry intact: journal the two
+        # endpoints (the fine-grained invalidation signal consumed by
+        # incremental schedulers) instead of bumping the whole component's
+        # version. A disconnecting drop splits below, which does bump.
+        world.note_change(nid1)
+        world.note_change(nid2)
         changes += 1
     if dropped:
         world._split_if_disconnected(comp)

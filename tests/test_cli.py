@@ -32,6 +32,22 @@ class TestCommands:
         assert "######" in out
         assert "3x3 square" in out
 
+    def test_demo_scheduler_flag(self, capsys):
+        # Every uniform scheduler builds the same structures; the seeded
+        # trajectories are identical by the scheduler contract, so the
+        # rendered output matches the default exactly.
+        assert main(["demo", "-n", "5", "--seed", "2"]) == 0
+        reference = capsys.readouterr().out
+        for kind in ("enumerate", "rejection", "hot"):
+            assert main(["demo", "-n", "5", "--seed", "2", "--scheduler", kind]) == 0
+            assert capsys.readouterr().out == reference
+        assert main(["demo", "-n", "5", "--scheduler", "round-robin"]) == 0
+        assert "spanning line on 5 nodes" in capsys.readouterr().out
+
+    def test_demo_rejects_unknown_scheduler(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["demo", "--scheduler", "nope"])
+
     def test_count(self, capsys):
         assert main(["count", "64", "--trials", "5", "--seed", "0"]) == 0
         out = capsys.readouterr().out

@@ -79,6 +79,22 @@ class TestPopulationSimulator:
         assert res.terminated
         assert sim.states[res.halted_index] >= 3
 
+    def test_initially_halted_configuration_detected_without_steps(self):
+        # Regression: a node halted in the *initial* configuration must be
+        # detected before the first step (detection used to depend on the
+        # scheduler happening to select the halted node).
+        sim = PopulationSimulator(HaltAfter(0), 5, seed=6)
+        res = sim.run(require_halt=True)
+        assert res.terminated
+        assert res.interactions == 0
+        assert sim.interactions == 0
+
+    def test_initially_true_predicate_detected_without_steps(self):
+        sim = PopulationSimulator(HaltAfter(10**9), 5, seed=7)
+        res = sim.run(until=lambda states: True)
+        assert not res.terminated
+        assert res.interactions == 0
+
     def test_until_predicate(self):
         sim = PopulationSimulator(HaltAfter(10**9), 5, seed=3)
         res = sim.run(until=lambda states: sum(states) >= 20)

@@ -81,11 +81,23 @@ def test_stabilization_detected_by_all_schedulers():
         assert res.stabilized and res.events == 0
 
 
-def test_scheduler_error_on_single_node():
+def test_single_node_world_is_stabilized_not_an_error():
+    """Contract: an empty permissible set means stabilization (``None``),
+    never an exception — a lone free node simply has nobody to meet."""
     protocol = _absorb_protocol()
-    world = World.of_free_nodes(1, protocol, leaders=1)
-    with pytest.raises(SchedulerError):
-        RejectionScheduler().next_event(world, protocol, random.Random(0))
+    for kind in ("enumerate", "rejection", "hot", "round-robin"):
+        world = World.of_free_nodes(1, protocol, leaders=1)
+        sched = make_scheduler(kind)
+        assert sched.next_event(world, protocol, random.Random(0)) is None
+        res = Simulation(world, protocol, scheduler=make_scheduler(kind)).run(
+            max_events=5
+        )
+        assert res.stabilized and res.events == 0
+
+
+def test_factory_rejects_unknown_kwargs():
+    with pytest.raises(TypeError):
+        make_scheduler("enumerate", max_trials=3)
 
 
 def test_first_event_law_agreement():

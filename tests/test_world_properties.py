@@ -97,9 +97,11 @@ class TestSchedulerAgreement:
                     (cand.nid1, cand.port1, cand.nid2, cand.port2,
                      cand.rotation, cand.translation)
                 )
+        from repro.core.candidates import hot_effective_candidates
+
         hot = {
             (c.nid1, c.port1, c.nid2, c.port2, c.rotation, c.translation)
-            for c, _u in HotScheduler._effective_candidates(world, protocol)
+            for c, _u in hot_effective_candidates(world, protocol, evaluate)
         }
 
         def normalize(items):
