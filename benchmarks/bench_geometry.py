@@ -1,0 +1,212 @@
+"""Microbenchmarks for the packed geometry kernel (TimerCase-style).
+
+Each case pins one inner loop of the §3 permissibility predicate —
+``World.inter_alignments`` collision checking and ``World.open_slots``
+scanning — and times the packed fast path against a frozen pure-``Vec``
+reference (the pre-refactor implementation). The harness mirrors the
+perftest ``TimerCase`` shape: ``setup(n)`` builds the workload once,
+``op(i)`` is the timed unit, and results are emitted to
+``BENCH_geometry.json`` next to this file.
+
+CI runs this as a smoke (see ``.github/workflows/ci.yml``) and enforces the
+acceptance bar of the packed-kernel PR: >= 2x over the reference on both
+kernels. Locally the margin is typically far larger (5-20x).
+"""
+
+import json
+import time
+from pathlib import Path
+
+from conftest import print_table
+
+from repro.core.protocol import Rule, RuleProtocol
+from repro.core.simulator import Simulation
+from repro.core.world import World
+from repro.geometry.ports import PORTS_2D, opposite, port_direction
+from repro.geometry.rotation import rotations_for_dimension
+from repro.geometry.vec import Vec
+
+# ----------------------------------------------------------------------
+# Frozen pure-Vec reference kernels (pre-refactor behavior)
+# ----------------------------------------------------------------------
+
+
+def ref_open_slots(world, comp):
+    slots = []
+    for cell, nid in comp.cells.items():
+        rec = world.nodes[nid]
+        for port in world.ports:
+            if cell + rec.orientation.apply(port_direction(port)) not in comp.cells:
+                slots.append((nid, port))
+    return slots
+
+
+def ref_inter_alignments(world, nid1, port1, nid2, port2):
+    rec1, rec2 = world.nodes[nid1], world.nodes[nid2]
+    if rec1.component_id == rec2.component_id:
+        return []
+    comp1 = world.components[rec1.component_id]
+    comp2 = world.components[rec2.component_id]
+    d1 = rec1.orientation.apply(port_direction(port1))
+    target_cell = rec1.pos + d1
+    if target_cell in comp1.cells:
+        return []
+    d2 = rec2.orientation.apply(port_direction(port2))
+    placements = []
+    for rot in rotations_for_dimension(world.dimension):
+        if rot.apply(d2) != -d1:
+            continue
+        trans = target_cell - rot.apply(rec2.pos)
+        if all(
+            (rot.apply(cell) + trans) not in comp1.cells for cell in comp2.cells
+        ):
+            placements.append((rot, trans))
+    return placements
+
+
+# ----------------------------------------------------------------------
+# TimerCase harness
+# ----------------------------------------------------------------------
+
+
+class TimerCase:
+    """One timed kernel: ``setup(n)`` once, then ``op(i)`` n times."""
+
+    name = "timer-case"
+
+    def setup(self, n: int) -> None:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def op(self, i: int) -> None:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+def _aggregated_world(n=64, events=60, seed=11):
+    """A mid-aggregation world: several multi-cell rotated components."""
+    rules = [Rule("g", p, "g", opposite(p), 0, "g", "g", 1) for p in PORTS_2D]
+    protocol = RuleProtocol(rules, initial_state="g", name="aggregation")
+    world = World.of_free_nodes(n, protocol, leaders=0)
+    Simulation(world, protocol, seed=seed).run(max_events=events)
+    return world
+
+
+class _AlignmentCaseBase(TimerCase):
+    def setup(self, n: int) -> None:
+        self.world = _aggregated_world()
+        comps = sorted(
+            self.world.components.values(), key=lambda c: -c.size()
+        )[:6]
+        self.probes = []
+        for ca in comps:
+            for cb in comps:
+                if ca.cid >= cb.cid:
+                    continue
+                for nid1, p1 in self.world.open_slots(ca)[:8]:
+                    for nid2, p2 in self.world.open_slots(cb)[:4]:
+                        self.probes.append((nid1, p1, nid2, p2))
+
+
+class PackedInterAlignmentsCase(_AlignmentCaseBase):
+    name = "inter_alignments.packed"
+
+    def op(self, i: int) -> None:
+        world = self.world
+        for nid1, p1, nid2, p2 in self.probes:
+            world.inter_alignments(nid1, p1, nid2, p2)
+
+
+class ReferenceInterAlignmentsCase(_AlignmentCaseBase):
+    name = "inter_alignments.reference"
+
+    def op(self, i: int) -> None:
+        world = self.world
+        for nid1, p1, nid2, p2 in self.probes:
+            ref_inter_alignments(world, nid1, p1, nid2, p2)
+
+
+class _SlotsCaseBase(TimerCase):
+    def setup(self, n: int) -> None:
+        self.world = _aggregated_world()
+        self.comps = list(self.world.components.values())
+
+
+class PackedOpenSlotsCase(_SlotsCaseBase):
+    name = "open_slots.packed"
+
+    def op(self, i: int) -> None:
+        world = self.world
+        for comp in self.comps:
+            world.open_slots(comp)
+
+
+class ReferenceOpenSlotsCase(_SlotsCaseBase):
+    name = "open_slots.reference"
+
+    def op(self, i: int) -> None:
+        world = self.world
+        for comp in self.comps:
+            ref_open_slots(world, comp)
+
+
+def run_case(case: TimerCase, iterations: int) -> dict:
+    case.setup(iterations)
+    case.op(0)  # warm lazy caches out of the timed region
+    start = time.perf_counter()
+    for i in range(iterations):
+        case.op(i)
+    elapsed = time.perf_counter() - start
+    return {
+        "name": case.name,
+        "iterations": iterations,
+        "seconds": elapsed,
+        "ops_per_sec": iterations / elapsed if elapsed else float("inf"),
+    }
+
+
+def test_packed_kernel_beats_reference(benchmark):
+    iterations = 30
+
+    def measure():
+        results = [
+            run_case(case, iterations)
+            for case in (
+                PackedInterAlignmentsCase(),
+                ReferenceInterAlignmentsCase(),
+                PackedOpenSlotsCase(),
+                ReferenceOpenSlotsCase(),
+            )
+        ]
+        return {r["name"]: r for r in results}
+
+    results = benchmark.pedantic(measure, rounds=1, iterations=1)
+    speedups = {
+        "inter_alignments": (
+            results["inter_alignments.reference"]["seconds"]
+            / results["inter_alignments.packed"]["seconds"]
+        ),
+        "open_slots": (
+            results["open_slots.reference"]["seconds"]
+            / results["open_slots.packed"]["seconds"]
+        ),
+    }
+    print_table(
+        "Packed geometry kernel vs pure-Vec reference",
+        f"{'case':>28} {'iters':>6} {'secs':>9} {'ops/s':>10}",
+        (
+            f"{r['name']:>28} {r['iterations']:>6d} {r['seconds']:>9.4f} "
+            f"{r['ops_per_sec']:>10.1f}"
+            for r in results.values()
+        ),
+    )
+    print(
+        f"speedups: inter_alignments {speedups['inter_alignments']:.1f}x, "
+        f"open_slots {speedups['open_slots']:.1f}x"
+    )
+    out = Path(__file__).parent / "BENCH_geometry.json"
+    out.write_text(
+        json.dumps({"cases": results, "speedups": speedups}, indent=2)
+        + "\n"
+    )
+    # The acceptance bar of the packed-kernel PR.
+    assert speedups["inter_alignments"] >= 2.0, speedups
+    assert speedups["open_slots"] >= 2.0, speedups

@@ -50,10 +50,16 @@ cache equals the reference after every event.
 
 from __future__ import annotations
 
+from operator import itemgetter
 from typing import Callable, Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.core.protocol import Protocol, Update
-from repro.core.world import Candidate, World
+from repro.core.world import Candidate, MergeRecord, World
+from repro.geometry.packed import (
+    orientation_port_deltas,
+    pack_delta,
+    packed_rotation,
+)
 
 #: Identity key of a candidate: endpoints, ports, and placement rotation.
 #: (The translation and bond are determined by these plus the current
@@ -134,10 +140,13 @@ def iter_node_candidates(
     comp = world.components[rec.component_id]
     state = rec.state
     nid_hot = protocol.is_hot(state)
-    # Intra-component: the (at most one per port) grid-adjacent pairs.
-    for port in world.ports:
-        cell = rec.pos + world.world_port_direction(nid, port)
-        other = comp.cells.get(cell)
+    # Intra-component: the (at most one per port) grid-adjacent pairs,
+    # probed on the packed occupancy of the component's geometry snapshot.
+    geom = world.geometry(comp)
+    ppos = geom.pos_of[nid]
+    deltas = orientation_port_deltas(rec.orientation)
+    for i, port in enumerate(world.ports):
+        other = geom.cells.get(ppos + deltas[i])
         if other is None:
             continue
         other_state = world.nodes[other].state
@@ -241,21 +250,32 @@ class EffectiveCandidateCache:
 
     * nodes recorded in the world's change journal (state writes, the two
       endpoints of every applied interaction);
-    * all nodes of components whose ``version`` counter moved, appeared,
-      or vanished (merges, splits, bond flips, leaf rotations, surgery).
+    * component *merges*, consumed from the world's merge journal: only the
+      nodes that physically moved into the kept frame are re-examined, while
+      the kept component's surviving entries are *pruned* — an entry is
+      dropped iff its cached placement now collides with a newly occupied
+      cell (checked on the packed representation), since occupancy growth
+      can invalidate but never create permissible placements and surviving
+      intra/inter entries keep their exact rotation, translation and update;
+    * all nodes of components whose ``version`` counter moved otherwise
+      (splits, bond flips, leaf rotations, surgery) or that appeared or
+      vanished outside a journalled merge.
 
-    If the journal was truncated under the cache (an unboundedly long gap
+    If a journal was truncated under the cache (an unboundedly long gap
     between refreshes) or the binding changed, the cache falls back to a
-    full rebuild — never to a stale answer.
+    full rebuild / coarse sweep — never to a stale answer.
     """
 
     def __init__(self) -> None:
         self._world: Optional[World] = None
         self._protocol: Optional[Protocol] = None
         self._cursor = 0
+        self._merge_cursor = 0
         self._comp_versions: Dict[int, int] = {}
         self._comp_members: Dict[int, Tuple[int, ...]] = {}
-        self._entries: Dict[CandidateKey, Entry] = {}
+        #: key -> (sort key, entry): the sort key is computed once per
+        #: insertion instead of once per entry per refresh-sort.
+        self._entries: Dict[CandidateKey, Tuple[tuple, Entry]] = {}
         self._by_node: Dict[int, Set[CandidateKey]] = {}
         self._sorted: Optional[List[Entry]] = None
         #: Protocol-delta evaluations performed (the scheduler cost metric
@@ -263,6 +283,8 @@ class EffectiveCandidateCache:
         self.evaluations = 0
         self.full_rebuilds = 0
         self.refreshed_nodes = 0
+        #: Merges handled by delta pruning (vs. coarse version sweeps).
+        self.merge_prunes = 0
 
     # ------------------------------------------------------------------
 
@@ -283,6 +305,14 @@ class EffectiveCandidateCache:
             assert self._sorted is not None
             return self._sorted
         self._cursor = world.change_cursor()
+        merges = world.merges_since(self._merge_cursor)
+        self._merge_cursor = world.merge_cursor()
+        if merges:
+            for record in merges:
+                self._apply_merge_delta(world, record, dirty)
+        # Merges with an up-to-date version trail were consumed above; any
+        # remaining version movement (splits, moves, surgery, unmatched
+        # merges, a truncated merge journal) is swept coarsely.
         self._sweep_component_versions(world, dirty)
         if dirty:
             self._invalidate(dirty)
@@ -292,10 +322,12 @@ class EffectiveCandidateCache:
                     self._generate_for_node(world, protocol, evaluate, nid, seen)
             self._sorted = None
         if self._sorted is None:
-            self._sorted = sorted(
-                self._entries.values(),
-                key=lambda cu: candidate_sort_key(cu[0]),
-            )
+            self._sorted = [
+                entry
+                for _key, entry in sorted(
+                    self._entries.values(), key=itemgetter(0)
+                )
+            ]
         return self._sorted
 
     # ------------------------------------------------------------------
@@ -309,6 +341,7 @@ class EffectiveCandidateCache:
         self._world = world
         self._protocol = protocol
         self._cursor = world.change_cursor()
+        self._merge_cursor = world.merge_cursor()
         self._entries.clear()
         self._by_node.clear()
         self._comp_versions = {
@@ -325,9 +358,10 @@ class EffectiveCandidateCache:
                 continue
             for nid in world.by_state[state]:
                 self._generate_for_node(world, protocol, evaluate, nid, seen)
-        self._sorted = sorted(
-            self._entries.values(), key=lambda cu: candidate_sort_key(cu[0])
-        )
+        self._sorted = [
+            entry
+            for _key, entry in sorted(self._entries.values(), key=itemgetter(0))
+        ]
 
     def _sweep_component_versions(self, world: World, dirty: Set[int]) -> None:
         """Fold component-version movement into the dirty node set."""
@@ -362,6 +396,103 @@ class EffectiveCandidateCache:
                 if peer is not None:
                     peer.discard(key)
 
+    def _drop_entry(self, key: CandidateKey) -> None:
+        """Remove one entry and unindex it from both endpoints."""
+        if self._entries.pop(key, None) is None:
+            return
+        for nid in (key[0], key[2]):
+            peers = self._by_node.get(nid)
+            if peers is not None:
+                peers.discard(key)
+
+    def _apply_merge_delta(
+        self, world: World, record: MergeRecord, dirty: Set[int]
+    ) -> None:
+        """Consume one journalled merge with delta pruning.
+
+        Only applies when the cache's version trail matches the record
+        exactly (kept component seen at ``version - 1``, absorbed component
+        tracked); anything else — interleaved splits or surgery, components
+        born since the last refresh, chained merges whose kept side has
+        since vanished — is left to the coarse version sweep, which remains
+        fully correct on its own.
+
+        Under the fine path, the nodes that moved into the kept frame are
+        dirtied (their placements and seam adjacencies changed), and the
+        kept component's surviving inter entries are collision-probed
+        against the newly occupied packed cells: occupancy growth can only
+        *remove* permissible placements, so dropping exactly the colliding
+        entries keeps the cache equal to the reference.
+        """
+        kept, version, absorbed, new_cells, moved = record
+        if self._comp_versions.get(kept) != version - 1:
+            return
+        if absorbed not in self._comp_versions:
+            return
+        comp = world.components.get(kept)
+        if comp is None:
+            return
+        survivors = self._comp_members.get(kept, ())
+        # The absorbed component is consumed here: its members (== moved,
+        # when the trail is clean) regenerate from their new geometry.
+        dirty.update(self._comp_members.pop(absorbed, ()))
+        del self._comp_versions[absorbed]
+        dirty.update(moved)
+        moved_set = set(moved)
+        nodes = world.nodes
+        components = world.components
+        for nid in survivors:
+            if nid in dirty:
+                continue  # already slated for full regeneration
+            keys = self._by_node.get(nid)
+            if not keys:
+                continue
+            for key in [k for k in keys if k[4] is not None]:
+                item = self._entries.get(key)
+                if item is None:
+                    continue
+                cand = item[1][0]
+                other = cand.nid2 if cand.nid1 == nid else cand.nid1
+                if other in moved_set or other in dirty:
+                    continue  # invalidated/regenerated via the dirty set
+                other_cid = nodes[other].component_id
+                other_comp = components.get(other_cid)
+                if (
+                    other_comp is None
+                    or self._comp_versions.get(other_cid) != other_comp.version
+                ):
+                    # The partner component changed in the same gap (e.g.
+                    # both endpoints' components merged): neither record
+                    # alone can delta-probe this entry, since each side's
+                    # new cells must be checked against the *other side's
+                    # full placement*. Re-examine the survivor wholesale.
+                    dirty.add(nid)
+                    break
+                g_other = world.geometry(other_comp)
+                trans = pack_delta(cand.translation)
+                if cand.nid1 == nid:
+                    # Kept component has the smaller cid: the partner is
+                    # placed into the kept frame — collide its placed cells
+                    # with the newly occupied ones.
+                    collides = any(
+                        (cell + trans) in new_cells
+                        for cell in g_other.rotated(cand.rotation)
+                    )
+                else:
+                    # Partner frame hosts the placement: map the new cells
+                    # into it and probe the partner's occupancy.
+                    rotate = packed_rotation(cand.rotation)
+                    occ = g_other.occ
+                    collides = any(
+                        (rotate(cell) + trans) in occ for cell in new_cells
+                    )
+                if collides:
+                    self._drop_entry(key)
+                    self._sorted = None
+        self._comp_versions[kept] = version
+        self._comp_members[kept] = tuple(survivors) + tuple(moved)
+        self.merge_prunes += 1
+
     def _generate_for_node(
         self,
         world: World,
@@ -383,6 +514,6 @@ class EffectiveCandidateCache:
             update = evaluate(protocol, world, cand)
             if update is None:
                 continue
-            self._entries[key] = (cand, update)
+            self._entries[key] = (candidate_sort_key(cand), (cand, update))
             self._by_node.setdefault(cand.nid1, set()).add(key)
             self._by_node.setdefault(cand.nid2, set()).add(key)

@@ -27,21 +27,26 @@ from typing import (
     Tuple,
 )
 
-from repro.errors import CollisionError, SimulationError
+from repro.errors import CollisionError, GeometryError, SimulationError
 from repro.core.protocol import Protocol, State, Update
+from repro.geometry.packed import (
+    MAX_COORD,
+    ComponentGeometry,
+    orientation_port_deltas,
+    pack_delta,
+    packed_rotation,
+    packed_rotations_mapping,
+    unpack,
+    unpack_delta,
+)
 from repro.geometry.ports import (
+    PORT_INDEX,
     Port,
-    opposite,
-    port_direction,
     port_facing,
     ports_for_dimension,
     world_direction,
 )
-from repro.geometry.rotation import (
-    Rotation,
-    identity_rotation,
-    rotations_mapping,
-)
+from repro.geometry.rotation import Rotation, identity_rotation
 from repro.geometry.shape import Shape
 from repro.geometry.vec import Vec
 
@@ -51,6 +56,13 @@ Bond = FrozenSet[Tuple[int, Port]]
 
 def bond_of(nid1: int, port1: Port, nid2: int, port2: Port) -> Bond:
     return frozenset(((nid1, port1), (nid2, port2)))
+
+
+#: One component merge, as journalled for incremental consumers:
+#: ``(kept_cid, kept_version_after, absorbed_cid, new_packed_cells,
+#: moved_nids)`` — the packed cells newly occupied in the kept component's
+#: frame and the node ids that moved into it.
+MergeRecord = Tuple[int, int, int, FrozenSet[int], Tuple[int, ...]]
 
 
 def bond_sort_key(bond: Bond):
@@ -64,7 +76,7 @@ def bond_sort_key(bond: Bond):
     return tuple(sorted((nid, port.value) for nid, port in bond))
 
 
-@dataclass
+@dataclass(slots=True)
 class NodeRecord:
     """Mutable record of one node."""
 
@@ -75,7 +87,7 @@ class NodeRecord:
     orientation: Rotation
 
 
-@dataclass
+@dataclass(slots=True)
 class Component:
     """A connected component: rigid shape in its own local frame.
 
@@ -86,12 +98,20 @@ class Component:
     component is stale". Per-node changes that leave geometry intact
     (state writes, flips of a single bond) go through the finer-grained
     ``World.note_change`` journal instead.
+
+    ``geom`` is the lazily-built packed-geometry snapshot for the current
+    version (see ``World.geometry``); any holder of a stale snapshot
+    notices through the version key, so direct mutators of ``cells`` /
+    node positions only have to keep bumping ``version``, as before.
     """
 
     cid: int
     cells: Dict[Vec, int] = field(default_factory=dict)  # cell -> node id
     bonds: Set[Bond] = field(default_factory=set)
     version: int = 0
+    geom: Optional[ComponentGeometry] = field(
+        default=None, repr=False, compare=False
+    )
 
     def node_ids(self) -> List[int]:
         return list(self.cells.values())
@@ -100,7 +120,7 @@ class Component:
         return len(self.cells)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Candidate:
     """A permissible interaction the scheduler may select.
 
@@ -136,6 +156,10 @@ class World:
     #: half is dropped and lagging consumers fall back to a full rebuild.
     CHANGE_LOG_LIMIT = 65536
 
+    #: Merge-journal bound, same truncation policy: a lagging consumer sees
+    #: ``merges_since(...) is None`` and falls back to coarse invalidation.
+    MERGE_LOG_LIMIT = 4096
+
     def __init__(self, dimension: int = 2) -> None:
         if dimension not in (2, 3):
             raise SimulationError(f"unsupported dimension: {dimension!r}")
@@ -152,6 +176,11 @@ class World:
         # Geometry changes are signalled by Component.version instead.
         self._change_log: List[int] = []
         self._change_base = 0
+        # Merge journal: one record per component merge, letting incremental
+        # consumers prune merge fallout precisely instead of dirtying the
+        # whole merged component (see MergeRecord / merges_since).
+        self._merge_log: List[MergeRecord] = []
+        self._merge_base = 0
 
     # ------------------------------------------------------------------
     # Change journal (consumed by incremental candidate caches)
@@ -186,6 +215,53 @@ class World:
         if cursor < self._change_base:
             return None
         return set(self._change_log[cursor - self._change_base:])
+
+    def _note_merge(
+        self,
+        kept_cid: int,
+        kept_version: int,
+        absorbed_cid: int,
+        new_cells: FrozenSet[int],
+        moved: Tuple[int, ...],
+    ) -> None:
+        log = self._merge_log
+        log.append((kept_cid, kept_version, absorbed_cid, new_cells, moved))
+        if len(log) > self.MERGE_LOG_LIMIT:
+            drop = len(log) // 2
+            del log[:drop]
+            self._merge_base += drop
+
+    def merge_cursor(self) -> int:
+        """The merge-journal position *after* all merges recorded so far."""
+        return self._merge_base + len(self._merge_log)
+
+    def merges_since(self, cursor: int) -> Optional[List[MergeRecord]]:
+        """Merge records journalled at or after ``cursor``, in order.
+
+        Returns ``None`` when the journal has been truncated past the
+        cursor — the consumer must treat every version bump coarsely.
+        """
+        if cursor < self._merge_base:
+            return None
+        return self._merge_log[cursor - self._merge_base:]
+
+    # ------------------------------------------------------------------
+    # Packed geometry snapshots
+    # ------------------------------------------------------------------
+
+    def geometry(self, comp: Component) -> ComponentGeometry:
+        """The packed-geometry snapshot of a component, rebuilt lazily when
+        ``Component.version`` moves.
+
+        All hot-path geometry — collision checks, open slots, adjacency,
+        rotated cell sets — reads from this snapshot; ``Vec``-typed results
+        are materialized only at the public API boundary.
+        """
+        g = comp.geom
+        if g is None or g.version != comp.version:
+            g = ComponentGeometry(comp, self.nodes, self.ports, self.dimension)
+            comp.geom = g
+        return g
 
     # ------------------------------------------------------------------
     # Population setup
@@ -375,6 +451,39 @@ class World:
         bond = self.bond_state(nid1, port1, nid2, port2)
         return Candidate(nid1, port1, nid2, port2, bond)
 
+    def _packed_alignments(
+        self,
+        rec1: NodeRecord,
+        port1: Port,
+        rec2: NodeRecord,
+        port2: Port,
+        g1: ComponentGeometry,
+        g2: ComponentGeometry,
+    ) -> List[Tuple[Rotation, int]]:
+        """Collision-free placements as (rotation, packed translation).
+
+        The §3 permissibility kernel: everything — port directions, the
+        target slot, the rotated second component, the overlap probes — is
+        packed-int arithmetic against cached tables; no ``Vec`` or
+        ``Rotation`` application happens per cell.
+        """
+        d1 = orientation_port_deltas(rec1.orientation)[PORT_INDEX[port1]]
+        occ1 = g1.occ
+        target = g1.pos_of[rec1.nid] + d1
+        if target in occ1:
+            return []  # the slot is already occupied within comp1
+        d2 = orientation_port_deltas(rec2.orientation)[PORT_INDEX[port2]]
+        pos2 = g2.pos_of[rec2.nid]
+        placements: List[Tuple[Rotation, int]] = []
+        for rot in packed_rotations_mapping(d2, -d1, self.dimension):
+            trans = target - packed_rotation(rot)(pos2)
+            for cell in g2.rotated(rot):
+                if cell + trans in occ1:
+                    break
+            else:
+                placements.append((rot, trans))
+        return placements
+
     def inter_alignments(
         self, nid1: int, port1: Port, nid2: int, port2: Port
     ) -> List[Tuple[Rotation, Vec]]:
@@ -389,22 +498,14 @@ class World:
         rec1, rec2 = self.nodes[nid1], self.nodes[nid2]
         if rec1.component_id == rec2.component_id:
             return []
-        comp1 = self.components[rec1.component_id]
-        comp2 = self.components[rec2.component_id]
-        d1 = world_direction(port1, rec1.orientation)
-        target_cell = rec1.pos + d1
-        if target_cell in comp1.cells:
-            return []  # the slot is already occupied within comp1
-        d2 = world_direction(port2, rec2.orientation)
-        placements: List[Tuple[Rotation, Vec]] = []
-        for rot in rotations_mapping(d2, -d1, self.dimension):
-            trans = target_cell - rot.apply(rec2.pos)
-            if all(
-                (rot.apply(cell) + trans) not in comp1.cells
-                for cell in comp2.cells
-            ):
-                placements.append((rot, trans))
-        return placements
+        g1 = self.geometry(self.components[rec1.component_id])
+        g2 = self.geometry(self.components[rec2.component_id])
+        return [
+            (rot, unpack_delta(trans))
+            for rot, trans in self._packed_alignments(
+                rec1, port1, rec2, port2, g1, g2
+            )
+        ]
 
     def inter_candidates(
         self, nid1: int, port1: Port, nid2: int, port2: Port
@@ -419,24 +520,18 @@ class World:
         """Node-ports of a component whose adjacent cell is unoccupied.
 
         Only these ports can take part in inter-component interactions.
+        Served from the component's version-keyed packed-geometry snapshot;
+        recomputed only when the component's geometry actually changes.
         """
-        slots: List[Tuple[int, Port]] = []
-        for cell, nid in comp.cells.items():
-            rec = self.nodes[nid]
-            for port in self.ports:
-                if cell + world_direction(port, rec.orientation) not in comp.cells:
-                    slots.append((nid, port))
-        return slots
+        return list(self.geometry(comp).slots())
 
     def adjacent_pairs(self, comp: Component) -> List[Tuple[int, int]]:
-        """Unordered grid-adjacent node pairs within a component."""
-        pairs: List[Tuple[int, int]] = []
-        for cell, nid in comp.cells.items():
-            for delta in _positive_units(self.dimension):
-                other = comp.cells.get(cell + delta)
-                if other is not None:
-                    pairs.append((nid, other))
-        return pairs
+        """Unordered grid-adjacent node pairs within a component.
+
+        Served from the version-keyed packed-geometry snapshot, like
+        :meth:`open_slots`.
+        """
+        return list(self.geometry(comp).pairs())
 
     # ------------------------------------------------------------------
     # Candidate enumeration (reference implementation)
@@ -450,22 +545,46 @@ class World:
         """
         # Intra-component: one candidate per grid-adjacent node pair.
         for comp in self.components.values():
-            for nid1, nid2 in self.adjacent_pairs(comp):
+            for nid1, nid2 in self.geometry(comp).pairs():
                 cand = self.intra_candidate(nid1, nid2)
                 if cand is not None:
                     yield cand
         # Inter-component: every collision-free alignment of port pairs.
         comps = sorted(self.components.values(), key=lambda c: c.cid)
         for ca, cb in itertools.combinations(comps, 2):
-            slots_a = self.open_slots(ca)
+            slots_a = self.geometry(ca).slots()
             for nid2 in cb.node_ids():
                 for nid1, p1 in slots_a:
                     for p2 in self.ports:
                         yield from self.inter_candidates(nid1, p1, nid2, p2)
 
     def candidate_count(self) -> int:
-        """|Perm|: the number of permissible interactions (exact)."""
-        return sum(1 for _ in self.enumerate_candidates())
+        """|Perm|: the number of permissible interactions (exact).
+
+        Counts from the cached per-component slot/pair tables and the packed
+        alignment kernel instead of materializing every ``Candidate`` of the
+        full enumeration: intra pairs contribute exactly one candidate each,
+        and inter pairs contribute one per collision-free alignment.
+        """
+        comps = sorted(self.components.values(), key=lambda c: c.cid)
+        geoms = [self.geometry(c) for c in comps]
+        total = sum(len(g.pairs()) for g in geoms)
+        nodes = self.nodes
+        ports = self.ports
+        for (ga, gb) in itertools.combinations(geoms, 2):
+            slots_a = ga.slots()
+            if not slots_a:
+                continue
+            for nid2 in gb.pos_of:
+                rec2 = nodes[nid2]
+                for nid1, p1 in slots_a:
+                    for p2 in ports:
+                        total += len(
+                            self._packed_alignments(
+                                nodes[nid1], p1, rec2, p2, ga, gb
+                            )
+                        )
+        return total
 
     # ------------------------------------------------------------------
     # Applying an interaction
@@ -514,21 +633,54 @@ class World:
         rot = cand.rotation
         trans = cand.translation
         assert rot is not None and trans is not None
-        for cell, nid in list(comp2.cells.items()):
-            new_cell = rot.apply(cell) + trans
-            if new_cell in comp1.cells:
+        # Placement on the packed representation: the rotated cell tuple is
+        # usually already cached from the permissibility check that produced
+        # the candidate, so the merge re-derives each landing cell with one
+        # int add and re-validates collisions against the packed occupancy.
+        g1 = self.geometry(comp1)
+        g2 = self.geometry(comp2)
+        # Every landing coordinate is bounded by |trans_i| + the rotated
+        # component's Chebyshev radius; reject placements that could leave
+        # the packed field range instead of silently wrapping a bit field.
+        if (
+            abs(trans.x) + g2.radius > MAX_COORD
+            or abs(trans.y) + g2.radius > MAX_COORD
+            or abs(trans.z) + g2.radius > MAX_COORD
+        ):
+            raise GeometryError(
+                f"merge translation {trans!r} would place component "
+                f"{comp2.cid} outside the packed coordinate range "
+                f"±{MAX_COORD}; raise repro.geometry.packed.BITS"
+            )
+        tpacked = pack_delta(trans)
+        occ1 = g1.occ
+        new_cells: List[int] = []
+        moved: List[int] = []
+        for nid, rcell in zip(g2.cells.values(), g2.rotated(rot)):
+            npacked = rcell + tpacked
+            if npacked in occ1:
                 raise CollisionError(
-                    f"merge places node {nid} over occupied cell {new_cell!r}"
+                    f"merge places node {nid} over occupied cell "
+                    f"{unpack(npacked)!r}"
                 )
             rec = self.nodes[nid]
-            rec.pos = new_cell
+            rec.pos = unpack(npacked)
             rec.orientation = rot.compose(rec.orientation)
             rec.component_id = comp1.cid
-            comp1.cells[new_cell] = nid
+            comp1.cells[rec.pos] = nid
+            new_cells.append(npacked)
+            moved.append(nid)
         comp1.bonds.update(comp2.bonds)
         comp1.bonds.add(bond_of(cand.nid1, cand.port1, cand.nid2, cand.port2))
         comp1.version += 1
         del self.components[comp2.cid]
+        self._note_merge(
+            comp1.cid,
+            comp1.version,
+            comp2.cid,
+            frozenset(new_cells),
+            tuple(moved),
+        )
 
     def _split_if_disconnected(self, comp: Component) -> None:
         """After a bond removal, split the component into bond-connected

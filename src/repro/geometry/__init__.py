@@ -21,6 +21,15 @@ from repro.geometry.ports import (
     port_direction,
     port_from_direction,
 )
+from repro.geometry.packed import (
+    ComponentGeometry,
+    pack,
+    pack_delta,
+    packed_rotation,
+    packed_rotations_mapping,
+    unpack,
+    unpack_delta,
+)
 from repro.geometry.shape import Shape, GridEdge
 from repro.geometry.grid import (
     zigzag_index_to_cell,
@@ -54,6 +63,13 @@ __all__ = [
     "port_from_direction",
     "Shape",
     "GridEdge",
+    "ComponentGeometry",
+    "pack",
+    "pack_delta",
+    "packed_rotation",
+    "packed_rotations_mapping",
+    "unpack",
+    "unpack_delta",
     "zigzag_index_to_cell",
     "zigzag_cell_to_index",
     "zigzag_order",

@@ -10,11 +10,11 @@ applied to the port's local direction.
 from __future__ import annotations
 
 import enum
-from typing import Tuple
+from typing import Dict, Tuple
 
 from repro.errors import GeometryError
-from repro.geometry.rotation import Rotation
-from repro.geometry.vec import Vec
+from repro.geometry.rotation import Matrix, Rotation
+from repro.geometry.vec import UNIT_VECTORS, Vec
 
 
 class Port(enum.Enum):
@@ -44,14 +44,21 @@ PORTS_3D: Tuple[Port, ...] = (
     Port.BACK,
 )
 
+#: Local port directions, referencing the interned unit-vector instances so
+#: boundary-API callers share one ``Vec`` per direction instead of
+#: re-allocating equal copies.
 _DIRECTIONS = {
-    Port.UP: Vec(0, 1, 0),
-    Port.RIGHT: Vec(1, 0, 0),
-    Port.DOWN: Vec(0, -1, 0),
-    Port.LEFT: Vec(-1, 0, 0),
-    Port.FRONT: Vec(0, 0, 1),
-    Port.BACK: Vec(0, 0, -1),
+    Port.UP: UNIT_VECTORS[0],
+    Port.RIGHT: UNIT_VECTORS[1],
+    Port.DOWN: UNIT_VECTORS[2],
+    Port.LEFT: UNIT_VECTORS[3],
+    Port.FRONT: UNIT_VECTORS[4],
+    Port.BACK: UNIT_VECTORS[5],
 }
+
+#: Index of each port in ``PORTS_3D`` order (``PORTS_2D`` is a prefix), the
+#: shared indexing convention of the packed-geometry delta tables.
+PORT_INDEX = {port: i for i, port in enumerate(PORTS_3D)}
 
 _OPPOSITES = {
     Port.UP: Port.DOWN,
@@ -95,14 +102,38 @@ def port_from_direction(direction: Vec) -> Port:
         raise GeometryError(f"not a unit direction: {direction!r}") from None
 
 
+_WORLD_DIRS: Dict[Matrix, Tuple[Vec, ...]] = {}
+
+
+def _world_dirs(orientation: Rotation) -> Tuple[Vec, ...]:
+    dirs = _WORLD_DIRS.get(orientation.matrix)
+    if dirs is None:
+        dirs = tuple(orientation.apply(_DIRECTIONS[p]) for p in PORTS_3D)
+        _WORLD_DIRS[orientation.matrix] = dirs
+    return dirs
+
+
 def world_direction(port: Port, orientation: Rotation) -> Vec:
-    """The world-frame direction of ``port`` on a node with ``orientation``."""
-    return orientation.apply(_DIRECTIONS[port])
+    """The world-frame direction of ``port`` on a node with ``orientation``.
+
+    Memoized per orientation (the rotation group has at most 24 elements),
+    returning interned ``Vec`` instances rather than rotating afresh.
+    """
+    return _world_dirs(orientation)[PORT_INDEX[port]]
+
+
+_FACING: Dict[Tuple[Matrix, Vec], Port] = {}
 
 
 def port_facing(orientation: Rotation, world_dir: Vec) -> Port:
     """The port of a node with ``orientation`` that points along ``world_dir``.
 
-    Inverse of :func:`world_direction` in its first argument.
+    Inverse of :func:`world_direction` in its first argument. Memoized over
+    the (orientation, unit direction) pairs — at most 24 x 6 entries.
     """
-    return port_from_direction(orientation.inverse().apply(world_dir))
+    key = (orientation.matrix, world_dir)
+    port = _FACING.get(key)
+    if port is None:
+        port = port_from_direction(orientation.inverse().apply(world_dir))
+        _FACING[key] = port
+    return port

@@ -42,7 +42,7 @@ def _mat_transpose(m: Matrix) -> Matrix:
     return tuple(tuple(m[j][i] for j in range(3)) for i in range(3))  # type: ignore[return-value]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Rotation:
     """A proper rotation of the grid (orthogonal integer matrix, det +1).
 
@@ -114,6 +114,9 @@ def rotations_for_dimension(dimension: int) -> Tuple[Rotation, ...]:
     raise GeometryError(f"unsupported dimension: {dimension!r}")
 
 
+_MAPPING_CACHE: Dict[Tuple[Vec, Vec, int], Tuple[Rotation, ...]] = {}
+
+
 def rotations_mapping(
     source: Vec, target: Vec, dimension: int
 ) -> Tuple[Rotation, ...]:
@@ -121,8 +124,16 @@ def rotations_mapping(
 
     For unit vectors this has exactly 1 element in 2D and 4 in 3D (the
     stabilizer of an axis is C4). Used by the interaction engine to align a
-    port of one component with a port of another.
+    port of one component with a port of another — a hot call, so results
+    are memoized per ``(source, target, dimension)`` (the engine only ever
+    asks about unit-vector pairs, keeping the table at 36 entries per
+    dimension; arbitrary vectors are admitted and cached the same way).
     """
-    return tuple(
-        r for r in rotations_for_dimension(dimension) if r.apply(source) == target
-    )
+    key = (source, target, dimension)
+    hit = _MAPPING_CACHE.get(key)
+    if hit is None:
+        hit = tuple(
+            r for r in rotations_for_dimension(dimension) if r.apply(source) == target
+        )
+        _MAPPING_CACHE[key] = hit
+    return hit

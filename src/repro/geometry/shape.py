@@ -23,6 +23,7 @@ from typing import (
 )
 
 from repro.errors import InvalidShapeError
+from repro.geometry.packed import POSITIVE_DELTAS, pack_cells
 from repro.geometry.rotation import Rotation, rotations_for_dimension
 from repro.geometry.vec import UNIT_VECTORS, Vec
 
@@ -38,10 +39,13 @@ def grid_edge(a: Vec, b: Vec) -> GridEdge:
 
 
 def _adjacent_pairs(cells: AbstractSet[Vec]) -> Iterator[GridEdge]:
-    for c in cells:
-        for d in UNIT_VECTORS:
-            other = c + d
-            if other in cells and (c.x, c.y, c.z) < (other.x, other.y, other.z):
+    # Packed-int adjacency probe: one small-int hash per (cell, +axis) pair
+    # instead of allocating a Vec and comparing coordinate tuples per probe.
+    packed = pack_cells(cells)
+    for p, c in packed.items():
+        for d in POSITIVE_DELTAS:
+            other = packed.get(p + d)
+            if other is not None:
                 yield frozenset((c, other))
 
 

@@ -10,14 +10,17 @@ from dataclasses import dataclass
 from typing import Iterator, Tuple
 
 
-@dataclass(frozen=True, order=True)
+@dataclass(frozen=True, order=True, slots=True)
 class Vec:
     """An immutable integer vector / grid cell.
 
     Supports addition, subtraction, negation, integer scaling, Manhattan
     norm, and iteration (so ``tuple(v)`` works). Instances are hashable and
     totally ordered (lexicographically), which makes them usable as dict
-    keys and sortable for canonical forms.
+    keys and sortable for canonical forms. ``__slots__`` (via the dataclass)
+    keeps the per-instance footprint to the three coordinate fields — the
+    interaction engine allocates vectors only at API boundaries, but those
+    boundaries still see millions of instances per run.
     """
 
     x: int
@@ -67,7 +70,9 @@ class Vec:
 
 ORIGIN = Vec(0, 0, 0)
 
-#: The six axis-aligned unit vectors (2D uses the first four).
+#: The six axis-aligned unit vectors (2D uses the first four). These are the
+#: interned instances: the port-direction tables of ``repro.geometry.ports``
+#: resolve to these exact objects instead of allocating fresh ones.
 UNIT_VECTORS = (
     Vec(0, 1, 0),   # +y (up)
     Vec(1, 0, 0),   # +x (right)

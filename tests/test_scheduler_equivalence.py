@@ -171,6 +171,31 @@ class TestIncrementalCacheEqualsReference:
             if sim.step() is None and rng.random() < 0.5:
                 break
 
+    @given(
+        st.integers(min_value=4, max_value=12),
+        st.integers(min_value=0, max_value=1000),
+        st.integers(min_value=2, max_value=4),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_through_batched_merges(self, n, seed, gap):
+        # Multiple merges may land between two refreshes (a lagging
+        # consumer); merge-delta pruning must stay exact even when *both*
+        # endpoint components of a cached entry merged in the same gap.
+        protocol = gluing_protocol()
+        world = World(2)
+        for _ in range(n):
+            world.add_free_node("g")
+        cache = EffectiveCandidateCache()
+        sim = Simulation(world, protocol, seed=seed)
+        self._assert_in_sync(cache, world, protocol)
+        for _ in range(20):
+            stepped = None
+            for _ in range(gap):
+                stepped = sim.step()
+            self._assert_in_sync(cache, world, protocol)
+            if stepped is None:
+                break
+
     @given(st.integers(min_value=0, max_value=500))
     @settings(max_examples=10, deadline=None)
     def test_through_replication_walks(self, seed):
