@@ -3,49 +3,69 @@
 Regenerates (i) the always-halts guarantee, (ii) the w.h.p. success rate
 against the ``1/n^(b-2)`` bound, and (iii) Remark 2's observation that the
 estimate ``r0`` is close to ``(9/10) n`` for populations up to 1000 nodes.
+
+Runs through the declarative experiment layer: each sweep is a
+``SweepSpec`` over the registered ``counting`` scenario, the rows are read
+off the uniform ``ExperimentResult.metrics``, and the artifact is the
+schema-validated ``BENCH_counting.json``.
 """
 
-import random
-
-from conftest import print_table
+from conftest import print_table, write_bench
 
 from repro.analysis.walks import counting_failure_bound
-from repro.population.counting import CountingUpperBound, estimate_quality
+from repro.experiments import SweepSpec, run_sweep
 
 
-def _success_sweep(ns, b, trials, seed=0):
-    rng = random.Random(seed)
-    rows = []
-    for n in ns:
-        ok = 0
-        for _ in range(trials):
-            res = CountingUpperBound(n, b, rng=rng).run()
-            ok += int(res.success)
-        rows.append((n, b, ok / trials, counting_failure_bound(n, b)))
-    return rows
+def _counting_sweep(ns, trials, base_seed=0, b=4):
+    sweep = SweepSpec(
+        scenario="counting",
+        grid={"n": list(ns), "b": [b], "trials": [trials]},
+        trials=1,
+        base_seed=base_seed,
+    )
+    return run_sweep(sweep)
 
 
 def test_theorem1_success_rate(benchmark):
-    rows = benchmark.pedantic(
-        _success_sweep, args=([64, 256, 1024], 4, 200), rounds=1, iterations=1
+    results = benchmark.pedantic(
+        _counting_sweep, args=([64, 256, 1024], 200), rounds=1, iterations=1
     )
+    rows = [
+        (
+            r.params["n"],
+            r.params["b"],
+            r.metrics["success_rate"],
+            counting_failure_bound(r.params["n"], r.params["b"]),
+        )
+        for r in results
+    ]
     print_table(
         "T1-whp: success rate of Counting-Upper-Bound (b = 4)",
         f"{'n':>6} {'b':>3} {'success':>9} {'1 - bound':>10}",
         (f"{n:>6} {b:>3} {rate:>9.3f} {1 - bound:>10.4f}" for n, b, rate, bound in rows),
     )
+    write_bench("counting", results, header={"experiment": "T1-whp"})
     for n, b, rate, bound in rows:
         assert rate >= 1 - 20 * bound - 0.03
 
 
 def test_remark2_estimate_quality(benchmark):
-    rows = benchmark.pedantic(
-        estimate_quality,
-        args=([100, 250, 500, 1000],),
-        kwargs={"b": 4, "trials": 25, "seed": 1},
+    results = benchmark.pedantic(
+        _counting_sweep,
+        args=([100, 250, 500, 1000], 25),
+        kwargs={"base_seed": 1},
         rounds=1,
         iterations=1,
     )
+    rows = [
+        (
+            r.params["n"],
+            r.metrics["estimate_ratio"],
+            r.metrics["min_estimate"] / r.params["n"],
+            r.metrics["success_rate"],
+        )
+        for r in results
+    ]
     print_table(
         "R2-est: estimate quality (paper: close to 0.9 n, usually higher)",
         f"{'n':>6} {'mean r0/n':>10} {'min r0/n':>9} {'success':>8}",
@@ -58,8 +78,18 @@ def test_remark2_estimate_quality(benchmark):
 
 def test_theorem1_always_halts(benchmark):
     def halt_many():
-        for seed in range(50):
-            CountingUpperBound(128, 4, seed=seed).run()  # raises otherwise
-        return True
+        # 50 derived seeds, one execution each. ``run_counting`` raises
+        # TerminationError past its effective-interaction cap, so fifty
+        # *completed* trials are Theorem 1's always-halts witness — the
+        # sweep itself would fail otherwise.
+        sweep = SweepSpec(
+            scenario="counting",
+            grid={"n": [128], "trials": [1]},
+            trials=50,
+            base_seed=0,
+        )
+        return run_sweep(sweep)
 
-    assert benchmark.pedantic(halt_many, rounds=1, iterations=1)
+    results = benchmark.pedantic(halt_many, rounds=1, iterations=1)
+    assert len(results) == 50
+    assert all(r.events > 0 for r in results)

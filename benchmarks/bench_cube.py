@@ -5,26 +5,32 @@ pipeline (seed/replica self-replication); stacking is the leader's
 accounted walk. The bench reports per-stage interaction counts and checks
 the slab cost dominates (the stacking walk is only ``O(m²)`` per slab
 versus the slab pipeline's scheduler work).
+
+Runs the registered ``cube`` scenario through the experiment layer and
+emits the schema-validated ``BENCH_cube.json``.
 """
 
-from conftest import print_table
+from conftest import print_table, write_bench
 
-from repro.constructors.cube import run_cube_known_n
+from repro.experiments import SweepSpec, run_sweep
 
 
 def test_cube_construction(benchmark):
     def build():
-        rows = []
-        for m in (3, 4):
-            res = run_cube_known_n(m**3, seed=1)
-            slab_sched = sum(s.scheduler_events for s in res.slabs)
-            rows.append(
-                (m, m**3, slab_sched, res.leader_interactions,
-                 res.cube_shape().is_full_box())
-            )
-        return rows
+        sweep = SweepSpec(scenario="cube", grid={"m": [3, 4]}, base_seed=1)
+        return run_sweep(sweep)
 
-    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    results = benchmark.pedantic(build, rounds=1, iterations=1)
+    rows = [
+        (
+            r.params["m"],
+            r.metrics["n"],
+            r.metrics["slab_scheduler_events"],
+            r.metrics["leader_interactions"],
+            r.metrics["full_box"],
+        )
+        for r in results
+    ]
     print_table(
         "L2-3D: cube assembly (m x m x m on n = m^3 nodes)",
         f"{'m':>3} {'n':>5} {'scheduler':>10} {'leader':>7} {'full box':>9}",
@@ -33,6 +39,7 @@ def test_cube_construction(benchmark):
             for m, n, sched, lead, box in rows
         ),
     )
+    write_bench("cube", results, header={"experiment": "L2-3D"})
     for _m, _n, sched, lead, box in rows:
         assert box
         assert sched > lead / 4  # scheduler work is substantial

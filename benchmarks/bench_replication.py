@@ -1,54 +1,82 @@
-"""Experiments P1-squar and S7-rep: shape replication (§7)."""
+"""Experiments P1-squar and S7-rep: shape replication (§7).
 
-import random
+Both experiments run through the experiment layer — the registered
+``squaring`` and ``replicate`` scenarios — and emit the schema-validated
+``BENCH_squaring.json`` / ``BENCH_replicate.json`` artifacts.
+"""
 
-from conftest import print_table
+from conftest import print_table, write_bench
 
-from repro.geometry.random_shapes import random_connected_shape
-from repro.replication.columns import replicate_by_columns
-from repro.replication.shifting import replicate_by_shifting
-from repro.replication.squaring import run_squaring
+from repro.experiments import ExperimentSpec, run_experiment
 
 
 def test_squaring_cost(benchmark):
     def sweep():
-        rng = random.Random(0)
-        rows = []
-        for size in (8, 16, 32, 64):
-            shape = random_connected_shape(size, rng)
-            res = run_squaring(shape, seed=size)
-            rows.append((size, len(res.rectangle.cells), res.fillers_used,
-                         res.interactions))
-        return rows
+        return [
+            run_experiment(
+                ExperimentSpec("squaring", {"size": size}, seed=size)
+            )
+            for size in (8, 16, 32, 64)
+        ]
 
-    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [
+        (
+            r.params["size"],
+            r.metrics["rect_cells"],
+            r.metrics["fillers_used"],
+            r.metrics["interactions"],
+        )
+        for r in results
+    ]
     print_table(
         "P1-squar: squaring random shapes to R_G",
         f"{'|G|':>4} {'|R_G|':>6} {'fillers':>8} {'interactions':>13}",
         (f"{g:>4} {r:>6} {f:>8} {i:>13}" for g, r, f, i in rows),
     )
+    write_bench("squaring", results, header={"experiment": "P1-squar"})
     for g, r, fillers, _i in rows:
         assert fillers == r - g
 
 
 def test_replication_approaches(benchmark):
     def sweep():
-        rng = random.Random(1)
-        rows = []
+        results = []
         for size in (8, 16, 32):
-            shape = random_connected_shape(size, rng)
-            a = replicate_by_shifting(shape, seed=size)
-            b = replicate_by_columns(shape, seed=size + 1)
-            assert a.identical and b.identical
-            rows.append((size, a.nodes_used, a.waste,
-                         a.interactions, b.interactions))
-        return rows
+            a = run_experiment(
+                ExperimentSpec(
+                    "replicate", {"size": size, "approach": "shifting"}, seed=size
+                )
+            )
+            b = run_experiment(
+                ExperimentSpec(
+                    "replicate", {"size": size, "approach": "columns"}, seed=size + 1
+                )
+            )
+            assert a.metrics["identical"] and b.metrics["identical"]
+            results.append((a, b))
+        return results
 
-    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [
+        (
+            a.params["size"],
+            a.metrics["nodes_used"],
+            a.metrics["waste"],
+            a.metrics["interactions"],
+            b.metrics["interactions"],
+        )
+        for a, b in results
+    ]
     print_table(
         "S7-rep: replication, shifting (A1) vs columns (A2)",
         f"{'|G|':>4} {'nodes':>6} {'waste':>6} {'A1 work':>8} {'A2 work':>8}",
         (f"{g:>4} {n:>6} {w:>6} {a:>8} {b:>8}" for g, n, w, a, b in rows),
+    )
+    write_bench(
+        "replicate",
+        [r for pair in results for r in pair],
+        header={"experiment": "S7-rep"},
     )
     for _g, nodes, waste, _a, _b in rows:
         assert waste == nodes - 2 * _g

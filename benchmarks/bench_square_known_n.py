@@ -1,29 +1,41 @@
-"""Experiment L2-sq: Square-Knowing-n (§6.2, Lemma 2)."""
+"""Experiment L2-sq: Square-Knowing-n (§6.2, Lemma 2).
+
+Runs the registered ``square`` scenario through the experiment layer and
+emits the schema-validated ``BENCH_square.json``.
+"""
 
 import math
 
-from conftest import print_table
+from conftest import print_table, write_bench
 
-from repro.constructors.square_known_n import run_square_known_n
+from repro.experiments import ExperimentSpec, run_experiment
 
 
 def test_lemma2_sweep(benchmark):
     def sweep():
-        rows = []
-        for n in (16, 36, 64, 100):
-            res = run_square_known_n(n, seed=n)
-            assert res.square_component().size() == n
-            rows.append(
-                (n, res.side, res.scheduler_events, res.leader_interactions)
-            )
-        return rows
+        return [
+            run_experiment(ExperimentSpec("square", {"n": n}, seed=n))
+            for n in (16, 36, 64, 100)
+        ]
 
-    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = []
+    for r in results:
+        assert r.metrics["square_nodes"] == r.params["n"]
+        rows.append(
+            (
+                r.params["n"],
+                r.metrics["side"],
+                r.metrics["scheduler_events"],
+                r.metrics["leader_interactions"],
+            )
+        )
     print_table(
         "L2-sq: Square-Knowing-n",
         f"{'n':>4} {'side':>5} {'sched events':>13} {'leader work':>12}",
         (f"{n:>4} {s:>5} {e:>13} {w:>12}" for n, s, e, w in rows),
     )
+    write_bench("square", results, header={"experiment": "L2-sq"})
     # Replication dominates: scheduler events grow superlinearly in n while
     # the leader's assembly walk stays O(n).
     for n, side, events, work in rows:

@@ -1,12 +1,25 @@
 """Shared helpers for the benchmark harness.
 
-Each benchmark regenerates one experiment of EXPERIMENTS.md and prints the
-paper-style rows (run ``pytest benchmarks/ --benchmark-only -s`` to see
-them). Assertions encode the *shape* of the paper's claims — who wins, by
-roughly what factor — not absolute timings.
+Each benchmark regenerates one experiment of the registered scenario index
+in EXPERIMENTS.md (the generated `repro list --format md` catalogue) and
+prints the paper-style rows (run ``pytest benchmarks/ --benchmark-only -s``
+to see them). Assertions encode the *shape* of the paper's claims — who
+wins, by roughly what factor — not absolute timings.
+
+Migrated benchmarks drive the declarative experiment layer
+(``repro.experiments``): they build ``ExperimentSpec`` / ``SweepSpec``
+objects, read ``ExperimentResult.metrics``, and emit their artifacts as
+``BENCH_<scenario>.json`` through the one shared writer
+(:func:`write_bench`) so every artifact validates against the same result
+schema as ``repro sweep --json``.
 """
 
 from __future__ import annotations
+
+from pathlib import Path
+
+#: Where BENCH_<scenario>.json artifacts land (next to the benchmarks).
+BENCH_DIR = Path(__file__).parent
 
 
 def print_table(title: str, header: str, rows) -> None:
@@ -14,3 +27,10 @@ def print_table(title: str, header: str, rows) -> None:
     print(header)
     for row in rows:
         print(row)
+
+
+def write_bench(scenario: str, results, header=None) -> Path:
+    """Emit ``BENCH_<scenario>.json`` via the shared schema-validated writer."""
+    from repro.experiments import write_bench_json
+
+    return write_bench_json(scenario, results, BENCH_DIR, header)

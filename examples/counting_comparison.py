@@ -4,33 +4,40 @@ Runs (a) Counting-Upper-Bound with a leader, (b) Protocol 3 with unique
 ids and no leader, and (c) the anonymous window protocol that Conjecture 1
 predicts must fail — and prints their estimates and costs side by side.
 
+(a) and (b) run as registered scenarios of the experiment layer — the
+same specs as ``repro run counting`` / ``repro run uid-counting``; (c)
+drives the library helper directly (an experiment over a conjecture's
+consequence, not a registered workload).
+
     python examples/counting_comparison.py [n]
 """
 
 import sys
 
-from repro import CountingUpperBound
-from repro.population.counting_uid import run_uid_counting
+from repro.experiments import run_named
 from repro.population.leaderless import early_termination_experiment
 
 
 def main(n: int = 200) -> None:
     print(f"population size n = {n}\n")
 
-    res = CountingUpperBound(n, b=4, seed=0).run()
+    res = run_named("counting", n=n, b=4, trials=1, seed=0)
+    estimate = int(res.metrics["mean_estimate"])
     print("Counting-Upper-Bound (leader, Theorem 1):")
     print(
-        f"  estimate r0 = {res.r0} ({res.r0 / n:.0%} of n), "
-        f"upper bound 2 r0 = {res.upper_bound}, "
-        f"raw interactions = {res.raw_interactions}"
+        f"  estimate r0 = {estimate} ({estimate / n:.0%} of n), "
+        f"upper bound 2 r0 = {2 * estimate}, "
+        f"raw interactions = {res.raw_steps}"
     )
 
-    uid = run_uid_counting(n, b=4, seed=0)
+    uid = run_named("uid-counting", n=n, b=4, seed=0)
     print("\nProtocol 3 (unique ids, no leader, Theorem 3):")
     print(
-        f"  halter uid = {uid.halter_uid} (max: {uid.halter_is_max}), "
-        f"output = {uid.output} (>= n: {uid.output_is_upper_bound}), "
-        f"interactions = {uid.interactions}"
+        f"  halter uid = {uid.metrics['halter_uid']} "
+        f"(max: {uid.metrics['halter_is_max']}), "
+        f"output = {uid.metrics['output']} "
+        f"(>= n: {uid.metrics['output_is_upper_bound']}), "
+        f"interactions = {uid.events}"
     )
 
     anon = early_termination_experiment(n, b=2, trials=20, seed=0)

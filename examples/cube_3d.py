@@ -6,34 +6,40 @@ the slabs stack along z. The second part runs Theorem 5's 3D parallel
 construction: a star shape computed with every pixel's machine running on
 its own z-line memory.
 
+Both workloads run as registered scenarios of the experiment layer
+(``repro run cube -m 3`` / ``repro run parallel-3d --d 7`` on the CLI is
+the identical spec).
+
     python examples/cube_3d.py
 """
 
-from repro import render_layers, run_cube_known_n, run_parallel_3d, star_program
+from repro.experiments import run_named
 
 
 def build_cube(m: int = 3, seed: int = 0) -> None:
     n = m**3
     print(f"--- Cube-Knowing-n: {m}x{m}x{m} cube on {n} nodes ---")
-    result = run_cube_known_n(n, seed=seed)
+    result = run_named("cube", m=m, seed=seed)
+    metrics = result.metrics
     print(
-        f"{len(result.slabs)} slabs built by the scheduler-driven 2D "
-        f"pipeline ({result.scheduler_events} scheduler events), stacked by "
-        f"the leader ({result.leader_interactions} accounted interactions)"
+        f"{m} slabs built by the scheduler-driven 2D pipeline "
+        f"({metrics['scheduler_events']} scheduler events), stacked by "
+        f"the leader ({metrics['leader_interactions']} accounted interactions)"
     )
-    print(render_layers(result.cube_shape()))
+    print(result.renders["cube"])
 
 
 def parallel_star(d: int = 7) -> None:
     print(f"\n--- Theorem 5 / §6.4.1: parallel star on a {d}x{d} square ---")
-    result = run_parallel_3d(star_program(), d)
+    result = run_named("parallel-3d", shape="star", d=d)
+    metrics = result.metrics
     print(
-        f"population n = k*d^2 = {result.n} (k = {result.k}); "
-        f"parallel interactions {result.parallel_interactions} vs "
-        f"sequential {result.sequential_interactions} "
-        f"(speedup {result.speedup:.1f}x)"
+        f"population n = k*d^2 = {metrics['n']} (k = {metrics['k']}); "
+        f"parallel interactions {metrics['parallel_interactions']} vs "
+        f"sequential {metrics['sequential_interactions']} "
+        f"(speedup {metrics['speedup']:.1f}x)"
     )
-    print(render_layers(result.shape))
+    print(result.renders["shape"])
 
 
 if __name__ == "__main__":

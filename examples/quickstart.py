@@ -1,38 +1,37 @@
 """Quickstart: a solution of automata builds a spanning line and a square.
 
-Runs the two §4 constructors on small populations under the uniform random
-scheduler and renders the stabilized shapes.
+Runs the two §4 constructors through the declarative experiment layer: a
+single ``ExperimentSpec`` against the registered ``demo`` scenario returns
+the uniform ``ExperimentResult`` — counters, metrics, and the rendered
+stabilized shapes. ``repro run demo --n 10 --seed 0`` is the identical
+command-line form, and ``repro list`` shows every other scenario runnable
+the same way.
 
     python examples/quickstart.py
 """
 
-from repro import (
-    Simulation,
-    World,
-    render_world,
-    spanning_line_protocol,
-    square_protocol,
-)
+from repro.experiments import ExperimentSpec, run_experiment
 
 
-def build_line(n: int = 10, seed: int = 0) -> None:
-    print(f"--- spanning line on {n} nodes ---")
-    protocol = spanning_line_protocol()
-    world = World.of_free_nodes(n, protocol, leaders=1)
-    result = Simulation(world, protocol, seed=seed).run_to_stabilization()
-    print(f"stabilized after {result.events} effective interactions")
-    print(render_world(world, state_char=lambda s: "L" if str(s).startswith("L") else "#"))
+def main(n: int = 10, seed: int = 0) -> None:
+    spec = ExperimentSpec(scenario="demo", params={"n": n}, seed=seed)
+    result = run_experiment(spec)
 
+    m = result.metrics
+    print(f"--- spanning line on {m['n']} nodes ---")
+    print(f"stabilized after {m['line_events']} effective interactions")
+    print(result.renders["line"])
 
-def build_square(n: int = 25, seed: int = 1) -> None:
-    print(f"\n--- sqrt(n) x sqrt(n) square on {n} nodes (Protocol 1) ---")
-    protocol = square_protocol()
-    world = World.of_free_nodes(n, protocol, leaders=1)
-    result = Simulation(world, protocol, seed=seed).run_to_stabilization()
-    print(f"stabilized after {result.events} effective interactions")
-    print(render_world(world, state_char=lambda s: "L" if str(s).startswith("L") else "#"))
+    print(f"\n--- {m['side']}x{m['side']} square on {m['square_n']} nodes ---")
+    print(f"stabilized after {m['square_events']} effective interactions")
+    print(result.renders["square"])
+
+    print(
+        f"\n(total {result.events} events, stop reason "
+        f"{result.stop_reason}, wall {result.wall_time:.3f}s — the same "
+        f"record `repro run demo --json` emits)"
+    )
 
 
 if __name__ == "__main__":
-    build_line()
-    build_square()
+    main()

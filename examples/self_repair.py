@@ -9,44 +9,39 @@ Also demonstrates the destructive side: a perpetually faulty environment
 (each event may snap a random bond) keeps a re-gluing protocol from ever
 stabilizing.
 
+The constructive half runs as the registered ``repair`` scenario of the
+experiment layer (``repro run repair --d 9 --fraction 0.3 --seed 42`` is
+the identical spec); the destructive half drives ``FaultySimulation``
+directly.
+
     python examples/self_repair.py
 """
 
-import random
-
-from repro import (
-    FaultySimulation,
-    Rule,
-    RuleProtocol,
-    World,
-    detach_part,
-    render_shape,
-    repair_shape,
-    star_program,
-)
+from repro import FaultySimulation, Rule, RuleProtocol, World
+from repro.experiments import run_named
 from repro.geometry.ports import PORTS_2D, opposite
-from repro.machines.shape_programs import expected_shape
 
 
 def damage_and_repair(d: int = 9, fraction: float = 0.3, seed: int = 42) -> None:
-    blueprint = expected_shape(star_program(), d)
-    print(f"--- the target star on a {d}x{d} square ({len(blueprint.cells)} cells) ---")
-    print(render_shape(blueprint))
-
-    rng = random.Random(seed)
-    damaged, lost = detach_part(blueprint, fraction, rng=rng)
-    print(f"\n--- a part of {len(lost)} cells detached ---")
-    print(render_shape(damaged))
-
-    result = repair_shape(damaged, blueprint, rng=rng)
+    result = run_named("repair", d=d, fraction=fraction, seed=seed)
+    metrics = result.metrics
     print(
-        f"\n--- repaired: {result.nodes_attached} nodes re-attached, "
-        f"{result.bonds_restored} bonds restored, "
-        f"{result.interactions} interactions "
-        f"(vs {len(blueprint.cells)} cells for a full rebuild) ---"
+        f"--- the target star on a {d}x{d} square "
+        f"({metrics['blueprint_cells']} cells) ---"
     )
-    print(render_shape(result.repaired))
-    assert result.repaired.cells == blueprint.cells
+    print(result.renders["blueprint"])
+
+    print(f"\n--- a part of {metrics['detached']} cells detached ---")
+    print(result.renders["damaged"])
+
+    print(
+        f"\n--- repaired: {metrics['nodes_attached']} nodes re-attached, "
+        f"{metrics['bonds_restored']} bonds restored, "
+        f"{metrics['interactions']} interactions "
+        f"(vs {metrics['blueprint_cells']} cells for a full rebuild) ---"
+    )
+    print(result.renders["repaired"])
+    assert metrics["matches_blueprint"]
 
 
 def perpetual_faults(n: int = 12, prob: float = 0.3, seed: int = 7) -> None:

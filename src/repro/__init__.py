@@ -16,8 +16,10 @@ Quickstart::
     world = World.of_free_nodes(10, protocol, leaders=1)
     Simulation(world, protocol, seed=0).run_to_stabilization()
 
-See README.md for the architecture overview and EXPERIMENTS.md for the
-paper-vs-measured record of every reproduced claim.
+See EXPERIMENTS.md for the generated index of registered scenarios —
+every workload is also runnable declaratively through
+``repro.experiments`` (``run_named("counting", n=64, seed=0)``) or the
+``repro run`` / ``repro sweep`` CLI.
 """
 
 from repro.errors import (
@@ -52,6 +54,7 @@ from repro.core import (
     RuleProtocol,
     RunResult,
     Simulation,
+    StopReason,
     TraceRecorder,
     World,
     format_protocol,
@@ -138,6 +141,19 @@ from repro.hybrid import (
     walker_protocol,
 )
 from repro.viz import render_labels, render_layers, render_shape, render_world
+from repro.experiments import (
+    ExperimentResult,
+    ExperimentSpec,
+    Param,
+    Scenario,
+    SweepSpec,
+    derive_seed,
+    get_scenario,
+    run_experiment,
+    run_named,
+    run_sweep,
+    scenario_names,
+)
 
 __version__ = "1.0.0"
 
@@ -151,8 +167,12 @@ __all__ = [
     "zigzag_index_to_cell", "zigzag_cell_to_index",
     # core
     "Protocol", "RuleProtocol", "AgentProtocol", "Rule", "World", "Candidate",
-    "Simulation", "RunResult", "HotScheduler", "EnumeratingScheduler",
-    "RejectionScheduler", "make_scheduler",
+    "Simulation", "RunResult", "StopReason", "HotScheduler",
+    "EnumeratingScheduler", "RejectionScheduler", "make_scheduler",
+    # experiments (declarative scenario registry, sweeps, uniform results)
+    "Param", "Scenario", "ExperimentSpec", "SweepSpec", "ExperimentResult",
+    "derive_seed", "get_scenario", "scenario_names", "run_experiment",
+    "run_named", "run_sweep",
     # tooling: introspection, traces, snapshots
     "format_protocol", "lint_protocol", "TraceRecorder", "record_run",
     "replay", "world_to_dict", "world_from_dict",

@@ -1,54 +1,51 @@
 """Command-line interface: ``python -m repro <command>``.
 
-A thin front-end over the library for quick exploration:
+Rebuilt on the scenario registry (``repro.experiments``): the generic
+commands are *generated* from the registered scenarios —
 
-* ``demo`` — the quickstart constructions (spanning line + square);
-* ``count`` — the Theorem 1 terminating counting protocol;
-* ``construct`` — Theorem 4's universal construction of a named shape;
-* ``pattern`` — Remark 4 patterns on the square;
-* ``cube`` — the 3D Cube-Knowing-n constructor;
-* ``replicate`` — §7 self-replication of a random connected shape;
-* ``repair`` — the §8 damage-and-repair scenario.
+* ``list`` / ``describe`` — browse the scenario catalogue (``--format md``
+  regenerates ``EXPERIMENTS.md``);
+* ``run <scenario>`` — execute one declarative spec; every scenario gets
+  ``--seed`` and ``--json`` (plus ``--scheduler`` where the workload is
+  scheduler-driven; deterministic scenarios record that in their spec);
+* ``sweep <scenario>`` — a grid over comma-separated param values ×
+  ``--seeds`` trials, fanned out over ``--workers`` processes with
+  deterministic per-trial seed derivation (bit-identical results for any
+  worker count);
+* ``validate`` — check emitted JSON against the experiment result schema.
 
-Every command accepts ``--seed`` for reproducibility and prints ASCII
-renderings of the results (the textual analogues of the paper's figures).
+The historical subcommands (``demo``, ``count``, ``construct``,
+``pattern``, ``cube``, ``replicate``, ``repair``) remain as aliases onto
+the same registry and print byte-identical seeded output; ``inspect``
+stays a plain introspection command. Results render as the ASCII analogues
+of the paper's figures, or as schema-validated JSON with ``--json``.
 """
 
 from __future__ import annotations
 
 import argparse
-import random
+import json
 import sys
 from typing import Callable, Dict, List, Optional
 
-from repro.constructors.cube import run_cube_known_n
 from repro.core.inspect import format_protocol, lint_protocol
-from repro.constructors.tm_construction import (
-    run_pattern_construction,
-    run_shape_construction,
+from repro.errors import ReproError
+from repro.experiments import (
+    ExperimentResult,
+    ExperimentSpec,
+    SweepSpec,
+    all_scenarios,
+    describe_scenario,
+    format_scenario_list,
+    get_scenario,
+    run_experiment,
+    run_sweep,
+    scenario_names,
+    validate_payload,
+    write_results_json,
 )
-from repro.core.scheduler import make_scheduler
-from repro.core.simulator import Simulation
-from repro.core.world import World
-from repro.faults.repair import detach_part, repair_shape
-from repro.geometry.random_shapes import random_connected_shape
-from repro.machines.shape_programs import (
-    ShapeProgram,
-    checkerboard_pattern_program,
-    comb_program,
-    cross_program,
-    diamond_program,
-    frame_program,
-    full_square_program,
-    gradient_pattern_program,
-    line_program,
-    ring_pattern_program,
-    serpentine_program,
-    sierpinski_pattern_program,
-    star_program,
-    stripes_program,
-)
-from repro.population.counting import run_counting
+from repro.experiments.io import results_payload
+from repro.machines.shape_programs import PATTERN_CATALOGUE, SHAPE_CATALOGUE
 from repro.protocols.line import simple_line_protocol, spanning_line_protocol
 from repro.protocols.replication import (
     line_replication_protocol,
@@ -57,33 +54,15 @@ from repro.protocols.replication import (
 )
 from repro.protocols.square import square_protocol
 from repro.protocols.square2 import square2_protocol
-from repro.replication.columns import replicate_by_columns
-from repro.replication.shifting import replicate_by_shifting
-from repro.viz.ascii_art import render_labels, render_layers, render_shape, render_world
 
 #: Scheduler kinds selectable from the command line (see ``make_scheduler``).
 SCHEDULERS = ("hot", "enumerate", "rejection", "round-robin")
 
-#: The shape catalogue exposed by ``construct``.
-SHAPES: Dict[str, Callable[[], ShapeProgram]] = {
-    "line": line_program,
-    "full-square": full_square_program,
-    "cross": cross_program,
-    "star": star_program,
-    "frame": frame_program,
-    "comb": comb_program,
-    "serpentine": serpentine_program,
-    "diamond": diamond_program,
-    "stripes": stripes_program,
-}
+#: The shape catalogue exposed by ``construct`` (shared with the registry).
+SHAPES = SHAPE_CATALOGUE
 
-#: The pattern catalogue exposed by ``pattern``.
-PATTERNS: Dict[str, Callable[[], object]] = {
-    "rings": ring_pattern_program,
-    "checkerboard": checkerboard_pattern_program,
-    "sierpinski": sierpinski_pattern_program,
-    "gradient": gradient_pattern_program,
-}
+#: The pattern catalogue exposed by ``pattern`` (shared with the registry).
+PATTERNS = PATTERN_CATALOGUE
 
 #: The rule-table protocols exposed by ``inspect``.
 PROTOCOLS: Dict[str, Callable[[], object]] = {
@@ -97,112 +76,322 @@ PROTOCOLS: Dict[str, Callable[[], object]] = {
 }
 
 
-def _cmd_demo(args: argparse.Namespace) -> int:
-    protocol = spanning_line_protocol()
-    world = World.of_free_nodes(args.n, protocol, leaders=1)
-    result = Simulation(
-        world, protocol, scheduler=make_scheduler(args.scheduler), seed=args.seed
-    ).run_to_stabilization()
-    print(f"spanning line on {args.n} nodes: {result.events} effective interactions")
-    print(render_world(world, state_char=lambda s: "#"))
-    side = max(3, int(args.n**0.5))
-    n_sq = side * side
-    protocol = square_protocol()
-    world = World.of_free_nodes(n_sq, protocol, leaders=1)
-    result = Simulation(
-        world, protocol, scheduler=make_scheduler(args.scheduler), seed=args.seed
-    ).run_to_stabilization()
-    print(f"\n{side}x{side} square on {n_sq} nodes: {result.events} effective interactions")
-    print(render_world(world, state_char=lambda s: "#"))
+# ----------------------------------------------------------------------
+# Shared emission helpers
+# ----------------------------------------------------------------------
+
+
+def _emit_result(
+    result: ExperimentResult,
+    json_target: Optional[str],
+    human: Optional[Callable[[ExperimentResult], None]] = None,
+) -> int:
+    """Print ``result`` as JSON (``--json [PATH]``) or via ``human``."""
+    if json_target is not None:
+        if json_target == "-":
+            print(result.to_json(indent=2))
+        else:
+            with open(json_target, "w") as fh:
+                fh.write(result.to_json(indent=2) + "\n")
+        return 0
+    if human is not None:
+        human(result)
+    else:
+        _print_generic(result)
     return 0
+
+
+def _print_generic(result: ExperimentResult) -> None:
+    params = ", ".join(f"{k}={v}" for k, v in result.params.items())
+    print(f"scenario {result.scenario!r} ({params})")
+    bits = []
+    if result.seed is not None:
+        bits.append(f"seed {result.seed}")
+    if result.scheduler is not None:
+        bits.append(f"scheduler {result.scheduler}")
+    if result.stop_reason is not None:
+        bits.append(f"stop {result.stop_reason}")
+    if result.events is not None:
+        bits.append(f"events {result.events}")
+    if result.raw_steps is not None:
+        bits.append(f"raw steps {result.raw_steps}")
+    bits.append(f"wall {result.wall_time:.3f}s")
+    print("  " + ", ".join(bits))
+    for key, value in result.metrics.items():
+        print(f"  {key}: {value}")
+    for name, render in result.renders.items():
+        print(f"--- {name} ---")
+        print(render)
+
+
+def _add_json_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--json",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="PATH",
+        help="emit the schema-validated result JSON (to PATH, or stdout)",
+    )
+
+
+def _add_uniform_flags(parser: argparse.ArgumentParser, scn) -> None:
+    """The uniform per-scenario flags: --seed, --json, --scheduler."""
+    seed_help = "trial seed"
+    if scn.deterministic:
+        seed_help += " (recorded; this scenario is deterministic)"
+    parser.add_argument("--seed", type=int, default=None, help=seed_help)
+    _add_json_flag(parser)
+    if scn.schedulable:
+        parser.add_argument(
+            "--scheduler",
+            choices=SCHEDULERS,
+            default=None,
+            help=(
+                "uniform-scheduler implementation (all produce identical "
+                "seeded trajectories) or the deterministic fair round-robin "
+                "adversary"
+            ),
+        )
+
+
+def _param_overrides(args: argparse.Namespace, scn) -> Dict[str, object]:
+    overrides = {}
+    for p in scn.params:
+        value = getattr(args, f"param_{p.name}")
+        if value is not None:
+            overrides[p.name] = value
+    return overrides
+
+
+# ----------------------------------------------------------------------
+# Generic registry commands
+# ----------------------------------------------------------------------
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    print(format_scenario_list(args.format), end="")
+    if args.format == "text":
+        print()
+    return 0
+
+
+def _cmd_describe(args: argparse.Namespace) -> int:
+    print(describe_scenario(get_scenario(args.scenario)))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    scn = get_scenario(args.scenario)
+    spec = ExperimentSpec(
+        scenario=scn.name,
+        params=_param_overrides(args, scn),
+        seed=args.seed,
+        scheduler=getattr(args, "scheduler", None),
+    )
+    return _emit_result(run_experiment(spec), args.json)
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    scn = get_scenario(args.scenario)
+    grid = {}
+    for p in scn.params:
+        raw = getattr(args, f"param_{p.name}")
+        if raw is not None:
+            grid[p.name] = [p.convert(tok) for tok in raw.split(",") if tok]
+    sweep = SweepSpec(
+        scenario=scn.name,
+        grid=grid,
+        trials=args.seeds,
+        base_seed=args.base_seed,
+        scheduler=getattr(args, "scheduler", None),
+    )
+    results = run_sweep(sweep, workers=args.workers)
+    header = {
+        "kind": "results",
+        "sweep": {
+            "scenario": scn.name,
+            "grid": grid,
+            "trials": args.seeds,
+            "base_seed": args.base_seed,
+        },
+    }
+    if args.json is not None:
+        if args.json == "-":
+            print(json.dumps(results_payload(results, header), indent=2, sort_keys=True))
+        else:
+            write_results_json(args.json, results, header)
+        return 0
+    for result in results:
+        params = ", ".join(f"{k}={v}" for k, v in result.params.items())
+        numeric = ", ".join(
+            f"{k}={v}"
+            for k, v in result.metrics.items()
+            if isinstance(v, (int, float))
+        )
+        print(f"[{result.scenario} {params} seed={result.seed}] {numeric}")
+    print(f"{len(results)} trials")
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    status = 0
+    for path in args.paths:
+        try:
+            with open(path) as fh:
+                data = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"{path}: unreadable ({exc})")
+            status = 1
+            continue
+        errors = validate_payload(data)
+        if errors:
+            status = 1
+            print(f"{path}: INVALID")
+            for err in errors:
+                print(f"  {err}")
+        else:
+            count = len(data.get("results", [data]))
+            print(f"{path}: ok ({count} result{'s' if count != 1 else ''})")
+    return status
+
+
+# ----------------------------------------------------------------------
+# Historical commands — aliases onto the registry
+# ----------------------------------------------------------------------
+
+
+def _run_alias(args: argparse.Namespace, scenario: str, params: Dict) -> ExperimentResult:
+    return run_experiment(
+        ExperimentSpec(
+            scenario=scenario,
+            params=params,
+            seed=getattr(args, "seed", None),
+            scheduler=getattr(args, "scheduler", None),
+        )
+    )
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    result = _run_alias(args, "demo", {"n": args.n})
+
+    def human(res: ExperimentResult) -> None:
+        m = res.metrics
+        print(
+            f"spanning line on {m['n']} nodes: "
+            f"{m['line_events']} effective interactions"
+        )
+        print(res.renders["line"])
+        print(
+            f"\n{m['side']}x{m['side']} square on {m['square_n']} nodes: "
+            f"{m['square_events']} effective interactions"
+        )
+        print(res.renders["square"])
+
+    return _emit_result(result, args.json, human)
 
 
 def _cmd_count(args: argparse.Namespace) -> int:
-    rng = random.Random(args.seed)
-    successes = 0
-    estimates = []
-    for _ in range(args.trials):
-        result = run_counting(args.n, b=args.head_start, seed=rng.randrange(2**31))
-        successes += int(result.success)
-        estimates.append(result.estimate)
-    mean = sum(estimates) / len(estimates)
-    print(
-        f"counting n = {args.n} (b = {args.head_start}, {args.trials} trials): "
-        f"mean estimate {mean:.1f} ({mean / args.n:.2%} of n), "
-        f"success rate {successes}/{args.trials}"
+    result = _run_alias(
+        args,
+        "counting",
+        {"n": args.n, "b": args.head_start, "trials": args.trials},
     )
-    return 0
+
+    def human(res: ExperimentResult) -> None:
+        m = res.metrics
+        mean = m["mean_estimate"]
+        print(
+            f"counting n = {m['n']} (b = {m['b']}, {m['trials']} trials): "
+            f"mean estimate {mean:.1f} ({mean / m['n']:.2%} of n), "
+            f"success rate {m['successes']}/{m['trials']}"
+        )
+
+    return _emit_result(result, args.json, human)
 
 
 def _cmd_construct(args: argparse.Namespace) -> int:
-    program = SHAPES[args.shape]()
-    result = run_shape_construction(program, args.d)
-    print(
-        f"constructed {args.shape!r} on a {args.d}x{args.d} square: "
-        f"{result.useful_space} on-cells, waste {result.waste}, "
-        f"{result.interactions} interactions"
-    )
-    print(render_shape(result.shape))
-    return 0
+    result = _run_alias(args, "shape", {"shape": args.shape, "d": args.d})
+
+    def human(res: ExperimentResult) -> None:
+        m = res.metrics
+        print(
+            f"constructed {m['shape']!r} on a {m['d']}x{m['d']} square: "
+            f"{m['useful_space']} on-cells, waste {m['waste']}, "
+            f"{m['interactions']} interactions"
+        )
+        print(res.renders["shape"])
+
+    return _emit_result(result, args.json, human)
 
 
 def _cmd_pattern(args: argparse.Namespace) -> int:
-    program = PATTERNS[args.pattern]()
-    colors, interactions = run_pattern_construction(program, args.d)
-    print(
-        f"pattern {args.pattern!r} on a {args.d}x{args.d} square "
-        f"({len(set(colors.values()))} colors, {interactions} interactions)"
-    )
-    print(render_labels(colors))
-    return 0
+    result = _run_alias(args, "pattern", {"pattern": args.pattern, "d": args.d})
+
+    def human(res: ExperimentResult) -> None:
+        m = res.metrics
+        print(
+            f"pattern {m['pattern']!r} on a {m['d']}x{m['d']} square "
+            f"({m['colors']} colors, {m['interactions']} interactions)"
+        )
+        print(res.renders["pattern"])
+
+    return _emit_result(result, args.json, human)
 
 
 def _cmd_cube(args: argparse.Namespace) -> int:
-    result = run_cube_known_n(args.m**3, seed=args.seed)
-    print(
-        f"{args.m}x{args.m}x{args.m} cube on {args.m**3} nodes: "
-        f"{result.scheduler_events} scheduler events, "
-        f"{result.leader_interactions} leader interactions"
-    )
-    print(render_layers(result.cube_shape()))
-    return 0
+    result = _run_alias(args, "cube", {"m": args.m})
+
+    def human(res: ExperimentResult) -> None:
+        m = res.metrics
+        print(
+            f"{m['m']}x{m['m']}x{m['m']} cube on {m['n']} nodes: "
+            f"{m['scheduler_events']} scheduler events, "
+            f"{m['leader_interactions']} leader interactions"
+        )
+        print(res.renders["cube"])
+
+    return _emit_result(result, args.json, human)
 
 
 def _cmd_replicate(args: argparse.Namespace) -> int:
-    shape = random_connected_shape(args.size, seed=args.seed)
-    replicate = (
-        replicate_by_shifting if args.approach == "shifting" else replicate_by_columns
+    result = _run_alias(
+        args, "replicate", {"size": args.size, "approach": args.approach}
     )
-    result = replicate(shape, seed=args.seed)
-    print(
-        f"replicated a random {args.size}-cell shape by {args.approach}: "
-        f"{result.interactions} interactions, waste {result.waste}, "
-        f"identical: {result.identical}"
-    )
-    print("original:")
-    print(render_shape(result.original))
-    print("replica:")
-    print(render_shape(result.replica))
-    return 0
+
+    def human(res: ExperimentResult) -> None:
+        m = res.metrics
+        print(
+            f"replicated a random {m['size']}-cell shape by {m['approach']}: "
+            f"{m['interactions']} interactions, waste {m['waste']}, "
+            f"identical: {m['identical']}"
+        )
+        print("original:")
+        print(res.renders["original"])
+        print("replica:")
+        print(res.renders["replica"])
+
+    return _emit_result(result, args.json, human)
 
 
 def _cmd_repair(args: argparse.Namespace) -> int:
-    from repro.machines.shape_programs import expected_shape
-
-    blueprint = expected_shape(star_program(), args.d)
-    rng = random.Random(args.seed)
-    damaged, lost = detach_part(blueprint, args.fraction, rng=rng)
-    result = repair_shape(damaged, blueprint, rng=rng)
-    print(
-        f"star on a {args.d}x{args.d} square: detached {len(lost)} cells, "
-        f"repaired in {result.interactions} interactions "
-        f"({result.nodes_attached} re-attached, {result.bonds_restored} bonds)"
+    result = _run_alias(
+        args, "repair", {"d": args.d, "fraction": args.fraction}
     )
-    print("damaged:")
-    print(render_shape(damaged))
-    print("repaired:")
-    print(render_shape(result.repaired))
-    return 0
+
+    def human(res: ExperimentResult) -> None:
+        m = res.metrics
+        print(
+            f"star on a {m['d']}x{m['d']} square: detached {m['detached']} cells, "
+            f"repaired in {m['interactions']} interactions "
+            f"({m['nodes_attached']} re-attached, {m['bonds_restored']} bonds)"
+        )
+        print("damaged:")
+        print(res.renders["damaged"])
+        print("repaired:")
+        print(res.renders["repaired"])
+
+    return _emit_result(result, args.json, human)
 
 
 def _cmd_inspect(args: argparse.Namespace) -> int:
@@ -222,6 +411,11 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
     return 0
 
 
+# ----------------------------------------------------------------------
+# Parser construction
+# ----------------------------------------------------------------------
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -232,18 +426,79 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    # --- generic registry commands -----------------------------------
+    p = sub.add_parser("list", help="list every registered scenario")
+    p.add_argument("--format", choices=("text", "md"), default="text")
+    p.set_defaults(func=_cmd_list)
+
+    p = sub.add_parser("describe", help="print one scenario's param schema")
+    p.add_argument("scenario", choices=scenario_names())
+    p.set_defaults(func=_cmd_describe)
+
+    run_parser = sub.add_parser("run", help="run one scenario spec")
+    run_sub = run_parser.add_subparsers(dest="scenario", required=True)
+    sweep_parser = sub.add_parser(
+        "sweep", help="declarative grid × seeds sweep (parallel workers)"
+    )
+    sweep_sub = sweep_parser.add_subparsers(dest="scenario", required=True)
+    for scn in all_scenarios():
+        p = run_sub.add_parser(scn.name, help=scn.summary)
+        for prm in scn.params:
+            p.add_argument(
+                f"--{prm.name.replace('_', '-')}",
+                dest=f"param_{prm.name}",
+                type=prm.pytype,
+                choices=prm.choices,
+                default=None,
+                help=f"{prm.help} (default {prm.default!r})",
+            )
+        _add_uniform_flags(p, scn)
+        p.set_defaults(func=_cmd_run)
+
+        p = sweep_sub.add_parser(scn.name, help=scn.summary)
+        for prm in scn.params:
+            p.add_argument(
+                f"--{prm.name.replace('_', '-')}",
+                dest=f"param_{prm.name}",
+                type=str,
+                default=None,
+                metavar="V[,V...]",
+                help=f"values to sweep for {prm.name} (default {prm.default!r})",
+            )
+        p.add_argument(
+            "--seeds", type=int, default=1,
+            help="trials per grid point (seeds derived deterministically)",
+        )
+        p.add_argument("--base-seed", type=int, default=0)
+        p.add_argument(
+            "--workers", type=int, default=1,
+            help="process fan-out; results are identical for any count",
+        )
+        _add_json_flag(p)
+        if scn.schedulable:
+            p.add_argument("--scheduler", choices=SCHEDULERS, default=None)
+        p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser(
+        "validate", help="validate emitted JSON against the result schema"
+    )
+    p.add_argument("paths", nargs="+", metavar="PATH")
+    p.set_defaults(func=_cmd_validate)
+
+    # --- historical commands (registry aliases) ----------------------
     p = sub.add_parser("demo", help="quickstart: spanning line + square")
     p.add_argument("-n", type=int, default=10, help="population size")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument(
         "--scheduler",
         choices=SCHEDULERS,
-        default="hot",
+        default=None,
         help=(
             "uniform-scheduler implementation (all produce identical seeded "
             "trajectories) or the deterministic fair round-robin adversary"
         ),
     )
+    _add_json_flag(p)
     p.set_defaults(func=_cmd_demo)
 
     p = sub.add_parser("count", help="Theorem 1 terminating counting")
@@ -251,21 +506,33 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-b", "--head-start", type=int, default=4)
     p.add_argument("--trials", type=int, default=20)
     p.add_argument("--seed", type=int, default=0)
+    _add_json_flag(p)
     p.set_defaults(func=_cmd_count)
 
     p = sub.add_parser("construct", help="Theorem 4 universal construction")
     p.add_argument("shape", choices=sorted(SHAPES))
     p.add_argument("-d", type=int, default=9, help="square dimension")
+    p.add_argument(
+        "--seed", type=int, default=None,
+        help="recorded in the result (the construction is deterministic)",
+    )
+    _add_json_flag(p)
     p.set_defaults(func=_cmd_construct)
 
     p = sub.add_parser("pattern", help="Remark 4 pattern construction")
     p.add_argument("pattern", choices=sorted(PATTERNS))
     p.add_argument("-d", type=int, default=8, help="square dimension")
+    p.add_argument(
+        "--seed", type=int, default=None,
+        help="recorded in the result (the construction is deterministic)",
+    )
+    _add_json_flag(p)
     p.set_defaults(func=_cmd_pattern)
 
     p = sub.add_parser("cube", help="3D Cube-Knowing-n")
     p.add_argument("-m", type=int, default=3, help="cube side (>= 3)")
     p.add_argument("--seed", type=int, default=0)
+    _add_json_flag(p)
     p.set_defaults(func=_cmd_cube)
 
     p = sub.add_parser("replicate", help="§7 shape self-replication")
@@ -274,12 +541,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--approach", choices=("shifting", "columns"), default="shifting"
     )
     p.add_argument("--seed", type=int, default=0)
+    _add_json_flag(p)
     p.set_defaults(func=_cmd_replicate)
 
     p = sub.add_parser("repair", help="§8 damage-and-repair scenario")
     p.add_argument("-d", type=int, default=9, help="square dimension")
     p.add_argument("--fraction", type=float, default=0.3)
     p.add_argument("--seed", type=int, default=0)
+    _add_json_flag(p)
     p.set_defaults(func=_cmd_repair)
 
     p = sub.add_parser(
@@ -294,7 +563,16 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:  # e.g. `repro list | head`; not an error
+        return 0
+    except ReproError as exc:
+        # Spec/param problems (bad sweep values, out-of-range params,
+        # scheduler on a deterministic scenario) are usage errors, not
+        # tracebacks.
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

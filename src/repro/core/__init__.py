@@ -29,7 +29,7 @@ from repro.core.scheduler import (
     Scheduler,
     make_scheduler,
 )
-from repro.core.simulator import RunResult, Simulation
+from repro.core.simulator import RunResult, Simulation, StopReason
 from repro.core.inspect import (
     LintReport,
     assert_well_formed,
@@ -72,6 +72,7 @@ __all__ = [
     "geometric_skip",
     "Simulation",
     "RunResult",
+    "StopReason",
     # introspection
     "format_rule",
     "format_protocol",

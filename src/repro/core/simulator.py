@@ -16,10 +16,17 @@ with ``stabilized=True`` rather than raising. World mutations performed
 are picked up automatically by incremental schedulers through the world's
 change journal and the component version counters; no explicit cache
 invalidation call exists or is needed.
+
+This module is the execution engine underneath the declarative experiment
+layer: ``repro.experiments`` wraps seeded :class:`Simulation` runs (and the
+scenario-specific pipelines built on them) into registered scenarios with a
+uniform result schema, and :class:`RunResult.reason` — a :class:`StopReason`
+— is reused verbatim by ``repro.experiments.result.ExperimentResult``.
 """
 
 from __future__ import annotations
 
+import enum
 import random
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Tuple
@@ -33,6 +40,23 @@ from repro.core.world import Candidate, World
 TraceHook = Callable[[int, Candidate, Update, World], None]
 
 
+class StopReason(str, enum.Enum):
+    """Why a run ended — the one normalized vocabulary for every runner.
+
+    A ``str`` subclass so historical comparisons against the literal
+    strings (``result.reason == "budget"``) keep working; new code should
+    compare against the enum members. Reused by
+    ``repro.experiments.result.ExperimentResult``.
+    """
+
+    STABILIZED = "stabilized"  #: no effective interaction is permissible
+    PREDICATE = "predicate"    #: the ``until`` stop predicate fired
+    BUDGET = "budget"          #: the event budget ran out first
+
+    def __str__(self) -> str:  # json/format friendliness: the bare value
+        return self.value
+
+
 @dataclass
 class RunResult:
     """Outcome of a :meth:`Simulation.run` call."""
@@ -41,7 +65,7 @@ class RunResult:
     raw_steps: Optional[int]
     stabilized: bool
     stopped: bool
-    reason: str
+    reason: StopReason
 
     def __bool__(self) -> bool:  # truthy when the run ended on its own terms
         return self.stabilized or self.stopped
@@ -115,23 +139,23 @@ class Simulation:
         the budget is exhausted first — use it when a theorem guarantees
         termination and silent truncation would mask a bug.
         """
-        def result(stopped: bool, reason: str) -> RunResult:
+        def result(stopped: bool, reason: StopReason) -> RunResult:
             raw = self.raw_steps if self.scheduler.tracks_raw_steps else None
             return RunResult(self.events, raw, self.stabilized, stopped, reason)
 
         if until is not None and until(self.world):
-            return result(True, "predicate")
+            return result(True, StopReason.PREDICATE)
         for _ in range(max_events):
             event = self.step()
             if event is None:
-                return result(False, "stabilized")
+                return result(False, StopReason.STABILIZED)
             if until is not None and until(self.world):
-                return result(True, "predicate")
+                return result(True, StopReason.PREDICATE)
         if require_stop:
             raise TerminationError(
                 f"run exceeded {max_events} events without stopping"
             )
-        return result(False, "budget")
+        return result(False, StopReason.BUDGET)
 
     def run_to_stabilization(self, max_events: int = 1_000_000) -> RunResult:
         """Run until no effective interaction remains (stable output, §3)."""

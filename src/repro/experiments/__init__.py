@@ -1,0 +1,81 @@
+"""repro.experiments — the declarative experiment layer.
+
+One composable front door for every workload the library can run:
+
+* :mod:`repro.experiments.registry` — the :class:`Scenario` catalogue
+  (name, typed param schema, tags, capabilities, adapter callable);
+* :mod:`repro.experiments.spec` — declarative :class:`ExperimentSpec` /
+  :class:`SweepSpec` and the deterministic :func:`derive_seed` rule;
+* :mod:`repro.experiments.result` — the uniform :class:`ExperimentResult`
+  record with lossless JSON round-trip;
+* :mod:`repro.experiments.runner` — :func:`run_experiment` and the
+  process-parallel, bit-reproducible :func:`run_sweep`;
+* :mod:`repro.experiments.io` — shared JSON writers/validators and the
+  scenario index behind ``repro list`` and ``EXPERIMENTS.md``.
+
+The adapters themselves live next to the code they wrap
+(``repro.<package>.scenarios``); importing this package registers all of
+them. The execution engine underneath is ``repro.core.simulator``.
+"""
+
+from repro.experiments.registry import (
+    Param,
+    Scenario,
+    ScenarioOutcome,
+    all_scenarios,
+    get_scenario,
+    load_builtin_scenarios,
+    register,
+    scenario,
+    scenario_names,
+)
+from repro.experiments.result import (
+    RESULT_SCHEMA,
+    ExperimentResult,
+    validate_result_dict,
+)
+from repro.experiments.spec import ExperimentSpec, SweepSpec, derive_seed
+from repro.experiments.runner import run_experiment, run_named, run_sweep
+from repro.experiments.io import (
+    RESULTS_SCHEMA,
+    describe_scenario,
+    format_scenario_list,
+    results_payload,
+    validate_payload,
+    write_bench_json,
+    write_results_json,
+)
+
+__all__ = [
+    "Param",
+    "Scenario",
+    "ScenarioOutcome",
+    "ExperimentSpec",
+    "SweepSpec",
+    "ExperimentResult",
+    "RESULT_SCHEMA",
+    "RESULTS_SCHEMA",
+    "register",
+    "scenario",
+    "get_scenario",
+    "scenario_names",
+    "all_scenarios",
+    "load_builtin_scenarios",
+    "derive_seed",
+    "run_experiment",
+    "run_named",
+    "run_sweep",
+    "results_payload",
+    "write_results_json",
+    "write_bench_json",
+    "validate_payload",
+    "validate_result_dict",
+    "format_scenario_list",
+    "describe_scenario",
+]
+
+# Register the built-in scenario adapters eagerly: every consumer of this
+# package (CLI, runner workers, benchmarks, tests) needs the catalogue
+# populated, and the adapter modules only touch packages the root
+# ``repro`` package imports anyway.
+load_builtin_scenarios()

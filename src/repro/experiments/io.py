@@ -1,0 +1,162 @@
+"""Serialization surfaces shared by the CLI, benchmarks, and CI.
+
+One writer for every result collection: ``repro sweep --json``, the
+``BENCH_<scenario>.json`` benchmark artifacts, and the CI smoke job all
+emit the same ``kind: "results"`` payload so one validator
+(:func:`validate_payload`) covers them all. The scenario-index formatters
+here also generate ``EXPERIMENTS.md`` (``repro list --format md``), which
+a test keeps in sync with the registry.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Union
+
+from repro.experiments.registry import Scenario, all_scenarios
+from repro.experiments.result import (
+    RESULT_SCHEMA,
+    ExperimentResult,
+    validate_result_dict,
+)
+
+#: Schema identifier for result-collection payloads.
+RESULTS_SCHEMA = "repro.experiments.results/v1"
+
+
+# ----------------------------------------------------------------------
+# Result collections
+# ----------------------------------------------------------------------
+
+
+def results_payload(
+    results: Iterable[ExperimentResult],
+    header: Optional[Mapping[str, Any]] = None,
+) -> Dict[str, Any]:
+    """The uniform collection payload (sweeps, benchmarks, CI smoke)."""
+    payload: Dict[str, Any] = {"schema": RESULTS_SCHEMA, "kind": "results"}
+    if header:
+        payload.update({k: v for k, v in header.items() if k not in payload})
+    payload["results"] = [r.to_dict() for r in results]
+    return payload
+
+
+def write_results_json(
+    path: Union[str, Path],
+    results: Iterable[ExperimentResult],
+    header: Optional[Mapping[str, Any]] = None,
+) -> Path:
+    path = Path(path)
+    path.write_text(json.dumps(results_payload(results, header), indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def write_bench_json(
+    scenario: str,
+    results: Iterable[ExperimentResult],
+    directory: Union[str, Path],
+    header: Optional[Mapping[str, Any]] = None,
+) -> Path:
+    """The shared benchmark artifact writer: ``BENCH_<scenario>.json``."""
+    return write_results_json(
+        Path(directory) / f"BENCH_{scenario}.json", results, header
+    )
+
+
+def validate_payload(data: Any) -> List[str]:
+    """Validate a single result or a results collection; [] = valid."""
+    if not isinstance(data, Mapping):
+        return [f"expected a JSON object, got {type(data).__name__}"]
+    if data.get("schema") == RESULT_SCHEMA:
+        return validate_result_dict(data)
+    if data.get("schema") == RESULTS_SCHEMA:
+        errors: List[str] = []
+        results = data.get("results")
+        if not isinstance(results, list):
+            return ["results must be an array"]
+        for i, entry in enumerate(results):
+            errors.extend(f"results[{i}]: {e}" for e in validate_result_dict(entry))
+        return errors
+    return [
+        f"unknown schema {data.get('schema')!r} (expected "
+        f"{RESULT_SCHEMA!r} or {RESULTS_SCHEMA!r})"
+    ]
+
+
+# ----------------------------------------------------------------------
+# Scenario index (repro list / describe, EXPERIMENTS.md)
+# ----------------------------------------------------------------------
+
+
+def _param_cell(scenario: Scenario) -> str:
+    parts = []
+    for p in scenario.params:
+        spec = f"{p.name}={p.default!r}"
+        if p.choices is not None:
+            spec += f" ∈ {{{', '.join(str(c) for c in p.choices)}}}"
+        parts.append(spec)
+    return ", ".join(parts) if parts else "—"
+
+
+def _rng_cell(scenario: Scenario) -> str:
+    if scenario.deterministic:
+        return "deterministic"
+    return "seeded + scheduler" if scenario.schedulable else "seeded"
+
+
+def format_scenario_list(fmt: str = "text") -> str:
+    """The scenario index, as plain text or as Markdown (EXPERIMENTS.md)."""
+    scenarios = all_scenarios()
+    if fmt == "text":
+        width = max(len(s.name) for s in scenarios)
+        lines = [f"{s.name:<{width}}  {s.summary}" for s in scenarios]
+        return "\n".join(lines)
+    if fmt == "md":
+        lines = [
+            "# EXPERIMENTS — registered scenarios",
+            "",
+            "Generated from the scenario registry (`repro list --format md`);",
+            "`tests/test_experiments.py` fails when this file drifts from the",
+            "registry. Run any row with `repro run <name>`, grids with",
+            "`repro sweep <name>`; `repro describe <name>` prints the full",
+            "parameter schema.",
+            "",
+            "| scenario | summary | params (defaults) | randomness | tags |",
+            "|---|---|---|---|---|",
+        ]
+        for s in scenarios:
+            lines.append(
+                f"| `{s.name}` | {s.summary} | {_param_cell(s)} "
+                f"| {_rng_cell(s)} | {', '.join(s.tags) or '—'} |"
+            )
+        lines += [
+            "",
+            "Every public `run_*` workload entrypoint in the library is",
+            "reachable through one of these scenarios (`covers` fields,",
+            "enforced by the registry-completeness test); results share the",
+            "`ExperimentResult` schema of `repro.experiments.result`.",
+            "",
+        ]
+        return "\n".join(lines)
+    raise ValueError(f"unknown list format {fmt!r} (expected 'text' or 'md')")
+
+
+def describe_scenario(scenario: Scenario) -> str:
+    """Human-readable schema dump for ``repro describe <name>``."""
+    lines = [
+        f"{scenario.name} — {scenario.summary}",
+        f"  tags:        {', '.join(scenario.tags) or '—'}",
+        f"  randomness:  {_rng_cell(scenario)}",
+        f"  covers:      {', '.join(scenario.covers) or '—'}",
+        "  params:",
+    ]
+    if not scenario.params:
+        lines.append("    (none)")
+    for p in scenario.params:
+        extra = f", choices {list(p.choices)}" if p.choices is not None else ""
+        lines.append(
+            f"    --{p.name.replace('_', '-')} ({p.type}, default {p.default!r}{extra})"
+            + (f": {p.help}" if p.help else "")
+        )
+    return "\n".join(lines)

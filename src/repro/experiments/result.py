@@ -1,0 +1,155 @@
+"""The one result schema every scenario emits.
+
+:class:`ExperimentResult` is the uniform record of one executed trial —
+scenario, params, seed, scheduler, the normalized counters (events, raw
+steps, protocol-delta evaluations), the :class:`StopReason`, wall time, a
+scenario-specific JSON-safe ``metrics`` dict, and named ASCII ``renders``.
+It round-trips losslessly through JSON (``to_json`` / ``from_json``), and
+:func:`validate_result_dict` is the dependency-free schema check used by
+``repro validate`` and the CI smoke job.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.core.simulator import StopReason
+from repro.errors import ReproError
+
+#: Schema identifier embedded in every serialized result.
+RESULT_SCHEMA = "repro.experiments.result/v1"
+
+_OPTIONAL_INT_FIELDS = ("events", "raw_steps", "evaluations")
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one trial, in the shape shared by run, sweep and bench."""
+
+    scenario: str
+    params: Dict[str, Any]
+    seed: Optional[int]
+    scheduler: Optional[str]
+    events: Optional[int]
+    raw_steps: Optional[int]
+    evaluations: Optional[int]
+    stop_reason: Optional[StopReason]
+    wall_time: float
+    metrics: Dict[str, Any] = field(default_factory=dict)
+    renders: Dict[str, str] = field(default_factory=dict)
+
+    # -- serialization --------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": RESULT_SCHEMA,
+            "scenario": self.scenario,
+            "params": dict(self.params),
+            "seed": self.seed,
+            "scheduler": self.scheduler,
+            "events": self.events,
+            "raw_steps": self.raw_steps,
+            "evaluations": self.evaluations,
+            "stop_reason": None if self.stop_reason is None else self.stop_reason.value,
+            "wall_time": self.wall_time,
+            "metrics": dict(self.metrics),
+            "renders": dict(self.renders),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentResult":
+        errors = validate_result_dict(data)
+        if errors:
+            raise ReproError(
+                "not a valid experiment result: " + "; ".join(errors)
+            )
+        reason = data.get("stop_reason")
+        return cls(
+            scenario=data["scenario"],
+            params=dict(data["params"]),
+            seed=data["seed"],
+            scheduler=data.get("scheduler"),
+            events=data["events"],
+            raw_steps=data["raw_steps"],
+            evaluations=data["evaluations"],
+            stop_reason=None if reason is None else StopReason(reason),
+            wall_time=data["wall_time"],
+            metrics=dict(data["metrics"]),
+            renders=dict(data.get("renders", {})),
+        )
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentResult":
+        return cls.from_dict(json.loads(text))
+
+    # -- comparison -----------------------------------------------------
+
+    def comparable(self) -> Dict[str, Any]:
+        """Everything except wall time — the bit-reproducible payload.
+
+        Two runs of the same spec must agree on this dict exactly,
+        regardless of worker count or machine load.
+        """
+        data = self.to_dict()
+        del data["wall_time"]
+        return data
+
+
+def validate_result_dict(data: Mapping[str, Any]) -> List[str]:
+    """Schema check for one serialized result; returns human-readable
+    problems (empty list = valid). Dependency-free on purpose: the CI
+    smoke job must run on a bare interpreter."""
+    errors: List[str] = []
+    if not isinstance(data, Mapping):
+        return [f"expected an object, got {type(data).__name__}"]
+    # Presence first: everything from_dict indexes directly must exist, so
+    # "validates" always implies "loads".
+    required = (
+        "scenario", "params", "seed", "events", "raw_steps", "evaluations",
+        "wall_time", "metrics",
+    )
+    missing = [name for name in required if name not in data]
+    if missing:
+        return [f"missing field {name!r}" for name in missing]
+    schema = data.get("schema", RESULT_SCHEMA)
+    if schema != RESULT_SCHEMA:
+        errors.append(f"schema is {schema!r}, expected {RESULT_SCHEMA!r}")
+    if not isinstance(data.get("scenario"), str) or not data.get("scenario"):
+        errors.append("scenario must be a non-empty string")
+    if not isinstance(data.get("params"), Mapping):
+        errors.append("params must be an object")
+    seed = data.get("seed")
+    if not (seed is None or (isinstance(seed, int) and not isinstance(seed, bool))):
+        errors.append("seed must be an integer or null")
+    sched = data.get("scheduler")
+    if not (sched is None or isinstance(sched, str)):
+        errors.append("scheduler must be a string or null")
+    for name in _OPTIONAL_INT_FIELDS:
+        value = data.get(name)
+        if not (value is None or (isinstance(value, int) and not isinstance(value, bool))):
+            errors.append(f"{name} must be an integer or null")
+    reason = data.get("stop_reason")
+    if reason is not None:
+        try:
+            StopReason(reason)
+        except ValueError:
+            errors.append(
+                f"stop_reason {reason!r} not one of "
+                f"{[r.value for r in StopReason]}"
+            )
+    wall = data.get("wall_time")
+    if not isinstance(wall, (int, float)) or isinstance(wall, bool) or wall < 0:
+        errors.append("wall_time must be a non-negative number")
+    if not isinstance(data.get("metrics"), Mapping):
+        errors.append("metrics must be an object")
+    renders = data.get("renders", {})
+    if not isinstance(renders, Mapping) or not all(
+        isinstance(k, str) and isinstance(v, str) for k, v in renders.items()
+    ):
+        errors.append("renders must map strings to strings")
+    return errors

@@ -1,0 +1,106 @@
+"""Execution: one spec, or a parallel seed-sweep fan-out.
+
+:func:`run_experiment` executes a single :class:`ExperimentSpec` through
+its registered scenario adapter and wraps the outcome into the uniform
+:class:`ExperimentResult`. :func:`run_sweep` expands a :class:`SweepSpec`
+and executes every trial, either inline (``workers <= 1``) or fanned out
+over a ``ProcessPoolExecutor``. Because each trial's seed is derived
+declaratively (``repro.experiments.spec.derive_seed``) and trials share no
+state, the result list is **bit-identical for any worker count** — results
+come back in expansion order, and only ``wall_time`` may differ between a
+serial and a parallel run.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, Optional
+
+from repro.errors import ReproError
+from repro.experiments.registry import get_scenario
+from repro.experiments.result import ExperimentResult
+from repro.experiments.spec import ExperimentSpec, SweepSpec
+
+
+def run_experiment(spec: ExperimentSpec) -> ExperimentResult:
+    """Execute one trial and return the uniform result record."""
+    spec = spec.resolved()
+    scn = get_scenario(spec.scenario)
+    start = time.perf_counter()
+    outcome = scn.run(spec.params, spec.seed, spec.scheduler)
+    wall = time.perf_counter() - start
+    return ExperimentResult(
+        scenario=spec.scenario,
+        params=dict(spec.params),
+        seed=spec.seed,
+        scheduler=spec.scheduler,
+        events=outcome.events,
+        raw_steps=outcome.raw_steps,
+        evaluations=outcome.evaluations,
+        stop_reason=outcome.stop_reason,
+        wall_time=wall,
+        metrics=dict(outcome.metrics),
+        renders=dict(outcome.renders),
+    )
+
+
+def _sweep_worker(payload: Dict) -> Dict:
+    """Top-level (picklable) worker: spec dict in, result dict out.
+
+    Serialized dicts cross the process boundary instead of live objects so
+    a ``spawn``-start pool (macOS/Windows default) works exactly like
+    ``fork``: the child re-imports the registry on first use.
+    """
+    import repro.experiments  # ensure built-in scenarios are registered
+
+    spec = ExperimentSpec(
+        scenario=payload["scenario"],
+        params=payload["params"],
+        seed=payload["seed"],
+        scheduler=payload["scheduler"],
+    )
+    return run_experiment(spec).to_dict()
+
+
+def run_sweep(
+    sweep: SweepSpec,
+    workers: int = 1,
+) -> List[ExperimentResult]:
+    """Execute every trial of ``sweep``; results in expansion order.
+
+    ``workers <= 1`` runs inline (no pool, easiest to debug); larger
+    values fan trials out over that many processes. Either way the
+    returned results — seeds, counters, metrics, renders — are identical;
+    only wall times differ.
+    """
+    specs = [spec.resolved() for spec in sweep.specs()]
+    if not specs:
+        raise ReproError("sweep expanded to zero trials")
+    if workers <= 1:
+        return [run_experiment(spec) for spec in specs]
+    payloads = [
+        {
+            "scenario": spec.scenario,
+            "params": dict(spec.params),
+            "seed": spec.seed,
+            "scheduler": spec.scheduler,
+        }
+        for spec in specs
+    ]
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        # map() preserves submission order regardless of completion order.
+        dicts = list(pool.map(_sweep_worker, payloads))
+    return [ExperimentResult.from_dict(d) for d in dicts]
+
+
+def run_named(
+    scenario: str,
+    seed: Optional[int] = None,
+    scheduler: Optional[str] = None,
+    **params,
+) -> ExperimentResult:
+    """Keyword-argument convenience: ``run_named("counting", n=64)``."""
+    return run_experiment(
+        ExperimentSpec(scenario=scenario, params=params, seed=seed, scheduler=scheduler)
+    )

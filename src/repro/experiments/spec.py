@@ -1,0 +1,123 @@
+"""Declarative run specifications and deterministic seed derivation.
+
+An :class:`ExperimentSpec` is everything needed to reproduce one trial:
+scenario name, fully-resolved params, seed, scheduler kind. A
+:class:`SweepSpec` is the declarative grid form — parameter value lists ×
+trials — that expands to a deterministic, ordered list of specs whose
+per-trial seeds derive from the base seed by :func:`derive_seed`, so a
+sweep is bit-reproducible regardless of how many worker processes execute
+it (``repro.experiments.runner``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Mapping, Optional
+
+from repro.errors import ReproError
+from repro.experiments.registry import MetricValue, get_scenario
+
+
+def derive_seed(
+    base_seed: int,
+    scenario: str,
+    params: Mapping[str, MetricValue],
+    trial: int,
+) -> int:
+    """The sweep seed-derivation rule (stable across processes and runs).
+
+    SHA-256 over the canonical JSON of ``(base_seed, scenario, sorted
+    params, trial)``, truncated to 63 bits. Every (grid point, trial index)
+    pair gets an independent, collision-resistant stream; nothing depends
+    on hash randomization, scheduling order, or worker count.
+    """
+    payload = json.dumps(
+        [base_seed, scenario, sorted(params.items()), trial],
+        sort_keys=True,
+        default=str,
+    )
+    digest = hashlib.sha256(payload.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") >> 1
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One trial, declaratively: ``run_experiment(spec)`` executes it."""
+
+    scenario: str
+    params: Mapping[str, MetricValue] = field(default_factory=dict)
+    seed: Optional[int] = None
+    scheduler: Optional[str] = None
+
+    def resolved(self) -> "ExperimentSpec":
+        """The spec with defaults filled in and params validated."""
+        scn = get_scenario(self.scenario)
+        if self.scheduler is not None and not scn.schedulable:
+            raise ReproError(
+                f"scenario {self.scenario!r} does not take a scheduler "
+                f"(its spec records it as "
+                f"{'deterministic' if scn.deterministic else 'self-scheduled'})"
+            )
+        return ExperimentSpec(
+            self.scenario, scn.resolve(self.params), self.seed, self.scheduler
+        )
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A grid of experiments: param value lists × ``trials`` seeds.
+
+    ``grid`` maps param names to candidate-value lists (unlisted params
+    keep their defaults); ``trials`` runs each grid point that many times
+    with seeds ``derive_seed(base_seed, scenario, point, t)`` for
+    ``t = 0 .. trials-1``. Expansion order is the deterministic cartesian
+    product in declared-parameter order, trials innermost.
+    """
+
+    scenario: str
+    grid: Mapping[str, List[MetricValue]] = field(default_factory=dict)
+    trials: int = 1
+    base_seed: int = 0
+    scheduler: Optional[str] = None
+
+    def specs(self) -> Iterator[ExperimentSpec]:
+        scn = get_scenario(self.scenario)
+        if self.trials < 1:
+            raise ReproError(f"sweep needs trials >= 1, got {self.trials}")
+        unknown = set(self.grid) - {p.name for p in scn.params}
+        if unknown:
+            raise ReproError(
+                f"sweep over unknown params {sorted(unknown)} "
+                f"for scenario {self.scenario!r}"
+            )
+        empty = sorted(name for name, vals in self.grid.items() if not vals)
+        if empty:
+            raise ReproError(
+                f"sweep axes {empty} have no values "
+                f"(scenario {self.scenario!r})"
+            )
+        # Axes in declared-parameter order so expansion is deterministic.
+        axes = [
+            (p.name, [p.convert(v) for v in self.grid[p.name]])
+            for p in scn.params
+            if p.name in self.grid
+        ]
+        names = [name for name, _ in axes]
+        for values in itertools.product(*(vals for _, vals in axes)):
+            point: Dict[str, MetricValue] = scn.resolve(dict(zip(names, values)))
+            for trial in range(self.trials):
+                yield ExperimentSpec(
+                    scenario=self.scenario,
+                    params=point,
+                    seed=derive_seed(self.base_seed, self.scenario, point, trial),
+                    scheduler=self.scheduler,
+                )
+
+    def size(self) -> int:
+        points = 1
+        for values in self.grid.values():
+            points *= len(values)  # an empty axis really is zero trials
+        return points * self.trials

@@ -17,7 +17,7 @@ from typing import List, Optional, Tuple
 
 from repro.core.protocol import Protocol
 from repro.core.scheduler import Scheduler
-from repro.core.simulator import RunResult, Simulation
+from repro.core.simulator import RunResult, Simulation, StopReason
 from repro.core.world import Bond, World, bond_sort_key
 from repro.errors import SimulationError
 
@@ -162,9 +162,9 @@ class FaultySimulation:
         for _ in range(max_steps):
             if not self.step():
                 return RunResult(
-                    self._sim.events, None, True, False, "stabilized"
+                    self._sim.events, None, True, False, StopReason.STABILIZED
                 )
-        return RunResult(self._sim.events, None, False, False, "budget")
+        return RunResult(self._sim.events, None, False, False, StopReason.BUDGET)
 
     def largest_component_size(self) -> int:
         """Order of the largest connected component (progress metric)."""

@@ -1,0 +1,56 @@
+"""Scenario adapter for the §8 damage-and-repair workload (``repro.faults``).
+
+Registered into ``repro.experiments.registry``; see that module for the
+adapter contract. Mirrors the historical ``repro repair`` command: build
+the star blueprint, detach a connected region, then reconstruct it from
+the surviving part — detachment and repair share one seeded RNG stream.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Mapping, Optional
+
+from repro.core.simulator import StopReason
+from repro.experiments.registry import Param, ScenarioOutcome, scenario
+from repro.faults.repair import detach_part, repair_shape
+from repro.machines.shape_programs import expected_shape, star_program
+from repro.viz.ascii_art import render_shape
+
+
+@scenario(
+    name="repair",
+    summary="§8 robustness: detach part of the star, repair from blueprint",
+    params=(
+        Param("d", "int", 9, help="square dimension of the star blueprint"),
+        Param("fraction", "float", 0.3, help="fraction of cells to detach"),
+    ),
+    tags=("faults", "repair"),
+    covers=("repro.faults.repair.repair_shape",),
+)
+def _run_repair(
+    params: Mapping, seed: Optional[int], scheduler: Optional[str]
+) -> ScenarioOutcome:
+    blueprint = expected_shape(star_program(), params["d"])
+    rng = random.Random(seed)
+    damaged, lost = detach_part(blueprint, params["fraction"], rng=rng)
+    result = repair_shape(damaged, blueprint, rng=rng)
+    return ScenarioOutcome(
+        metrics={
+            "d": params["d"],
+            "fraction": params["fraction"],
+            "blueprint_cells": len(blueprint.cells),
+            "detached": len(lost),
+            "interactions": result.interactions,
+            "nodes_attached": result.nodes_attached,
+            "bonds_restored": result.bonds_restored,
+            "matches_blueprint": result.repaired.cells == blueprint.cells,
+        },
+        events=result.interactions,
+        stop_reason=StopReason.PREDICATE,
+        renders={
+            "blueprint": render_shape(blueprint),
+            "damaged": render_shape(damaged),
+            "repaired": render_shape(result.repaired),
+        },
+    )

@@ -319,3 +319,30 @@ def expected_pattern(program: PatternProgram, d: int) -> Dict[Vec, Hashable]:
     return {
         zigzag_index_to_cell(i, d): program.color(i, d) for i in range(d * d)
     }
+
+
+# ----------------------------------------------------------------------
+# Catalogues (the named shapes/patterns exposed by the CLI and the
+# ``shape`` / ``pattern`` / ``universal`` scenarios)
+# ----------------------------------------------------------------------
+
+#: Named shape programs selectable from the experiment layer and the CLI.
+SHAPE_CATALOGUE: Dict[str, Callable[[], ShapeProgram]] = {
+    "line": line_program,
+    "full-square": full_square_program,
+    "cross": cross_program,
+    "star": star_program,
+    "frame": frame_program,
+    "comb": comb_program,
+    "serpentine": serpentine_program,
+    "diamond": diamond_program,
+    "stripes": stripes_program,
+}
+
+#: Named pattern programs selectable from the experiment layer and the CLI.
+PATTERN_CATALOGUE: Dict[str, Callable[[], PatternProgram]] = {
+    "rings": ring_pattern_program,
+    "checkerboard": checkerboard_pattern_program,
+    "sierpinski": sierpinski_pattern_program,
+    "gradient": gradient_pattern_program,
+}

@@ -1,0 +1,70 @@
+"""Scenario adapters for the §4 basic constructors (``repro.protocols``).
+
+Registered into ``repro.experiments.registry``; see that module for the
+adapter contract. The ``demo`` scenario is the CLI quickstart: a spanning
+line and a ``√n × √n`` square grown under a uniform scheduler, with the
+stabilized worlds rendered as ASCII.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from repro.core.scheduler import make_scheduler
+from repro.core.simulator import Simulation, StopReason
+from repro.core.world import World
+from repro.experiments.registry import Param, ScenarioOutcome, scenario
+from repro.protocols.line import spanning_line_protocol
+from repro.protocols.square import square_protocol
+from repro.viz.ascii_art import render_world
+
+
+@scenario(
+    name="demo",
+    summary="quickstart: spanning line + square to stabilization (§4)",
+    params=(
+        Param("n", "int", 10, help="population size for the line stage"),
+    ),
+    tags=("basic", "stabilizing"),
+    schedulable=True,
+    covers=(),
+)
+def _run_demo(
+    params: Mapping, seed: Optional[int], scheduler: Optional[str]
+) -> ScenarioOutcome:
+    kind = scheduler or "hot"
+    n = params["n"]
+    protocol = spanning_line_protocol()
+    world = World.of_free_nodes(n, protocol, leaders=1)
+    line_sim = Simulation(
+        world, protocol, scheduler=make_scheduler(kind), seed=seed
+    )
+    line_res = line_sim.run_to_stabilization()
+    line_render = render_world(world, state_char=lambda s: "#")
+
+    side = max(3, int(n**0.5))
+    n_sq = side * side
+    protocol = square_protocol()
+    world = World.of_free_nodes(n_sq, protocol, leaders=1)
+    square_sim = Simulation(
+        world, protocol, scheduler=make_scheduler(kind), seed=seed
+    )
+    square_res = square_sim.run_to_stabilization()
+    square_render = render_world(world, state_char=lambda s: "#")
+
+    evaluations = None
+    if line_sim.evaluations is not None and square_sim.evaluations is not None:
+        evaluations = line_sim.evaluations + square_sim.evaluations
+    return ScenarioOutcome(
+        metrics={
+            "n": n,
+            "line_events": line_res.events,
+            "side": side,
+            "square_n": n_sq,
+            "square_events": square_res.events,
+        },
+        events=line_res.events + square_res.events,
+        evaluations=evaluations,
+        stop_reason=StopReason.STABILIZED,
+        renders={"line": line_render, "square": square_render},
+    )

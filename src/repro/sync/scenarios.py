@@ -1,0 +1,56 @@
+"""Scenario adapter for §8 synchronous rounds (``repro.sync``).
+
+Registered into ``repro.experiments.registry``; see that module for the
+adapter contract. The workload floods a one-bit broadcast over a bonded
+line for a fixed number of synchronous rounds — the deterministic
+component-clock half of the paper's two-speed model.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from repro.core.simulator import StopReason
+from repro.core.world import World
+from repro.experiments.registry import Param, ScenarioOutcome, scenario
+from repro.protocols.replication import add_line
+from repro.sync.model import broadcast_program
+from repro.sync.runner import run_component_rounds
+
+
+@scenario(
+    name="sync-broadcast",
+    summary="§8 synchronous rounds: one-bit flood over a bonded line",
+    params=(
+        Param("n", "int", 16, help="nodes in the line"),
+        Param("rounds", "int", 8, help="synchronous rounds to execute"),
+    ),
+    tags=("sync", "rounds"),
+    deterministic=True,
+    covers=("repro.sync.runner.run_component_rounds",),
+)
+def _run_sync_broadcast(
+    params: Mapping, seed: Optional[int], scheduler: Optional[str]
+) -> ScenarioOutcome:
+    n, rounds = params["n"], params["rounds"]
+    world = World(dimension=2)
+    add_line(world, n, "S", internal_state="q", right_state="q")
+    program = broadcast_program(source_state="S")
+    changes = run_component_rounds(world, program, rounds)
+    informed = sum(
+        1 for rec in world.nodes.values() if rec.state in ("S", "informed")
+    )
+    # The flood covers the line iff rounds >= eccentricity (n - 1).
+    return ScenarioOutcome(
+        metrics={
+            "n": n,
+            "rounds": rounds,
+            "changes": changes,
+            "informed": informed,
+            "covered": informed == n,
+        },
+        events=changes,
+        stop_reason=(
+            StopReason.STABILIZED if informed == n else StopReason.BUDGET
+        ),
+    )

@@ -1,8 +1,11 @@
 """Tests for the command-line interface (repro.cli)."""
 
+import json
+
 import pytest
 
 from repro.cli import PATTERNS, SHAPES, build_parser, main
+from repro.experiments import scenario_names, validate_payload
 
 
 class TestParser:
@@ -93,6 +96,132 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "repaired in" in out
         assert "damaged:" in out and "repaired:" in out
+
+
+class TestRegistryCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in scenario_names():
+            assert name in out
+
+    def test_list_md(self, capsys):
+        assert main(["list", "--format", "md"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("# EXPERIMENTS")
+        assert "| `counting` |" in out
+
+    def test_describe(self, capsys):
+        assert main(["describe", "replicate"]) == 0
+        out = capsys.readouterr().out
+        assert "--approach" in out
+        assert "choices ['shifting', 'columns']" in out
+
+    def test_describe_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            main(["describe", "frobnicate"])
+
+    def test_run_generic(self, capsys):
+        assert main(["run", "counting", "--n", "16", "--trials", "2",
+                     "--seed", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "scenario 'counting'" in out
+        assert "mean_estimate" in out
+
+    def test_run_rejects_unknown_scenario(self):
+        with pytest.raises(SystemExit):
+            main(["run", "frobnicate"])
+
+    def test_run_json_stdout_validates(self, capsys):
+        assert main(["run", "counting", "--n", "16", "--trials", "2",
+                     "--seed", "1", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert validate_payload(data) == []
+        assert data["seed"] == 1
+
+    def test_run_json_file(self, capsys, tmp_path):
+        target = tmp_path / "out.json"
+        assert main(["run", "demo", "--n", "5", "--seed", "0",
+                     "--json", str(target)]) == 0
+        data = json.loads(target.read_text())
+        assert validate_payload(data) == []
+        assert data["renders"]["line"]
+
+    def test_sweep_json_identical_across_workers(self, capsys, tmp_path):
+        one, four = tmp_path / "w1.json", tmp_path / "w4.json"
+        argv = ["sweep", "counting", "--n", "16", "--trials", "2",
+                "--seeds", "4", "--base-seed", "2"]
+        assert main(argv + ["--workers", "1", "--json", str(one)]) == 0
+        assert main(argv + ["--workers", "4", "--json", str(four)]) == 0
+        a, b = json.loads(one.read_text()), json.loads(four.read_text())
+        assert validate_payload(a) == [] and validate_payload(b) == []
+        strip = lambda results: [
+            {k: v for k, v in r.items() if k != "wall_time"}
+            for r in results
+        ]
+        assert strip(a["results"]) == strip(b["results"])
+        assert len(a["results"]) == 4
+
+    def test_sweep_human_output(self, capsys):
+        assert main(["sweep", "counting", "--n", "16", "--trials", "1",
+                     "--seeds", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "2 trials" in out
+
+    def test_sweep_bad_value_is_a_clean_usage_error(self, capsys):
+        assert main(["sweep", "counting", "--n", "abc", "--seeds", "1"]) == 2
+        err = capsys.readouterr().err
+        assert "repro: error:" in err and "cannot convert" in err
+
+    def test_run_out_of_range_param_is_a_clean_usage_error(self, capsys):
+        assert main(["run", "counting", "--trials", "0"]) == 2
+        assert "below the minimum" in capsys.readouterr().err
+
+    def test_validate_command(self, capsys, tmp_path):
+        good = tmp_path / "good.json"
+        assert main(["run", "counting", "--n", "16", "--trials", "1",
+                     "--json", str(good)]) == 0
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"schema": "nope"}')
+        assert main(["validate", str(good)]) == 0
+        assert main(["validate", str(good), str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "ok" in out and "INVALID" in out
+
+
+class TestUniformFlags:
+    """Satellite: construct/pattern take --seed/--json like everyone else
+    (their scenarios record determinism in the spec)."""
+
+    def test_construct_accepts_seed_and_json(self, capsys):
+        assert main(["construct", "star", "-d", "7", "--seed", "5",
+                     "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert validate_payload(data) == []
+        assert data["seed"] == 5  # recorded even though deterministic
+
+    def test_pattern_accepts_seed_and_json(self, capsys):
+        assert main(["pattern", "checkerboard", "-d", "6", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert validate_payload(data) == []
+        assert data["metrics"]["colors"] == 2
+
+    def test_construct_deterministic_regardless_of_seed(self, capsys):
+        assert main(["construct", "cross", "-d", "7", "--seed", "1"]) == 0
+        first = capsys.readouterr().out
+        assert main(["construct", "cross", "-d", "7", "--seed", "2"]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_legacy_aliases_emit_schema_valid_json(self, capsys):
+        for argv in (
+            ["demo", "-n", "5", "--seed", "1", "--json"],
+            ["count", "16", "--trials", "2", "--seed", "0", "--json"],
+            ["cube", "-m", "3", "--seed", "0", "--json"],
+            ["replicate", "--size", "8", "--seed", "2", "--json"],
+            ["repair", "-d", "7", "--fraction", "0.25", "--seed", "4", "--json"],
+        ):
+            assert main(argv) == 0
+            assert validate_payload(json.loads(capsys.readouterr().out)) == []
 
 
 class TestInspectCommand:

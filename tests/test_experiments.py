@@ -1,0 +1,328 @@
+"""Tests for the declarative experiment layer (repro.experiments)."""
+
+import importlib
+import inspect
+import json
+import pkgutil
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.core.scheduler import make_scheduler
+from repro.core.simulator import Simulation, StopReason
+from repro.core.world import World
+from repro.errors import ReproError
+from repro.experiments import (
+    ExperimentResult,
+    ExperimentSpec,
+    Param,
+    SweepSpec,
+    all_scenarios,
+    derive_seed,
+    format_scenario_list,
+    get_scenario,
+    run_experiment,
+    run_named,
+    run_sweep,
+    scenario_names,
+    validate_payload,
+    validate_result_dict,
+    write_bench_json,
+)
+from repro.experiments.io import results_payload
+from repro.protocols.line import spanning_line_protocol
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+
+
+class TestRegistry:
+    def test_scenarios_registered(self):
+        names = scenario_names()
+        assert "counting" in names
+        assert "demo" in names
+        assert "universal" in names
+        assert names == tuple(sorted(names))
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ReproError, match="unknown scenario"):
+            get_scenario("frobnicate")
+
+    def test_param_defaults_and_overrides(self):
+        scn = get_scenario("counting")
+        params = scn.resolve({"n": "128"})
+        assert params["n"] == 128  # converted to the declared type
+        assert params["b"] == 4  # default filled in
+
+    def test_unknown_param_rejected(self):
+        with pytest.raises(ReproError, match="unknown params"):
+            get_scenario("counting").resolve({"nope": 1})
+
+    def test_choices_enforced(self):
+        with pytest.raises(ReproError, match="not in choices"):
+            get_scenario("replicate").resolve({"approach": "teleport"})
+
+    def test_param_types_validated(self):
+        with pytest.raises(ReproError, match="unknown type"):
+            Param("x", "complex")
+
+    def test_every_run_entrypoint_is_covered(self):
+        """Registry completeness: each public ``run_*``/``replicate_by_*``
+        module-level workload entrypoint must be reachable through a
+        registered scenario's ``covers`` declaration."""
+        entrypoints = set()
+        for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+            if info.name.startswith("repro.experiments"):
+                continue  # the runner itself (run_experiment, run_sweep)
+            module = importlib.import_module(info.name)
+            for name, obj in vars(module).items():
+                if not inspect.isfunction(obj) or obj.__module__ != info.name:
+                    continue
+                if name.startswith(("run_", "replicate_by_")):
+                    entrypoints.add(f"{info.name}.{name}")
+        assert entrypoints, "introspection found no workload entrypoints"
+        covered = {qual for scn in all_scenarios() for qual in scn.covers}
+        missing = sorted(entrypoints - covered)
+        assert not missing, (
+            f"workload entrypoints not reachable through any registered "
+            f"scenario: {missing}"
+        )
+
+    def test_covers_names_resolve(self):
+        # No stale covers: every declared qualified name must import.
+        for scn in all_scenarios():
+            for qual in scn.covers:
+                module, _, func = qual.rpartition(".")
+                assert hasattr(importlib.import_module(module), func), qual
+
+
+# ----------------------------------------------------------------------
+# Result schema
+# ----------------------------------------------------------------------
+
+
+class TestExperimentResult:
+    def test_json_round_trip_lossless(self):
+        result = run_named("counting", n=16, trials=3, seed=7)
+        again = ExperimentResult.from_json(result.to_json())
+        assert again == result
+        assert isinstance(again.stop_reason, StopReason)
+        assert again.wall_time == result.wall_time  # floats survive exactly
+
+    def test_round_trip_with_renders(self):
+        result = run_named("demo", n=6, seed=1)
+        assert "line" in result.renders and "square" in result.renders
+        assert ExperimentResult.from_json(result.to_json()) == result
+
+    def test_round_trip_null_seed_and_reason(self):
+        result = run_named("shape", shape="cross", d=7)
+        assert result.seed is None
+        assert ExperimentResult.from_json(result.to_json()) == result
+
+    def test_validate_rejects_corruption(self):
+        data = run_named("counting", n=16, trials=1, seed=0).to_dict()
+        assert validate_result_dict(data) == []
+        for key, bad in [
+            ("scenario", 3),
+            ("seed", "zero"),
+            ("seed", True),  # bool is an int subclass; must still reject
+            ("events", 1.5),
+            ("stop_reason", "exploded"),
+            ("wall_time", -1),
+            ("metrics", None),
+        ]:
+            corrupted = dict(data, **{key: bad})
+            assert validate_result_dict(corrupted), f"{key}={bad!r} accepted"
+
+    def test_from_dict_rejects_invalid(self):
+        with pytest.raises(ReproError, match="not a valid experiment result"):
+            ExperimentResult.from_dict({"schema": "nope"})
+
+    def test_missing_fields_rejected_not_crashed(self):
+        # "validates" must imply "loads": a truncated payload is reported
+        # as missing fields, and from_dict raises ReproError, not KeyError.
+        partial = {
+            "schema": "repro.experiments.result/v1",
+            "scenario": "counting",
+            "params": {},
+            "wall_time": 0.1,
+            "metrics": {},
+        }
+        errors = validate_result_dict(partial)
+        assert any("missing field" in e for e in errors)
+        with pytest.raises(ReproError, match="missing field"):
+            ExperimentResult.from_dict(partial)
+
+    def test_param_minimum_enforced(self):
+        with pytest.raises(ReproError, match="below the minimum"):
+            get_scenario("counting").resolve({"trials": 0})
+
+    def test_comparable_drops_only_wall_time(self):
+        result = run_named("counting", n=16, trials=1, seed=0)
+        comparable = result.comparable()
+        assert "wall_time" not in comparable
+        assert comparable["metrics"] == result.metrics
+
+    def test_payload_validation(self, tmp_path):
+        results = [run_named("counting", n=16, trials=1, seed=s) for s in (0, 1)]
+        assert validate_payload(results_payload(results)) == []
+        path = write_bench_json("counting", results, tmp_path)
+        assert path.name == "BENCH_counting.json"
+        assert validate_payload(json.loads(path.read_text())) == []
+        assert validate_payload({"schema": "bogus"}) != []
+
+
+# ----------------------------------------------------------------------
+# Seed derivation and sweeps
+# ----------------------------------------------------------------------
+
+
+class TestSeedDerivation:
+    def test_deterministic(self):
+        a = derive_seed(0, "counting", {"n": 16}, 3)
+        assert a == derive_seed(0, "counting", {"n": 16}, 3)
+
+    def test_distinct_streams(self):
+        seeds = {
+            derive_seed(base, scn, {"n": n}, trial)
+            for base in (0, 1)
+            for scn in ("counting", "square")
+            for n in (16, 32)
+            for trial in range(4)
+        }
+        assert len(seeds) == 2 * 2 * 2 * 4  # no collisions across any axis
+
+    def test_param_order_irrelevant(self):
+        assert derive_seed(0, "x", {"a": 1, "b": 2}, 0) == derive_seed(
+            0, "x", {"b": 2, "a": 1}, 0
+        )
+
+
+class TestSweep:
+    def test_expansion_order_and_size(self):
+        sweep = SweepSpec(
+            scenario="counting",
+            grid={"n": [8, 16], "trials": [1]},
+            trials=2,
+            base_seed=5,
+        )
+        specs = list(sweep.specs())
+        assert len(specs) == sweep.size() == 4
+        assert [s.params["n"] for s in specs] == [8, 8, 16, 16]
+        assert all(s.seed is not None for s in specs)
+
+    def test_sweep_rejects_unknown_param(self):
+        with pytest.raises(ReproError, match="unknown params"):
+            list(SweepSpec(scenario="counting", grid={"zap": [1]}).specs())
+
+    def test_sweep_rejects_empty_axis(self):
+        sweep = SweepSpec(scenario="counting", grid={"n": []}, trials=4)
+        assert sweep.size() == 0  # size agrees with the (empty) expansion
+        with pytest.raises(ReproError, match="have no values"):
+            list(sweep.specs())
+
+    def test_sixteen_trials_identical_across_worker_counts(self):
+        """Acceptance bar: a 16-trial sweep produces identical per-trial
+        results whether run with 1 worker or N worker processes."""
+        sweep = SweepSpec(
+            scenario="counting",
+            grid={"n": [16, 24], "trials": [2]},
+            trials=8,
+            base_seed=3,
+        )
+        serial = run_sweep(sweep, workers=1)
+        parallel = run_sweep(sweep, workers=4)
+        assert len(serial) == 16
+        assert [r.comparable() for r in serial] == [
+            r.comparable() for r in parallel
+        ]
+
+    def test_scheduler_passthrough(self):
+        sweep = SweepSpec(
+            scenario="demo", grid={"n": [5]}, trials=2, scheduler="enumerate"
+        )
+        results = run_sweep(sweep)
+        assert all(r.scheduler == "enumerate" for r in results)
+
+    def test_scheduler_rejected_for_unschedulable_scenario(self):
+        with pytest.raises(ReproError, match="does not take a scheduler"):
+            run_experiment(
+                ExperimentSpec("shape", {"d": 7}, scheduler="hot")
+            )
+
+
+# ----------------------------------------------------------------------
+# Scheduler-contract integration: seeded trajectories match across
+# uniform schedulers through the experiment layer too.
+# ----------------------------------------------------------------------
+
+
+class TestSchedulerUniformity:
+    def test_demo_trajectories_identical_across_uniform_schedulers(self):
+        reference = run_named("demo", n=6, seed=9, scheduler="hot")
+        for kind in ("enumerate", "rejection"):
+            other = run_named("demo", n=6, seed=9, scheduler=kind)
+            assert other.renders == reference.renders
+            assert other.events == reference.events
+
+
+# ----------------------------------------------------------------------
+# StopReason normalization (satellite)
+# ----------------------------------------------------------------------
+
+
+class TestStopReason:
+    @staticmethod
+    def _sim(n=6, seed=0):
+        protocol = spanning_line_protocol()
+        world = World.of_free_nodes(n, protocol, leaders=1)
+        return Simulation(
+            world, protocol, scheduler=make_scheduler("hot"), seed=seed
+        )
+
+    def test_stabilized(self):
+        res = self._sim().run()
+        assert res.reason is StopReason.STABILIZED
+        assert res.reason == "stabilized"  # legacy string comparisons hold
+        assert bool(res)  # __bool__: ended on its own terms
+
+    def test_predicate(self):
+        res = self._sim().run(until=lambda w: True)
+        assert res.reason is StopReason.PREDICATE
+        assert res.stopped and bool(res)
+
+    def test_budget(self):
+        res = self._sim().run(max_events=1)
+        assert res.reason is StopReason.BUDGET
+        assert not res.stabilized and not res.stopped
+        assert not bool(res)  # truncated runs stay falsy
+
+    def test_experiment_results_reuse_the_enum(self):
+        result = run_named("demo", n=5, seed=0)
+        assert result.stop_reason is StopReason.STABILIZED
+        assert json.loads(result.to_json())["stop_reason"] == "stabilized"
+
+
+# ----------------------------------------------------------------------
+# EXPERIMENTS.md stays in sync with the registry (satellite)
+# ----------------------------------------------------------------------
+
+
+class TestExperimentsIndex:
+    def test_experiments_md_matches_registry(self):
+        generated = format_scenario_list("md")
+        on_disk = (REPO_ROOT / "EXPERIMENTS.md").read_text()
+        assert on_disk == generated, (
+            "EXPERIMENTS.md is stale; regenerate with "
+            "`PYTHONPATH=src python -m repro list --format md > EXPERIMENTS.md`"
+        )
+
+    def test_text_listing_covers_all_scenarios(self):
+        text = format_scenario_list("text")
+        for name in scenario_names():
+            assert name in text
