@@ -1,0 +1,173 @@
+"""Rule-dispatch microbenchmark: compiled packed-int IR vs legacy tables.
+
+PR 4 compiled the protocol layer (``repro.core.program``): states intern
+to dense ids, each transition LHS packs into one int key, and ``delta``
+dispatch becomes a single int-dict hit on ids the world already stores.
+This benchmark pins the acceptance bar — **>= 2x over the legacy
+dispatch** — on the real dispatch stream of the n = 64 aggregation
+workload (the same workload as ``bench_schedulers.py``): every
+``evaluate`` call of a 200-event cached-hot-scheduler run is recorded and
+replayed through
+
+* the *legacy* path, reproducing the seed's dispatch exactly: build an
+  ``InteractionView`` of boundary states per call (what ``evaluate`` did)
+  and look up nested tuple keys, as-presented then swapped (what
+  ``RuleProtocol.handle`` did);
+* the *compiled* path: the packed-IR ``CompiledProgram.lookup`` on
+  interned ids, exactly what the bound scheduler fast path executes.
+
+Results land in ``BENCH_dispatch.json``; CI runs this file and enforces
+the bar. A whole-run wall-clock row (compiled vs ``compiled = False``
+boundary dispatch, bit-identical trajectories) is reported for context.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from conftest import print_table
+
+from repro.core.protocol import InteractionView, Rule, RuleProtocol
+from repro.core.simulator import Simulation
+from repro.core.world import World
+from repro.geometry.ports import PORT_INDEX, PORTS_2D, opposite
+
+
+def aggregation_protocol() -> RuleProtocol:
+    """Leaderless gluing (the bench_schedulers workload): every meeting of
+    free opposite ports bonds."""
+    rules = [Rule("g", p, "g", opposite(p), 0, "g", "g", 1) for p in PORTS_2D]
+    return RuleProtocol(rules, initial_state="g", name="aggregation")
+
+
+def record_dispatch_stream(n=64, max_events=200, seed=11):
+    """The exact sequence of delta applications of one seeded run.
+
+    The protocol runs with ``compiled = False`` so every ``evaluate``
+    goes through ``handle`` — wrapped here to log the boundary view of
+    each call. Trajectories are identical either way (pinned by
+    ``tests/test_dsl.py``), so this is the stream the compiled path
+    serves in the same run.
+    """
+    protocol = aggregation_protocol()
+    protocol.compiled = False
+    stream = []
+    original = protocol.handle
+
+    def recording_handle(view):
+        stream.append((view.state1, view.port1, view.state2, view.port2, view.bond))
+        return original(view)
+
+    protocol.handle = recording_handle  # type: ignore[method-assign]
+    world = World.of_free_nodes(n, protocol, leaders=0)
+    Simulation(world, protocol, seed=seed).run(max_events=max_events)
+    return stream
+
+
+def legacy_dispatch(rules):
+    """The seed's dispatch, reproduced: nested-tuple table, view built per
+    call, presented-then-swapped lookups."""
+    table = {r.lhs: r for r in rules}
+
+    def dispatch(s1, p1, s2, p2, bond):
+        view = InteractionView(s1, p1, s2, p2, bond)
+        lhs = ((view.state1, view.port1), (view.state2, view.port2), view.bond)
+        rule = table.get(lhs)
+        if rule is not None:
+            return rule.rhs
+        swapped = ((view.state2, view.port2), (view.state1, view.port1), view.bond)
+        rule = table.get(swapped)
+        if rule is not None:
+            return (rule.new_state2, rule.new_state1, rule.new_bond)
+        return None
+
+    return dispatch
+
+
+def time_loop(fn, calls, repeats):
+    start = time.perf_counter()
+    for _ in range(repeats):
+        for args in calls:
+            fn(*args)
+    return time.perf_counter() - start
+
+
+def test_compiled_dispatch_beats_legacy(benchmark):
+    stream = record_dispatch_stream()
+    assert len(stream) > 10_000  # a real workload, not a toy corpus
+
+    protocol = aggregation_protocol()
+    program = protocol.program
+    space = program.space
+    # The compiled path's inputs are what the bound world stores: interned
+    # ids and port indexes.
+    compiled_calls = [
+        (space.get_id(s1), PORT_INDEX[p1], space.get_id(s2), PORT_INDEX[p2], b)
+        for s1, p1, s2, p2, b in stream
+    ]
+    legacy = legacy_dispatch(protocol.rules)
+
+    # Cross-check before timing: both paths agree call for call.
+    for (s1, p1, s2, p2, b), packed in zip(stream[:2000], compiled_calls[:2000]):
+        assert legacy(s1, p1, s2, p2, b) == program.lookup(*packed)
+
+    repeats = 20
+
+    def measure():
+        return {
+            "legacy": time_loop(legacy, stream, repeats),
+            "compiled": time_loop(program.lookup, compiled_calls, repeats),
+        }
+
+    times = benchmark.pedantic(measure, rounds=1, iterations=1)
+    calls = len(stream) * repeats
+    speedup = times["legacy"] / times["compiled"]
+
+    # Context row: whole-run wall clock, compiled vs boundary dispatch.
+    def run(compiled: bool):
+        p = aggregation_protocol()
+        p.compiled = compiled
+        world = World.of_free_nodes(64, p, leaders=0)
+        start = time.perf_counter()
+        res = Simulation(world, p, seed=11).run(max_events=200)
+        return res.events, time.perf_counter() - start
+
+    events_c, wall_c = run(True)
+    events_b, wall_b = run(False)
+    assert events_c == events_b  # same trajectory, different dispatch
+
+    print_table(
+        "Rule dispatch: compiled packed-int IR vs legacy tuple tables",
+        f"{'path':>10} {'calls':>9} {'secs':>9} {'Mcalls/s':>9}",
+        (
+            f"{name:>10} {calls:>9d} {secs:>9.4f} {calls / secs / 1e6:>9.2f}"
+            for name, secs in times.items()
+        ),
+    )
+    print(
+        f"dispatch speedup: {speedup:.1f}x; full n=64 aggregation run "
+        f"{wall_b:.3f}s boundary -> {wall_c:.3f}s compiled"
+    )
+
+    out = Path(__file__).parent / "BENCH_dispatch.json"
+    out.write_text(
+        json.dumps(
+            {
+                "workload": "aggregation n=64, 200 events, seed 11",
+                "calls": calls,
+                "cases": {
+                    name: {
+                        "seconds": secs,
+                        "calls_per_sec": calls / secs,
+                    }
+                    for name, secs in times.items()
+                },
+                "speedups": {"dispatch": speedup},
+                "wall_clock": {"compiled": wall_c, "boundary": wall_b},
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+    # The acceptance bar of the compiled-IR PR.
+    assert speedup >= 2.0, times

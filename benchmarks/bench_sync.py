@@ -29,12 +29,9 @@ def grow_line_with_wave(n: int, ratio: float, seed: int):
     world.set_state(0, "S")
     max_lag = 0
     while sim.step():
-        informed = sum(
-            1 for r in world.nodes.values() if r.state in ("S", "informed")
-        )
-        body = informed + sum(
-            1 for r in world.nodes.values() if r.state == "q1"
-        )
+        states = world.states().values()
+        informed = sum(1 for s in states if s in ("S", "informed"))
+        body = informed + sum(1 for s in states if s == "q1")
         max_lag = max(max_lag, body - informed)
     return sim, max_lag
 

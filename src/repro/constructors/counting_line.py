@@ -427,8 +427,8 @@ def decode_counters(world: World) -> Tuple[int, int, int, int]:
     embedded bits are the most significant.
     """
     leader_nid = None
-    for nid, rec in world.nodes.items():
-        if isinstance(rec.state, tuple) and rec.state[0] == "L":
+    for nid, state in world.states().items():
+        if isinstance(state, tuple) and state[0] == "L":
             leader_nid = nid
             break
     if leader_nid is None:
@@ -463,8 +463,8 @@ def run_counting_on_a_line(
     result = sim.run(
         max_events=max_events,
         until=lambda w: any(
-            isinstance(r.state, tuple) and r.state[0] == "L" and r.state[1] == "halt"
-            for r in w.nodes.values()
+            isinstance(s, tuple) and s[0] == "L" and s[1] == "halt"
+            for s in w.states().values()
         ),
         require_stop=True,
     )

@@ -11,7 +11,10 @@ from __future__ import annotations
 
 from typing import Mapping, Optional
 
-from repro.constructors.counting_line import run_counting_on_a_line
+from repro.constructors.counting_line import (
+    counting_line_protocol,
+    run_counting_on_a_line,
+)
 from repro.constructors.cube import run_cube_known_n
 from repro.constructors.parallel import run_parallel_3d, run_parallel_segments
 from repro.constructors.square_known_n import run_square_known_n
@@ -45,6 +48,7 @@ _SHAPE_PARAM = Param(
     tags=("counting", "constructor", "terminating"),
     schedulable=True,
     covers=("repro.constructors.counting_line.run_counting_on_a_line",),
+    protocols=(counting_line_protocol,),
 )
 def _run_counting_line(
     params: Mapping, seed: Optional[int], scheduler: Optional[str]

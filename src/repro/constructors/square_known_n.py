@@ -108,7 +108,7 @@ def _find_free_line(world: World, length: int, left_states: Tuple[str, ...],
 
 
 def _component_with_state(world: World, state: str) -> Optional[int]:
-    nodes = world.by_state.get(state)
+    nodes = world.nodes_in_state(state)
     if not nodes:
         return None
     nid = next(iter(nodes))
@@ -166,7 +166,7 @@ def run_square_known_n(
     # node locked in incomplete replications.)
     res = sim.run(
         max_events=max_events,
-        until=lambda w: bool(w.by_state.get("Lstart")),
+        until=lambda w: bool(w.nodes_in_state("Lstart")),
     )
     if not res.stopped:
         raise TerminationError("seed creation did not complete")

@@ -5,6 +5,13 @@ ports, an adversary/uniform-random scheduler selecting permissible pairs of
 node-ports, and shape configurations evolving through interactions.
 """
 
+from repro.core.program import (
+    CompiledProgram,
+    MemoProgram,
+    StateSpace,
+    TransitionTable,
+    compile_rules,
+)
 from repro.core.protocol import (
     AgentProtocol,
     InteractionView,
@@ -54,6 +61,12 @@ __all__ = [
     "Rule",
     "Update",
     "InteractionView",
+    # compiled IR
+    "CompiledProgram",
+    "MemoProgram",
+    "StateSpace",
+    "TransitionTable",
+    "compile_rules",
     "World",
     "Component",
     "NodeRecord",

@@ -60,6 +60,7 @@ from repro.geometry.packed import (
     pack_delta,
     packed_rotation,
 )
+from repro.geometry.ports import PORT_INDEX, PORTS_3D
 
 #: Identity key of a candidate: endpoints, ports, and placement rotation.
 #: (The translation and bond are determined by these plus the current
@@ -132,14 +133,30 @@ def iter_node_candidates(
 
     Prunes with the protocol's hot/pair/port hints (all over-approximate,
     so no effective candidate is missed); the caller evaluates the
-    survivors. Candidates whose two endpoints are both enumerated (e.g.
-    both dirty, or both hot) are yielded once per endpoint — deduplicate
-    by :func:`candidate_key`.
+    survivors. When the world is bound to an *exact* compiled program
+    (``repro.core.program``), the hints are resolved on interned state ids
+    — the per-state hot bitmask, the pair index, and the oriented port
+    hints — and the per-``(state, port, bond)`` static-effectiveness index
+    additionally discards candidates **no** rule can ever fire on before
+    any geometry probe or dispatch happens. Candidates whose two endpoints
+    are both enumerated (e.g. both dirty, or both hot) are yielded once
+    per endpoint — deduplicate by :func:`candidate_key`.
     """
-    rec = world.nodes[nid]
+    program = protocol.program
+    compiled = (
+        program is not None and world.space is program.space and program.exact
+    )
+    nodes = world.nodes
+    rec = nodes[nid]
     comp = world.components[rec.component_id]
-    state = rec.state
-    nid_hot = protocol.is_hot(state)
+    sid = rec.sid
+    decode = world.space.states
+    if compiled:
+        hot_mask = program.hot_mask
+        nid_hot = bool(hot_mask >> sid & 1)
+    else:
+        state = decode[sid]
+        nid_hot = protocol.is_hot(state)
     # Intra-component: the (at most one per port) grid-adjacent pairs,
     # probed on the packed occupancy of the component's geometry snapshot.
     geom = world.geometry(comp)
@@ -149,30 +166,61 @@ def iter_node_candidates(
         other = geom.cells.get(ppos + deltas[i])
         if other is None:
             continue
-        other_state = world.nodes[other].state
-        if not (nid_hot or protocol.is_hot(other_state)):
-            continue
-        if not protocol.pair_compatible(state, other_state):
-            continue
+        other_sid = nodes[other].sid
+        if compiled:
+            if not (nid_hot or hot_mask >> other_sid & 1):
+                continue
+            if not program.pair_can_fire(sid, other_sid):
+                continue
+        else:
+            other_state = decode[other_sid]
+            if not (nid_hot or protocol.is_hot(other_state)):
+                continue
+            if not protocol.pair_compatible(state, other_state):
+                continue
         a, b = (nid, other) if nid < other else (other, nid)
         cand = world.intra_candidate(a, b)
-        if cand is not None:
-            yield cand
+        if cand is None:
+            continue
+        if compiled and not (
+            program.can_fire(nodes[a].sid, PORT_INDEX[cand.port1], cand.bond)
+            and program.can_fire(nodes[b].sid, PORT_INDEX[cand.port2], cand.bond)
+        ):
+            continue  # statically ineffective: no rule has these endpoints
+        yield cand
     # Inter-component: nid against every node of another component whose
     # state passes the hints, oriented by component id.
-    for partner_state, members in world.by_state.items():
-        if not (nid_hot or protocol.is_hot(partner_state)):
-            continue
-        if not protocol.pair_compatible(state, partner_state):
-            continue
-        hints = protocol.port_hints(state, partner_state)
+    for partner_sid, members in world.by_sid.items():
+        if compiled:
+            if not (nid_hot or hot_mask >> partner_sid & 1):
+                continue
+            if not program.pair_can_fire(sid, partner_sid):
+                continue
+            hints = None
+        else:
+            partner_state = decode[partner_sid]
+            if not (nid_hot or protocol.is_hot(partner_state)):
+                continue
+            if not protocol.pair_compatible(state, partner_state):
+                continue
+            hints = protocol.port_hints(state, partner_state)
         for other in members:
             if other == nid:
                 continue
-            other_rec = world.nodes[other]
+            other_rec = nodes[other]
             if other_rec.component_id == rec.component_id:
                 continue
             first_is_nid = rec.component_id < other_rec.component_id
+            first, second = (nid, other) if first_is_nid else (other, nid)
+            if compiled:
+                # Oriented bond-0 hints double as the static-effectiveness
+                # filter: a port pair absent here cannot hit the table.
+                s1, s2 = (sid, partner_sid) if first_is_nid else (partner_sid, sid)
+                for p1i, p2i in program.oriented_hints(s1, s2):
+                    yield from world.inter_candidates(
+                        first, PORTS_3D[p1i], second, PORTS_3D[p2i]
+                    )
+                continue
             if hints is None:
                 combos: Iterator[Tuple] = (
                     (p1, p2) for p1 in world.ports for p2 in world.ports
@@ -182,7 +230,6 @@ def iter_node_candidates(
             else:
                 # Hints are oriented (port of nid, port of partner).
                 combos = ((p2, p1) for p1, p2 in hints)
-            first, second = (nid, other) if first_is_nid else (other, nid)
             for p1, p2 in combos:
                 yield from world.inter_candidates(first, p1, second, p2)
 
@@ -201,10 +248,11 @@ def hot_effective_candidates(
     """
     entries: Dict[CandidateKey, Entry] = {}
     seen: Set[CandidateKey] = set()
-    for state in world.by_state:
-        if not protocol.is_hot(state):
+    is_hot = _hot_sid_check(world, protocol)
+    for sid in world.by_sid:
+        if not is_hot(sid):
             continue
-        for nid in world.by_state[state]:
+        for nid in world.by_sid[sid]:
             for cand in iter_node_candidates(world, protocol, nid):
                 key = candidate_key(cand)
                 if key in seen:  # already evaluated from the other endpoint
@@ -216,6 +264,18 @@ def hot_effective_candidates(
     out = list(entries.values())
     out.sort(key=lambda cu: candidate_sort_key(cu[0]))
     return out
+
+
+def _hot_sid_check(world: World, protocol: Protocol) -> Callable[[int], bool]:
+    """Hot-state predicate over interned ids: the compiled hot bitmask
+    when the world is bound to an exact program, else the protocol's
+    public hint decoded at the edge."""
+    program = protocol.program
+    if program is not None and world.space is program.space and program.exact:
+        mask = program.hot_mask
+        return lambda sid: bool(mask >> sid & 1)
+    decode = world.space.states
+    return lambda sid: protocol.is_hot(decode[sid])
 
 
 def reference_effective_candidates(
@@ -231,9 +291,25 @@ def reference_effective_candidates(
     """
     effective: List[Entry] = []
     permissible = 0
+    program = protocol.program
+    compiled = (
+        program is not None and world.space is program.space and program.exact
+    )
+    nodes = world.nodes
     for raw in world.enumerate_candidates():
         permissible += 1
         cand = canonicalize(world, raw)
+        if compiled and not (
+            program.can_fire(
+                nodes[cand.nid1].sid, PORT_INDEX[cand.port1], cand.bond
+            )
+            and program.can_fire(
+                nodes[cand.nid2].sid, PORT_INDEX[cand.port2], cand.bond
+            )
+        ):
+            # Statically ineffective: still counted in |Perm| (the raw-step
+            # law needs the full permissible count) but never dispatched.
+            continue
         update = evaluate(protocol, world, cand)
         if update is not None:
             effective.append((cand, update))
@@ -353,10 +429,11 @@ class EffectiveCandidateCache:
         }
         self.full_rebuilds += 1
         seen: Set[CandidateKey] = set()
-        for state in world.by_state:
-            if not protocol.is_hot(state):
+        is_hot = _hot_sid_check(world, protocol)
+        for sid in world.by_sid:
+            if not is_hot(sid):
                 continue
-            for nid in world.by_state[state]:
+            for nid in world.by_sid[sid]:
                 self._generate_for_node(world, protocol, evaluate, nid, seen)
         self._sorted = [
             entry

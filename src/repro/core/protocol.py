@@ -35,7 +35,8 @@ from typing import (
 )
 
 from repro.errors import ProtocolError
-from repro.geometry.ports import Port, ports_for_dimension
+from repro.core.program import CompiledProgram, MemoProgram, compile_rules
+from repro.geometry.ports import PORT_INDEX, Port, ports_for_dimension
 
 State = Hashable
 
@@ -108,10 +109,34 @@ class Protocol:
     #: The initial state of the unique leader, when the protocol uses one.
     leader_state: Optional[State] = None
 
+    #: Dispatch toggle: ``False`` disables the compiled fast path (the
+    #: :attr:`program` property returns ``None``), forcing schedulers back
+    #: onto boundary-state ``handle`` dispatch. Used by the equivalence
+    #: tests and dispatch benchmarks; seeded trajectories are identical
+    #: either way.
+    compiled: bool = True
+
     @property
     def ports(self) -> Tuple[Port, ...]:
         """The port set P of the model (u,r,d,l in 2D)."""
         return ports_for_dimension(self.dimension)
+
+    @property
+    def program(self) -> Optional[CompiledProgram]:
+        """The compiled IR of this protocol (see :mod:`repro.core.program`).
+
+        Rule protocols compile eagerly at construction; anything else is
+        lowered lazily through a memoizing :class:`MemoProgram` adapter
+        that interns observed transitions into the same packed table.
+        Returns ``None`` when :attr:`compiled` is switched off.
+        """
+        if not self.compiled:
+            return None
+        prog = getattr(self, "_program", None)
+        if prog is None:
+            prog = MemoProgram(self)
+            self._program = prog
+        return prog
 
     # ------------------------------------------------------------------
 
@@ -166,11 +191,15 @@ class RuleProtocol(Protocol):
     Parameters
     ----------
     rules:
-        The effective transitions. Rules are matched on the interaction as
-        presented and with the two sides swapped, since interactions are
-        unordered; a rule set that is ambiguous under swapping (two distinct
-        rules matching the same unordered interaction with different
-        results) is rejected.
+        The effective transitions. With ``match="unordered"`` (default)
+        rules are matched on the interaction as presented and with the two
+        sides swapped, since interactions are unordered; a rule set that is
+        ambiguous under swapping (two distinct rules matching the same
+        unordered interaction with different results) is rejected. With
+        ``match="ordered"`` the as-presented orientation takes precedence
+        — the initiator/responder convention of population protocols —
+        which admits symmetric-state rules (e.g. leader elections between
+        identical states) that no unordered table can express.
     initial_state, leader_state:
         Initial states of ordinary nodes and of the optional unique leader.
     halting_states, output_states:
@@ -189,17 +218,24 @@ class RuleProtocol(Protocol):
         dimension: int = 2,
         name: str = "rule-protocol",
         hot_states: Optional[Iterable[State]] = None,
+        match: str = "unordered",
+        drop_ineffective: bool = False,
     ) -> None:
+        if match not in ("unordered", "ordered"):
+            raise ProtocolError(f"unknown match mode: {match!r}")
         self.dimension = dimension
         self.initial_state = initial_state
         self.leader_state = leader_state
         self.name = name
+        self.match = match
         self._halting: FrozenSet[State] = frozenset(halting_states)
         self._output: FrozenSet[State] = frozenset(output_states) | self._halting
         self._table: Dict[RuleLHS, Rule] = {}
         port_set = set(self.ports)
         for rule in rules:
             if not rule.is_effective():
+                if drop_ineffective:
+                    continue
                 raise ProtocolError(f"ineffective rule listed explicitly: {rule!r}")
             if rule.port1 not in port_set or rule.port2 not in port_set:
                 raise ProtocolError(
@@ -212,10 +248,12 @@ class RuleProtocol(Protocol):
                     raise ProtocolError(
                         f"halting state {s!r} appears in an effective rule: {rule!r}"
                     )
-            if rule.lhs in self._table and self._table[rule.lhs].rhs != rule.rhs:
-                raise ProtocolError(f"conflicting rules for LHS {rule.lhs!r}")
+            prior = self._table.get(rule.lhs)
+            if prior is not None and prior.rhs != rule.rhs:
+                raise ProtocolError(
+                    f"conflicting rules for one LHS: {prior!r} vs {rule!r}"
+                )
             self._table[rule.lhs] = rule
-        self._check_swap_consistency()
         if hot_states is not None:
             hot = frozenset(hot_states)
             for rule in self._table.values():
@@ -226,6 +264,18 @@ class RuleProtocol(Protocol):
             self._hot = hot
         else:
             self._hot = self._compute_hot_cover()
+        # Compile to the packed IR. This also performs swap-consistency
+        # checking (unordered mode) / precedence resolution (ordered mode)
+        # and fixes the canonical state-interning order.
+        self._program = compile_rules(
+            self._table.values(),
+            initial_state=initial_state,
+            leader_state=leader_state,
+            halting_states=self._halting,
+            output_states=self._output,
+            hot_states=self._hot,
+            ordered=(match == "ordered"),
+        )
         # Pair/port indices for scheduler pruning (both orientations).
         self._pairs: Set[FrozenSet[State]] = set()
         self._ports_by_pair: Dict[FrozenSet[State], Set[Tuple[Port, Port]]] = {}
@@ -237,25 +287,6 @@ class RuleProtocol(Protocol):
             hints.add((rule.port2, rule.port1))
 
     # ------------------------------------------------------------------
-
-    def _check_swap_consistency(self) -> None:
-        """Reject rule sets ambiguous under swapping the unordered pair."""
-        for lhs, rule in self._table.items():
-            (a, p1), (b, p2), c = lhs
-            swapped = ((b, p2), (a, p1), c)
-            other = self._table.get(swapped)
-            if other is None or other is rule:
-                continue
-            # The swapped rule must produce the mirrored result.
-            if (other.new_state1, other.new_state2, other.new_bond) != (
-                rule.new_state2,
-                rule.new_state1,
-                rule.new_bond,
-            ):
-                raise ProtocolError(
-                    f"rules for {lhs!r} and its swap disagree: "
-                    f"{rule.rhs!r} vs {other.rhs!r}"
-                )
 
     def _compute_hot_cover(self) -> FrozenSet[State]:
         """Greedy vertex cover of the rule LHS state pairs.
@@ -309,23 +340,18 @@ class RuleProtocol(Protocol):
         return len(self.states)
 
     def handle(self, view: InteractionView) -> Optional[Update]:
-        lhs: RuleLHS = (
-            (view.state1, view.port1),
-            (view.state2, view.port2),
-            view.bond,
+        # Both orientations were packed into the table at compile time, so
+        # boundary dispatch is two id probes and one int-dict hit.
+        space = self._program.space
+        s1 = space.get_id(view.state1)
+        if s1 is None:
+            return None
+        s2 = space.get_id(view.state2)
+        if s2 is None:
+            return None
+        return self._program.lookup(
+            s1, PORT_INDEX[view.port1], s2, PORT_INDEX[view.port2], view.bond
         )
-        rule = self._table.get(lhs)
-        if rule is not None:
-            return rule.rhs
-        swapped: RuleLHS = (
-            (view.state2, view.port2),
-            (view.state1, view.port1),
-            view.bond,
-        )
-        rule = self._table.get(swapped)
-        if rule is not None:
-            return (rule.new_state2, rule.new_state1, rule.new_bond)
-        return None
 
     def is_hot(self, state: State) -> bool:
         return state in self._hot

@@ -69,6 +69,7 @@ from repro.core.candidates import (
 from repro.core.protocol import InteractionView, Protocol, Update
 from repro.core.sampling import geometric_from_uniform
 from repro.core.world import Candidate, World
+from repro.geometry.ports import PORT_INDEX
 
 
 @dataclass(frozen=True)
@@ -86,7 +87,26 @@ class ScheduledEvent:
 
 
 def evaluate(protocol: Protocol, world: World, cand: Candidate) -> Optional[Update]:
-    """Apply the protocol's delta to a candidate; ``None`` if ineffective."""
+    """Apply the protocol's delta to a candidate; ``None`` if ineffective.
+
+    When the world is bound to the protocol's compiled program (it has
+    adopted the program's state space), dispatch is the packed-IR fast
+    path: node records already hold interned ids, so the whole ``delta``
+    application is one int-dict hit with zero tuple or view allocation.
+    Otherwise the boundary path builds an :class:`InteractionView` of
+    public states and calls ``handle`` — same result, pinned by the
+    compiled-vs-boundary equivalence tests.
+    """
+    program = protocol.program
+    if program is not None and world.space is program.space:
+        nodes = world.nodes
+        return program.lookup(
+            nodes[cand.nid1].sid,
+            PORT_INDEX[cand.port1],
+            nodes[cand.nid2].sid,
+            PORT_INDEX[cand.port2],
+            cand.bond,
+        )
     view = InteractionView(
         world.state_of(cand.nid1),
         cand.port1,

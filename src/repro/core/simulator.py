@@ -104,6 +104,13 @@ class Simulation:
     def __post_init__(self) -> None:
         if self.rng is None:
             self.rng = random.Random(self.seed)
+        # Bind the world to the protocol's compiled program: the world
+        # adopts its canonical state space, so dispatch in the scheduler
+        # fast path compares interned ids with no translation. Idempotent;
+        # worlds built via ``World.of_free_nodes`` are already bound.
+        program = self.protocol.program
+        if program is not None:
+            self.world.adopt_space(program.space)
 
     # ------------------------------------------------------------------
 
@@ -182,13 +189,17 @@ class Simulation:
 
     def any_halted(self) -> bool:
         """True iff some node is in a halting state."""
+        decode = self.world.space.states
         return any(
-            self.protocol.is_halted(rec.state) for rec in self.world.nodes.values()
+            self.protocol.is_halted(decode[rec.sid])
+            for rec in self.world.nodes.values()
         )
 
     def states_by_count(self) -> List[Tuple[object, int]]:
         """State multiset of the population, most frequent first."""
+        decode = self.world.space.states
         counts: dict = {}
         for rec in self.world.nodes.values():
-            counts[rec.state] = counts.get(rec.state, 0) + 1
+            state = decode[rec.sid]
+            counts[state] = counts.get(state, 0) + 1
         return sorted(counts.items(), key=lambda kv: (-kv[1], repr(kv[0])))

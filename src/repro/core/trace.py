@@ -190,11 +190,12 @@ def replay(
 def world_to_dict(world: World) -> Dict[str, Any]:
     """Serialize a full configuration (states, geometry, bonds)."""
     nodes = []
+    decode = world.space.states
     for nid, rec in sorted(world.nodes.items()):
         nodes.append(
             {
                 "nid": nid,
-                "state": _state_repr(rec.state),
+                "state": _state_repr(decode[rec.sid]),
                 "component": rec.component_id,
                 "pos": rec.pos.as_tuple(),
                 "orientation": tuple(map(tuple, rec.orientation.matrix)),
@@ -229,7 +230,8 @@ def world_from_dict(data: Dict[str, Any]) -> World:
         pos = Vec(*obj["pos"])
         orientation = Rotation(tuple(map(tuple, obj["orientation"])))
         state = _state_from_repr(obj["state"])
-        world.nodes[nid] = NodeRecord(nid, state, cid, pos, orientation)
+        sid = world.space.intern(state)
+        world.nodes[nid] = NodeRecord(nid, sid, cid, pos, orientation)
         comp = world.components.get(cid)
         if comp is None:
             comp = Component(cid)
@@ -237,7 +239,7 @@ def world_from_dict(data: Dict[str, Any]) -> World:
         if pos in comp.cells:
             raise SimulationError(f"snapshot places two nodes on {pos!r}")
         comp.cells[pos] = nid
-        world.by_state.setdefault(state, set()).add(nid)
+        world.by_sid.setdefault(sid, set()).add(nid)
         max_nid = max(max_nid, nid)
         max_cid = max(max_cid, cid)
     for a, pa, b, pb in data["bonds"]:

@@ -28,6 +28,7 @@ from typing import (
 )
 
 from repro.errors import CollisionError, GeometryError, SimulationError
+from repro.core.program import StateSpace
 from repro.core.protocol import Protocol, State, Update
 from repro.geometry.packed import (
     MAX_COORD,
@@ -78,10 +79,16 @@ def bond_sort_key(bond: Bond):
 
 @dataclass(slots=True)
 class NodeRecord:
-    """Mutable record of one node."""
+    """Mutable record of one node.
+
+    ``sid`` is the node's state as an *interned id* into the owning
+    world's :class:`~repro.core.program.StateSpace` — the representation
+    the compiled dispatch fast path reads with zero conversion. Use
+    ``World.state_of`` for the public (boundary) state.
+    """
 
     nid: int
-    state: State
+    sid: int
     component_id: int
     pos: Vec
     orientation: Rotation
@@ -167,8 +174,16 @@ class World:
         self.ports: Tuple[Port, ...] = ports_for_dimension(dimension)
         self.nodes: Dict[int, NodeRecord] = {}
         self.components: Dict[int, Component] = {}
-        #: Index of node ids by current state (kept in sync by set_state).
-        self.by_state: Dict[State, Set[int]] = {}
+        #: The world's state-interning space. Node records store interned
+        #: ids (``NodeRecord.sid``); boundary methods (``add_*``,
+        #: ``state_of``, ``states``, renders) convert at the edge. Bound
+        #: simulations swap this for the protocol's compiled space via
+        #: :meth:`adopt_space` so dispatch reads ids with no translation.
+        self.space = StateSpace()
+        #: Index of node ids by current *interned* state id (kept in sync
+        #: by set_state; empty entries are removed). The public-state view
+        #: is the :attr:`by_state` property; hot paths use this directly.
+        self.by_sid: Dict[int, Set[int]] = {}
         self._next_nid = 0
         self._next_cid = 0
         # Change journal: node ids whose state / bond endpoints changed,
@@ -273,11 +288,12 @@ class World:
         self._next_nid += 1
         cid = self._next_cid
         self._next_cid += 1
-        self.nodes[nid] = NodeRecord(nid, state, cid, Vec(0, 0, 0), identity_rotation)
+        sid = self.space.intern(state)
+        self.nodes[nid] = NodeRecord(nid, sid, cid, Vec(0, 0, 0), identity_rotation)
         comp = Component(cid)
         comp.cells[Vec(0, 0, 0)] = nid
         self.components[cid] = comp
-        self.by_state.setdefault(state, set()).add(nid)
+        self.by_sid.setdefault(sid, set()).add(nid)
         self.note_change(nid)
         return nid
 
@@ -301,11 +317,12 @@ class World:
         for cell in sorted(states):
             nid = self._next_nid
             self._next_nid += 1
-            rec = NodeRecord(nid, states[cell], cid, cell, identity_rotation)
+            sid = self.space.intern(states[cell])
+            rec = NodeRecord(nid, sid, cid, cell, identity_rotation)
             self.nodes[nid] = rec
             comp.cells[cell] = nid
             nids[cell] = nid
-            self.by_state.setdefault(states[cell], set()).add(nid)
+            self.by_sid.setdefault(sid, set()).add(nid)
             self.note_change(nid)
         if bonds is None:
             pairs = [
@@ -355,6 +372,11 @@ class World:
         """A solution of ``n`` free nodes; the first ``leaders`` nodes start
         in the protocol's leader state, the rest in its initial state."""
         world = World(protocol.dimension)
+        program = protocol.program
+        if program is not None:
+            # Share the protocol's canonical interning up front so ids are
+            # rule-sort-derived and the dispatch fast path never converts.
+            world.adopt_space(program.space)
         for i in range(n):
             if i < leaders:
                 if protocol.leader_state is None:
@@ -374,20 +396,68 @@ class World:
         return len(self.nodes)
 
     def state_of(self, nid: int) -> State:
-        return self.nodes[nid].state
+        return self.space.states[self.nodes[nid].sid]
+
+    def sid_of(self, nid: int) -> int:
+        """The node's state as an interned id (see :attr:`space`)."""
+        return self.nodes[nid].sid
 
     def set_state(self, nid: int, state: State) -> None:
         rec = self.nodes[nid]
-        if rec.state == state:
+        sid = self.space.intern(state)
+        if rec.sid == sid:
             return
-        old = self.by_state.get(rec.state)
+        old = self.by_sid.get(rec.sid)
         if old is not None:
             old.discard(nid)
             if not old:
-                del self.by_state[rec.state]
-        rec.state = state
-        self.by_state.setdefault(state, set()).add(nid)
+                del self.by_sid[rec.sid]
+        rec.sid = sid
+        self.by_sid.setdefault(sid, set()).add(nid)
         self.note_change(nid)
+
+    @property
+    def by_state(self) -> Dict[State, Set[int]]:
+        """Node-id index keyed by *public* state — a fresh view built from
+        the interned :attr:`by_sid` index. Convenient for tests and
+        one-shot queries; per-state hot paths should use
+        :meth:`nodes_in_state` (no full-dict build) or :attr:`by_sid`.
+        """
+        decode = self.space.states
+        return {decode[sid]: members for sid, members in self.by_sid.items()}
+
+    def nodes_in_state(self, state: State) -> Set[int]:
+        """The (live) set of node ids currently in ``state``; treat as
+        read-only. Empty set when no node has ever entered the state."""
+        sid = self.space.get_id(state)
+        if sid is None:
+            return set()
+        return self.by_sid.get(sid, set())
+
+    def adopt_space(self, space: StateSpace) -> None:
+        """Re-key the world onto another interning space (idempotent).
+
+        Called when a simulation binds a protocol: the world takes the
+        protocol program's canonical space so dispatch compares ids
+        without translation. Public states are untouched — only the
+        internal ids are rewritten — so no journal entry is needed and
+        seeded trajectories are unaffected.
+        """
+        if space is self.space:
+            return
+        old = self.space
+        self.space = space
+        if not self.nodes:
+            return
+        remap: Dict[int, int] = {}
+        for rec in self.nodes.values():
+            new = remap.get(rec.sid)
+            if new is None:
+                remap[rec.sid] = new = space.intern(old.states[rec.sid])
+            rec.sid = new
+        self.by_sid = {
+            remap[sid]: members for sid, members in self.by_sid.items()
+        }
 
     def component_of(self, nid: int) -> Component:
         return self.components[self.nodes[nid].component_id]
@@ -400,7 +470,8 @@ class World:
         return [nid for nid in self.nodes if self.is_free(nid)]
 
     def states(self) -> Dict[int, State]:
-        return {nid: rec.state for nid, rec in self.nodes.items()}
+        decode = self.space.states
+        return {nid: decode[rec.sid] for nid, rec in self.nodes.items()}
 
     def bond_state(self, nid1: int, port1: Port, nid2: int, port2: Port) -> int:
         """The 0/1 state of the edge between two node-ports (C_E of §3)."""
@@ -849,14 +920,21 @@ class World:
             edges.append(frozenset((self.nodes[a].pos, self.nodes[b].pos)))
         labels = None
         if with_states:
-            labels = {cell: self.nodes[nid].state for cell, nid in comp.cells.items()}
+            decode = self.space.states
+            labels = {
+                cell: decode[self.nodes[nid].sid]
+                for cell, nid in comp.cells.items()
+            }
         return Shape.from_cells(cells, edges, labels).normalize()
 
     def output_shapes(self, protocol: Protocol) -> List[Shape]:
         """The output ``G(C)`` of §3: shapes induced by output-state nodes
         and the active edges between them (one Shape per output group)."""
+        decode = self.space.states
         out_nodes = {
-            nid for nid, rec in self.nodes.items() if protocol.is_output(rec.state)
+            nid
+            for nid, rec in self.nodes.items()
+            if protocol.is_output(decode[rec.sid])
         }
         shapes: List[Shape] = []
         for comp in self.components.values():

@@ -159,4 +159,14 @@ def describe_scenario(scenario: Scenario) -> str:
             f"    --{p.name.replace('_', '-')} ({p.type}, default {p.default!r}{extra})"
             + (f": {p.help}" if p.help else "")
         )
+    if scenario.protocols:
+        # Scheduler-driven scenarios report their compiled programs: state
+        # count, rule count and hot-state set of the packed IR the
+        # schedulers actually dispatch on (repro.core.program).
+        lines.append("  protocols:")
+        for factory in scenario.protocols:
+            protocol = factory()
+            program = protocol.program
+            name = getattr(protocol, "name", type(protocol).__name__)
+            lines.append(f"    {name}: {program.describe()}")
     return "\n".join(lines)

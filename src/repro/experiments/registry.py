@@ -124,6 +124,10 @@ class Scenario:
     ``repro.core.scheduler.make_scheduler``. ``covers`` lists the qualified
     names of the public ``run_*`` entrypoints the adapter exercises — the
     registry-completeness test fails on any entrypoint no scenario covers.
+    ``protocols`` names the protocol factories a scheduler-driven scenario
+    executes (zero-arg callables returning a
+    :class:`~repro.core.protocol.Protocol`); ``repro describe`` compiles
+    them to report state count, rule count, and the hot-state set.
     """
 
     name: str
@@ -134,6 +138,7 @@ class Scenario:
     deterministic: bool = False
     schedulable: bool = False
     covers: Tuple[str, ...] = ()
+    protocols: Tuple[Callable[[], Any], ...] = ()
 
     def param(self, name: str) -> Param:
         for p in self.params:

@@ -174,6 +174,9 @@ class HybridSimulation:
     def __post_init__(self) -> None:
         self._rng = random.Random(self.seed)
         self._cache = EffectiveCandidateCache()
+        program = self.protocol.program
+        if program is not None:
+            self.world.adopt_space(program.space)
 
     def _movement_candidates(self) -> List[Tuple[int, MovementRule]]:
         out: List[Tuple[int, MovementRule]] = []

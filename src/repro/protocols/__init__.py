@@ -1,7 +1,10 @@
 """The paper's explicit rule-table protocols (§4 and Protocols 4/5).
 
 Every protocol in this package is a :class:`~repro.core.protocol.RuleProtocol`
-transcribed from the paper's tables:
+written in the declarative rule DSL (:mod:`repro.protocols.dsl`) — port
+variables, wildcards, derived states — and compiled to the packed IR of
+:mod:`repro.core.program`; the DSL expansions are pinned rule for rule
+against the paper's hand-written tables by ``tests/test_dsl.py``:
 
 * :func:`~repro.protocols.line.spanning_line_protocol` and
   :func:`~repro.protocols.line.simple_line_protocol` — §4.1.
@@ -14,8 +17,9 @@ transcribed from the paper's tables:
   the three-variant composition (original -> seed -> replicas) used by
   Square-Knowing-n (§6.2).
 * :func:`~repro.protocols.leaderless_line.leaderless_spanning_line_protocol`
-  — the leaderless spanning line (§4.1's closing remark / Remark 5),
-  expressed as an agent protocol (election ties need ordered pairs).
+  — the leaderless spanning line (§4.1's closing remark / Remark 5), an
+  *ordered* rule table (election ties resolve initiator-first, the
+  ordered-pair convention; unordered tables cannot express them).
 """
 
 from repro.protocols.line import simple_line_protocol, spanning_line_protocol

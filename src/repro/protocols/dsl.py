@@ -1,0 +1,439 @@
+"""A declarative rule DSL: port variables, wildcards, symmetric closure.
+
+The paper writes transition families like
+
+    (L_i, i), (q_0, j), 0  ->  (q_1, L_jbar, 1)    for all i, j in P
+
+and each protocol module used to lower them by hand with nested Python
+loops over the port set. This module makes the family itself the source
+code: a *rule spec* is written once with **port variables**, and
+:func:`expand` enumerates every assignment of the variables over the
+model's port set, resolving derived ports (``opp``, ``pfn``) and derived
+states (``fmt``, ``st``/``lift``) per assignment. Ineffective expansions
+are dropped (identity transitions are never listed), duplicate identical
+expansions are deduplicated, and conflicting expansions are rejected by
+the :class:`~repro.core.protocol.RuleProtocol` compiler, which names both
+offending rules.
+
+Worked example — the §4.1 general spanning line protocol, whose leader
+``L_i`` absorbs a free ``q0`` node through any port pair and re-emerges on
+the new node heading through the port *opposite* the bonded one (which is
+what keeps the line straight)::
+
+    from repro.protocols.dsl import I, J, bonded, lift, opp, unbonded, when
+    from repro.protocols.line import leader_state   # port -> f"L{port.value}"
+
+    leader = lift(leader_state)
+    SPECS = [
+        when(leader(I), I, "q0", J, unbonded) >> ("q1", leader(opp(J)), bonded),
+    ]
+    rules = expand(SPECS, dimension=2)   # 16 rules: 4 choices of i x 4 of j
+    # expand(SPECS, dimension=3) gives the 36-rule 3D variant verbatim.
+
+Here ``I`` and ``J`` are port variables; using ``J`` only on the right
+node makes it a *wildcard* (any port of the free node matches);
+``leader(opp(J))`` is a derived state computed from the assignment. The
+protocol modules of this package (``line``, ``square``, ``square2``,
+``replication``, ``leaderless_line``) are all written in this DSL; the
+property tests pin their expansions against the paper's hand-written
+tables rule for rule.
+
+Concrete rules are specs without variables::
+
+    when("L2d", D, "q0", U, unbonded) >> ("L1u", "q1", bonded)
+
+and the symmetric rigidity family of Protocol 2 is one line::
+
+    when("q1", I, "q1", opp(I), unbonded) >> ("q1", "q1", bonded)
+
+Specs with *identical* states on both sides and an asymmetric result
+(leader-vs-leader elections) cannot live in an unordered table; build the
+protocol with ``match="ordered"`` (see :func:`protocol`) and the
+as-presented orientation — the initiator — takes precedence, exactly the
+ordered-pair convention of population protocols.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Callable, Dict, Hashable, Iterable, List, Sequence, Tuple, Union
+
+from repro.core.protocol import Rule, RuleProtocol, State
+from repro.errors import ProtocolError
+from repro.geometry.ports import Port, opposite, ports_for_dimension
+
+#: Bond-state constants, so specs read like the paper's tables.
+unbonded = 0
+bonded = 1
+
+#: A variable assignment: port-variable name -> concrete port.
+Binding = Dict[str, Port]
+
+
+# ----------------------------------------------------------------------
+# Port terms
+# ----------------------------------------------------------------------
+
+
+class PortTerm:
+    """A port-valued expression resolved per variable assignment."""
+
+    def resolve(self, binding: Binding) -> Port:
+        raise NotImplementedError
+
+    def variables(self) -> Tuple[str, ...]:
+        return ()
+
+
+class PortVar(PortTerm):
+    """A variable ranging over the model's port set."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def resolve(self, binding: Binding) -> Port:
+        return binding[self.name]
+
+    def variables(self) -> Tuple[str, ...]:
+        return (self.name,)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PortVar({self.name!r})"
+
+
+class _PortFn(PortTerm):
+    """A port-to-port function applied to a port term (e.g. ``opp``)."""
+
+    __slots__ = ("fn", "inner")
+
+    def __init__(self, fn: Callable[[Port], Port], inner: "PortLike") -> None:
+        self.fn = fn
+        self.inner = as_port_term(inner)
+
+    def resolve(self, binding: Binding) -> Port:
+        return self.fn(self.inner.resolve(binding))
+
+    def variables(self) -> Tuple[str, ...]:
+        return self.inner.variables()
+
+
+class _PortConst(PortTerm):
+    __slots__ = ("port",)
+
+    def __init__(self, port: Port) -> None:
+        self.port = port
+
+    def resolve(self, binding: Binding) -> Port:
+        return self.port
+
+
+PortLike = Union[Port, PortTerm]
+
+
+def as_port_term(value: PortLike) -> PortTerm:
+    if isinstance(value, PortTerm):
+        return value
+    if isinstance(value, Port):
+        return _PortConst(value)
+    raise ProtocolError(f"not a port or port term: {value!r}")
+
+
+def var(name: str) -> PortVar:
+    """A fresh port variable (single lowercase letters read best)."""
+    return PortVar(name)
+
+
+def port_vars(*names: str) -> Tuple[PortVar, ...]:
+    """Declare several port variables at once."""
+    return tuple(PortVar(n) for n in names)
+
+
+def opp(term: PortLike) -> PortTerm:
+    """The opposite port (the paper's ``i-bar``)."""
+    return _PortFn(opposite, term)
+
+
+def pfn(fn: Callable[[Port], Port], term: PortLike) -> PortTerm:
+    """An arbitrary port-to-port derivation (e.g. a clockwise turn)."""
+    return _PortFn(fn, term)
+
+
+#: Convenience variables — enough for every family in the paper.
+I, J, K = port_vars("i", "j", "k")
+
+
+# ----------------------------------------------------------------------
+# State terms
+# ----------------------------------------------------------------------
+
+
+class StateTerm:
+    """A state-valued expression resolved per variable assignment."""
+
+    def resolve(self, binding: Binding) -> State:
+        raise NotImplementedError
+
+    def variables(self) -> Tuple[str, ...]:
+        return ()
+
+
+class _StateConst(StateTerm):
+    __slots__ = ("state",)
+
+    def __init__(self, state: State) -> None:
+        self.state = state
+
+    def resolve(self, binding: Binding) -> State:
+        return self.state
+
+
+class _StateFmt(StateTerm):
+    """``fmt("L{}", I)``: port values formatted into a string template."""
+
+    __slots__ = ("template", "terms")
+
+    def __init__(self, template: str, terms: Tuple[PortTerm, ...]) -> None:
+        self.template = template
+        self.terms = terms
+
+    def resolve(self, binding: Binding) -> State:
+        return self.template.format(
+            *(t.resolve(binding).value for t in self.terms)
+        )
+
+    def variables(self) -> Tuple[str, ...]:
+        return sum((t.variables() for t in self.terms), ())
+
+
+class _StateCall(StateTerm):
+    """``st(fn, t1, ...)``: an arbitrary function of resolved ports."""
+
+    __slots__ = ("fn", "terms")
+
+    def __init__(self, fn: Callable[..., State], terms: Tuple[PortTerm, ...]) -> None:
+        self.fn = fn
+        self.terms = terms
+
+    def resolve(self, binding: Binding) -> State:
+        return self.fn(*(t.resolve(binding) for t in self.terms))
+
+    def variables(self) -> Tuple[str, ...]:
+        return sum((t.variables() for t in self.terms), ())
+
+
+StateLike = Union[State, StateTerm]
+
+
+def as_state_term(value: StateLike) -> StateTerm:
+    if isinstance(value, StateTerm):
+        return value
+    if isinstance(value, PortTerm):
+        raise ProtocolError(
+            f"port term {value!r} used in a state position; wrap it with "
+            "fmt()/st() to derive a state from it"
+        )
+    return _StateConst(value)
+
+
+def fmt(template: str, *terms: PortLike) -> StateTerm:
+    """A state named by formatting port letters into ``template``."""
+    return _StateFmt(template, tuple(as_port_term(t) for t in terms))
+
+
+def st(fn: Callable[..., State], *terms: PortLike) -> StateTerm:
+    """A state computed by ``fn`` from the resolved ports."""
+    return _StateCall(fn, tuple(as_port_term(t) for t in terms))
+
+
+def lift(fn: Callable[..., State]) -> Callable[..., StateTerm]:
+    """Lift a state-building function over port terms:
+    ``leader = lift(leader_state); leader(opp(J))``."""
+
+    def lifted(*terms: PortLike) -> StateTerm:
+        return st(fn, *terms)
+
+    return lifted
+
+
+# ----------------------------------------------------------------------
+# Rule specs
+# ----------------------------------------------------------------------
+
+
+class RuleSpec:
+    """One transition family: a LHS pattern and its RHS."""
+
+    __slots__ = (
+        "state1", "port1", "state2", "port2", "bond",
+        "new_state1", "new_state2", "new_bond", "guard", "closure",
+    )
+
+    def __init__(
+        self,
+        state1: StateTerm, port1: PortTerm,
+        state2: StateTerm, port2: PortTerm,
+        bond: int,
+        new_state1: StateTerm, new_state2: StateTerm, new_bond: int,
+        guard: Callable[[Binding], bool] = None,
+        closure: bool = False,
+    ) -> None:
+        self.state1, self.port1 = state1, port1
+        self.state2, self.port2 = state2, port2
+        self.bond = bond
+        self.new_state1, self.new_state2 = new_state1, new_state2
+        self.new_bond = new_bond
+        self.guard = guard
+        self.closure = closure
+
+    # -- modifiers -----------------------------------------------------
+
+    def where(self, guard: Callable[[Binding], bool]) -> "RuleSpec":
+        """Restrict the expansion to assignments satisfying ``guard``
+        (which receives the ``{variable name: Port}`` binding)."""
+        return RuleSpec(
+            self.state1, self.port1, self.state2, self.port2, self.bond,
+            self.new_state1, self.new_state2, self.new_bond,
+            guard, self.closure,
+        )
+
+    def symmetric(self) -> "RuleSpec":
+        """Also emit the swapped orientation of every expansion (the
+        symmetric closure). Redundant for unordered protocols — their
+        tables match both orientations anyway — but it makes the closure
+        explicit in the table and is meaningful under ordered matching."""
+        return RuleSpec(
+            self.state1, self.port1, self.state2, self.port2, self.bond,
+            self.new_state1, self.new_state2, self.new_bond,
+            self.guard, True,
+        )
+
+    # -- expansion -----------------------------------------------------
+
+    def variables(self) -> Tuple[str, ...]:
+        """Variable names in first-appearance order (expansion order)."""
+        seen: List[str] = []
+        for term in (
+            self.state1, self.port1, self.state2, self.port2,
+            self.new_state1, self.new_state2,
+        ):
+            for name in term.variables():
+                if name not in seen:
+                    seen.append(name)
+        return tuple(seen)
+
+    def expand(self, ports: Sequence[Port]) -> List[Rule]:
+        names = self.variables()
+        rules: List[Rule] = []
+        for assignment in product(ports, repeat=len(names)):
+            binding = dict(zip(names, assignment))
+            if self.guard is not None and not self.guard(binding):
+                continue
+            rule = Rule(
+                self.state1.resolve(binding), self.port1.resolve(binding),
+                self.state2.resolve(binding), self.port2.resolve(binding),
+                self.bond,
+                self.new_state1.resolve(binding),
+                self.new_state2.resolve(binding),
+                self.new_bond,
+            )
+            if rule.is_effective():  # identity expansions are dropped here
+                rules.append(rule)
+            if self.closure:
+                swapped = Rule(
+                    rule.state2, rule.port2, rule.state1, rule.port1,
+                    rule.bond, rule.new_state2, rule.new_state1,
+                    rule.new_bond,
+                )
+                if swapped.is_effective():
+                    rules.append(swapped)
+        return rules
+
+
+class _Lhs:
+    """The ``when(...)`` half, awaiting ``>> (rhs)``."""
+
+    __slots__ = ("state1", "port1", "state2", "port2", "bond")
+
+    def __init__(
+        self,
+        state1: StateLike, port1: PortLike,
+        state2: StateLike, port2: PortLike,
+        bond: int,
+    ) -> None:
+        self.state1 = as_state_term(state1)
+        self.port1 = as_port_term(port1)
+        self.state2 = as_state_term(state2)
+        self.port2 = as_port_term(port2)
+        if bond not in (unbonded, bonded):
+            raise ProtocolError(f"bond must be 0/1: {bond!r}")
+        self.bond = bond
+
+    def __rshift__(self, rhs: Tuple[StateLike, StateLike, int]) -> RuleSpec:
+        if not isinstance(rhs, tuple) or len(rhs) != 3:
+            raise ProtocolError(
+                f"rule RHS must be (state1', state2', bond'): {rhs!r}"
+            )
+        new_state1, new_state2, new_bond = rhs
+        if new_bond not in (unbonded, bonded):
+            raise ProtocolError(f"new bond must be 0/1: {new_bond!r}")
+        return RuleSpec(
+            self.state1, self.port1, self.state2, self.port2, self.bond,
+            as_state_term(new_state1), as_state_term(new_state2), new_bond,
+        )
+
+
+def when(
+    state1: StateLike, port1: PortLike,
+    state2: StateLike, port2: PortLike,
+    bond: int = unbonded,
+) -> _Lhs:
+    """Start a rule spec: ``when(a, p1, b, p2, c) >> (a2, b2, c2)``
+    mirrors the paper's ``(a, p1), (b, p2), c -> (a', b', c')``."""
+    return _Lhs(state1, port1, state2, port2, bond)
+
+
+def expand(
+    specs: Iterable[RuleSpec], dimension: int = 2
+) -> Tuple[Rule, ...]:
+    """Expand rule specs over the port set of the given dimension.
+
+    Identical duplicate expansions (different assignments producing the
+    same rule) are deduplicated; conflicting expansions are left for the
+    protocol compiler to reject with both rules named.
+    """
+    ports = ports_for_dimension(dimension)
+    out: List[Rule] = []
+    seen = set()
+    for spec in specs:
+        if not isinstance(spec, RuleSpec):
+            raise ProtocolError(
+                f"expected a RuleSpec (a `when(...) >> (...)`): {spec!r}"
+            )
+        for rule in spec.expand(ports):
+            if rule not in seen:
+                seen.add(rule)
+                out.append(rule)
+    return tuple(out)
+
+
+def protocol(
+    specs: Iterable[RuleSpec],
+    *,
+    dimension: int = 2,
+    name: str = "dsl-protocol",
+    **kwargs,
+) -> RuleProtocol:
+    """Expand specs and build the compiled :class:`RuleProtocol` directly.
+
+    Keyword arguments (``initial_state``, ``leader_state``,
+    ``hot_states``, ``output_states``, ``halting_states``,
+    ``match="ordered"``, ...) pass through to the protocol constructor.
+    """
+    return RuleProtocol(
+        expand(specs, dimension=dimension),
+        dimension=dimension,
+        name=name,
+        **kwargs,
+    )

@@ -16,11 +16,17 @@ module realizes the technique for the spanning line:
   stabilizes as a single spanning line. Termination is necessarily
   sacrificed (Remark 5) — the construction is stabilizing.
 
-The protocol is expressed as an :class:`~repro.core.protocol.AgentProtocol`
-because the leader-vs-leader election between *identical* states has no
-unordered-consistent rule table: the tie is broken by the presentation
-order of the pair, exactly the ordered (initiator, responder) interaction
-convention of population protocols [AAD+06].
+The leader-vs-leader election between *identical* states has no
+unordered-consistent rule table — which historically forced this protocol
+to be an :class:`~repro.core.protocol.AgentProtocol` handler. It is now a
+compiled **ordered** rule table (``match="ordered"``): the as-presented
+orientation takes precedence, which is exactly the ordered (initiator,
+responder) interaction convention of population protocols [AAD+06], and
+exactly what the handler implemented by trying the pair as given before
+swapping. The handler is kept below as the executable reference —
+``tests/test_leaderless_line.py`` pins the compiled table against it over
+the full state/port universe — and remains available through
+:func:`leaderless_spanning_line_handler_protocol` for dispatch ablations.
 
 State glossary: ``L0`` singleton leader; ``("L", i)`` line leader expanding
 via its local port ``i`` (its line hangs off the opposite port);
@@ -32,8 +38,20 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.core.protocol import AgentProtocol, InteractionView, State, Update
+from repro.core.protocol import AgentProtocol, InteractionView, RuleProtocol, State, Update
 from repro.geometry.ports import PORTS_2D, Port, opposite
+from repro.protocols.dsl import (
+    I,
+    J,
+    K,
+    bonded,
+    expand,
+    lift,
+    opp,
+    port_vars,
+    unbonded,
+    when,
+)
 
 
 def _is_line_leader(state: State) -> bool:
@@ -42,6 +60,77 @@ def _is_line_leader(state: State) -> bool:
 
 def _is_dismantler(state: State) -> bool:
     return isinstance(state, tuple) and len(state) == 2 and state[0] == "Dl"
+
+
+# ----------------------------------------------------------------------
+# The protocol as a declarative ordered rule table
+# ----------------------------------------------------------------------
+
+#: DSL state builders for the structured states.
+line_leader = lift(lambda p: ("L", p))
+dismantler = lift(lambda p: ("Dl", p))
+
+#: Extra port variables for the four-variable election family.
+A, B = port_vars("a", "b")
+
+#: The full protocol as rule specs. Ordered semantics: ``state1`` is the
+#: initiator (the canonical first endpoint of the scheduler's pair).
+LEADERLESS_LINE_SPECS = (
+    # --- Absorption over an inactive edge. A singleton leader offers any
+    # port; a line leader only its expansion port i (anything else would
+    # bend the line). Absorbable material: free q0, another singleton
+    # leader, or a spent dismantler offering the port its (empty) line
+    # side points to — any other dismantler port could drag a remaining
+    # line into an L-bend. The absorbed node becomes the new growing end,
+    # expanding via the port opposite its bonded one.
+    when("L0", I, "q0", J, unbonded) >> ("q1", line_leader(opp(J)), bonded),
+    when("L0", I, "L0", J, unbonded) >> ("q1", line_leader(opp(J)), bonded),
+    when("L0", I, dismantler(J), J, unbonded)
+    >> ("q1", line_leader(opp(J)), bonded),
+    when(line_leader(I), I, "q0", J, unbonded)
+    >> ("q1", line_leader(opp(J)), bonded),
+    when(line_leader(I), I, "L0", J, unbonded)
+    >> ("q1", line_leader(opp(J)), bonded),
+    when(line_leader(I), I, dismantler(J), J, unbonded)
+    >> ("q1", line_leader(opp(J)), bonded),
+    # --- Election between two *line* leaders (any ports): the initiator
+    # wins, the responder starts dismantling its line — which hangs off
+    # the port opposite to its expansion port. Identical states with an
+    # asymmetric result: expressible only under ordered matching.
+    when(line_leader(I), A, line_leader(K), B, unbonded)
+    >> (line_leader(I), dismantler(opp(K)), unbonded),
+    # --- Dismantling over an active edge: the dismantler frees itself as
+    # q0; its q1 neighbor takes over. A body node's two bonds always sit
+    # on mutually opposite local ports, so the remainder hangs off the
+    # port opposite the one just cut.
+    when(dismantler(K), K, "q1", B, bonded)
+    >> ("q0", dismantler(opp(B)), unbonded),
+)
+
+
+def leaderless_spanning_line_protocol() -> RuleProtocol:
+    """The leaderless spanning-line constructor (all nodes start ``L0``).
+
+    Stabilizes (does not terminate — Remark 5's price) with all ``n``
+    nodes on one straight line: one surviving leader at an end, ``q1``
+    body nodes elsewhere. Compiled from :data:`LEADERLESS_LINE_SPECS`
+    with ordered (initiator-first) matching.
+    """
+    leaders = tuple(("L", p) for p in PORTS_2D)
+    dismantlers = tuple(("Dl", p) for p in PORTS_2D)
+    return RuleProtocol(
+        expand(LEADERLESS_LINE_SPECS),
+        initial_state="L0",
+        hot_states=("L0", *leaders, *dismantlers),
+        output_states={"q1", *leaders},
+        match="ordered",
+        name="leaderless-spanning-line",
+    )
+
+
+# ----------------------------------------------------------------------
+# The original handler, kept as the executable reference semantics
+# ----------------------------------------------------------------------
 
 
 def _oriented(
@@ -100,19 +189,20 @@ def _output(state: State) -> bool:
     return state == "q1" or _is_line_leader(state)
 
 
-def leaderless_spanning_line_protocol() -> AgentProtocol:
-    """The leaderless spanning-line constructor (all nodes start ``L0``).
+def leaderless_spanning_line_handler_protocol() -> AgentProtocol:
+    """The pre-DSL handler form of the same protocol.
 
-    Stabilizes (does not terminate — Remark 5's price) with all ``n``
-    nodes on one straight line: one surviving leader at an end, ``q1``
-    body nodes elsewhere.
+    Kept as the reference oracle: its ``delta`` must agree with the
+    compiled ordered table on every interaction (pinned by test), and it
+    exercises the lazily-lowered :class:`~repro.core.program.MemoProgram`
+    dispatch path on a protocol with structured (tuple) states.
     """
     return AgentProtocol(
         _handler,
         initial_state="L0",
         hot=_hot,
         output=_output,
-        name="leaderless-spanning-line",
+        name="leaderless-spanning-line-handler",
     )
 
 

@@ -14,8 +14,9 @@ difference measured by ``benchmarks/bench_line.py``.
 
 from __future__ import annotations
 
-from repro.core.protocol import Rule, RuleProtocol
-from repro.geometry.ports import PORTS_2D, opposite, ports_for_dimension
+from repro.core.protocol import RuleProtocol
+from repro.geometry.ports import PORTS_2D, Port, ports_for_dimension
+from repro.protocols.dsl import I, J, bonded, expand, lift, opp, unbonded, when
 
 
 def leader_state(port) -> str:
@@ -24,6 +25,15 @@ def leader_state(port) -> str:
 
 
 LEADER_STATES = tuple(leader_state(p) for p in PORTS_2D)
+
+#: The leader-state builder as a DSL state term constructor.
+leader = lift(leader_state)
+
+#: The one-line §4.1 transition family:
+#: ``(L_i, i), (q0, j), 0 -> (q1, L_jbar, 1)`` for all ports i, j.
+SPANNING_LINE_SPECS = (
+    when(leader(I), I, "q0", J, unbonded) >> ("q1", leader(opp(J)), bonded),
+)
 
 
 def spanning_line_protocol(dimension: int = 2) -> RuleProtocol:
@@ -40,24 +50,9 @@ def spanning_line_protocol(dimension: int = 2) -> RuleProtocol:
     about the bond axis) cannot bend the line.
     """
     ports = ports_for_dimension(dimension)
-    rules = []
-    for i in ports:
-        for j in ports:
-            rules.append(
-                Rule(
-                    state1=leader_state(i),
-                    port1=i,
-                    state2="q0",
-                    port2=j,
-                    bond=0,
-                    new_state1="q1",
-                    new_state2=leader_state(opposite(j)),
-                    new_bond=1,
-                )
-            )
     leader_states = tuple(leader_state(p) for p in ports)
     return RuleProtocol(
-        rules,
+        expand(SPANNING_LINE_SPECS, dimension=dimension),
         initial_state="q0",
         leader_state="Lr",
         output_states={"q1", *leader_states},
@@ -74,22 +69,11 @@ def simple_line_protocol() -> RuleProtocol:
     precisely the ``l`` port of a free node, so expansions are rarer under
     the uniform scheduler but the protocol has only 3 states.
     """
-    from repro.geometry.ports import Port
-
-    rules = [
-        Rule(
-            state1="L",
-            port1=Port.RIGHT,
-            state2="q0",
-            port2=Port.LEFT,
-            bond=0,
-            new_state1="q1",
-            new_state2="L",
-            new_bond=1,
-        )
-    ]
+    specs = (
+        when("L", Port.RIGHT, "q0", Port.LEFT, unbonded) >> ("q1", "L", bonded),
+    )
     return RuleProtocol(
-        rules,
+        expand(specs),
         initial_state="q0",
         leader_state="L",
         output_states={"q1", "L"},

@@ -38,10 +38,11 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
-from repro.core.protocol import Rule, RuleProtocol
+from repro.core.protocol import RuleProtocol
 from repro.core.world import World
 from repro.geometry.ports import Port
 from repro.geometry.vec import Vec
+from repro.protocols.dsl import RuleSpec, bonded, expand, unbonded, when
 
 U, R, D, L = Port.UP, Port.RIGHT, Port.DOWN, Port.LEFT
 
@@ -49,9 +50,9 @@ U, R, D, L = Port.UP, Port.RIGHT, Port.DOWN, Port.LEFT
 CHAIN = tuple(f"L{j}s" for j in range(1, 8))
 
 
-def _variant_rules(
+def _variant_specs(
     parent_left: str, parent_restored: str, child_left: str
-) -> List[Rule]:
+) -> List[RuleSpec]:
     """Protocol 4 rules for one parent type.
 
     ``parent_left`` is the state of the parent line's left endpoint that
@@ -66,57 +67,57 @@ def _variant_rules(
     cts, ct1, ct2 = (f"T{child_left}", f"T'{child_left}", f"T''{child_left}")
     # Parent restore walker states (tagged by the parent's restored type).
     pts, pt1, pt2 = (f"P{parent_restored}", f"P'{parent_restored}", f"P''{parent_restored}")
-    rules = [
+    specs = [
         # Replication starts: the chain seed attaches below the left end.
-        Rule(parent_left, D, "q0", U, 0, blocked, "L1s", 1),
+        when(parent_left, D, "q0", U, unbonded) >> (blocked, "L1s", bonded),
         # Chain completion: detach the replica from the blocked parent and
         # start both restore walks.
-        Rule("L7s", U, blocked, D, 1, cts, pts, 0),
+        when("L7s", U, blocked, D, bonded) >> (cts, pts, unbonded),
     ]
     for walker, final in ((cts, child_left), (pts, parent_restored)):
         w1 = ct1 if walker == cts else pt1
         w2 = ct2 if walker == cts else pt2
-        rules.extend(
+        specs.extend(
             [
                 # Left endpoint parked as the f' placeholder (deviation 1),
                 # walker moves right over the still-primed nodes.
-                Rule(walker, R, "i'", L, 1, "f'", w1, 1),
-                Rule(w1, R, "i'", L, 1, "i'", w1, 1),
+                when(walker, R, "i'", L, bonded) >> ("f'", w1, bonded),
+                when(w1, R, "i'", L, bonded) >> ("i'", w1, bonded),
                 # Right endpoint restored to e; walker turns around.
-                Rule(w1, R, "e'", L, 1, w2, "e", 1),
+                when(w1, R, "e'", L, bonded) >> (w2, "e", bonded),
                 # Left walk converts i' -> i strictly behind the walker, so
                 # early attachments below freshly restored nodes (which
                 # re-prime them) can never block the walk.
-                Rule("i'", R, w2, L, 1, w2, "i", 1),
+                when("i'", R, w2, L, bonded) >> (w2, "i", bonded),
                 # Back at the placeholder: restore the final endpoint state.
-                Rule("f'", R, w2, L, 1, final, "i", 1),
+                when("f'", R, w2, L, bonded) >> (final, "i", bonded),
             ]
         )
-    return rules
+    return specs
 
 
-def _shared_rules() -> List[Rule]:
+def _shared_specs() -> List[RuleSpec]:
     """Protocol 4 rules independent of the parent type."""
     return [
         # Free q0 nodes attach below internal/endpoint nodes of a line.
-        Rule("i", D, "q0", U, 0, "i'", "i'", 1),
-        Rule("e", D, "q0", U, 0, "e'", "e'", 1),
+        when("i", D, "q0", U, unbonded) >> ("i'", "i'", bonded),
+        when("e", D, "q0", U, unbonded) >> ("e'", "e'", bonded),
         # Replica row bonds horizontally.
-        Rule("i'", R, "i'", L, 0, "i'", "i'", 1),
-        Rule("i'", R, "e'", L, 0, "i'", "e'", 1),
+        when("i'", R, "i'", L, unbonded) >> ("i'", "i'", bonded),
+        when("i'", R, "e'", L, unbonded) >> ("i'", "e'", bonded),
         # Chain walk: L1s hands off to L2s which walks right bonding as it
         # goes, until the replica's right endpoint becomes L3s.
-        Rule("L1s", R, "i'", L, 0, "e'", "L2s", 1),
-        Rule("L2s", R, "i'", L, 0, "i'", "L2s", 1),
-        Rule("L2s", R, "i'", L, 1, "i'", "L2s", 1),
-        Rule("L2s", R, "e'", L, 0, "i'", "L3s", 1),
-        Rule("L2s", R, "e'", L, 1, "i'", "L3s", 1),
+        when("L1s", R, "i'", L, unbonded) >> ("e'", "L2s", bonded),
+        when("L2s", R, "i'", L, unbonded) >> ("i'", "L2s", bonded),
+        when("L2s", R, "i'", L, bonded) >> ("i'", "L2s", bonded),
+        when("L2s", R, "e'", L, unbonded) >> ("i'", "L3s", bonded),
+        when("L2s", R, "e'", L, bonded) >> ("i'", "L3s", bonded),
         # Detach walk: cut the vertical bonds right-to-left.
-        Rule("L3s", U, "e'", D, 1, "L4s", "e'", 0),
-        Rule("i'", R, "L4s", L, 1, "L5s", "e'", 1),
-        Rule("L5s", U, "i'", D, 1, "L6s", "i'", 0),
-        Rule("i'", R, "L6s", L, 1, "L5s", "i'", 1),
-        Rule("e'", R, "L6s", L, 1, "L7s", "i'", 1),
+        when("L3s", U, "e'", D, bonded) >> ("L4s", "e'", unbonded),
+        when("i'", R, "L4s", L, bonded) >> ("L5s", "e'", bonded),
+        when("L5s", U, "i'", D, bonded) >> ("L6s", "i'", unbonded),
+        when("i'", R, "L6s", L, bonded) >> ("L5s", "i'", bonded),
+        when("e'", R, "L6s", L, bonded) >> ("L7s", "i'", bonded),
     ]
 
 
@@ -128,7 +129,7 @@ def line_replication_protocol() -> RuleProtocol:
     (Figure 5). Lines must have length >= 3 (the paper's chain needs an
     internal node).
     """
-    rules = _shared_rules() + _variant_rules("L", "Lstart", "Ls")
+    rules = expand(_shared_specs() + _variant_specs("L", "Lstart", "Ls"))
     return RuleProtocol(
         rules,
         initial_state="q0",
@@ -146,11 +147,11 @@ def self_replicating_lines_protocol() -> RuleProtocol:
     self-replicating (their children also begin in ``Lr``), exactly as
     described for Square-Knowing-n.
     """
-    rules = (
-        _shared_rules()
-        + _variant_rules("L", "Lstart", "Ls")
-        + _variant_rules("Ls", "Ls", "Lr")
-        + _variant_rules("Lr", "Lr", "Lr")
+    rules = expand(
+        _shared_specs()
+        + _variant_specs("L", "Lstart", "Ls")
+        + _variant_specs("Ls", "Ls", "Lr")
+        + _variant_specs("Lr", "Lr", "Lr")
     )
     return RuleProtocol(
         rules,
@@ -170,24 +171,27 @@ def no_leader_line_replication_protocol() -> RuleProtocol:
     endpoints), which guarantees the replica detaches only at full length.
     Parent-side nodes use ``ip``/``ep`` while busy (deviation 2 above).
     """
-    rules = [
+    specs = [
         # Attachment below the parent (parent-side goes busy).
-        Rule("i", D, "q0", U, 0, "ip", "i1", 1),
-        Rule("e", D, "q0", U, 0, "ep", "e1", 1),
+        when("i", D, "q0", U, unbonded) >> ("ip", "i1", bonded),
+        when("e", D, "q0", U, unbonded) >> ("ep", "e1", bonded),
         # Replica-row bonding with degree counting.
-        Rule("i1", R, "e1", L, 0, "i2", "e2", 1),
-        Rule("i2", R, "e1", L, 0, "i3", "e2", 1),
-        Rule("e1", R, "i1", L, 0, "e2", "i2", 1),
-        Rule("e1", R, "i2", L, 0, "e2", "i3", 1),
+        when("i1", R, "e1", L, unbonded) >> ("i2", "e2", bonded),
+        when("i2", R, "e1", L, unbonded) >> ("i3", "e2", bonded),
+        when("e1", R, "i1", L, unbonded) >> ("e2", "i2", bonded),
+        when("e1", R, "i2", L, unbonded) >> ("e2", "i3", bonded),
         # Detachment: only fully connected replica nodes let go.
-        Rule("i3", U, "ip", D, 1, "i", "i", 0),
-        Rule("e2", U, "ep", D, 1, "e", "e", 0),
+        when("i3", U, "ip", D, bonded) >> ("i", "i", unbonded),
+        when("e2", U, "ep", D, bonded) >> ("e", "e", unbonded),
     ]
     for j in (1, 2):
         for k in (1, 2):
-            rules.append(Rule(f"i{j}", R, f"i{k}", L, 0, f"i{j + 1}", f"i{k + 1}", 1))
+            specs.append(
+                when(f"i{j}", R, f"i{k}", L, unbonded)
+                >> (f"i{j + 1}", f"i{k + 1}", bonded)
+            )
     return RuleProtocol(
-        rules,
+        expand(specs),
         initial_state="q0",
         output_states={"i", "e"},
         name="no-leader-line-replication-protocol-5",

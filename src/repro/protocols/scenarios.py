@@ -28,6 +28,7 @@ from repro.viz.ascii_art import render_world
     tags=("basic", "stabilizing"),
     schedulable=True,
     covers=(),
+    protocols=(spanning_line_protocol, square_protocol),
 )
 def _run_demo(
     params: Mapping, seed: Optional[int], scheduler: Optional[str]

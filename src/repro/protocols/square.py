@@ -10,31 +10,39 @@ there and leadership transfers onto it.
 
 from __future__ import annotations
 
-from repro.core.protocol import Rule, RuleProtocol
+from repro.core.protocol import RuleProtocol
 from repro.geometry.ports import Port
+from repro.protocols.dsl import I, bonded, expand, fmt, opp, pfn, unbonded, when
 
 U, R, D, L = Port.UP, Port.RIGHT, Port.DOWN, Port.LEFT
+
+#: The clockwise quarter-turn of a 2D heading (u -> r -> d -> l -> u).
+_CW = {U: R, R: D, D: L, L: U}
+
+
+def turn_cw(port: Port) -> Port:
+    return _CW[port]
+
+
+def turn_ccw(port: Port) -> Port:
+    return _CW[_CW[_CW[port]]]
 
 
 def square_protocol() -> RuleProtocol:
     """Protocol 1 of the paper (6 states, 8 effective rules)."""
-    rules = [
+    specs = (
         # Growth: attach a free q0 ahead, move leadership onto it, rotate
         # heading clockwise (u -> r -> d -> l -> u).
-        Rule("Lu", U, "q0", D, 0, "q1", "Lr", 1),
-        Rule("Lr", R, "q0", L, 0, "q1", "Ld", 1),
-        Rule("Ld", D, "q0", U, 0, "q1", "Ll", 1),
-        Rule("Ll", L, "q0", R, 0, "q1", "Lu", 1),
+        when(fmt("L{}", I), I, "q0", opp(I), unbonded)
+        >> ("q1", fmt("L{}", pfn(turn_cw, I)), bonded),
         # Turning: the cell ahead is occupied by a q1 of the square; bond to
         # it and turn counter-clockwise (u -> l -> d -> r -> u) to keep
         # walking around the perimeter.
-        Rule("Lu", U, "q1", D, 0, "Ll", "q1", 1),
-        Rule("Lr", R, "q1", L, 0, "Lu", "q1", 1),
-        Rule("Ld", D, "q1", U, 0, "Lr", "q1", 1),
-        Rule("Ll", L, "q1", R, 0, "Ld", "q1", 1),
-    ]
+        when(fmt("L{}", I), I, "q1", opp(I), unbonded)
+        >> (fmt("L{}", pfn(turn_ccw, I)), "q1", bonded),
+    )
     return RuleProtocol(
-        rules,
+        expand(specs),
         initial_state="q0",
         leader_state="Lu",
         output_states={"q1", "Lu", "Lr", "Ld", "Ll"},

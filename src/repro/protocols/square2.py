@@ -17,23 +17,37 @@ with different results), so Q here contains both.
 
 from __future__ import annotations
 
-from repro.core.protocol import Rule, RuleProtocol
-from repro.geometry.ports import PORTS_2D, Port, opposite
+from repro.core.protocol import RuleProtocol
+from repro.geometry.ports import Port
+from repro.protocols.dsl import (
+    I,
+    bonded,
+    expand,
+    fmt,
+    opp,
+    pfn,
+    unbonded,
+    when,
+)
+from repro.protocols.square import turn_ccw, turn_cw
 
 U, R, D, L = Port.UP, Port.RIGHT, Port.DOWN, Port.LEFT
 
 
 def square2_protocol() -> RuleProtocol:
     """Protocol 2 of the paper (turning-mark square constructor)."""
-    rules = [
+    walk = fmt("L{}", I)          # the walking leader L_i, heading i
+    specs = (
         # --- Phase 1: build the 2x2 core, dropping the four first marks.
-        Rule("L2d", D, "q0", U, 0, "L1u", "q1", 1),
-        Rule("L2l", L, "q0", R, 0, "L1r", "q1", 1),
-        Rule("L2u", U, "q0", D, 0, "L1d", "q1", 1),
-        Rule("L2r", R, "q0", L, 0, "Lend", "q1", 1),
-        Rule("L1u", U, "q0", D, 0, "q1", "L2l", 1),
-        Rule("L1r", R, "q0", L, 0, "q1", "L2u", 1),
-        Rule("L1d", D, "q0", U, 0, "q1", "L2r", 1),
+        # The phase-1 chain is irregular (it spirals once and ends in
+        # Lend), so its rules are concrete specs.
+        when("L2d", D, "q0", U, unbonded) >> ("L1u", "q1", bonded),
+        when("L2l", L, "q0", R, unbonded) >> ("L1r", "q1", bonded),
+        when("L2u", U, "q0", D, unbonded) >> ("L1d", "q1", bonded),
+        when("L2r", R, "q0", L, unbonded) >> ("Lend", "q1", bonded),
+        when("L1u", U, "q0", D, unbonded) >> ("q1", "L2l", bonded),
+        when("L1r", R, "q0", L, unbonded) >> ("q1", "L2u", bonded),
+        when("L1d", D, "q0", U, unbonded) >> ("q1", "L2r", bonded),
         # NOTE: the paper's table also lists (L1r, u), (q0, d), 0 ->
         # (q1, L2l, 1). From the unique reachable L1r configuration of
         # phase 1 both that rule and (L1r, r), (q0, l) above are enabled,
@@ -42,37 +56,31 @@ def square2_protocol() -> RuleProtocol:
         # erratum and omit it; with the remaining 29 rules the execution
         # reproduces Figure 2's phases exactly (see tests/test_square2.py).
         # --- Phase transition: from Lend start walking the next perimeter.
-        Rule("Lend", D, "q0", U, 0, "q1", "Ll", 1),
+        when("Lend", D, "q0", U, unbonded) >> ("q1", "Ll", bonded),
         # --- Straight perimeter walk: extend through free nodes...
-        Rule("Ll", L, "q0", R, 0, "q1", "Ll", 1),
-        Rule("Lu", U, "q0", D, 0, "q1", "Lu", 1),
-        Rule("Lr", R, "q0", L, 0, "q1", "Lr", 1),
-        Rule("Ld", D, "q0", U, 0, "q1", "Ld", 1),
+        when(walk, I, "q0", opp(I), unbonded) >> ("q1", walk, bonded),
         # ... until the turning mark (a q1) of the previous phase is met;
         # leadership jumps onto the mark in state L3.
-        Rule("Ll", L, "q1", R, 0, "q1", "L3l", 1),
-        Rule("Lu", U, "q1", D, 0, "q1", "L3u", 1),
-        Rule("Lr", R, "q1", L, 0, "q1", "L3r", 1),
-        Rule("Ld", D, "q1", U, 0, "q1", "L3d", 1),
-        # --- At a mark: attach the new corner (L4 continues past it)...
-        Rule("L3l", L, "q0", R, 0, "q1", "L4d", 1),
-        Rule("L3u", U, "q0", D, 0, "q1", "L4l", 1),
-        Rule("L3r", R, "q0", L, 0, "q1", "L4u", 1),
-        Rule("L3d", D, "q0", U, 0, "q1", "L4r", 1),
-        # ... and drop the next phase's mark adjacent to the corner, turning.
-        Rule("L4d", D, "q0", U, 0, "Lu", "q1", 1),
-        Rule("L4l", L, "q0", R, 0, "Lr", "q1", 1),
-        Rule("L4u", U, "q0", D, 0, "Ld", "q1", 1),
-        Rule("L4r", R, "q0", L, 0, "Lend", "q1", 1),
-        # --- Side bonding of the leader while walking the perimeter.
-        Rule("Lu", R, "q1", L, 0, "Lu", "q1", 1),
-        Rule("Lr", D, "q1", U, 0, "Lr", "q1", 1),
-        Rule("Ld", L, "q1", R, 0, "Ld", "q1", 1),
-        Rule("Ll", U, "q1", D, 0, "Ll", "q1", 1),
-    ]
-    # Rigidity rules: adjacent attached q1 nodes eventually bond.
-    for i in PORTS_2D:
-        rules.append(Rule("q1", i, "q1", opposite(i), 0, "q1", "q1", 1))
+        when(walk, I, "q1", opp(I), unbonded)
+        >> ("q1", fmt("L3{}", I), bonded),
+        # --- At a mark: attach the new corner (L4 continues past it,
+        # heading turned counter-clockwise)...
+        when(fmt("L3{}", I), I, "q0", opp(I), unbonded)
+        >> ("q1", fmt("L4{}", pfn(turn_ccw, I)), bonded),
+        # ... and drop the next phase's mark adjacent to the corner,
+        # turning again (the L4r corner of the lap ends the phase).
+        when("L4d", D, "q0", U, unbonded) >> ("Lu", "q1", bonded),
+        when("L4l", L, "q0", R, unbonded) >> ("Lr", "q1", bonded),
+        when("L4u", U, "q0", D, unbonded) >> ("Ld", "q1", bonded),
+        when("L4r", R, "q0", L, unbonded) >> ("Lend", "q1", bonded),
+        # --- Side bonding of the leader while walking the perimeter (its
+        # clockwise-hand side faces the already-built square).
+        when(walk, pfn(turn_cw, I), "q1", opp(pfn(turn_cw, I)), unbonded)
+        >> (walk, "q1", bonded),
+        # --- Rigidity: adjacent attached q1 nodes eventually bond.
+        when("q1", I, "q1", opp(I), unbonded) >> ("q1", "q1", bonded),
+    )
+    rules = expand(specs)
     leaderish = [
         s
         for s in (

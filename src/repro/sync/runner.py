@@ -31,6 +31,7 @@ def _component_views(
 ) -> Dict[int, RoundView]:
     """Build every node's :class:`RoundView` for one synchronous round."""
     views: Dict[int, RoundView] = {}
+    decode = world.space.states
     for cell, nid in comp.cells.items():
         rec = world.nodes[nid]
         neighbors: Dict[Port, object] = {}
@@ -43,10 +44,10 @@ def _component_views(
             other_rec = world.nodes[other]
             other_port = port_facing(other_rec.orientation, -delta)
             if bond_of(nid, port, other, other_port) in comp.bonds:
-                neighbors[port] = other_rec.state
+                neighbors[port] = decode[other_rec.sid]
             else:
-                adjacent[port] = other_rec.state
-        views[nid] = RoundView(rec.state, neighbors, adjacent)
+                adjacent[port] = decode[other_rec.sid]
+        views[nid] = RoundView(decode[rec.sid], neighbors, adjacent)
     return views
 
 
@@ -88,7 +89,7 @@ def _one_round(
     changes = 0
     # Apply all state updates atomically.
     for nid, outcome in outcomes.items():
-        if outcome.state != world.nodes[nid].state:
+        if outcome.state != world.state_of(nid):
             world.set_state(nid, outcome.state)
             changes += 1
     # Resolve bond proposals per adjacent pair (each pair has one facing

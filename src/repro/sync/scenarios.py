@@ -38,7 +38,9 @@ def _run_sync_broadcast(
     program = broadcast_program(source_state="S")
     changes = run_component_rounds(world, program, rounds)
     informed = sum(
-        1 for rec in world.nodes.values() if rec.state in ("S", "informed")
+        1
+        for state in world.states().values()
+        if state in ("S", "informed")
     )
     # The flood covers the line iff rounds >= eccentricity (n - 1).
     return ScenarioOutcome(

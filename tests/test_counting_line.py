@@ -58,8 +58,8 @@ def test_world_invariants_hold_throughout():
     sim.run(
         max_events=100_000,
         until=lambda w: any(
-            isinstance(r.state, tuple) and r.state[0] == "L" and r.state[1] == "halt"
-            for r in w.nodes.values()
+            isinstance(s, tuple) and s[0] == "L" and s[1] == "halt"
+            for s in w.states().values()
         ),
         require_stop=True,
     )

@@ -85,9 +85,7 @@ class TestCubeKnownN:
 
     def test_leader_marked_at_origin_corner(self):
         result = run_cube_known_n(27, seed=1)
-        leaders = [
-            rec for rec in result.world.nodes.values() if rec.state == "cb_L"
-        ]
+        leaders = sorted(result.world.nodes_in_state("cb_L"))
         assert len(leaders) == 1
 
     def test_interaction_accounting_includes_stacking(self):

@@ -185,7 +185,7 @@ class TestHybridWithPassiveBase:
         world.add_free_node("q0")
         sim = HybridSimulation(world, protocol, seed=3)
         sim.run(max_events=200)
-        states = {rec.state for rec in world.nodes.values()}
+        states = set(world.states().values())
         # The free node eventually glued on (and, being bonded to the
         # pivot, may have frozen the walker by raising its degree).
         assert "stuck" in states

@@ -106,7 +106,7 @@ def test_self_replicating_lines_produce_replicas():
         # Each fully restored replica carries exactly one Lr left endpoint
         # (the line may already host early attachments of its next child,
         # so we count Lr endpoints rather than pure line components).
-        return len(w.by_state.get("Lr", ())) >= 2
+        return len(w.nodes_in_state("Lr")) >= 2
 
     sim = Simulation(world, protocol, seed=31)
     res = sim.run(max_events=200_000, until=two_replicas)

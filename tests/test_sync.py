@@ -40,7 +40,7 @@ def grid_world(w: int, h: int) -> World:
 
 
 def states_of(world: World):
-    return [rec.state for rec in world.nodes.values()]
+    return list(world.states().values())
 
 
 # ----------------------------------------------------------------------
@@ -112,12 +112,12 @@ class TestRunComponentRounds:
         prog = distance_wave_program()
         while run_component_rounds(world, prog, 1):
             pass
-        for rec in world.nodes.values():
+        for nid, rec in world.nodes.items():
             expected = rec.pos.x + rec.pos.y  # grid BFS = Manhattan here
             if expected == 0:
-                assert rec.state == "L"
+                assert world.state_of(nid) == "L"
             else:
-                assert rec.state == ("dist", expected)
+                assert world.state_of(nid) == ("dist", expected)
 
     def test_multi_round_argument(self):
         world = line_world(8)
@@ -230,22 +230,15 @@ class TestTwoSpeedSimulation:
         # After the first encounter the original leader (node 0) becomes a
         # q1 body node; pin it as the wave source "S".
         assert sim.step()
-        assert world.nodes[0].state == "q1"
+        assert world.state_of(0) == "q1"
         world.set_state(0, "S")
         return sim
 
     @staticmethod
     def _informed_and_body(world: World):
-        informed = sum(
-            1
-            for rec in world.nodes.values()
-            if rec.state in ("S", "informed")
-        )
-        body = sum(
-            1
-            for rec in world.nodes.values()
-            if rec.state in ("S", "informed", "q1")
-        )
+        states = world.states().values()
+        informed = sum(1 for s in states if s in ("S", "informed"))
+        body = sum(1 for s in states if s in ("S", "informed", "q1"))
         return informed, body
 
     def test_line_grows_and_broadcast_completes(self):

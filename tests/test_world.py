@@ -82,8 +82,8 @@ def test_collision_blocks_component_alignment():
         {Vec(0, 0): "a", Vec(1, 0): "a", Vec(1, 1): "a"}
     )
     w.add_component_from_cells({Vec(0, 0): "b", Vec(0, 1): "b"})
-    a_ids = [nid for nid, rec in w.nodes.items() if rec.state == "a"]
-    b_ids = [nid for nid, rec in w.nodes.items() if rec.state == "b"]
+    a_ids = sorted(w.nodes_in_state("a"))
+    b_ids = sorted(w.nodes_in_state("b"))
     corner = next(nid for nid in a_ids if w.nodes[nid].pos == Vec(0, 0))
     bottom_b = next(nid for nid in b_ids if w.nodes[nid].pos == Vec(0, 0))
     # Placing b's bottom to the right of a's corner at (1, 0)... occupied.
