@@ -1,0 +1,158 @@
+"""Acceptance bar for split/surgery delta pruning (the PR 5 tentpole).
+
+The fault/repair dynamics of §8 hammer the one path the merge-delta cache
+of PR 2 left coarse: every bond deletion and node excision used to bump
+``Component.version`` and re-examine the whole damaged component. With the
+unified world-delta journal, splits and surgery carry their exact fallout
+(departed fragments, vacated cells, the cut frontier) and the cache prunes
+finely — this benchmark drives a fault-heavy repair workload and asserts
+the delta path performs **>= 2x fewer candidate evaluations** than the
+coarse version sweep (``split_delta=False``, the pre-PR 5 behavior), with
+bit-identical seeded trajectories. Both counts are deterministic (pure
+candidate accounting on one seeded trajectory), so the bar is exact, not
+statistical.
+
+Workload: a stabilized plate of *sticky* nodes plus a pool of free
+spares, under a repair protocol in which spares bond to the structure but
+not to each other (the §8 shape-repair picture: detached nodes re-attach
+at the damage frontier) — while a :class:`~repro.faults.FaultySimulation`
+keeps excising random bonded nodes and snapping bonds. Damage and repair
+interleave for the whole run, and every fault lands in the world-delta
+journal. The coarse sweep re-examines the whole plate per fault (its
+boundary ports against every spare); the delta path re-examines only the
+excised node, the cut frontier, and placements unblocked by the vacated
+cells.
+
+Emits ``BENCH_splits.json``; CI runs this as a smoke and enforces the bar
+(see ``.github/workflows/ci.yml``).
+"""
+
+import json
+import time
+from pathlib import Path
+
+from conftest import print_table
+
+from repro.core.protocol import Rule, RuleProtocol
+from repro.core.scheduler import make_scheduler
+from repro.core.trace import world_to_dict
+from repro.core.world import World
+from repro.faults.injection import FaultySimulation
+from repro.geometry.ports import PORTS_2D, opposite
+from repro.geometry.vec import Vec
+
+PLATE_W, PLATE_H = 12, 10
+FREE_NODES = 60
+MAX_STEPS = 250
+BREAK_PROB = 0.05
+EXCISE_PROB = 0.5
+SEED = 11
+
+
+def sticky_repair_protocol() -> RuleProtocol:
+    """Spares (``f``) bond to the structure (``s``) and adopt its state;
+    spares never bond to each other — repair happens at the structure's
+    frontier, as in the §8 blueprint-repair picture."""
+    rules = [Rule("s", p, "f", opposite(p), 0, "s", "s", 1) for p in PORTS_2D]
+    return RuleProtocol(rules, initial_state="f", name="sticky-repair")
+
+
+def fault_repair_world(protocol: RuleProtocol) -> World:
+    """The stabilized plate plus a pool of free spares."""
+    world = World(2)
+    world.add_component_from_cells(
+        {Vec(x, y): "s" for x in range(PLATE_W) for y in range(PLATE_H)}
+    )
+    for _ in range(FREE_NODES):
+        world.add_free_node("f")
+    world.adopt_space(protocol.program.space)
+    return world
+
+
+def _run(split_delta: bool):
+    protocol = sticky_repair_protocol()
+    world = fault_repair_world(protocol)
+    scheduler = make_scheduler("hot", incremental=True, split_delta=split_delta)
+    fsim = FaultySimulation(
+        world,
+        protocol,
+        break_prob=BREAK_PROB,
+        excise_prob=EXCISE_PROB,
+        scheduler=scheduler,
+        seed=SEED,
+    )
+    start = time.perf_counter()
+    fsim.run(max_steps=MAX_STEPS)
+    elapsed = time.perf_counter() - start
+    cache = scheduler._cache
+    return {
+        "events": fsim.events,
+        "breakages": len(fsim.breakages),
+        "excisions": len(fsim.excisions),
+        "evaluations": scheduler.evaluations,
+        "split_prunes": cache.split_prunes,
+        "merge_prunes": cache.merge_prunes,
+        "full_rebuilds": cache.full_rebuilds,
+        "seconds": elapsed,
+        "final_world": world_to_dict(world),
+    }
+
+
+def test_split_delta_speedup(benchmark):
+    """>= 2x fewer candidate evaluations than the coarse version sweep on
+    the fault-heavy repair workload, with identical seeded trajectories."""
+
+    def measure():
+        return {
+            "coarse sweep": _run(split_delta=False),
+            "split delta": _run(split_delta=True),
+        }
+
+    results = benchmark.pedantic(measure, rounds=1, iterations=1)
+    coarse = results["coarse sweep"]
+    delta = results["split delta"]
+    print_table(
+        f"Split/surgery delta pruning: {PLATE_W}x{PLATE_H} plate + "
+        f"{FREE_NODES} spares, {MAX_STEPS} steps, seed {SEED}",
+        f"{'cache':>13} {'events':>7} {'faults':>7} {'evals':>10} {'secs':>8}",
+        (
+            f"{name:>13} {r['events']:>7d} "
+            f"{r['breakages'] + r['excisions']:>7d} "
+            f"{r['evaluations']:>10d} {r['seconds']:>8.3f}"
+            for name, r in results.items()
+        ),
+    )
+    # Identical seeded trajectories: the delta machinery is transparent.
+    assert delta["events"] == coarse["events"]
+    assert delta["breakages"] == coarse["breakages"]
+    assert delta["excisions"] == coarse["excisions"]
+    assert delta["final_world"] == coarse["final_world"]
+    # The workload must actually be split-heavy, and the fine path used.
+    assert delta["breakages"] + delta["excisions"] >= 50
+    assert delta["split_prunes"] >= 50
+    assert delta["full_rebuilds"] == 1
+    ratio = coarse["evaluations"] / delta["evaluations"]
+    out = Path(__file__).parent / "BENCH_splits.json"
+    out.write_text(
+        json.dumps(
+            {
+                "workload": (
+                    f"fault-heavy repair: {PLATE_W}x{PLATE_H} sticky plate "
+                    f"+ {FREE_NODES} spares, break_prob={BREAK_PROB}, "
+                    f"excise_prob={EXCISE_PROB}, {MAX_STEPS} steps, "
+                    f"seed {SEED}"
+                ),
+                "cases": {
+                    name: {
+                        k: v for k, v in r.items() if k != "final_world"
+                    }
+                    for name, r in results.items()
+                },
+                "speedups": {"evaluations": ratio},
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+    # The acceptance bar of the split-delta PR.
+    assert ratio >= 2.0, (coarse["evaluations"], delta["evaluations"])

@@ -14,9 +14,38 @@ canonically ordered list:
 * :class:`EffectiveCandidateCache` — incremental maintenance of the hot
   enumeration. After each event only the *dirty neighborhood* is
   re-examined: nodes whose state changed (tracked by the
-  :class:`~repro.core.world.World` change journal) and nodes of components
-  whose ``Component.version`` bumped (merges, splits, bond changes, moves,
-  surgery). Entries between untouched components survive verbatim.
+  :class:`~repro.core.world.World` change journal) plus the precise
+  fallout of each record in the world-delta journal — merges, splits,
+  surgery excisions and hybrid leaf moves all carry enough information
+  (moved nodes, vacated/occupied cells, the cut frontier) to prune and
+  re-seed only what the mutation can actually touch. Entries between
+  untouched components survive verbatim; unexplained ``Component.version``
+  movement still falls back to a coarse per-component sweep.
+
+Occupancy duality
+-----------------
+
+Delta pruning rests on one geometric fact with two faces. Under the §3
+permissibility predicate, a cached placement depends on the two components'
+cell sets only through collision probes, so:
+
+* occupancy **growth** (merges, transplants, the occupied half of a move)
+  can *invalidate* surviving placements but never create new ones — the
+  cache drops exactly the entries whose cached placement collides with a
+  newly occupied cell (:meth:`EffectiveCandidateCache._prune_survivors`);
+* occupancy **shrinkage** (splits, excisions, the vacated half of a move)
+  can *create* placements but never invalidate survivors — the cache keeps
+  every surviving entry verbatim and discovers the newly permitted ones
+  from the vacated cells: candidates anchored next to a vacated cell come
+  from re-examining the journalled cut frontier, and placements that were
+  blocked *only* by departed cells are re-seeded by sliding each multi-cell
+  partner's footprint over the vacated cells
+  (:meth:`EffectiveCandidateCache._reseed_vacated`).
+
+Surviving intra/inter entries keep their exact rotation, translation and
+update in both directions; component ids are never reused, so the
+canonical orientation of a surviving entry is stable across any number of
+splits and merges.
 
 Canonical form
 --------------
@@ -40,27 +69,47 @@ Correctness of the incremental form rests on locality: a candidate's
 permissibility and effectiveness depend only on the states, ports, and
 bond of its two endpoints and on the cell sets of their two components.
 Any mutation of those — state writes, bond flips, merges, splits, moves,
-surgery — either lands the endpoint in the change journal or bumps the
-owning component's version, so the sweep in :meth:`refresh` invalidates
-exactly the entries that may have changed. Property tests
-(``tests/test_scheduler_equivalence.py``) drive random executions with
-merges, splits, fault injection, and synchronous rounds and assert the
-cache equals the reference after every event.
+surgery — either lands the endpoint in the change journal, is described
+exactly by a world-delta record, or bumps the owning component's version
+(the coarse backstop), so :meth:`refresh` invalidates exactly the entries
+that may have changed. Property tests
+(``tests/test_scheduler_equivalence.py`` and the randomized
+world-mutation stress harness in ``tests/test_world_deltas.py``) drive
+random executions with merges, splits, fault injection, surgery, and
+synchronous rounds and assert the cache equals the reference after every
+mutation.
 """
 
 from __future__ import annotations
 
 from operator import itemgetter
-from typing import Callable, Dict, Iterator, List, Optional, Set, Tuple
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterator,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
 
 from repro.core.protocol import Protocol, Update
-from repro.core.world import Candidate, MergeRecord, World
+from repro.core.world import (
+    Candidate,
+    MergeRecord,
+    MoveRecord,
+    SplitRecord,
+    World,
+)
 from repro.geometry.packed import (
     orientation_port_deltas,
     pack_delta,
     packed_rotation,
+    unpack_delta,
 )
 from repro.geometry.ports import PORT_INDEX, PORTS_3D
+from repro.geometry.rotation import rotations_for_dimension
 
 #: Identity key of a candidate: endpoints, ports, and placement rotation.
 #: (The translation and bond are determined by these plus the current
@@ -326,27 +375,43 @@ class EffectiveCandidateCache:
 
     * nodes recorded in the world's change journal (state writes, the two
       endpoints of every applied interaction);
-    * component *merges*, consumed from the world's merge journal: only the
+    * component *merges*, consumed from the world-delta journal: only the
       nodes that physically moved into the kept frame are re-examined, while
       the kept component's surviving entries are *pruned* — an entry is
       dropped iff its cached placement now collides with a newly occupied
       cell (checked on the packed representation), since occupancy growth
-      can invalidate but never create permissible placements and surviving
-      intra/inter entries keep their exact rotation, translation and update;
-    * all nodes of components whose ``version`` counter moved otherwise
-      (splits, bond flips, leaf rotations, surgery) or that appeared or
-      vanished outside a journalled merge.
+      can invalidate but never create permissible placements;
+    * component *splits* (bond removals, surgery excisions), the dual case:
+      shrinkage can create placements but never invalidate survivors, so
+      every surviving entry is kept verbatim, the departed fragment's nodes
+      and the journalled cut frontier are re-examined, and placements that
+      were blocked only by vacated cells are re-seeded against multi-cell
+      partners (see the "occupancy duality" section of the module
+      docstring);
+    * intra-component *moves* (hybrid leaf rotations): the vacated half is
+      treated as a split, the occupied half as a merge, and the swung
+      node(s) re-examined;
+    * all nodes of components whose ``version`` counter moved without a
+      consumable delta record (external surgery that bypasses the journal,
+      a broken version trail mid-gap) or that appeared or vanished outside
+      a journalled delta — the coarse sweep, kept as the backstop.
 
     If a journal was truncated under the cache (an unboundedly long gap
     between refreshes) or the binding changed, the cache falls back to a
     full rebuild / coarse sweep — never to a stale answer.
+
+    ``split_delta=False`` disables the fine path for split and move
+    records (they fall through to the coarse version sweep, the pre-delta
+    behavior) — kept selectable for benchmarking
+    (``benchmarks/bench_splits.py``) and as a cross-check oracle.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, split_delta: bool = True) -> None:
         self._world: Optional[World] = None
         self._protocol: Optional[Protocol] = None
         self._cursor = 0
-        self._merge_cursor = 0
+        self._delta_cursor = 0
+        self.split_delta = split_delta
         self._comp_versions: Dict[int, int] = {}
         self._comp_members: Dict[int, Tuple[int, ...]] = {}
         #: key -> (sort key, entry): the sort key is computed once per
@@ -361,6 +426,10 @@ class EffectiveCandidateCache:
         self.refreshed_nodes = 0
         #: Merges handled by delta pruning (vs. coarse version sweeps).
         self.merge_prunes = 0
+        #: Splits handled by delta pruning (vs. coarse version sweeps).
+        self.split_prunes = 0
+        #: Moves handled by delta pruning (vs. coarse version sweeps).
+        self.move_prunes = 0
 
     # ------------------------------------------------------------------
 
@@ -381,14 +450,28 @@ class EffectiveCandidateCache:
             assert self._sorted is not None
             return self._sorted
         self._cursor = world.change_cursor()
-        merges = world.merges_since(self._merge_cursor)
-        self._merge_cursor = world.merge_cursor()
-        if merges:
-            for record in merges:
-                self._apply_merge_delta(world, record, dirty)
-        # Merges with an up-to-date version trail were consumed above; any
-        # remaining version movement (splits, moves, surgery, unmatched
-        # merges, a truncated merge journal) is swept coarsely.
+        deltas = world.deltas_since(self._delta_cursor)
+        self._delta_cursor = world.delta_cursor()
+        if deltas:
+            # Records replay in mutation order, so each component's version
+            # trail can be followed bump by bump across a whole gap of
+            # interleaved merges, splits, and moves.
+            for kind, record in deltas:
+                if kind == "merge":
+                    self._apply_merge_delta(world, record, dirty)
+                elif not self.split_delta:
+                    continue
+                elif kind == "split":
+                    self._apply_split_delta(
+                        world, protocol, evaluate, record, dirty
+                    )
+                elif kind == "move":
+                    self._apply_move_delta(
+                        world, protocol, evaluate, record, dirty
+                    )
+        # Deltas with an up-to-date version trail were consumed above; any
+        # remaining version movement (unjournalled surgery, records whose
+        # trail broke mid-gap, a truncated delta journal) is swept coarsely.
         self._sweep_component_versions(world, dirty)
         if dirty:
             self._invalidate(dirty)
@@ -417,7 +500,7 @@ class EffectiveCandidateCache:
         self._world = world
         self._protocol = protocol
         self._cursor = world.change_cursor()
-        self._merge_cursor = world.merge_cursor()
+        self._delta_cursor = world.delta_cursor()
         self._entries.clear()
         self._by_node.clear()
         self._comp_versions = {
@@ -515,7 +598,25 @@ class EffectiveCandidateCache:
         dirty.update(self._comp_members.pop(absorbed, ()))
         del self._comp_versions[absorbed]
         dirty.update(moved)
-        moved_set = set(moved)
+        self._prune_survivors(world, survivors, new_cells, dirty)
+        self._comp_versions[kept] = version
+        self._comp_members[kept] = tuple(survivors) + tuple(moved)
+        self.merge_prunes += 1
+
+    def _prune_survivors(
+        self,
+        world: World,
+        survivors: Tuple[int, ...],
+        new_cells: FrozenSet[int],
+        dirty: Set[int],
+    ) -> None:
+        """Drop surviving inter entries whose cached placement collides
+        with newly occupied packed cells.
+
+        The growth half of the occupancy duality: new occupancy can only
+        *remove* permissible placements, so dropping exactly the colliding
+        entries keeps the cache equal to the reference.
+        """
         nodes = world.nodes
         components = world.components
         for nid in survivors:
@@ -530,7 +631,7 @@ class EffectiveCandidateCache:
                     continue
                 cand = item[1][0]
                 other = cand.nid2 if cand.nid1 == nid else cand.nid1
-                if other in moved_set or other in dirty:
+                if other in dirty:
                     continue  # invalidated/regenerated via the dirty set
                 other_cid = nodes[other].component_id
                 other_comp = components.get(other_cid)
@@ -548,9 +649,9 @@ class EffectiveCandidateCache:
                 g_other = world.geometry(other_comp)
                 trans = pack_delta(cand.translation)
                 if cand.nid1 == nid:
-                    # Kept component has the smaller cid: the partner is
-                    # placed into the kept frame — collide its placed cells
-                    # with the newly occupied ones.
+                    # This side has the smaller cid: the partner is placed
+                    # into this frame — collide its placed cells with the
+                    # newly occupied ones.
                     collides = any(
                         (cell + trans) in new_cells
                         for cell in g_other.rotated(cand.rotation)
@@ -566,9 +667,361 @@ class EffectiveCandidateCache:
                 if collides:
                     self._drop_entry(key)
                     self._sorted = None
+
+    def _apply_split_delta(
+        self,
+        world: World,
+        protocol: Protocol,
+        evaluate: Callable[[Protocol, World, Candidate], Optional[Update]],
+        record: SplitRecord,
+        dirty: Set[int],
+    ) -> None:
+        """Consume one journalled split (or surgery excision) finely.
+
+        Only applies when the cache's version trail matches the record
+        exactly (kept component seen at ``version - 1``); anything else is
+        left to the coarse version sweep, which remains fully correct on
+        its own.
+
+        The shrinkage half of the occupancy duality: vacated cells can
+        create placements but never invalidate survivors, so surviving
+        entries are kept verbatim while
+
+        * the departed fragments' nodes regenerate wholesale (their
+          component ids changed, so old intra entries across the cut and
+          stale-orientation inter entries all re-derive);
+        * the journalled cut frontier regenerates (newly opened slots —
+          covers every new candidate whose placement lands a node *on* a
+          vacated target cell, which is all of them for singleton
+          partners);
+        * placements of multi-cell partners that were blocked only by
+          departed cells are re-seeded from the vacated cells
+          (:meth:`_reseed_vacated`).
+        """
+        kept, version, fragments, vacated, frontier = record
+        if self._comp_versions.get(kept) != version - 1:
+            return
+        comp = world.components.get(kept)
+        if comp is None:
+            return
+        if any(fcid in self._comp_versions for fcid, _v, _m in fragments):
+            return  # cid reuse — cannot happen, but never mis-track
+        departed: Set[int] = set()
+        for fcid, fversion, members in fragments:
+            dirty.update(members)
+            departed.update(members)
+            # Track fragments at their birth version: later records in the
+            # same gap (a fragment merging or re-splitting) advance the
+            # trail record by record.
+            self._comp_versions[fcid] = fversion
+            self._comp_members[fcid] = tuple(members)
+        survivors = tuple(
+            nid
+            for nid in self._comp_members.get(kept, ())
+            if nid not in departed
+        )
         self._comp_versions[kept] = version
-        self._comp_members[kept] = tuple(survivors) + tuple(moved)
-        self.merge_prunes += 1
+        self._comp_members[kept] = survivors
+        dirty.update(frontier)
+        self._reseed_vacated(
+            world, protocol, evaluate, kept, comp, vacated, dirty
+        )
+        self.split_prunes += 1
+
+    def _apply_move_delta(
+        self,
+        world: World,
+        protocol: Protocol,
+        evaluate: Callable[[Protocol, World, Candidate], Optional[Update]],
+        record: MoveRecord,
+        dirty: Set[int],
+    ) -> None:
+        """Consume one journalled intra-component move (leaf rotation).
+
+        A move is shrinkage at the vacated cell plus growth at the newly
+        occupied one: survivors are pruned against the occupied cell
+        (merge rule), new placements are re-seeded from the vacated cell
+        (split rule), and the swung node(s) regenerate wholesale.
+        """
+        cid, version, dirtied, vacated, new_cells, frontier = record
+        if self._comp_versions.get(cid) != version - 1:
+            return
+        comp = world.components.get(cid)
+        if comp is None:
+            return
+        dirty.update(dirtied)
+        dirty.update(frontier)
+        self._prune_survivors(
+            world, self._comp_members.get(cid, ()), new_cells, dirty
+        )
+        self._comp_versions[cid] = version
+        self._reseed_vacated(
+            world, protocol, evaluate, cid, comp, vacated, dirty
+        )
+        self.move_prunes += 1
+
+    def _reseed_vacated(
+        self,
+        world: World,
+        protocol: Protocol,
+        evaluate: Callable[[Protocol, World, Candidate], Optional[Update]],
+        kept_cid: int,
+        comp,
+        vacated: FrozenSet[int],
+        dirty: Set[int],
+    ) -> None:
+        """Discover inter candidates newly permitted by occupancy shrinkage.
+
+        A placement that was impermissible before the shrinkage and is
+        permissible after it must have had *all* its collisions on
+        now-vacated cells — so every such placement lands a cell of one
+        side on a vacated cell. Three partner classes:
+
+        * singleton partners need no work here: their only landing cell is
+          the target slot, so a new candidate's kept-side anchor is
+          grid-adjacent to a vacated cell — a frontier node, already
+          dirty;
+        * multi-cell partners with a clean version trail are re-seeded by
+          sliding their footprint over the vacated cells (both canonical
+          orientations, depending on which side's frame hosts the
+          placement) and verifying each seeded placement against the
+          *current* occupancy;
+        * partners whose trail is mid-flux in the same gap (pending
+          records) are folded into the dirty set wholesale — their full
+          regeneration covers every pair with the kept component.
+        """
+        if not vacated:
+            return
+        g_kept = world.geometry(comp)
+        for tcid in sorted(self._comp_versions):
+            if tcid == kept_cid:
+                continue
+            tcomp = world.components.get(tcid)
+            if tcomp is None:
+                continue  # merged away later in the gap: that record/sweep dirties it
+            if self._comp_versions.get(tcid) != tcomp.version:
+                dirty.update(self._comp_members.get(tcid, ()))
+                dirty.update(tcomp.cells.values())
+                continue
+            if tcomp.size() < 2:
+                continue  # covered by the frontier (see docstring)
+            members = self._comp_members.get(tcid, ())
+            if members and all(nid in dirty for nid in members):
+                continue  # full regeneration already covers this pair
+            g_t = world.geometry(tcomp)
+            if kept_cid < tcid:
+                self._reseed_as_host(
+                    world, protocol, evaluate, g_kept, g_t, vacated, dirty
+                )
+            else:
+                self._reseed_as_guest(
+                    world, protocol, evaluate, g_t, g_kept, vacated, dirty
+                )
+
+    def _reseed_as_host(
+        self,
+        world: World,
+        protocol: Protocol,
+        evaluate,
+        g_host,
+        g_guest,
+        vacated: FrozenSet[int],
+        dirty: Set[int],
+    ) -> None:
+        """Re-seed placements of a multi-cell guest into the shrunk host.
+
+        The host (the component that vacated cells) has the smaller cid,
+        so candidates place the guest into the host's frame. Seeds land
+        each rotated guest cell on each vacated host cell; surviving the
+        collision probe against the current host occupancy makes the
+        placement permissible, and each guest node-port facing an occupied
+        host cell anchors one canonical candidate.
+        """
+        occ_host = g_host.occ
+        ports = world.ports
+        nodes = world.nodes
+        seen_placements: Set[Tuple[tuple, int]] = set()
+        for rot in rotations_for_dimension(world.dimension):
+            rotated = g_guest.rotated(rot)
+            guest_items = tuple(zip(g_guest.cells.values(), rotated))
+            for v in vacated:
+                for rcell in rotated:
+                    trans = v - rcell
+                    pkey = (rot.matrix, trans)
+                    if pkey in seen_placements:
+                        continue
+                    seen_placements.add(pkey)
+                    if any((c + trans) in occ_host for c in rotated):
+                        continue  # still collides elsewhere
+                    for nid2, rc2 in guest_items:
+                        image = rc2 + trans
+                        rec2 = nodes[nid2]
+                        rdeltas = orientation_port_deltas(
+                            rot.compose(rec2.orientation)
+                        )
+                        for i2, p2 in enumerate(ports):
+                            pos1 = image + rdeltas[i2]
+                            nid1 = g_host.cells.get(pos1)
+                            if nid1 is None:
+                                continue
+                            self._insert_reseeded(
+                                world,
+                                protocol,
+                                evaluate,
+                                nid1,
+                                image - pos1,
+                                nid2,
+                                p2,
+                                rot,
+                                trans,
+                                dirty,
+                            )
+
+    def _reseed_as_guest(
+        self,
+        world: World,
+        protocol: Protocol,
+        evaluate,
+        g_host,
+        g_guest,
+        vacated: FrozenSet[int],
+        dirty: Set[int],
+    ) -> None:
+        """Re-seed placements of the shrunk component into a multi-cell host.
+
+        The partner hosts (smaller cid), so candidates place the shrunk
+        guest into the *host's* frame; ``vacated`` cells live in the guest
+        frame. Seeds land each rotated vacated cell on each occupied host
+        cell — exactly the previously-colliding placements — then probe
+        the guest's current footprint against the host occupancy via
+        inverse rotation (cheap when the host is small, regardless of the
+        guest's size), and anchor candidates at the host's open slots.
+        """
+        occ_host = g_host.occ
+        occ_guest = g_guest.occ
+        nodes = world.nodes
+        ports = world.ports
+        seen_placements: Set[Tuple[tuple, int]] = set()
+        for rot in rotations_for_dimension(world.dimension):
+            apply_rot = packed_rotation(rot)
+            inv = packed_rotation(rot.inverse())
+            rotated_vacated = tuple(apply_rot(v) for v in vacated)
+            for rv in rotated_vacated:
+                for hcell in occ_host:
+                    trans = hcell - rv
+                    pkey = (rot.matrix, trans)
+                    if pkey in seen_placements:
+                        continue
+                    seen_placements.add(pkey)
+                    if any(
+                        inv(hc - trans) in occ_guest for hc in occ_host
+                    ):
+                        continue  # the guest still collides with the host
+                    for (nid1, p1) in g_host.slots():
+                        rec1 = nodes[nid1]
+                        d1 = orientation_port_deltas(rec1.orientation)[
+                            PORT_INDEX[p1]
+                        ]
+                        target = g_host.pos_of[nid1] + d1
+                        nid2 = g_guest.cells.get(inv(target - trans))
+                        if nid2 is None:
+                            continue
+                        self._insert_reseeded(
+                            world,
+                            protocol,
+                            evaluate,
+                            nid1,
+                            d1,
+                            nid2,
+                            None,
+                            rot,
+                            trans,
+                            dirty,
+                        )
+
+    def _insert_reseeded(
+        self,
+        world: World,
+        protocol: Protocol,
+        evaluate,
+        nid1: int,
+        d1: int,
+        nid2: int,
+        p2,
+        rot,
+        trans: int,
+        dirty: Set[int],
+    ) -> None:
+        """Materialize one re-seeded placement as a canonical candidate.
+
+        ``d1`` is the packed world-frame delta from the anchor ``nid1``
+        toward the landing cell of ``nid2``; the anchor's port ``p1`` and
+        (when not already fixed by the caller) the guest's port ``p2`` are
+        recovered by matching oriented port deltas — the alignment
+        condition ``rot(d2) == -d1`` of the §3 kernel.
+        """
+        if nid1 in dirty or nid2 in dirty:
+            return  # regeneration of the dirty endpoint covers this pair
+        nodes = world.nodes
+        ports = world.ports
+        rec1 = nodes[nid1]
+        deltas1 = orientation_port_deltas(rec1.orientation)
+        p1 = None
+        for i, port in enumerate(ports):
+            if deltas1[i] == d1:
+                p1 = port
+                break
+        if p1 is None:  # pragma: no cover - d1 is always a unit delta
+            return
+        if p2 is None:
+            rec2 = nodes[nid2]
+            rdeltas2 = orientation_port_deltas(rot.compose(rec2.orientation))
+            for i, port in enumerate(ports):
+                if rdeltas2[i] == -d1:
+                    p2 = port
+                    break
+            if p2 is None:  # pragma: no cover - the rotation group is closed
+                return
+        # The same static gates iter_node_candidates applies: skip pairs no
+        # rule can ever fire on before spending an evaluation (statically
+        # dead candidates evaluate to None anyway, so this only trims the
+        # evaluation count, never the cached set).
+        protocol_program = protocol.program
+        sid1, sid2 = rec1.sid, nodes[nid2].sid
+        if (
+            protocol_program is not None
+            and world.space is protocol_program.space
+            and protocol_program.exact
+        ):
+            hot_mask = protocol_program.hot_mask
+            if not (hot_mask >> sid1 & 1 or hot_mask >> sid2 & 1):
+                return
+            if not protocol_program.pair_can_fire(sid1, sid2):
+                return
+            if not (
+                protocol_program.can_fire(sid1, PORT_INDEX[p1], 0)
+                and protocol_program.can_fire(sid2, PORT_INDEX[p2], 0)
+            ):
+                return
+        else:
+            decode = world.space.states
+            s1, s2 = decode[sid1], decode[sid2]
+            if not (protocol.is_hot(s1) or protocol.is_hot(s2)):
+                return
+            if not protocol.pair_compatible(s1, s2):
+                return
+        cand = Candidate(nid1, p1, nid2, p2, 0, rot, unpack_delta(trans))
+        key = candidate_key(cand)
+        if key in self._entries:
+            return  # already cached (a surviving or just-reseeded entry)
+        self.evaluations += 1
+        update = evaluate(protocol, world, cand)
+        if update is None:
+            return
+        self._entries[key] = (candidate_sort_key(cand), (cand, update))
+        self._by_node.setdefault(cand.nid1, set()).add(key)
+        self._by_node.setdefault(cand.nid2, set()).add(key)
+        self._sorted = None
 
     def _generate_for_node(
         self,

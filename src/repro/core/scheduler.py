@@ -20,10 +20,14 @@ effective-candidate layer of :mod:`repro.core.candidates`:
 * :class:`HotScheduler` — samples the effective-interaction jump chain
   directly and does not track raw steps. By default it maintains the
   effective set *incrementally* (:class:`EffectiveCandidateCache`),
-  re-examining only the dirty neighborhood of the previous event;
-  ``incremental=False`` re-enumerates the hot neighborhood from scratch
-  every event (the pre-cache behavior, kept for benchmarking and as a
-  cross-check oracle).
+  re-examining only the dirty neighborhood of the previous event — the
+  cache consumes the world-delta journal, so merges, splits, surgery
+  excisions and hybrid moves are all pruned finely; ``incremental=False``
+  re-enumerates the hot neighborhood from scratch every event (the
+  pre-cache behavior, kept for benchmarking and as a cross-check oracle),
+  and ``split_delta=False`` keeps the cache but demotes split/move records
+  to coarse version sweeps (the pre-split-delta behavior, benchmarked by
+  ``benchmarks/bench_splits.py``).
 * :class:`RoundRobinScheduler` — a deterministic *fair* adversary cycling
   through the same canonical candidate list.
 
@@ -185,11 +189,18 @@ class RejectionScheduler(Scheduler):
     tracks_raw_steps = True
 
     def __init__(
-        self, max_trials: Optional[int] = None, incremental: bool = True
+        self,
+        max_trials: Optional[int] = None,
+        incremental: bool = True,
+        split_delta: bool = True,
     ) -> None:
         super().__init__()
         self.max_trials = max_trials
-        self._cache = EffectiveCandidateCache() if incremental else None
+        self._cache = (
+            EffectiveCandidateCache(split_delta=split_delta)
+            if incremental
+            else None
+        )
 
     def next_event(
         self, world: World, protocol: Protocol, rng: random.Random
@@ -273,10 +284,16 @@ class HotScheduler(Scheduler):
 
     tracks_raw_steps = False
 
-    def __init__(self, incremental: bool = True) -> None:
+    def __init__(
+        self, incremental: bool = True, split_delta: bool = True
+    ) -> None:
         super().__init__()
         self.incremental = incremental
-        self._cache = EffectiveCandidateCache() if incremental else None
+        self._cache = (
+            EffectiveCandidateCache(split_delta=split_delta)
+            if incremental
+            else None
+        )
 
     def _effective(self, world: World, protocol: Protocol) -> List[Entry]:
         if self._cache is not None:
@@ -310,10 +327,16 @@ class RoundRobinScheduler(Scheduler):
 
     tracks_raw_steps = False
 
-    def __init__(self, incremental: bool = True) -> None:
+    def __init__(
+        self, incremental: bool = True, split_delta: bool = True
+    ) -> None:
         super().__init__()
         self._turn = 0
-        self._cache = EffectiveCandidateCache() if incremental else None
+        self._cache = (
+            EffectiveCandidateCache(split_delta=split_delta)
+            if incremental
+            else None
+        )
 
     def next_event(
         self, world: World, protocol: Protocol, rng: random.Random

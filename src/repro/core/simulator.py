@@ -14,7 +14,9 @@ single-node worlds with no permissible interaction at all — ends the run
 with ``stabilized=True`` rather than raising. World mutations performed
 *between* steps (fault injection, synchronous rounds, constructor surgery)
 are picked up automatically by incremental schedulers through the world's
-change journal and the component version counters; no explicit cache
+change journal, the unified world-delta log (merges, splits, surgery
+excisions, hybrid moves — consumed as fine-grained deltas), and the
+component version counters (the coarse backstop); no explicit cache
 invalidation call exists or is needed.
 
 This module is the execution engine underneath the declarative experiment

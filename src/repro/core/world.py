@@ -34,6 +34,7 @@ from repro.geometry.packed import (
     MAX_COORD,
     ComponentGeometry,
     orientation_port_deltas,
+    pack,
     pack_delta,
     packed_rotation,
     packed_rotations_mapping,
@@ -64,6 +65,34 @@ def bond_of(nid1: int, port1: Port, nid2: int, port2: Port) -> Bond:
 #: moved_nids)`` — the packed cells newly occupied in the kept component's
 #: frame and the node ids that moved into it.
 MergeRecord = Tuple[int, int, int, FrozenSet[int], Tuple[int, ...]]
+
+#: One component split (bond removals, surgery excisions):
+#: ``(kept_cid, kept_version_after, fragments, vacated, frontier)`` —
+#: ``fragments`` lists each departing fragment as ``(new_cid,
+#: birth_version, member_nids)``; ``vacated`` is the set of packed cells
+#: (in the kept component's frame) the departed nodes used to occupy; and
+#: ``frontier`` the surviving node ids grid-adjacent to a vacated cell —
+#: exactly the nodes whose open-slot set can grow from the shrinkage.
+SplitRecord = Tuple[
+    int,
+    int,
+    Tuple[Tuple[int, int, Tuple[int, ...]], ...],
+    FrozenSet[int],
+    Tuple[int, ...],
+]
+
+#: One intra-component node move (hybrid leaf rotations): ``(cid,
+#: version_after, dirtied_nids, vacated, new_cells, frontier)`` — the
+#: node(s) whose geometry/bonds changed, the packed cell(s) vacated, the
+#: packed cell(s) newly occupied, and the cut frontier of the vacated
+#: cells, all in the component's own frame.
+MoveRecord = Tuple[
+    int, int, Tuple[int, ...], FrozenSet[int], FrozenSet[int], Tuple[int, ...]
+]
+
+#: A tagged entry of the unified world-delta log: ``("merge", MergeRecord)``,
+#: ``("split", SplitRecord)`` or ``("move", MoveRecord)``, in mutation order.
+DeltaRecord = Tuple[str, tuple]
 
 
 def bond_sort_key(bond: Bond):
@@ -163,9 +192,9 @@ class World:
     #: half is dropped and lagging consumers fall back to a full rebuild.
     CHANGE_LOG_LIMIT = 65536
 
-    #: Merge-journal bound, same truncation policy: a lagging consumer sees
-    #: ``merges_since(...) is None`` and falls back to coarse invalidation.
-    MERGE_LOG_LIMIT = 4096
+    #: Delta-journal bound, same truncation policy: a lagging consumer sees
+    #: ``deltas_since(...) is None`` and falls back to coarse invalidation.
+    DELTA_LOG_LIMIT = 4096
 
     def __init__(self, dimension: int = 2) -> None:
         if dimension not in (2, 3):
@@ -191,11 +220,12 @@ class World:
         # Geometry changes are signalled by Component.version instead.
         self._change_log: List[int] = []
         self._change_base = 0
-        # Merge journal: one record per component merge, letting incremental
-        # consumers prune merge fallout precisely instead of dirtying the
-        # whole merged component (see MergeRecord / merges_since).
-        self._merge_log: List[MergeRecord] = []
-        self._merge_base = 0
+        # World-delta journal: one tagged record per structural mutation —
+        # merges, splits (incl. surgery excisions), intra-component moves —
+        # letting incremental consumers prune the fallout precisely instead
+        # of dirtying whole components (see DeltaRecord / deltas_since).
+        self._delta_log: List[DeltaRecord] = []
+        self._delta_base = 0
 
     # ------------------------------------------------------------------
     # Change journal (consumed by incremental candidate caches)
@@ -231,34 +261,53 @@ class World:
             return None
         return set(self._change_log[cursor - self._change_base:])
 
-    def _note_merge(
-        self,
-        kept_cid: int,
-        kept_version: int,
-        absorbed_cid: int,
-        new_cells: FrozenSet[int],
-        moved: Tuple[int, ...],
-    ) -> None:
-        log = self._merge_log
-        log.append((kept_cid, kept_version, absorbed_cid, new_cells, moved))
-        if len(log) > self.MERGE_LOG_LIMIT:
+    def _note_delta(self, kind: str, record: tuple) -> None:
+        log = self._delta_log
+        log.append((kind, record))
+        if len(log) > self.DELTA_LOG_LIMIT:
             drop = len(log) // 2
             del log[:drop]
-            self._merge_base += drop
+            self._delta_base += drop
 
-    def merge_cursor(self) -> int:
-        """The merge-journal position *after* all merges recorded so far."""
-        return self._merge_base + len(self._merge_log)
+    def delta_cursor(self) -> int:
+        """The delta-journal position *after* all records so far."""
+        return self._delta_base + len(self._delta_log)
 
-    def merges_since(self, cursor: int) -> Optional[List[MergeRecord]]:
-        """Merge records journalled at or after ``cursor``, in order.
+    def deltas_since(self, cursor: int) -> Optional[List[DeltaRecord]]:
+        """Tagged delta records journalled at or after ``cursor``, in
+        mutation order (merges, splits and moves interleave exactly as they
+        happened, so a consumer can follow each component's version trail
+        record by record).
 
         Returns ``None`` when the journal has been truncated past the
         cursor — the consumer must treat every version bump coarsely.
         """
-        if cursor < self._merge_base:
+        if cursor < self._delta_base:
             return None
-        return self._merge_log[cursor - self._merge_base:]
+        return self._delta_log[cursor - self._delta_base:]
+
+    def _split_frontier(
+        self, comp: Component, departed_positions: Iterable[Vec]
+    ) -> Tuple[FrozenSet[int], Tuple[int, ...]]:
+        """Packed vacated cells plus the cut frontier of a shrinkage.
+
+        ``departed_positions`` are the (kept-frame) cells that just became
+        unoccupied; the frontier is every surviving node of ``comp``
+        grid-adjacent to one of them — the only nodes whose open-slot set
+        the shrinkage can grow. Call *after* ``comp.cells`` reflects the
+        removal.
+        """
+        vacated = []
+        frontier: Set[int] = set()
+        cells = comp.cells
+        units = _unit_deltas(self.dimension)
+        for pos in departed_positions:
+            vacated.append(pack(pos))
+            for delta in units:
+                nid = cells.get(pos + delta)
+                if nid is not None:
+                    frontier.add(nid)
+        return frozenset(vacated), tuple(sorted(frontier))
 
     # ------------------------------------------------------------------
     # Packed geometry snapshots
@@ -745,12 +794,15 @@ class World:
         comp1.bonds.add(bond_of(cand.nid1, cand.port1, cand.nid2, cand.port2))
         comp1.version += 1
         del self.components[comp2.cid]
-        self._note_merge(
-            comp1.cid,
-            comp1.version,
-            comp2.cid,
-            frozenset(new_cells),
-            tuple(moved),
+        self._note_delta(
+            "merge",
+            (
+                comp1.cid,
+                comp1.version,
+                comp2.cid,
+                frozenset(new_cells),
+                tuple(moved),
+            ),
         )
 
     def _split_if_disconnected(self, comp: Component) -> None:
@@ -783,6 +835,12 @@ class World:
         # is hash-dependent — the sort must fully decide).
         groups.sort(key=lambda g: (-len(g), min(g)))
         keep = groups[0]
+        # Fragment frames inherit the old coordinates, so the departed
+        # positions double as the kept frame's vacated cells below.
+        departed_positions = [
+            self.nodes[nid].pos for group in groups[1:] for nid in group
+        ]
+        fragments: List[Tuple[int, int, Tuple[int, ...]]] = []
         for group in groups[1:]:
             cid = self._next_cid
             self._next_cid += 1
@@ -795,11 +853,17 @@ class World:
                 b for b in comp.bonds if all(nid in group for nid, _ in b)
             }
             self.components[cid] = newc
+            fragments.append((cid, newc.version, tuple(sorted(group))))
         comp.cells = {
             cell: nid for cell, nid in comp.cells.items() if nid in keep
         }
         comp.bonds = {b for b in comp.bonds if all(nid in keep for nid, _ in b)}
         comp.version += 1
+        vacated, frontier = self._split_frontier(comp, departed_positions)
+        self._note_delta(
+            "split",
+            (comp.cid, comp.version, tuple(fragments), vacated, frontier),
+        )
 
     # ------------------------------------------------------------------
     # Surgery (used by orchestrated constructors; see DESIGN.md)
@@ -816,6 +880,7 @@ class World:
         comp = self.components[rec.component_id]
         comp.bonds = {b for b in comp.bonds if all(x != nid for x, _ in b)}
         if comp.size() > 1:
+            old_pos = rec.pos
             del comp.cells[rec.pos]
             comp.version += 1
             cid = self._next_cid
@@ -826,8 +891,57 @@ class World:
             rec.orientation = identity_rotation
             single.cells[rec.pos] = nid
             self.components[cid] = single
+            # Journal the excision as a split: the freed node is a
+            # one-node fragment, its old cell the vacated one. A further
+            # disconnection of the remainder journals its own record.
+            vacated, frontier = self._split_frontier(comp, (old_pos,))
+            self._note_delta(
+                "split",
+                (
+                    comp.cid,
+                    comp.version,
+                    ((cid, single.version, (nid,)),),
+                    vacated,
+                    frontier,
+                ),
+            )
             self._resplit(comp)
         self.set_state(nid, state)
+        self.note_change(nid)
+
+    def note_move(
+        self,
+        comp: Component,
+        nid: int,
+        old_pos: Vec,
+        new_pos: Vec,
+        also_dirty: Iterable[int] = (),
+    ) -> None:
+        """Bump a component's version for an intra-component node move and
+        journal it as a fine-grained world delta.
+
+        Call *after* ``comp.cells`` and the node record reflect the move
+        (``old_pos`` vacated, ``new_pos`` occupied). ``also_dirty`` names
+        further nodes whose interaction-relevant attributes changed with
+        the move — e.g. the pivot of a hybrid leaf rotation, whose bond
+        port is re-derived from the new geometry. Incremental consumers
+        then treat the move as shrinkage at ``old_pos`` plus growth at
+        ``new_pos`` instead of a coarse whole-component sweep.
+        """
+        comp.version += 1
+        vacated, frontier = self._split_frontier(comp, (old_pos,))
+        dirtied = tuple(sorted({nid, *also_dirty}))
+        self._note_delta(
+            "move",
+            (
+                comp.cid,
+                comp.version,
+                dirtied,
+                vacated,
+                frozenset((pack(new_pos),)),
+                frontier,
+            ),
+        )
 
     def _resplit(self, comp: Component) -> None:
         """Split a component whose bond graph may have become disconnected."""
@@ -883,6 +997,7 @@ class World:
         for cell in target_cells:
             if cell in target.cells:
                 raise CollisionError(f"transplant target {cell!r} occupied")
+        src_cid = src_comp.cid
         for nid, cell in zip(line_nids, target_cells):
             rec = self.nodes[nid]
             if rec.orientation is not identity_rotation and rec.orientation != identity_rotation:
@@ -891,7 +1006,8 @@ class World:
             rec.pos = cell
             target.cells[cell] = nid
             self.set_state(nid, new_state)
-        del self.components[src_comp.cid]
+            self.note_change(nid)
+        del self.components[src_cid]
         # Bond consecutive line cells and (optionally) all adjacent target cells.
         for nid, cell in zip(line_nids, target_cells):
             for delta in _positive_units(self.dimension):
@@ -905,6 +1021,19 @@ class World:
                 pb = port_facing(identity_rotation, -delta)
                 target.bonds.add(bond_of(nid, pa, other, pb))
         target.version += 1
+        # Journalled as a merge: the line is the absorbed component, the
+        # landing cells the newly occupied ones — occupancy growth, so the
+        # standard merge-delta pruning applies verbatim.
+        self._note_delta(
+            "merge",
+            (
+                into_cid,
+                target.version,
+                src_cid,
+                frozenset(pack(c) for c in target_cells),
+                tuple(line_nids),
+            ),
+        )
 
     # ------------------------------------------------------------------
     # Shape extraction
@@ -1034,3 +1163,8 @@ def _positive_units(dimension: int) -> Tuple[Vec, ...]:
     if dimension == 2:
         return (Vec(1, 0, 0), Vec(0, 1, 0))
     return (Vec(1, 0, 0), Vec(0, 1, 0), Vec(0, 0, 1))
+
+
+def _unit_deltas(dimension: int) -> Tuple[Vec, ...]:
+    units = _positive_units(dimension)
+    return units + tuple(-u for u in units)

@@ -5,8 +5,12 @@ The paper's conclusions pose two robustness questions:
 * *"Imagine an environment that can at any given time break an active link
   with some (small) probability. Under such a perpetual setback no
   construction can ever stabilize."* — :class:`FaultySimulation` implements
-  exactly this adversary (a per-event bond-breakage probability) so the
-  claim can be exercised quantitatively.
+  exactly this adversary (a per-event bond-breakage probability, plus an
+  optional node-excision probability for the node-disappearance face of
+  the same question) so the claim can be exercised quantitatively. Every
+  fault goes through the world's journaled mutation paths, so incremental
+  candidate caches prune the damage as split deltas instead of re-sweeping
+  whole components.
 * *"Imagine that a shape has stabilized but a part of it detaches … Can we
   detect and reconstruct the broken part efficiently (and without resetting
   the whole population)? What knowledge about the whole shape should the
@@ -20,12 +24,15 @@ The paper's conclusions pose two robustness questions:
 from repro.faults.injection import (
     BondBreakage,
     FaultySimulation,
+    NodeExcision,
     break_random_bond,
+    excise_random_node,
     random_active_bonds,
 )
 from repro.faults.repair import (
     RepairResult,
     damage_statistics,
+    detach_component_part,
     detach_part,
     repair_shape,
 )
@@ -33,9 +40,12 @@ from repro.faults.repair import (
 __all__ = [
     "BondBreakage",
     "FaultySimulation",
+    "NodeExcision",
     "break_random_bond",
+    "excise_random_node",
     "random_active_bonds",
     "RepairResult",
+    "detach_component_part",
     "detach_part",
     "repair_shape",
     "damage_statistics",

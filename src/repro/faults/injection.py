@@ -1,12 +1,21 @@
-"""Link-breakage adversary over a :class:`~repro.core.world.World` (§8).
+"""Fault adversaries over a :class:`~repro.core.world.World` (§8).
 
 The environment of the paper's robustness discussion breaks an active link
 with a small probability at any time. We model it as an interleaving of the
-protocol's effective interactions with *breakage events*: after each applied
-interaction, each step independently breaks one uniformly random active bond
-with probability ``break_prob``. Splitting into connected fragments is
-handled by the world (each fragment keeps operating, exactly as the paper's
+protocol's effective interactions with *fault events*: after each applied
+interaction, each step independently breaks one uniformly random active
+bond with probability ``break_prob`` and (optionally) excises one uniformly
+random bonded node with probability ``excise_prob`` — the node-disappearance
+face of the same adversary. Splitting into connected fragments is handled
+by the world (each fragment keeps operating, exactly as the paper's
 detached parts keep floating in the solution).
+
+Every fault funnels through the world's journaled mutation paths — bond
+removals land the endpoints in the change journal and disconnections and
+excisions are recorded in the world-delta journal — so incremental
+candidate caches consume each fault as a fine-grained split delta instead
+of re-sweeping the damaged component (``repro.core.candidates``;
+benchmarked by ``benchmarks/bench_splits.py``).
 """
 
 from __future__ import annotations
@@ -15,7 +24,7 @@ import random
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
-from repro.core.protocol import Protocol
+from repro.core.protocol import Protocol, State
 from repro.core.scheduler import Scheduler
 from repro.core.simulator import RunResult, Simulation, StopReason
 from repro.core.world import Bond, World, bond_sort_key
@@ -48,34 +57,67 @@ def break_random_bond(world: World, rng: random.Random) -> Optional[Bond]:
     comp = world.components[cid]
     comp.bonds.discard(bond)
     # Journal the endpoints so incremental schedulers see the snapped link;
-    # a disconnecting removal splits below, bumping component versions.
+    # a disconnecting removal splits below, journalling a split delta.
     for nid, _port in bond:
         world.note_change(nid)
     world._split_if_disconnected(comp)
     return bond
 
 
+def excise_random_node(
+    world: World, rng: random.Random, state: State
+) -> Optional[int]:
+    """Excise one uniformly random bonded node; ``None`` if all are free.
+
+    The node-disappearance fault of §8: all the node's connections
+    deactivate and it returns to the solution as a free node in ``state``
+    (typically the protocol's initial state — the node "forgets"). The
+    surgery goes through :meth:`~repro.core.world.World.free_singleton`,
+    so the excision is journalled as a split delta and the remainder of
+    the component splits into its bond-connected fragments.
+    """
+    bonded = sorted(nid for nid in world.nodes if not world.is_free(nid))
+    if not bonded:
+        return None
+    nid = bonded[rng.randrange(len(bonded))]
+    world.free_singleton(nid, state)
+    return nid
+
+
 @dataclass
 class BondBreakage:
-    """Record of one injected fault."""
+    """Record of one injected link fault."""
 
     at_event: int
     bond: Bond
 
 
 @dataclass
+class NodeExcision:
+    """Record of one injected node-disappearance fault."""
+
+    at_event: int
+    nid: int
+
+
+@dataclass
 class FaultySimulation:
-    """A :class:`~repro.core.simulator.Simulation` under perpetual breakage.
+    """A :class:`~repro.core.simulator.Simulation` under perpetual faults.
 
     After every applied effective interaction, a fault coin with probability
-    ``break_prob`` is flipped; on success one uniformly random active bond
-    snaps. With ``break_prob > 0`` and a construction that needs bonds, the
-    execution keeps being set back — the quantitative face of §8's "no
-    construction can ever stabilize".
+    ``break_prob`` is flipped (on success one uniformly random active bond
+    snaps), then — when ``excise_prob > 0`` — an excision coin likewise
+    (on success one uniformly random bonded node is cut free, resuming in
+    the protocol's initial state). With either probability positive and a
+    construction that needs bonds, the execution keeps being set back — the
+    quantitative face of §8's "no construction can ever stabilize".
 
-    Parameters mirror :class:`Simulation`; ``max_bonds_broken`` optionally
-    stops injecting after a budget of faults so that runs can be driven to
-    stabilization *after* a burst of damage.
+    Parameters mirror :class:`Simulation`; ``max_bonds_broken`` /
+    ``max_excisions`` optionally stop injecting after a budget of faults so
+    that runs can be driven to stabilization *after* a burst of damage.
+    With ``excise_prob == 0`` (the default) no excision coin is ever
+    flipped, so seeded trajectories are unchanged from the
+    breakage-only adversary.
     """
 
     world: World
@@ -84,13 +126,20 @@ class FaultySimulation:
     scheduler: Optional[Scheduler] = None
     seed: Optional[int] = None
     max_bonds_broken: Optional[int] = None
+    excise_prob: float = 0.0
+    max_excisions: Optional[int] = None
 
     breakages: List[BondBreakage] = field(default_factory=list)
+    excisions: List[NodeExcision] = field(default_factory=list)
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.break_prob <= 1.0:
             raise SimulationError(
                 f"break probability must be in [0, 1]: {self.break_prob}"
+            )
+        if not 0.0 <= self.excise_prob <= 1.0:
+            raise SimulationError(
+                f"excise probability must be in [0, 1]: {self.excise_prob}"
             )
         self._rng = random.Random(self.seed)
         kwargs = {}
@@ -110,18 +159,30 @@ class FaultySimulation:
             or len(self.breakages) < self.max_bonds_broken
         )
 
-    def _faults_possible(self) -> bool:
+    def _excise_budget_left(self) -> bool:
         return (
+            self.max_excisions is None
+            or len(self.excisions) < self.max_excisions
+        )
+
+    def _faults_possible(self) -> bool:
+        if (
             self.break_prob > 0.0
             and self._budget_left()
             and any(c.bonds for c in self.components())
+        ):
+            return True
+        return (
+            self.excise_prob > 0.0
+            and self._excise_budget_left()
+            and any(c.size() > 1 for c in self.components())
         )
 
     def components(self):
         return self.world.components.values()
 
     def _maybe_break(self) -> bool:
-        """Flip the fault coin; True iff a bond actually snapped."""
+        """Flip the breakage coin; True iff a bond actually snapped."""
         if (
             self.break_prob > 0.0
             and self._budget_left()
@@ -133,23 +194,46 @@ class FaultySimulation:
                 return True
         return False
 
+    def _maybe_excise(self) -> bool:
+        """Flip the excision coin; True iff a node was actually cut free.
+
+        Consumes no randomness when ``excise_prob`` is zero, keeping the
+        breakage-only RNG stream intact.
+        """
+        if (
+            self.excise_prob > 0.0
+            and self._excise_budget_left()
+            and self._rng.random() < self.excise_prob
+        ):
+            nid = excise_random_node(
+                self.world, self._rng, self.protocol.initial_state
+            )
+            if nid is not None:
+                self.excisions.append(NodeExcision(self._sim.events, nid))
+                return True
+        return False
+
     def step(self) -> bool:
-        """One time step: a protocol event (if any) plus the fault coin.
+        """One time step: a protocol event (if any) plus the fault coins.
 
         Returns False only on *genuine* stabilization: no effective
         interaction is permissible and no fault can ever strike again
-        (``break_prob`` is zero, the fault budget is spent, or no active
-        bond remains). While faults remain possible the configuration can
-        always change again — §8's "no construction can ever stabilize".
+        (the probabilities are zero, the fault budgets are spent, or no
+        active bond / bonded node remains). While faults remain possible
+        the configuration can always change again — §8's "no construction
+        can ever stabilize".
         """
         event = self._sim.step()
         if event is not None:
             self._maybe_break()
+            self._maybe_excise()
             return True
         # Protocol quiescent: only faults can move the configuration.
         if not self._faults_possible():
             return False
-        if self._maybe_break():
+        broke = self._maybe_break()
+        excised = self._maybe_excise()
+        if broke or excised:
             self._sim.stabilized = False  # damage may re-enable events
         return True
 

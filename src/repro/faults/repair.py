@@ -32,6 +32,7 @@ import random
 from dataclasses import dataclass
 from typing import List, Optional, Set, Tuple
 
+from repro.core.world import World, bond_sort_key
 from repro.errors import ReproError, SimulationError
 from repro.geometry.shape import Shape
 from repro.geometry.vec import UNIT_VECTORS, Vec
@@ -122,13 +123,88 @@ def detach_part(
     )
 
 
-def _edges_connect(cells: Set[Vec], edges: Set[frozenset]) -> bool:
-    adjacency = {c: [] for c in cells}
-    for e in edges:
-        a, b = tuple(e)
+def detach_component_part(
+    world: World,
+    cid: int,
+    fraction: float,
+    rng: Optional[random.Random] = None,
+    seed: Optional[int] = None,
+    max_attempts: int = 200,
+) -> Tuple[int, ...]:
+    """World-level §8 damage: detach a bond-connected part of a component.
+
+    The live-configuration twin of :func:`detach_part`: grows a random
+    bond-connected region of about ``fraction`` of the component's nodes
+    whose removal keeps the remainder bond-connected, deactivates every
+    bond crossing the cut, and lets the world split. All mutations funnel
+    through the journaled surgery paths — the snapped bonds' endpoints
+    land in the change journal and the disconnection is recorded as a
+    split delta — so incremental candidate caches consume the damage as a
+    fine-grained delta instead of re-sweeping the surviving part. Returns
+    the node ids of the detached region (now a component of its own,
+    bonds within the region intact).
+
+    Like :func:`detach_part`, the target size degrades toward one node
+    when the requested fraction admits no valid cut; raises
+    :class:`ReproError` for a single-node component or an out-of-range
+    fraction.
+    """
+    if rng is None:
+        rng = random.Random(seed)
+    if not 0.0 < fraction < 1.0:
+        raise ReproError(f"fraction must be in (0, 1): {fraction}")
+    comp = world.components[cid]
+    members = sorted(comp.cells.values())
+    if len(members) < 2:
+        raise ReproError("cannot detach a part of a single-node component")
+    adjacency: dict = {nid: [] for nid in members}
+    for bond in comp.bonds:
+        (a, _), (b, _) = tuple(bond)
         adjacency[a].append(b)
         adjacency[b].append(a)
-    start = next(iter(cells))
+    target = max(1, int(round(fraction * len(members))))
+    target = min(target, len(members) - 1)
+    for attempt in range(max_attempts):
+        shrink = attempt // max(1, max_attempts // 4)
+        target_now = max(1, target - shrink * max(1, target // 3 + 1))
+        region = {members[rng.randrange(len(members))]}
+        frontier = sorted(region)
+        while len(region) < target_now and frontier:
+            base = frontier[rng.randrange(len(frontier))]
+            options = sorted(
+                n for n in adjacency[base] if n not in region
+            )
+            if not options:
+                frontier.remove(base)
+                continue
+            nxt = options[rng.randrange(len(options))]
+            region.add(nxt)
+            frontier.append(nxt)
+        if len(region) != target_now:
+            continue
+        remainder = set(members) - region
+        if not remainder or not _bonds_connect(remainder, comp.bonds):
+            continue
+        crossing = [
+            b
+            for b in sorted(comp.bonds, key=bond_sort_key)
+            if len({nid for nid, _port in b} & region) == 1
+        ]
+        for bond in crossing:
+            comp.bonds.discard(bond)
+            for nid, _port in bond:
+                world.note_change(nid)
+        world._split_if_disconnected(comp)
+        return tuple(sorted(region))
+    raise ReproError(
+        f"no bond-connected detachment of fraction {fraction} found "
+        f"in {max_attempts} attempts"
+    )
+
+
+def _adjacency_connected(adjacency: dict) -> bool:
+    """True iff a prebuilt adjacency mapping describes a connected graph."""
+    start = next(iter(adjacency))
     seen = {start}
     stack = [start]
     while stack:
@@ -137,7 +213,27 @@ def _edges_connect(cells: Set[Vec], edges: Set[frozenset]) -> bool:
             if w not in seen:
                 seen.add(w)
                 stack.append(w)
-    return len(seen) == len(cells)
+    return len(seen) == len(adjacency)
+
+
+def _bonds_connect(nids: Set[int], bonds) -> bool:
+    """True iff the bond graph restricted to ``nids`` is connected."""
+    adjacency: dict = {nid: [] for nid in nids}
+    for bond in bonds:
+        (a, _), (b, _) = tuple(bond)
+        if a in adjacency and b in adjacency:
+            adjacency[a].append(b)
+            adjacency[b].append(a)
+    return _adjacency_connected(adjacency)
+
+
+def _edges_connect(cells: Set[Vec], edges: Set[frozenset]) -> bool:
+    adjacency = {c: [] for c in cells}
+    for e in edges:
+        a, b = tuple(e)
+        adjacency[a].append(b)
+        adjacency[b].append(a)
+    return _adjacency_connected(adjacency)
 
 
 @dataclass

@@ -60,12 +60,13 @@ def rotate_leaf(world: World, leaf: int, clockwise: bool) -> bool:
     rec_leaf = world.nodes[leaf]
     rec_pivot = world.nodes[pivot]
     turn: Rotation = _CW if clockwise else _CCW
-    new_pos = rec_pivot.pos + turn.apply(rec_leaf.pos - rec_pivot.pos)
+    old_pos = rec_leaf.pos
+    new_pos = rec_pivot.pos + turn.apply(old_pos - rec_pivot.pos)
     if new_pos in comp.cells:
         return False
     # Move the leaf: cells map, position, and orientation (the node turns
     # with the swing, so its own bond port keeps facing the pivot).
-    del comp.cells[rec_leaf.pos]
+    del comp.cells[old_pos]
     comp.cells[new_pos] = leaf
     rec_leaf.pos = new_pos
     rec_leaf.orientation = turn.compose(rec_leaf.orientation)
@@ -74,7 +75,11 @@ def rotate_leaf(world: World, leaf: int, clockwise: bool) -> bool:
     leaf_port = port_facing(rec_leaf.orientation, rec_pivot.pos - new_pos)
     pivot_port = port_facing(rec_pivot.orientation, new_pos - rec_pivot.pos)
     comp.bonds.add(bond_of(leaf, leaf_port, pivot, pivot_port))
-    comp.version += 1
+    # Journal the swing as a fine-grained world delta (bumping the
+    # version): the vacated/occupied cell pair plus the pivot, whose bond
+    # port was re-derived above — incremental candidate caches then prune
+    # the swing's exact fallout instead of sweeping the whole component.
+    world.note_move(comp, leaf, old_pos, new_pos, also_dirty=(pivot,))
     return True
 
 
@@ -154,8 +159,10 @@ class HybridSimulation:
     Each step takes the effective passive candidates (the base protocol's
     δ, maintained incrementally by an
     :class:`~repro.core.candidates.EffectiveCandidateCache` — leaf swings
-    bump the component's version, so moved geometry invalidates exactly
-    the swung component's entries) plus the applicable movement candidates
+    are journalled as *move* deltas, so the cache prunes exactly the
+    swing's fallout: the swung leaf and pivot, entries colliding with the
+    newly occupied cell, and placements unblocked by the vacated one,
+    never the whole component) plus the applicable movement candidates
     (bonded leaf/pivot pairs matching a movement rule whose swing target
     is free) and selects uniformly among their union — the natural
     extension of the §3 uniform scheduler to the hybrid rule set.

@@ -27,8 +27,8 @@ from repro.core.scheduler import evaluate, make_scheduler
 from repro.core.simulator import Simulation
 from repro.core.trace import TraceRecorder, world_to_dict
 from repro.core.world import World
-from repro.faults.injection import break_random_bond
-from repro.geometry.ports import PORTS_2D, opposite
+from repro.faults.injection import FaultySimulation, break_random_bond
+from repro.geometry.ports import PORTS_2D, opposite, ports_for_dimension
 from repro.protocols.line import spanning_line_protocol
 from repro.protocols.replication import (
     no_leader_line_replication_protocol,
@@ -104,6 +104,59 @@ def test_seeded_trajectories_identical_across_schedulers(name):
         for (kind, kwargs), run in zip(KINDS[1:], runs[1:]):
             assert run[0] == reference[0], (name, seed, kind, kwargs)
             assert run[1] == reference[1], (name, seed, kind, kwargs)
+
+
+@pytest.mark.parametrize("dimension", (2, 3))
+def test_seeded_trajectories_identical_under_faults(dimension):
+    """The two-RNG-draws-per-event contract, pinned on split-heavy runs.
+
+    ``FaultySimulation`` interleaves fault coins (bond breakage and node
+    excision) with protocol events *on the same RNG stream*: any scheduler
+    consuming a different number of draws per event would desynchronize
+    every subsequent fault, so identical fault logs + final configurations
+    across all uniform schedulers pin the contract on trajectories
+    dominated by splits and surgery — not just growth-only ones.
+    """
+    ports = PORTS_2D if dimension == 2 else ports_for_dimension(3)
+    rules = [Rule("g", p, "g", opposite(p), 0, "g", "g", 1) for p in ports]
+    protocol = RuleProtocol(
+        rules, initial_state="g", name="gluing", dimension=dimension
+    )
+    uniform_kinds = list(KINDS)  # round-robin consumes no randomness
+    for seed in (0, 11):
+        runs = []
+        for kind, kwargs in uniform_kinds:
+            world = World.of_free_nodes(10, protocol, leaders=0)
+            fsim = FaultySimulation(
+                world,
+                protocol,
+                break_prob=0.25,
+                excise_prob=0.15,
+                scheduler=make_scheduler(kind, **kwargs),
+                seed=seed,
+            )
+            fsim.run(max_steps=150)
+            runs.append(
+                (
+                    fsim.events,
+                    [
+                        (
+                            b.at_event,
+                            tuple(
+                                sorted((n, p.value) for n, p in b.bond)
+                            ),
+                        )
+                        for b in fsim.breakages
+                    ],
+                    [(e.at_event, e.nid) for e in fsim.excisions],
+                    world_to_dict(world),
+                )
+            )
+        reference = runs[0]
+        # The workload must actually be split-heavy to pin anything.
+        assert reference[1] and reference[2], "no faults fired"
+        for (kind, kwargs), run in zip(uniform_kinds[1:], runs[1:]):
+            assert run == reference, (dimension, seed, kind, kwargs)
 
 
 def test_raw_step_counters_still_tracked():
