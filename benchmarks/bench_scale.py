@@ -1,0 +1,210 @@
+"""Acceptance bar for the columnar candidate backend (the PR 6 tentpole).
+
+The hot scheduler's incremental cache historically walked the world one
+node at a time: per dirty node, a Python loop over every state-mate, a
+per-pair occupancy probe, a per-candidate dict insert. The columnar
+backend (``repro.core.columnar``) keeps the same journals and the same
+trajectory law but runs the three hot kernels — static-effectiveness
+filtering, occupancy-collision pruning, transition dispatch — as batch
+array operations over flat int columns, so per-event cost is a handful of
+vectorized passes instead of tens of thousands of interpreter steps.
+
+Two workloads, two bars:
+
+* **smoke** (CI): leaderless aggregation at n = 64 — the columnar backend
+  must run the identical seeded trajectory **>= 2x** faster wall-clock
+  than the pure-Python fallback, with *equal* candidate-evaluation
+  counts (the backends share one accounting, so evaluations can't
+  differ; the wall-clock ratio is the real bar and the evaluation
+  equality is the transparency check).
+* **scale sweep** (opt-in, ``REPRO_BENCH_SCALE=1``): aggregation to
+  n = 1024 and frontier accretion (a bonded seed plate plus inert free
+  spares — candidate population Θ(frontier x n), so population scales
+  past 10^4 without the Θ(n^2) all-singleton candidate blow-up) to
+  n = 10^4, columnar vs fallback at every point, asserting the speedup
+  grows with n and crosses **10x by n = 256** on aggregation.
+
+Both emit the schema-validated ``BENCH_scale.json`` through the shared
+``repro.experiments.io`` writer; the committed artifact is the full
+sweep's output.
+"""
+
+import os
+import time
+
+import pytest
+from conftest import print_table, write_bench
+
+from repro.core.columnar import backend_name
+from repro.core.protocol import Rule, RuleProtocol
+from repro.core.scheduler import make_scheduler
+from repro.core.simulator import Simulation
+from repro.core.trace import world_to_dict
+from repro.core.world import World
+from repro.experiments import ExperimentResult
+from repro.geometry.ports import PORTS_2D, opposite
+from repro.geometry.vec import Vec
+
+SEED = 11
+PLATE_SIDE = 6  # seed plate of the accretion workload
+
+
+def aggregation_protocol() -> RuleProtocol:
+    """Leaderless gluing: every meeting of free ports bonds."""
+    rules = [Rule("g", p, "g", opposite(p), 0, "g", "g", 1) for p in PORTS_2D]
+    return RuleProtocol(rules, initial_state="g", name="aggregation")
+
+
+def accretion_protocol() -> RuleProtocol:
+    """Structure (``s``) captures spares (``f``); spares are mutually
+    inert, so candidates live only on the structure's frontier and the
+    population can scale far past the all-singleton regime."""
+    rules = [Rule("s", p, "f", opposite(p), 0, "s", "s", 1) for p in PORTS_2D]
+    return RuleProtocol(rules, initial_state="f", name="accretion")
+
+
+def _world(workload: str, protocol: RuleProtocol, n: int) -> World:
+    if workload == "aggregation":
+        return World.of_free_nodes(n, protocol, leaders=0)
+    world = World(2)
+    world.add_component_from_cells(
+        {
+            Vec(x, y): "s"
+            for x in range(PLATE_SIDE)
+            for y in range(PLATE_SIDE)
+        }
+    )
+    for _ in range(n):
+        world.add_free_node("f")
+    world.adopt_space(protocol.program.space)
+    return world
+
+
+def _run(workload: str, protocol, n: int, columnar: bool, max_events: int):
+    world = _world(workload, protocol, n)
+    scheduler = make_scheduler("hot", incremental=True, columnar=columnar)
+    sim = Simulation(world, protocol, scheduler=scheduler, seed=SEED)
+    start = time.perf_counter()
+    res = sim.run(max_events=max_events)
+    elapsed = time.perf_counter() - start
+    return ExperimentResult(
+        scenario="scale",
+        params={
+            "workload": workload,
+            "n": n,
+            "backend": "columnar" if columnar else "fallback",
+            "max_events": max_events,
+        },
+        seed=SEED,
+        scheduler="hot+cache",
+        events=res.events,
+        raw_steps=res.raw_steps,
+        evaluations=scheduler.evaluations,
+        stop_reason=res.reason,
+        wall_time=elapsed,
+        metrics={"world_digest": _digest(world)},
+    )
+
+
+def _digest(world: World) -> str:
+    import hashlib
+    import json
+
+    payload = json.dumps(world_to_dict(world), sort_keys=True, default=str)
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+def _pairs(points):
+    """Run each (workload, n, max_events) point on both backends and
+    check the backends are mutually transparent at every single point."""
+    results = []
+    for workload, n, max_events in points:
+        protocol = (
+            aggregation_protocol()
+            if workload == "aggregation"
+            else accretion_protocol()
+        )
+        col = _run(workload, protocol, n, True, max_events)
+        fb = _run(workload, protocol, n, False, max_events)
+        # Identical seeded trajectories and identical accounting: the
+        # backend only changes *how* the candidate set is computed.
+        col_cmp, fb_cmp = col.comparable(), fb.comparable()
+        col_cmp["params"].pop("backend")
+        fb_cmp["params"].pop("backend")
+        assert col_cmp == fb_cmp, (workload, n)
+        results.append((col, fb))
+    return results
+
+
+def _report(title, results):
+    print_table(
+        title,
+        f"{'workload':>12} {'n':>6} {'events':>7} {'evals':>10} "
+        f"{'fallback s':>11} {'columnar s':>11} {'speedup':>8}",
+        (
+            f"{col.params['workload']:>12} {col.params['n']:>6d} "
+            f"{col.events:>7d} {col.evaluations:>10d} "
+            f"{fb.wall_time:>11.3f} {col.wall_time:>11.3f} "
+            f"{fb.wall_time / col.wall_time:>8.2f}"
+            for col, fb in results
+        ),
+    )
+
+
+def test_columnar_smoke(benchmark):
+    """CI bar: >= 2x wall-clock over the fallback at n = 64, identical
+    trajectory and evaluation counts."""
+    if "numpy" not in backend_name():
+        pytest.skip("columnar backend unavailable (no numpy)")
+    results = benchmark.pedantic(
+        _pairs, args=([("aggregation", 64, 63)],), rounds=1, iterations=1
+    )
+    _report(f"Columnar backend smoke (seed {SEED})", results)
+    col, fb = results[0]
+    write_bench(
+        "scale",
+        [col, fb],
+        header={"experiment": "columnar-smoke", "note": "CI smoke points"},
+    )
+    assert col.evaluations == fb.evaluations
+    assert fb.wall_time >= 2 * col.wall_time, (fb.wall_time, col.wall_time)
+
+
+@pytest.mark.skipif(
+    os.environ.get("REPRO_BENCH_SCALE") != "1",
+    reason="full scale sweep takes minutes; set REPRO_BENCH_SCALE=1",
+)
+def test_scale_sweep(benchmark):
+    """The full sweep: aggregation to n = 1024, accretion to n = 10^4.
+
+    The PR acceptance bar lives here: >= 10x wall-clock over the
+    fallback at n >= 256 on aggregation, and the speedup keeps growing
+    with n on the workload that reaches five-digit populations.
+    """
+    if "numpy" not in backend_name():
+        pytest.skip("columnar backend unavailable (no numpy)")
+    points = [
+        ("aggregation", 64, 63),
+        ("aggregation", 128, 127),
+        ("aggregation", 256, 255),
+        ("aggregation", 1024, 200),
+        ("accretion", 1000, 60),
+        ("accretion", 3000, 60),
+        ("accretion", 10000, 60),
+    ]
+    results = benchmark.pedantic(_pairs, args=(points,), rounds=1, iterations=1)
+    _report(f"Columnar backend scale sweep (seed {SEED})", results)
+    write_bench(
+        "scale",
+        [r for pair in results for r in pair],
+        header={"experiment": "columnar-scale", "note": "full sweep points"},
+    )
+    speedups = {
+        (col.params["workload"], col.params["n"]): fb.wall_time / col.wall_time
+        for col, fb in results
+    }
+    # The tentpole acceptance bar.
+    assert speedups[("aggregation", 256)] >= 10.0, speedups
+    # Batching pays more the bigger the population gets.
+    assert speedups[("accretion", 10000)] >= speedups[("accretion", 1000)] * 0.8
+    assert speedups[("accretion", 10000)] >= 8.0, speedups

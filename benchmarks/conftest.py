@@ -16,7 +16,10 @@ schema as ``repro sweep --json``.
 
 from __future__ import annotations
 
+import subprocess
 from pathlib import Path
+
+import pytest
 
 #: Where BENCH_<scenario>.json artifacts land (next to the benchmarks).
 BENCH_DIR = Path(__file__).parent
@@ -34,3 +37,44 @@ def write_bench(scenario: str, results, header=None) -> Path:
     from repro.experiments import write_bench_json
 
     return write_bench_json(scenario, results, BENCH_DIR, header)
+
+
+def _untracked_bench_artifacts():
+    """``BENCH_*.json`` files on disk that git does not track.
+
+    Every benchmark that emits an artifact must have that artifact
+    committed, so the repository always carries the current normalized
+    set — an emitted-but-untracked file means a bench drifted.
+    """
+    try:
+        tracked = subprocess.run(
+            ["git", "ls-files", "BENCH_*.json"],
+            cwd=BENCH_DIR,
+            capture_output=True,
+            text=True,
+            check=True,
+            timeout=30,
+        ).stdout.split()
+    except (OSError, subprocess.SubprocessError):
+        return []  # no git (sdist, bare checkout): nothing to enforce
+    return sorted(
+        p.name for p in BENCH_DIR.glob("BENCH_*.json") if p.name not in tracked
+    )
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _bench_artifact_drift_guard():
+    """Fail the session when a bench emitted an uncommitted artifact.
+
+    A teardown failure (not ``pytest_sessionfinish``, whose exit status
+    pytest snapshots before the hook runs) is what reliably turns into a
+    non-zero exit code.
+    """
+    yield
+    untracked = _untracked_bench_artifacts()
+    assert not untracked, (
+        "benchmark artifacts exist on disk but are not committed: "
+        + ", ".join(untracked)
+        + " — run `git add benchmarks/BENCH_*.json` so the tracked set "
+        "stays in sync with what the benches emit"
+    )

@@ -94,6 +94,17 @@ from typing import (
     Tuple,
 )
 
+from repro.core import columnar as _col
+from repro.core.columnar import (
+    BatchContext,
+    get_index,
+    key_is_inter,
+    key_nid1,
+    key_nid2,
+    packed_key,
+    packed_sort_key,
+    resolve_columnar,
+)
 from repro.core.protocol import Protocol, Update
 from repro.core.world import (
     Candidate,
@@ -111,24 +122,24 @@ from repro.geometry.packed import (
 from repro.geometry.ports import PORT_INDEX, PORTS_3D
 from repro.geometry.rotation import rotations_for_dimension
 
-#: Identity key of a candidate: endpoints, ports, and placement rotation.
-#: (The translation and bond are determined by these plus the current
-#: configuration, so the key is unique within one configuration.)
-CandidateKey = Tuple[int, str, int, str, Optional[tuple]]
+#: Identity key of a candidate: endpoints, ports, and placement rotation,
+#: packed into one int (see :func:`repro.core.columnar.packed_key`). The
+#: translation and bond are determined by these plus the current
+#: configuration, so the key is unique within one configuration.
+CandidateKey = int
 
 #: A cached entry: the candidate and its (effective) update.
 Entry = Tuple[Candidate, Update]
 
+#: Internal sort key: the ``(hi, lo)`` packed image of
+#: :func:`candidate_sort_key` — identical order, int comparisons, and an
+#: int64-pair representation the columnar store keeps in sorted arrays.
+SortKey = Tuple[int, int]
+
 
 def candidate_key(cand: Candidate) -> CandidateKey:
-    """A hashable identity key for a canonical candidate."""
-    return (
-        cand.nid1,
-        cand.port1.value,
-        cand.nid2,
-        cand.port2.value,
-        None if cand.rotation is None else cand.rotation.matrix,
-    )
+    """A hashable identity key for a canonical candidate (packed int)."""
+    return packed_key(cand)
 
 
 def candidate_sort_key(cand: Candidate):
@@ -175,21 +186,17 @@ def canonicalize(world: World, cand: Candidate) -> Candidate:
     return cand
 
 
-def iter_node_candidates(
+def iter_intra_candidates(
     world: World, protocol: Protocol, nid: int
 ) -> Iterator[Candidate]:
-    """Every *possibly effective* canonical candidate involving ``nid``.
+    """Every *possibly effective* intra-component candidate at ``nid``.
 
-    Prunes with the protocol's hot/pair/port hints (all over-approximate,
-    so no effective candidate is missed); the caller evaluates the
-    survivors. When the world is bound to an *exact* compiled program
-    (``repro.core.program``), the hints are resolved on interned state ids
-    — the per-state hot bitmask, the pair index, and the oriented port
-    hints — and the per-``(state, port, bond)`` static-effectiveness index
-    additionally discards candidates **no** rule can ever fire on before
-    any geometry probe or dispatch happens. Candidates whose two endpoints
-    are both enumerated (e.g. both dirty, or both hot) are yielded once
-    per endpoint — deduplicate by :func:`candidate_key`.
+    The (at most one per port) grid-adjacent pairs, probed on the packed
+    occupancy of the component's geometry snapshot and pruned by the same
+    hot/pair/static-effectiveness hints as the inter axis. Shared by the
+    scalar enumeration and the columnar batch path (which vectorizes only
+    the population-sized inter axis — a node has at most ``|ports|`` intra
+    candidates, so the scalar probe is already minimal).
     """
     program = protocol.program
     compiled = (
@@ -199,15 +206,13 @@ def iter_node_candidates(
     rec = nodes[nid]
     comp = world.components[rec.component_id]
     sid = rec.sid
-    decode = world.space.states
     if compiled:
         hot_mask = program.hot_mask
         nid_hot = bool(hot_mask >> sid & 1)
     else:
+        decode = world.space.states
         state = decode[sid]
         nid_hot = protocol.is_hot(state)
-    # Intra-component: the (at most one per port) grid-adjacent pairs,
-    # probed on the packed occupancy of the component's geometry snapshot.
     geom = world.geometry(comp)
     ppos = geom.pos_of[nid]
     deltas = orientation_port_deltas(rec.orientation)
@@ -237,6 +242,39 @@ def iter_node_candidates(
         ):
             continue  # statically ineffective: no rule has these endpoints
         yield cand
+
+
+def iter_node_candidates(
+    world: World, protocol: Protocol, nid: int
+) -> Iterator[Candidate]:
+    """Every *possibly effective* canonical candidate involving ``nid``.
+
+    Prunes with the protocol's hot/pair/port hints (all over-approximate,
+    so no effective candidate is missed); the caller evaluates the
+    survivors. When the world is bound to an *exact* compiled program
+    (``repro.core.program``), the hints are resolved on interned state ids
+    — the per-state hot bitmask, the pair index, and the oriented port
+    hints — and the per-``(state, port, bond)`` static-effectiveness index
+    additionally discards candidates **no** rule can ever fire on before
+    any geometry probe or dispatch happens. Candidates whose two endpoints
+    are both enumerated (e.g. both dirty, or both hot) are yielded once
+    per endpoint — deduplicate by :func:`candidate_key`.
+    """
+    program = protocol.program
+    compiled = (
+        program is not None and world.space is program.space and program.exact
+    )
+    nodes = world.nodes
+    rec = nodes[nid]
+    sid = rec.sid
+    decode = world.space.states
+    if compiled:
+        hot_mask = program.hot_mask
+        nid_hot = bool(hot_mask >> sid & 1)
+    else:
+        state = decode[sid]
+        nid_hot = protocol.is_hot(state)
+    yield from iter_intra_candidates(world, protocol, nid)
     # Inter-component: nid against every node of another component whose
     # state passes the hints, oriented by component id.
     for partner_sid, members in world.by_sid.items():
@@ -311,7 +349,7 @@ def hot_effective_candidates(
                 if update is not None:
                     entries[key] = (cand, update)
     out = list(entries.values())
-    out.sort(key=lambda cu: candidate_sort_key(cu[0]))
+    out.sort(key=lambda cu: packed_sort_key(cu[0]))
     return out
 
 
@@ -362,7 +400,7 @@ def reference_effective_candidates(
         update = evaluate(protocol, world, cand)
         if update is not None:
             effective.append((cand, update))
-    effective.sort(key=lambda cu: candidate_sort_key(cu[0]))
+    effective.sort(key=lambda cu: packed_sort_key(cu[0]))
     return effective, permissible
 
 
@@ -406,19 +444,51 @@ class EffectiveCandidateCache:
     (``benchmarks/bench_splits.py``) and as a cross-check oracle.
     """
 
-    def __init__(self, split_delta: bool = True) -> None:
+    def __init__(
+        self, split_delta: bool = True, columnar: Optional[bool] = None
+    ) -> None:
         self._world: Optional[World] = None
         self._protocol: Optional[Protocol] = None
         self._cursor = 0
         self._delta_cursor = 0
         self.split_delta = split_delta
+        #: Columnar backend resolved against the process default
+        #: (``REPRO_COLUMNAR`` / :func:`repro.core.columnar.resolve_columnar`).
+        self.columnar = resolve_columnar(columnar)
+        self._batch: Optional[BatchContext] = None
         self._comp_versions: Dict[int, int] = {}
         self._comp_members: Dict[int, Tuple[int, ...]] = {}
         #: key -> (sort key, entry): the sort key is computed once per
         #: insertion instead of once per entry per refresh-sort.
-        self._entries: Dict[CandidateKey, Tuple[tuple, Entry]] = {}
+        self._entries: Dict[CandidateKey, Tuple[SortKey, Entry]] = {}
         self._by_node: Dict[int, Set[CandidateKey]] = {}
         self._sorted: Optional[List[Entry]] = None
+        # The dense columnar store, active whenever a BatchContext is (an
+        # exact compiled program + numpy). Entries live *only* as aligned
+        # int64 columns in canonical ``(hi, lo)`` order — identity key,
+        # sort-key halves, update — plus a lazy entry column materialized
+        # per selected candidate. ``_entries``/``_by_node`` stay empty in
+        # this mode; invalidation, pruning, and the canonical merge all
+        # run as array ops.
+        self._dense = False
+        self._d_id = None
+        self._d_hi = None
+        self._d_lo = None
+        self._d_upd = None
+        self._d_ent = None
+        #: Generated-row chunks awaiting the canonical merge (dense mode).
+        self._d_new: List[tuple] = []
+        #: Rows marked dropped but not yet compressed out (one compress
+        #: per refresh instead of one per delta record).
+        self._d_drop = None
+        #: Lazy (nid1, nid2, is_inter) columns of the store, shared by
+        #: every prune/invalidate pass between structural changes.
+        self._d_cols = None
+        #: Re-seeded rows awaiting the merge: ``(key, hi, lo, cand,
+        #: update)`` — kept as Python rows (reseeds are rare) so the
+        #: split/move prune can still probe them individually.
+        self._pending_rows: List[tuple] = []
+        self._pending_keys: Set[CandidateKey] = set()
         #: Protocol-delta evaluations performed (the scheduler cost metric
         #: reported by ``benchmarks/bench_schedulers.py``).
         self.evaluations = 0
@@ -452,6 +522,16 @@ class EffectiveCandidateCache:
         self._cursor = world.change_cursor()
         deltas = world.deltas_since(self._delta_cursor)
         self._delta_cursor = world.delta_cursor()
+        self._batch = (
+            self._make_batch(world, protocol) if self.columnar else None
+        )
+        if (self._batch is not None) != self._dense:
+            # The generation regime changed under the binding (space swap,
+            # program rebind, backend toggle): rebuild into the other
+            # representation — never patch one store with the other's rows.
+            self._rebuild(world, protocol, evaluate)
+            assert self._sorted is not None
+            return self._sorted
         if deltas:
             # Records replay in mutation order, so each component's version
             # trail can be followed bump by bump across a whole gap of
@@ -474,19 +554,22 @@ class EffectiveCandidateCache:
         # trail broke mid-gap, a truncated delta journal) is swept coarsely.
         self._sweep_component_versions(world, dirty)
         if dirty:
-            self._invalidate(dirty)
-            seen: Set[CandidateKey] = set()
-            for nid in sorted(dirty):
-                if nid in world.nodes:
-                    self._generate_for_node(world, protocol, evaluate, nid, seen)
+            if self._dense:
+                self._dense_invalidate(dirty)
+                self._dense_generate(
+                    world, protocol, evaluate, sorted(dirty)
+                )
+            else:
+                self._invalidate(dirty)
+                seen: Set[CandidateKey] = set()
+                for nid in sorted(dirty):
+                    if nid in world.nodes:
+                        self._generate_for_node(
+                            world, protocol, evaluate, nid, seen
+                        )
             self._sorted = None
         if self._sorted is None:
-            self._sorted = [
-                entry
-                for _key, entry in sorted(
-                    self._entries.values(), key=itemgetter(0)
-                )
-            ]
+            self._finalize_sorted()
         return self._sorted
 
     # ------------------------------------------------------------------
@@ -511,17 +594,297 @@ class EffectiveCandidateCache:
             for cid, comp in world.components.items()
         }
         self.full_rebuilds += 1
-        seen: Set[CandidateKey] = set()
+        self._d_id = self._d_hi = self._d_lo = None
+        self._d_upd = self._d_ent = None
+        self._d_new = []
+        self._d_drop = None
+        self._d_cols = None
+        self._pending_rows = []
+        self._pending_keys = set()
+        self._batch = (
+            self._make_batch(world, protocol) if self.columnar else None
+        )
+        self._dense = self._batch is not None
         is_hot = _hot_sid_check(world, protocol)
-        for sid in world.by_sid:
-            if not is_hot(sid):
-                continue
-            for nid in world.by_sid[sid]:
-                self._generate_for_node(world, protocol, evaluate, nid, seen)
-        self._sorted = [
-            entry
-            for _key, entry in sorted(self._entries.values(), key=itemgetter(0))
-        ]
+        if self._dense:
+            hot = [
+                nid
+                for sid in world.by_sid
+                if is_hot(sid)
+                for nid in world.by_sid[sid]
+            ]
+            self._dense_generate(world, protocol, evaluate, hot)
+        else:
+            seen: Set[CandidateKey] = set()
+            for sid in world.by_sid:
+                if not is_hot(sid):
+                    continue
+                for nid in world.by_sid[sid]:
+                    self._generate_for_node(
+                        world, protocol, evaluate, nid, seen
+                    )
+        self._finalize_sorted()
+
+    def _make_batch(
+        self, world: World, protocol: Protocol
+    ) -> Optional[BatchContext]:
+        """A batch-generation context, when the regime allows one.
+
+        Requires numpy and an exact compiled program bound to this world's
+        space: exactness is what makes the oriented bond-0 hints a complete
+        static-effectiveness filter, so batch dispatch (one table hit per
+        group) evaluates exactly the candidate set the scalar path does.
+        """
+        if _col.np is None:
+            return None
+        program = protocol.program
+        if (
+            program is None
+            or world.space is not program.space
+            or not program.exact
+        ):
+            return None
+        if len(world.components) > _col.MAX_TAG_COMPONENTS:
+            return None  # pragma: no cover - beyond occupancy-tag range
+        idx = get_index(world)
+        idx.sync()
+        return BatchContext(world, protocol, program, idx)
+
+    def _finalize_sorted(self) -> None:
+        """Materialize the canonical sorted list.
+
+        Dense mode: merge the generated-row chunks and re-seeded rows
+        into the sorted int64 store (C-level compress + merge) and hand
+        out a lazy sequence view. Fallback: the historical full sort of
+        the dict entry values.
+        """
+        if self._dense:
+            self._sorted = self._d_finalize()
+        else:
+            self._sorted = [
+                entry
+                for _key, entry in sorted(
+                    self._entries.values(), key=itemgetter(0)
+                )
+            ]
+
+    # -- the dense sorted store (columnar mode) ------------------------
+
+    def _d_finalize(self) -> "_DenseView":
+        """Merge pending rows into the canonical (hi, lo)-sorted store."""
+        np = _col.np
+        if self._d_drop is not None:
+            # Prunes ran but no node went dirty: apply the deferred drops
+            # before any positional merge below.
+            self._d_compress(~self._d_drop)
+            self._d_drop = None
+        chunks = self._d_new
+        pend = self._pending_rows
+        self._d_new = []
+        if pend:
+            self._pending_rows = []
+            self._pending_keys = set()
+            n = len(pend)
+            ids = np.fromiter((r[0] for r in pend), np.int64, count=n)
+            his = np.fromiter((r[1] for r in pend), np.int64, count=n)
+            los = np.fromiter((r[2] for r in pend), np.int64, count=n)
+            upds = np.empty(n, dtype=object)
+            ents = np.empty(n, dtype=object)
+            for j, r in enumerate(pend):
+                upds[j] = r[4]
+                ents[j] = (r[3], r[4])
+            chunks = chunks + [(ids, his, los, upds, ents)]
+        if chunks:
+            ids = np.concatenate([c[0] for c in chunks])
+            his = np.concatenate([c[1] for c in chunks])
+            los = np.concatenate([c[2] for c in chunks])
+            upds = np.concatenate([c[3] for c in chunks])
+            ents = np.concatenate([c[4] for c in chunks])
+            order = np.lexsort((los, his))
+            ids, his, los = ids[order], his[order], los[order]
+            upds, ents = upds[order], ents[order]
+            store = self._d_id
+            if (
+                store is None
+                or not len(store)
+                or len(ids) * 4 >= max(64, len(store))
+            ):
+                if store is not None and len(store):
+                    ids = np.concatenate([store, ids])
+                    his = np.concatenate([self._d_hi, his])
+                    los = np.concatenate([self._d_lo, los])
+                    upds = np.concatenate([self._d_upd, upds])
+                    ents = np.concatenate([self._d_ent, ents])
+                    order = np.lexsort((los, his))
+                    ids, his, los = ids[order], his[order], los[order]
+                    upds, ents = upds[order], ents[order]
+                self._d_id, self._d_hi, self._d_lo = ids, his, los
+                self._d_upd, self._d_ent = upds, ents
+            else:
+                d_hi, d_lo = self._d_hi, self._d_lo
+                pos = d_hi.searchsorted(his, side="left")
+                # A tie run starts exactly where the first >= element
+                # equals the incoming hi — one gather finds them all.
+                ties = np.nonzero(
+                    (pos < len(d_hi))
+                    & (d_hi[np.minimum(pos, len(d_hi) - 1)] == his)
+                )[0]
+                for j in ties.tolist():
+                    # Runs of equal ``hi`` (distinct alignments of one
+                    # port pair) are rare and tiny; order them by ``lo``.
+                    p = int(pos[j])
+                    hi, lo = int(his[j]), int(los[j])
+                    while p < len(d_hi) and d_hi[p] == hi and d_lo[p] < lo:
+                        p += 1
+                    pos[j] = p
+                self._d_id = np.insert(self._d_id, pos, ids)
+                self._d_hi = np.insert(self._d_hi, pos, his)
+                self._d_lo = np.insert(self._d_lo, pos, los)
+                self._d_upd = np.insert(self._d_upd, pos, upds)
+                self._d_ent = np.insert(self._d_ent, pos, ents)
+            self._d_cols = None
+        elif self._d_id is None:
+            self._d_id = np.empty(0, dtype=np.int64)
+            self._d_hi = np.empty(0, dtype=np.int64)
+            self._d_lo = np.empty(0, dtype=np.int64)
+            self._d_upd = np.empty(0, dtype=object)
+            self._d_ent = np.empty(0, dtype=object)
+        return _DenseView(
+            self._d_id, self._d_hi, self._d_lo, self._d_upd, self._d_ent
+        )
+
+    def _d_compress(self, keep) -> None:
+        self._d_id = self._d_id[keep]
+        self._d_hi = self._d_hi[keep]
+        self._d_lo = self._d_lo[keep]
+        self._d_upd = self._d_upd[keep]
+        self._d_ent = self._d_ent[keep]
+        self._d_cols = None
+
+    def _d_endpoints(self):
+        """The (nid1, nid2, is_inter) columns of the store, memoized."""
+        cols = self._d_cols
+        if cols is None:
+            ids = self._d_id
+            n1 = ids >> _col.K_NID1_SHIFT
+            n2 = (ids >> _col.K_NID2_SHIFT) & (_col.NID_LIMIT - 1)
+            cols = (n1, n2, (ids & _col.KEY_ROT_MASK) != 0)
+            self._d_cols = cols
+        return cols
+
+    def _d_contains(self, hi: int, lo: int) -> bool:
+        """Whether the store holds the row with this exact sort key (the
+        key determines the placement within one configuration, so this is
+        identity containment)."""
+        d_hi = self._d_hi
+        if d_hi is None or len(d_hi) == 0:
+            return False
+        np = _col.np
+        p = int(np.searchsorted(d_hi, hi, side="left"))
+        d_lo = self._d_lo
+        while p < len(d_hi) and d_hi[p] == hi:
+            if d_lo[p] == lo:
+                return self._d_drop is None or not self._d_drop[p]
+            p += 1
+        return False
+
+    def _dense_invalidate(self, dirty: Set[int]) -> None:
+        """Drop every stored or pending row with a dirty endpoint."""
+        np = _col.np
+        ids = self._d_id
+        if ids is not None and len(ids):
+            dirty_arr = np.fromiter(dirty, np.int64, count=len(dirty))
+            dirty_arr.sort()
+            n1, n2, _inter = self._d_endpoints()
+            hit = _col.in_sorted(n1, dirty_arr)
+            hit |= _col.in_sorted(n2, dirty_arr)
+            if self._d_drop is not None:
+                hit |= self._d_drop
+                self._d_drop = None
+            if hit.any():
+                self._d_compress(~hit)
+        if self._pending_rows:
+            kept = []
+            for row in self._pending_rows:
+                key = row[0]
+                if key_nid1(key) in dirty or key_nid2(key) in dirty:
+                    self._pending_keys.discard(key)
+                else:
+                    kept.append(row)
+            self._pending_rows = kept
+
+    def _dense_generate(
+        self,
+        world: World,
+        protocol: Protocol,
+        evaluate: Callable[[Protocol, World, Candidate], Optional[Update]],
+        nids,
+    ) -> None:
+        """Regenerate entries for a batch of dirty nodes as array chunks.
+
+        The population-sized inter axis runs on the batch kernels
+        (:meth:`BatchContext.inter_rows`); deduplication by identity key
+        reproduces the scalar evaluation count (each generated inter row
+        is one candidate the scalar path would have evaluated — the
+        oriented hints of an exact program are a complete
+        static-effectiveness filter, so none evaluates to ``None``).
+        Intra candidates (at most ``|ports|`` per node) stay scalar.
+        """
+        np = _col.np
+        live = [nid for nid in nids if nid in world.nodes]
+        if not live:
+            return
+        self.refreshed_nodes += len(live)
+        sink: List[tuple] = []
+        self._batch.inter_rows(live, sink)
+        total = sum(len(c[0]) for c in sink)
+        if total:
+            keys = np.concatenate([c[0] for c in sink])
+            his = np.concatenate([c[1] for c in sink])
+            los = np.concatenate([c[2] for c in sink])
+            upds = np.empty(total, dtype=object)
+            o = 0
+            for c in sink:
+                n = len(c[0])
+                if n:
+                    upds[o:o + n].fill(c[3])
+                o += n
+            uk, ui = np.unique(keys, return_index=True)
+            evals = len(uk)
+            self.evaluations += evals
+            sched = getattr(evaluate, "__self__", None)
+            if sched is not None:
+                sched.evaluations += evals
+            self._d_new.append(
+                (uk, his[ui], los[ui], upds[ui], np.empty(evals, object))
+            )
+            self._sorted = None
+        seen: Set[CandidateKey] = set()
+        irows: List[tuple] = []
+        for nid in live:
+            for cand in iter_intra_candidates(world, protocol, nid):
+                key = candidate_key(cand)
+                if key in seen:
+                    continue  # regenerated from the partner this refresh
+                seen.add(key)
+                self.evaluations += 1
+                update = evaluate(protocol, world, cand)
+                if update is None:
+                    continue
+                hi, lo = packed_sort_key(cand)
+                irows.append((key, hi, lo, (cand, update), update))
+        if irows:
+            n = len(irows)
+            ids = np.fromiter((r[0] for r in irows), np.int64, count=n)
+            his = np.fromiter((r[1] for r in irows), np.int64, count=n)
+            los = np.fromiter((r[2] for r in irows), np.int64, count=n)
+            upds = np.empty(n, dtype=object)
+            ents = np.empty(n, dtype=object)
+            for j, r in enumerate(irows):
+                ents[j] = r[3]
+                upds[j] = r[4]
+            self._d_new.append((ids, his, los, upds, ents))
+            self._sorted = None
 
     def _sweep_component_versions(self, world: World, dirty: Set[int]) -> None:
         """Fold component-version movement into the dirty node set."""
@@ -551,7 +914,8 @@ class EffectiveCandidateCache:
             for key in keys:
                 if self._entries.pop(key, None) is None:
                     continue
-                other = key[2] if key[0] == nid else key[0]
+                nid1 = key_nid1(key)
+                other = key_nid2(key) if nid1 == nid else nid1
                 peer = self._by_node.get(other)
                 if peer is not None:
                     peer.discard(key)
@@ -560,7 +924,7 @@ class EffectiveCandidateCache:
         """Remove one entry and unindex it from both endpoints."""
         if self._entries.pop(key, None) is None:
             return
-        for nid in (key[0], key[2]):
+        for nid in (key_nid1(key), key_nid2(key)):
             peers = self._by_node.get(nid)
             if peers is not None:
                 peers.discard(key)
@@ -617,15 +981,25 @@ class EffectiveCandidateCache:
         *remove* permissible placements, so dropping exactly the colliding
         entries keeps the cache equal to the reference.
         """
+        if self._dense:
+            self._prune_survivors_dense(world, survivors, new_cells, dirty)
+            self._prune_pending(world, survivors, new_cells, dirty)
+            return
         nodes = world.nodes
         components = world.components
+        np = _col.np
+        new_arr = None
+        if np is not None and len(new_cells) >= 8:
+            new_arr = np.fromiter(
+                new_cells, dtype=np.int64, count=len(new_cells)
+            )
         for nid in survivors:
             if nid in dirty:
                 continue  # already slated for full regeneration
             keys = self._by_node.get(nid)
             if not keys:
                 continue
-            for key in [k for k in keys if k[4] is not None]:
+            for key in [k for k in keys if key_is_inter(k)]:
                 item = self._entries.get(key)
                 if item is None:
                     continue
@@ -652,21 +1026,199 @@ class EffectiveCandidateCache:
                     # This side has the smaller cid: the partner is placed
                     # into this frame — collide its placed cells with the
                     # newly occupied ones.
-                    collides = any(
-                        (cell + trans) in new_cells
-                        for cell in g_other.rotated(cand.rotation)
-                    )
+                    if new_arr is not None and len(g_other.occ) >= 8:
+                        collides = bool(
+                            np.isin(
+                                g_other.rotated_array(cand.rotation) + trans,
+                                new_arr,
+                            ).any()
+                        )
+                    else:
+                        collides = any(
+                            (cell + trans) in new_cells
+                            for cell in g_other.rotated(cand.rotation)
+                        )
                 else:
                     # Partner frame hosts the placement: map the new cells
                     # into it and probe the partner's occupancy.
-                    rotate = packed_rotation(cand.rotation)
-                    occ = g_other.occ
-                    collides = any(
-                        (rotate(cell) + trans) in occ for cell in new_cells
-                    )
+                    if new_arr is not None and len(g_other.occ) >= 8:
+                        collides = bool(
+                            np.isin(
+                                _col.rotate_cells(cand.rotation, new_arr)
+                                + trans,
+                                g_other.occ_array(),
+                            ).any()
+                        )
+                    else:
+                        rotate = packed_rotation(cand.rotation)
+                        occ = g_other.occ
+                        collides = any(
+                            (rotate(cell) + trans) in occ
+                            for cell in new_cells
+                        )
                 if collides:
                     self._drop_entry(key)
                     self._sorted = None
+
+    def _prune_survivors_dense(
+        self,
+        world: World,
+        survivors: Tuple[int, ...],
+        new_cells: FrozenSet[int],
+        dirty: Set[int],
+    ) -> None:
+        """The merge prune over the dense store: one vectorized sweep.
+
+        Selects the surviving inter rows with array masks, resolves the
+        partner-side component trail per *component* instead of per
+        entry, probes singleton partners in one membership gather per
+        rotation code, and leaves only multi-cell partners (few per
+        merge) to per-row probes — same decisions as the scalar walk.
+        """
+        np = _col.np
+        ids = self._d_id
+        if ids is None or not len(ids) or not survivors or not new_cells:
+            return
+        surv = np.fromiter(survivors, np.int64, count=len(survivors))
+        surv.sort()
+        n1, n2, inter = self._d_endpoints()
+        s1 = _col.in_sorted(n1, surv)
+        m = s1 | _col.in_sorted(n2, surv)
+        m &= inter
+        if self._d_drop is not None:
+            m &= ~self._d_drop
+        rows = np.nonzero(m)[0]
+        if dirty and len(rows):
+            # The dirty filter only matters on the selected rows — keep
+            # the full-store passes to the survivor masks above.
+            dirty_arr = np.fromiter(dirty, np.int64, count=len(dirty))
+            dirty_arr.sort()
+            ok = ~_col.in_sorted(n1[rows], dirty_arr)
+            ok &= ~_col.in_sorted(n2[rows], dirty_arr)
+            rows = rows[ok]
+        if not len(rows):
+            return
+        first = s1[rows]  # survivor is nid1: partner placed in this frame
+        mine = np.where(first, n1[rows], n2[rows])
+        partner = np.where(first, n2[rows], n1[rows])
+        batch = self._batch
+        pcid = batch.idx.cid[partner]
+        components = world.components
+        clean = np.ones(len(rows), dtype=bool)
+        for cid in np.unique(pcid).tolist():
+            comp = components.get(cid)
+            if (
+                comp is None
+                or self._comp_versions.get(cid) != comp.version
+            ):
+                # Partner component changed in the same gap: re-examine
+                # the survivor side wholesale (see the scalar walk).
+                sel = pcid == cid
+                clean[sel] = False
+                dirty.update(mine[sel].tolist())
+        if not clean.any():
+            return
+        trans = (self._d_lo[rows] & _col._LO_TRANS_MASK) - _col.PACKED_ORIGIN
+        codes = ids[rows] & _col.KEY_ROT_MASK
+        ptag = batch.node_tag[partner]
+        occ_tags = batch.occ_tags
+        new_arr = np.fromiter(new_cells, np.int64, count=len(new_cells))
+        drop = np.zeros(len(rows), dtype=bool)
+        for code in np.unique(codes[clean]).tolist():
+            rot = _col.ROT_BY_CODE[code - 1]
+            sel = clean & (codes == code)
+            a = sel & first
+            if a.any():
+                # Partner placed into the survivor's frame: a collision
+                # with a new cell, pulled back into the partner frame by
+                # the inverse rotation, lands on the partner's occupancy
+                # — which the global tag array answers for every row.
+                inv = rot.inverse()
+                inv_new = _col.rotate_cells(inv, new_arr)
+                inv_t = (
+                    _col.rotate_cells(inv, trans[a] + _col.PACKED_ORIGIN)
+                    - _col.PACKED_ORIGIN
+                )
+                probes = (ptag[a] - inv_t)[:, None] + inv_new[None, :]
+                drop[a] = (
+                    _col.in_sorted(probes.reshape(-1), occ_tags)
+                    .reshape(probes.shape)
+                    .any(axis=1)
+                )
+            b = sel & ~first
+            if b.any():
+                # Partner hosts: map the new cells into its frame and
+                # probe its occupancy through the tags.
+                rnew = _col.rotate_cells(rot, new_arr)
+                probes = (ptag[b] + trans[b])[:, None] + rnew[None, :]
+                drop[b] = (
+                    _col.in_sorted(probes.reshape(-1), occ_tags)
+                    .reshape(probes.shape)
+                    .any(axis=1)
+                )
+        if drop.any():
+            # Defer the physical removal: mark the rows and compress once
+            # per refresh (in invalidate or finalize), not once per record.
+            if self._d_drop is None:
+                self._d_drop = np.zeros(len(ids), dtype=bool)
+            self._d_drop[rows[drop]] = True
+            self._sorted = None
+
+    def _prune_pending(
+        self,
+        world: World,
+        survivors: Tuple[int, ...],
+        new_cells: FrozenSet[int],
+        dirty: Set[int],
+    ) -> None:
+        """The merge prune over not-yet-merged re-seeded rows (scalar —
+        reseeds are rare), mirroring the decisions of the stored walk."""
+        if not self._pending_rows or not survivors or not new_cells:
+            return
+        sset = set(survivors)
+        nodes = world.nodes
+        components = world.components
+        kept = []
+        for row in self._pending_rows:
+            key, _hi, _lo, cand, _update = row
+            drop = False
+            if key_is_inter(key):
+                if cand.nid1 in sset:
+                    nid, other = cand.nid1, cand.nid2
+                elif cand.nid2 in sset:
+                    nid, other = cand.nid2, cand.nid1
+                else:
+                    nid = None
+                if nid is not None and nid not in dirty and other not in dirty:
+                    other_cid = nodes[other].component_id
+                    other_comp = components.get(other_cid)
+                    if (
+                        other_comp is None
+                        or self._comp_versions.get(other_cid)
+                        != other_comp.version
+                    ):
+                        dirty.add(nid)
+                    else:
+                        g_other = world.geometry(other_comp)
+                        trans = pack_delta(cand.translation)
+                        if cand.nid1 == nid:
+                            drop = any(
+                                (cell + trans) in new_cells
+                                for cell in g_other.rotated(cand.rotation)
+                            )
+                        else:
+                            rotate = packed_rotation(cand.rotation)
+                            occ = g_other.occ
+                            drop = any(
+                                (rotate(cell) + trans) in occ
+                                for cell in new_cells
+                            )
+            if drop:
+                self._pending_keys.discard(key)
+                self._sorted = None
+            else:
+                kept.append(row)
+        self._pending_rows = kept
 
     def _apply_split_delta(
         self,
@@ -1012,13 +1564,25 @@ class EffectiveCandidateCache:
                 return
         cand = Candidate(nid1, p1, nid2, p2, 0, rot, unpack_delta(trans))
         key = candidate_key(cand)
+        if self._dense:
+            hi, lo = packed_sort_key(cand)
+            if key in self._pending_keys or self._d_contains(hi, lo):
+                return  # already cached (a surviving or re-seeded row)
+            self.evaluations += 1
+            update = evaluate(protocol, world, cand)
+            if update is None:
+                return
+            self._pending_rows.append((key, hi, lo, cand, update))
+            self._pending_keys.add(key)
+            self._sorted = None
+            return
         if key in self._entries:
             return  # already cached (a surviving or just-reseeded entry)
         self.evaluations += 1
         update = evaluate(protocol, world, cand)
         if update is None:
             return
-        self._entries[key] = (candidate_sort_key(cand), (cand, update))
+        self._entries[key] = (packed_sort_key(cand), (cand, update))
         self._by_node.setdefault(cand.nid1, set()).add(key)
         self._by_node.setdefault(cand.nid2, set()).add(key)
         self._sorted = None
@@ -1035,6 +1599,8 @@ class EffectiveCandidateCache:
         a candidate whose endpoints are both being regenerated (or an
         ineffective one) is evaluated once, not once per endpoint."""
         self.refreshed_nodes += 1
+        entries = self._entries
+        by_node = self._by_node
         for cand in iter_node_candidates(world, protocol, nid):
             key = candidate_key(cand)
             if key in seen:
@@ -1044,6 +1610,72 @@ class EffectiveCandidateCache:
             update = evaluate(protocol, world, cand)
             if update is None:
                 continue
-            self._entries[key] = (candidate_sort_key(cand), (cand, update))
-            self._by_node.setdefault(cand.nid1, set()).add(key)
-            self._by_node.setdefault(cand.nid2, set()).add(key)
+            entries[key] = (packed_sort_key(cand), (cand, update))
+            by_node.setdefault(cand.nid1, set()).add(key)
+            by_node.setdefault(cand.nid2, set()).add(key)
+
+
+class _DenseView:
+    """Sequence view over the dense store's sorted columns.
+
+    The canonical effective list without per-refresh Python
+    materialization: a :class:`~repro.core.world.Candidate` is rebuilt
+    from its int row (:func:`repro.core.columnar.candidate_from_row`)
+    only when accessed — a scheduler selects one entry per event — and
+    memoized in the shared entry column, so rows surviving across events
+    materialize at most once. Supports exactly what the schedulers, the
+    hybrid mover and the equivalence tests use: ``len``, integer/slice
+    indexing, iteration, truthiness, and ``==`` against lists of entries
+    (both orientations — ``list.__eq__`` returns ``NotImplemented`` for
+    a view, so Python falls through to the reflected comparison here).
+    """
+
+    __slots__ = ("_id", "_hi", "_lo", "_upd", "_ent")
+
+    def __init__(self, ids, his, los, upds, ents) -> None:
+        self._id = ids
+        self._hi = his
+        self._lo = los
+        self._upd = upds
+        self._ent = ents
+
+    def _entry(self, i: int):
+        ent = self._ent[i]
+        if ent is None:
+            cand = _col.candidate_from_row(
+                int(self._id[i]), int(self._hi[i]), int(self._lo[i])
+            )
+            ent = (cand, self._upd[i])
+            self._ent[i] = ent
+        return ent
+
+    def __len__(self) -> int:
+        return len(self._id)
+
+    def __getitem__(self, i):
+        if isinstance(i, slice):
+            return [self._entry(j) for j in range(*i.indices(len(self._id)))]
+        if i < 0:
+            i += len(self._id)
+        if not 0 <= i < len(self._id):
+            raise IndexError(i)
+        return self._entry(i)
+
+    def __iter__(self):
+        for i in range(len(self._id)):
+            yield self._entry(i)
+
+    def __bool__(self) -> bool:
+        return len(self._id) > 0
+
+    def __eq__(self, other):
+        if isinstance(other, _DenseView):
+            other = list(other)
+        if isinstance(other, (list, tuple)):
+            return list(self) == list(other)
+        return NotImplemented
+
+    __hash__ = None  # mutable view
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"_DenseView({list(self)!r})"

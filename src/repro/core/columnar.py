@@ -1,0 +1,811 @@
+"""Columnar state backend: struct-of-arrays mirrors of the dict world.
+
+The interaction engine's dict-of-records representation is the source of
+truth; this module maintains *flat integer columns* over it — one slot per
+node id for the interned state (``sid``), owning component id (``cid``),
+component size, packed cell, and interned orientation — plus per-state
+member arrays, all kept in sync **through the existing journals** (the
+``World`` change journal for per-node attribute writes, component
+``version`` counters for geometry/membership movement). There is no
+parallel write path: a mutation that reaches the cache's journals reaches
+the columns, and nothing else can move them.
+
+On top of the columns, :class:`BatchContext` rewrites the candidate
+layer's three hot kernels as batch operations over whole dirty
+neighborhoods:
+
+1. *static-effectiveness filtering* — the PR 4 ``can_fire`` / hot / pair
+   indexes applied once per partner *state* with the survivors gathered
+   as boolean masks over the member arrays, instead of one bit probe per
+   node;
+2. *occupancy-collision pruning* — singleton-partner placements are
+   resolved by vectorized membership tests against the packed occupancy
+   arrays (and, for the hosting orientation, by one per-rotation probe
+   that covers every partner of a group at once, since the component's
+   placement relative to a single-cell host is fixed within the group);
+3. *transition dispatch* — one packed-key table hit per ``(state pair,
+   port pair)`` group serves the whole group; per-candidate dispatch
+   collapses into array arithmetic feeding the scheduler's canonical
+   sort.
+
+The backend needs ``numpy``; without it (or with ``REPRO_COLUMNAR=0`` /
+``columnar=False``) every consumer falls back to the pure-Python scalar
+path, bit-identical in trajectory, with plain ``array``-module columns
+still available for coherence testing.
+
+Packed candidate keys
+---------------------
+
+The candidate layer's identity and sort keys are packed ints, built to be
+*order-isomorphic* to the historical tuple keys (pinned by
+``tests/test_columnar.py``):
+
+* identity: ``nid1 << 37 | port1_rank << 34 | nid2 << 8 | port2_rank << 5
+  | rotation_code`` (rotation code 0 = intra);
+* sort key: a ``(hi, lo)`` pair — ``hi`` packs ``(nid1, port1_rank, nid2,
+  port2_rank, bond)``, ``lo`` packs ``(rotation_code, translation)`` —
+  each half fitting an int64 so the cache can keep its canonical order in
+  sorted numpy arrays and merge per-event deltas in C instead of
+  re-sorting the whole effective list every event.
+
+Port ranks order ports by their string value and rotation codes order
+matrices by their tuple form, exactly as the tuple keys compared.
+"""
+
+from __future__ import annotations
+
+import os
+from array import array
+from typing import Dict, Optional, Set, Tuple
+
+try:  # pragma: no cover - exercised through both CI legs
+    import numpy as _np
+except ImportError:  # pragma: no cover - the REPRO_COLUMNAR=0 leg
+    _np = None
+
+from repro.geometry.packed import (
+    PACKED_ORIGIN,
+    orientation_port_deltas,
+    packed_rotation,
+    packed_rotations_mapping,
+    unpack_delta,
+)
+from repro.geometry.ports import PORTS_3D
+from repro.geometry.rotation import ROTATIONS_2D, ROTATIONS_3D
+from repro.core.world import Candidate
+
+np = _np  # re-exported: ``None`` means the fallback backend
+
+# ----------------------------------------------------------------------
+# Backend selection
+# ----------------------------------------------------------------------
+
+_FALSEY = {"0", "false", "no", "off"}
+_default: Optional[bool] = None
+
+
+def _env_default() -> bool:
+    return os.environ.get("REPRO_COLUMNAR", "1").strip().lower() not in _FALSEY
+
+
+def columnar_default() -> bool:
+    """Whether the columnar backend is on by default for this process.
+
+    ``True`` requires numpy; the ``REPRO_COLUMNAR=0`` environment flag (or
+    :func:`set_columnar_default`) forces the pure-Python fallback.
+    """
+    enabled = _default if _default is not None else _env_default()
+    return bool(enabled and np is not None)
+
+
+def set_columnar_default(enabled: Optional[bool]) -> None:
+    """Override the process default (``None`` restores the env rule)."""
+    global _default
+    _default = enabled
+
+
+def resolve_columnar(columnar: Optional[bool]) -> bool:
+    """Resolve a per-call ``columnar`` option against the process default."""
+    if columnar is None:
+        return columnar_default()
+    return bool(columnar and np is not None)
+
+
+def backend_name(columnar: Optional[bool] = None) -> str:
+    """Human-readable backend a run with this option would use."""
+    if resolve_columnar(columnar):
+        return "columnar (numpy)"
+    if np is None and (columnar or columnar is None and _env_default()):
+        return "fallback (pure Python; numpy not installed)"
+    return "fallback (pure Python)"
+
+
+# ----------------------------------------------------------------------
+# Canonical rank tables (order-isomorphic to the tuple keys)
+# ----------------------------------------------------------------------
+
+#: Port -> rank in string-value order (the order tuple keys compared by).
+PORT_RANK: Dict[object, int] = {
+    port: rank
+    for rank, port in enumerate(sorted(PORTS_3D, key=lambda p: p.value))
+}
+#: Rank by packed port index (PORTS_3D order), for int-only hot paths.
+RANK_OF_INDEX: Tuple[int, ...] = tuple(PORT_RANK[p] for p in PORTS_3D)
+
+_ROTS_CANONICAL = tuple(sorted(ROTATIONS_3D, key=lambda r: r.matrix))
+
+#: Rotation matrix -> code, 1..24 in matrix-tuple order; 0 means "no
+#: rotation" (an intra candidate), which sorts first exactly as the empty
+#: tuple sorted before every matrix. The 2D group is a subgroup of the
+#: 3D one, so a single table serves both dimensions.
+ROT_CODE: Dict[tuple, int] = {
+    rot.matrix: code for code, rot in enumerate(_ROTS_CANONICAL, start=1)
+}
+assert all(r.matrix in ROT_CODE for r in ROTATIONS_2D)
+
+#: Orientation matrix -> dense id, and the packed port-delta table
+#: indexed ``[orientation_id][port_index]`` (the bitmask-gather source
+#: for partner port directions).
+ORIENT_ID: Dict[tuple, int] = {
+    rot.matrix: i for i, rot in enumerate(_ROTS_CANONICAL)
+}
+ORIENT_DELTAS = (
+    np.array(
+        [orientation_port_deltas(rot) for rot in _ROTS_CANONICAL],
+        dtype=np.int64,
+    )
+    if np is not None
+    else None
+)
+
+# ----------------------------------------------------------------------
+# Packed candidate keys
+# ----------------------------------------------------------------------
+
+_NID_BITS = 26
+NID_LIMIT = 1 << _NID_BITS
+K_P2_SHIFT = 5
+K_NID2_SHIFT = 8
+K_P1_SHIFT = 34
+K_NID1_SHIFT = 37
+KEY_ROT_MASK = 31
+
+H_P2_SHIFT = 1
+H_NID2_SHIFT = 4
+H_P1_SHIFT = 30
+H_NID1_SHIFT = 33
+L_ROT_SHIFT = 48
+
+
+def _check_nids(nid1: int, nid2: int) -> None:
+    if nid1 >= NID_LIMIT or nid2 >= NID_LIMIT:
+        raise OverflowError(
+            f"node id beyond packed candidate-key range ({NID_LIMIT}); "
+            "raise repro.core.columnar._NID_BITS"
+        )
+
+
+def packed_key(cand) -> int:
+    """Packed identity key of a canonical candidate (63 bits).
+
+    Injective over ``(nid1, port1, nid2, port2, rotation)`` — the same
+    identity the historical tuple key carried.
+    """
+    _check_nids(cand.nid1, cand.nid2)
+    rot = cand.rotation
+    return (
+        (cand.nid1 << K_NID1_SHIFT)
+        | (PORT_RANK[cand.port1] << K_P1_SHIFT)
+        | (cand.nid2 << K_NID2_SHIFT)
+        | (PORT_RANK[cand.port2] << K_P2_SHIFT)
+        | (0 if rot is None else ROT_CODE[rot.matrix])
+    )
+
+
+def key_nid1(key: int) -> int:
+    return key >> K_NID1_SHIFT
+
+
+def key_nid2(key: int) -> int:
+    return (key >> K_NID2_SHIFT) & (NID_LIMIT - 1)
+
+
+def key_is_inter(key: int) -> bool:
+    return bool(key & KEY_ROT_MASK)
+
+
+def pack_trans(t) -> int:
+    """Lexicographic image of a translation vector (0 when ``None``)."""
+    if t is None:
+        return 0
+    return ((t.x << 32) + (t.y << 16) + t.z) + PACKED_ORIGIN
+
+
+#: Port by canonical rank (inverse of PORT_RANK), for key decoding.
+PORT_BY_RANK: Tuple[object, ...] = tuple(
+    sorted(PORTS_3D, key=lambda p: p.value)
+)
+#: Rotation by code ``1..24`` (inverse of ROT_CODE), for key decoding.
+ROT_BY_CODE: Tuple[object, ...] = _ROTS_CANONICAL
+
+_LO_TRANS_MASK = (1 << L_ROT_SHIFT) - 1
+
+
+def candidate_from_row(key: int, hi: int, lo: int) -> Candidate:
+    """Rebuild the canonical candidate a ``(key, hi, lo)`` row encodes.
+
+    The identity key carries endpoints, ports and the rotation code; the
+    sort key carries the bond (``hi`` bit 0) and the packed translation
+    (``lo`` low bits). Together they determine the candidate exactly —
+    the dense columnar store keeps only these ints and materializes
+    :class:`~repro.core.world.Candidate` objects on demand.
+    """
+    nid1 = key >> K_NID1_SHIFT
+    p1 = PORT_BY_RANK[(key >> K_P1_SHIFT) & 7]
+    nid2 = (key >> K_NID2_SHIFT) & (NID_LIMIT - 1)
+    p2 = PORT_BY_RANK[(key >> K_P2_SHIFT) & 7]
+    code = key & KEY_ROT_MASK
+    bond = hi & 1
+    if code == 0:
+        return Candidate(nid1, p1, nid2, p2, bond)
+    rot = ROT_BY_CODE[code - 1]
+    trans = unpack_delta((lo & _LO_TRANS_MASK) - PACKED_ORIGIN)
+    return Candidate(nid1, p1, nid2, p2, bond, rot, trans)
+
+
+def packed_sort_key(cand) -> Tuple[int, int]:
+    """The canonical total order as an ``(hi, lo)`` int64 pair.
+
+    Strictly order-isomorphic to the historical ``candidate_sort_key``
+    tuple: ``hi`` compares ``(nid1, port1.value, nid2, port2.value,
+    bond)`` and ``lo`` compares ``(rotation.matrix,
+    translation.as_tuple())``, with intra candidates (``lo == 0``) first,
+    as ``()`` sorted before any matrix tuple.
+    """
+    _check_nids(cand.nid1, cand.nid2)
+    hi = (
+        (cand.nid1 << H_NID1_SHIFT)
+        | (PORT_RANK[cand.port1] << H_P1_SHIFT)
+        | (cand.nid2 << H_NID2_SHIFT)
+        | (PORT_RANK[cand.port2] << H_P2_SHIFT)
+        | cand.bond
+    )
+    rot = cand.rotation
+    if rot is None:
+        return hi, 0
+    return hi, (ROT_CODE[rot.matrix] << L_ROT_SHIFT) | pack_trans(
+        cand.translation
+    )
+
+
+# ----------------------------------------------------------------------
+# The flat columns
+# ----------------------------------------------------------------------
+
+
+class ColumnarIndex:
+    """Flat per-node columns mirroring one ``World``, journal-synced.
+
+    Columns are indexed by node id (ids are dense and never reused):
+    ``sid`` (interned state), ``cid`` (owning component id), ``csize``
+    (size of the owning component), ``cell`` (packed position in the
+    component frame), ``orient`` (interned orientation). :meth:`sync`
+    folds in everything the journals recorded since the last call:
+
+    * change-journal entries update ``sid`` (the journal names *what*
+      moved; the node record says *where to*);
+    * component ``version`` movement re-reads the affected component's
+      members wholesale (cells, orientations, membership, size);
+    * an adopted state space or a truncated journal triggers a full
+      rebuild — never a stale column.
+
+    With numpy absent the columns are stdlib ``array('q')`` buffers —
+    same contents, no vectorized consumers — so the coherence tests cover
+    the sync rule on both backends.
+    """
+
+    def __init__(self, world) -> None:
+        self._world = world
+        self._space = None
+        self._cursor = 0
+        self._versions: Dict[int, int] = {}
+        self._n = 0
+        self.sid = self._new_column()
+        self.cid = self._new_column()
+        self.csize = self._new_column()
+        self.cell = self._new_column()
+        self.orient = self._new_column()
+        #: sid -> sorted member-id array (numpy only; lazy, dropped when
+        #: a member enters or leaves the state).
+        self._members: Dict[int, object] = {}
+        self.syncs = 0
+        self.rebuilds = 0
+
+    @staticmethod
+    def _new_column():
+        if np is not None:
+            return np.empty(0, dtype=np.int64)
+        return array("q")
+
+    def _grow(self, n: int) -> None:
+        if n <= self._n:
+            return
+        if np is not None:
+            cap = max(16, len(self.sid))
+            while cap < n:
+                cap *= 2
+            if cap > len(self.sid):
+                for name in ("sid", "cid", "csize", "cell", "orient"):
+                    old = getattr(self, name)
+                    new = np.full(cap, -1, dtype=np.int64)
+                    new[: len(old)] = old
+                    setattr(self, name, new)
+        else:
+            pad = array("q", [-1]) * (n - len(self.sid))
+            for name in ("sid", "cid", "csize", "cell", "orient"):
+                getattr(self, name).extend(pad)
+        self._n = n
+
+    # ------------------------------------------------------------------
+
+    def sync(self) -> None:
+        """Fold journalled movement into the columns (cheap when clean)."""
+        w = self._world
+        self.syncs += 1
+        if w.space is not self._space:
+            # adopt_space rewrites sids without journalling (it is not a
+            # trajectory-visible change) — rebuild from the records.
+            self._rebuild()
+            return
+        dirty = w.changes_since(self._cursor)
+        if dirty is None:  # journal truncated under us
+            self._rebuild()
+            return
+        self._cursor = w.change_cursor()
+        self._grow(w._next_nid)
+        sid_col = self.sid
+        members = self._members
+        if dirty:
+            nodes = w.nodes
+            for nid in dirty:
+                rec = nodes.get(nid)
+                if rec is None:  # pragma: no cover - nodes are never deleted
+                    continue
+                old = sid_col[nid]
+                if old != rec.sid:
+                    members.pop(old, None)
+                    members.pop(rec.sid, None)
+                    sid_col[nid] = rec.sid
+        versions = self._versions
+        live: Set[int] = set()
+        cid_col, csize_col = self.cid, self.csize
+        cell_col, orient_col = self.cell, self.orient
+        nodes = w.nodes
+        for cid, comp in w.components.items():
+            live.add(cid)
+            if versions.get(cid) == comp.version:
+                continue
+            versions[cid] = comp.version
+            g = w.geometry(comp)
+            size = len(g.pos_of)
+            for nid, p in g.pos_of.items():
+                cid_col[nid] = cid
+                csize_col[nid] = size
+                cell_col[nid] = p
+                orient_col[nid] = ORIENT_ID[nodes[nid].orientation.matrix]
+        for cid in [c for c in versions if c not in live]:
+            del versions[cid]
+
+    def _rebuild(self) -> None:
+        w = self._world
+        self.rebuilds += 1
+        self._space = w.space
+        self._cursor = w.change_cursor()
+        self._versions = {}
+        self._members.clear()
+        self._n = 0
+        self._grow(w._next_nid)
+        nodes = w.nodes
+        for nid, rec in nodes.items():
+            self.sid[nid] = rec.sid
+        versions = self._versions
+        for cid, comp in w.components.items():
+            versions[cid] = comp.version
+            g = w.geometry(comp)
+            size = len(g.pos_of)
+            for nid, p in g.pos_of.items():
+                self.cid[nid] = cid
+                self.csize[nid] = size
+                self.cell[nid] = p
+                self.orient[nid] = ORIENT_ID[nodes[nid].orientation.matrix]
+
+    # ------------------------------------------------------------------
+
+    def members_array(self, sid: int):
+        """Sorted member ids of one interned state as an int64 array."""
+        arr = self._members.get(sid)
+        if arr is None:
+            ids = self._world.by_sid.get(sid, ())
+            arr = np.fromiter(ids, dtype=np.int64, count=len(ids))
+            arr.sort()
+            self._members[sid] = arr
+        return arr
+
+    def verify(self, world) -> None:
+        """Assert every column equals the dict world (coherence tests)."""
+        assert world is self._world
+        for nid, rec in world.nodes.items():
+            comp = world.components[rec.component_id]
+            g = world.geometry(comp)
+            assert self.sid[nid] == rec.sid, (nid, "sid")
+            assert self.cid[nid] == rec.component_id, (nid, "cid")
+            assert self.csize[nid] == comp.size(), (nid, "csize")
+            assert self.cell[nid] == g.pos_of[nid], (nid, "cell")
+            assert self.orient[nid] == ORIENT_ID[rec.orientation.matrix], (
+                nid,
+                "orient",
+            )
+        if np is not None:
+            for sid, arr in self._members.items():
+                assert list(arr) == sorted(world.by_sid.get(sid, ())), sid
+
+
+def get_index(world) -> ColumnarIndex:
+    """The world's lazily-created columnar index (one per world)."""
+    idx = getattr(world, "_columnar_index", None)
+    if idx is None:
+        idx = ColumnarIndex(world)
+        world._columnar_index = idx
+    return idx
+
+
+# ----------------------------------------------------------------------
+# Batch candidate generation over the columns
+# ----------------------------------------------------------------------
+
+_CELL_MASK = (1 << 16) - 1
+_CELL_OFF = 1 << 15
+
+
+def rotate_cells(rot, cells):
+    """Apply one grid rotation to an int64 array of packed cells."""
+    m = rot.matrix
+    x = ((cells >> 32) & _CELL_MASK) - _CELL_OFF
+    y = ((cells >> 16) & _CELL_MASK) - _CELL_OFF
+    z = (cells & _CELL_MASK) - _CELL_OFF
+    rx = m[0][0] * x + m[0][1] * y + m[0][2] * z + _CELL_OFF
+    ry = m[1][0] * x + m[1][1] * y + m[1][2] * z + _CELL_OFF
+    rz = m[2][0] * x + m[2][1] * y + m[2][2] * z + _CELL_OFF
+    return (rx << 32) | (ry << 16) | rz
+
+
+def in_sorted(values, sorted_arr):
+    """Vectorized membership of int64 ``values`` in a sorted int64 array.
+
+    ``searchsorted`` + one gather — the batch kernels call this with
+    thousands of probes per call, where ``np.isin``'s generality (sorting
+    both sides per call) dominated the profile.
+    """
+    n = len(sorted_arr)
+    if n == 0:
+        return np.zeros(np.shape(values), dtype=bool)
+    pos = sorted_arr.searchsorted(values)
+    np.minimum(pos, n - 1, out=pos)
+    return sorted_arr[pos] == values
+
+
+#: Bits reserved for the packed cell inside an occupancy tag; the rest
+#: holds the dense component index, so one sorted array answers "is this
+#: cell occupied *in this component*" for every component at once.
+CELL_TAG_SHIFT = 48
+#: Components addressable by one tag array (dense index must fit above
+#: the cell bits of an int64); far beyond any simulated population.
+MAX_TAG_COMPONENTS = 1 << 14
+
+
+class BatchContext:
+    """One refresh's batch-generation state for a (world, protocol) pair.
+
+    Built by the candidate cache only when the columnar backend is active
+    *and* the world is bound to an exact compiled program — the regime in
+    which the oriented bond-0 hints are a complete static-effectiveness
+    filter, so every generated inter candidate is effective and one table
+    hit per ``(state pair, port pair)`` group dispatches the whole group.
+
+    The context carries a *global tagged occupancy*: each component gets a
+    dense index (rank of its cid), and every node contributes the tag
+    ``dense_index << 48 | packed_cell`` to one sorted int64 array. Open-slot
+    checks and collision probes against *any* component then become
+    ``searchsorted`` membership tests on this single array — the kernels
+    batch across all partner components of a whole dirty component at
+    once, instead of one numpy call per (node, partner component) pair.
+
+    :meth:`inter_rows` emits, for a batch of dirty nodes, exactly the
+    inter entries the scalar path would — as flat ``(keys, his, los,
+    update)`` array chunks, never materializing per-candidate Python
+    objects (the dense store keeps the ints; ``candidate_from_row``
+    rebuilds a :class:`Candidate` only when the scheduler selects one).
+    Intra candidates are not handled here: a node has at most ``|ports|``
+    of them, and the scalar probe is already minimal.
+    """
+
+    __slots__ = (
+        "world",
+        "protocol",
+        "program",
+        "idx",
+        "dim",
+        "_cids",
+        "node_tag",
+        "occ_tags",
+    )
+
+    def __init__(self, world, protocol, program, idx: ColumnarIndex) -> None:
+        self.world = world
+        self.protocol = protocol
+        self.program = program
+        self.idx = idx
+        self.dim = world.dimension
+        n = world._next_nid
+        cid_col = idx.cid[:n]
+        cids = np.unique(cid_col)
+        if len(cids) > MAX_TAG_COMPONENTS:  # pragma: no cover - 2**14 comps
+            raise OverflowError("component count beyond occupancy-tag range")
+        self._cids = cids
+        #: Per-node tag base: dense component index in the high bits.
+        self.node_tag = np.searchsorted(cids, cid_col) << CELL_TAG_SHIFT
+        #: The global tagged occupancy, sorted.
+        self.occ_tags = np.sort(self.node_tag | idx.cell[:n])
+
+    def tag_of_cid(self, cid: int) -> int:
+        """The tag base (dense index bits) of one component id."""
+        return int(np.searchsorted(self._cids, cid)) << CELL_TAG_SHIFT
+
+    # ------------------------------------------------------------------
+
+    def inter_rows(self, nids, sink) -> None:
+        """Emit inter entry rows for a batch of live dirty nodes.
+
+        ``sink`` receives ``(keys, his, los, update)`` array chunks; rows
+        are unique within one call except when *both* endpoints of a pair
+        are dirty (each side emits it once) — the caller dedups by key,
+        which is also how it reproduces the scalar evaluation count.
+
+        Grouping: dirty nodes by component, then by state. The hot /
+        pair-can-fire gates run once per state pair (kernel 1); the
+        member-array masks below them replace per-node probes.
+        """
+        idx = self.idx
+        world = self.world
+        program = self.program
+        hot_mask = program.hot_mask
+        nid_arr = np.fromiter(nids, dtype=np.int64, count=len(nids))
+        my_cids = idx.cid[nid_arr]
+        for cid in np.unique(my_cids).tolist():
+            dn_comp = nid_arr[my_cids == cid]
+            comp = world.components[cid]
+            geom = world.geometry(comp)
+            my_single = len(geom.pos_of) == 1
+            sids = idx.sid[dn_comp]
+            for sid in np.unique(sids).tolist():
+                dn = dn_comp[sids == sid]
+                nid_hot = bool(hot_mask >> sid & 1)
+                for partner_sid in world.by_sid:
+                    if not (nid_hot or hot_mask >> partner_sid & 1):
+                        continue
+                    if not program.pair_can_fire(sid, partner_sid):
+                        continue
+                    members = idx.members_array(partner_sid)
+                    if len(members) == 0:
+                        continue
+                    pcids = idx.cid[members]
+                    mine = pcids == cid
+                    if mine.any():
+                        members = members[~mine]
+                        if len(members) == 0:
+                            continue
+                        pcids = pcids[~mine]
+                    guests = pcids > cid
+                    g = members[guests]
+                    if len(g):
+                        self._guests(dn, sid, partner_sid, g, geom, sink)
+                    h = members[~guests]
+                    if len(h):
+                        self._hosts(
+                            dn, sid, partner_sid, h, geom, my_single, sink
+                        )
+
+    # -- guests: partner components with the larger cid are placed into
+    # -- this (dirty) component's frame ---------------------------------
+
+    def _guests(self, dn, sid, partner_sid, members, geom, sink) -> None:
+        idx = self.idx
+        program = self.program
+        dorient = idx.orient[dn]
+        dpos = idx.cell[dn]
+        my_tag = self.node_tag[dn[0]]
+        porient = idx.orient[members]
+        ppos = idx.cell[members]
+        single = idx.csize[members] == 1
+        ptag = self.node_tag[members]
+        occ_tags = self.occ_tags
+        for p1i, p2i in program.oriented_hints(sid, partner_sid):
+            update = program.lookup(sid, p1i, partner_sid, p2i, 0)
+            if update is None:  # pragma: no cover - exact hints always hit
+                continue
+            d1s = ORIENT_DELTAS[dorient, p1i]
+            targets = dpos + d1s
+            open_ = ~in_sorted(my_tag | targets, occ_tags)
+            if not open_.any():
+                continue
+            d2s = ORIENT_DELTAS[porient, p2i]
+            kbase = (
+                (RANK_OF_INDEX[p1i] << K_P1_SHIFT)
+                | (RANK_OF_INDEX[p2i] << K_P2_SHIFT)
+            )
+            hbase = (
+                (RANK_OF_INDEX[p1i] << H_P1_SHIFT)
+                | (RANK_OF_INDEX[p2i] << H_P2_SHIFT)
+            )
+            for d1 in sorted(set(d1s[open_].tolist())):
+                nmask = (d1s == d1) & open_
+                gn = dn[nmask]
+                gt = targets[nmask]
+                for d2 in sorted(set(d2s.tolist())):
+                    pmask = d2s == d2
+                    for rot in packed_rotations_mapping(d2, -d1, self.dim):
+                        code = ROT_CODE[rot.matrix]
+                        # Singletons: the only landing cell is the open
+                        # target — the collision probe vanishes.
+                        ps = pmask & single
+                        if ps.any():
+                            self._emit_guest(
+                                gn, gt, members[ps], ppos[ps], rot, code,
+                                kbase, hbase, update, None, None, sink,
+                            )
+                        pm = pmask & ~single
+                        if pm.any():
+                            self._emit_guest(
+                                gn, gt, members[pm], ppos[pm], rot, code,
+                                kbase, hbase, update, geom, ptag[pm], sink,
+                            )
+
+    def _emit_guest(
+        self, gn, gt, pj, pjpos, rot, code, kbase, hbase, update,
+        geom, ptag, sink,
+    ) -> None:
+        """One (delta-group, rotation) guest block: ``len(gn) × len(pj)``
+        placements, each dirty node hosting each partner.
+
+        ``geom is None`` marks the singleton fast path (no probe). For
+        multi-cell partners the collision probe runs in the *partner*
+        frame via the inverse rotation: the placement collides iff some
+        host cell, pulled back by ``rot⁻¹`` and the back-rotated
+        translation, lands on the partner's occupancy — which the global
+        tag array answers for every (node, partner) pair in one gather.
+        """
+        # trans[i, j] = target_i - rot(pos_j)
+        trans = gt[:, None] - rotate_cells(rot, pjpos)[None, :]
+        if geom is not None:
+            inv = rot.inverse()
+            inv_occ = geom.rotated_array(inv)
+            inv_t = rotate_cells(inv, trans + PACKED_ORIGIN) - PACKED_ORIGIN
+            probes = (
+                (ptag[None, :, None] - inv_t[:, :, None])
+                + inv_occ[None, None, :]
+            )
+            hit = (
+                in_sorted(probes.reshape(-1), self.occ_tags)
+                .reshape(probes.shape)
+                .any(axis=2)
+            )
+            if hit.all():
+                return
+            ok = ~hit
+        else:
+            ok = None
+        keys = (
+            (gn << K_NID1_SHIFT)[:, None]
+            + (pj << K_NID2_SHIFT)[None, :]
+            + (kbase | code)
+        )
+        his = (
+            (gn << H_NID1_SHIFT)[:, None]
+            + (pj << H_NID2_SHIFT)[None, :]
+            + hbase
+        )
+        los = (code << L_ROT_SHIFT) + trans + PACKED_ORIGIN
+        if ok is None:
+            sink.append(
+                (keys.reshape(-1), his.reshape(-1), los.reshape(-1), update)
+            )
+        else:
+            sink.append((keys[ok], his[ok], los[ok], update))
+
+    # -- hosts: partner components with the smaller cid host, and this
+    # -- (dirty) component is placed into their frames ------------------
+
+    def _hosts(
+        self, dn, sid, partner_sid, members, geom, my_single, sink
+    ) -> None:
+        idx = self.idx
+        program = self.program
+        dorient = idx.orient[dn]
+        dpos = idx.cell[dn]
+        porient = idx.orient[members]
+        pcell = idx.cell[members]
+        ptag = self.node_tag[members]
+        occ_tags = self.occ_tags
+        for p1i, p2i in program.oriented_hints(partner_sid, sid):
+            update = program.lookup(partner_sid, p1i, sid, p2i, 0)
+            if update is None:  # pragma: no cover - exact hints always hit
+                continue
+            d1s = ORIENT_DELTAS[porient, p1i]
+            gtargets = pcell + d1s
+            open_ = ~in_sorted(ptag | gtargets, occ_tags)
+            if not open_.any():
+                continue
+            d2s = ORIENT_DELTAS[dorient, p2i]
+            kbase = (
+                (RANK_OF_INDEX[p1i] << K_P1_SHIFT)
+                | (RANK_OF_INDEX[p2i] << K_P2_SHIFT)
+            )
+            hbase = (
+                (RANK_OF_INDEX[p1i] << H_P1_SHIFT)
+                | (RANK_OF_INDEX[p2i] << H_P2_SHIFT)
+            )
+            for d1 in sorted(set(d1s[open_].tolist())):
+                pmask = (d1s == d1) & open_
+                pj = members[pmask]
+                gt = gtargets[pmask]
+                ptag_g = ptag[pmask]
+                for d2 in sorted(set(d2s.tolist())):
+                    nmask = d2s == d2
+                    gn = dn[nmask]
+                    for rot in packed_rotations_mapping(d2, -d1, self.dim):
+                        code = ROT_CODE[rot.matrix]
+                        rpos = rotate_cells(rot, dpos[nmask])
+                        # trans[j, i] = target_j - rot(pos_i)
+                        trans = gt[:, None] - rpos[None, :]
+                        if my_single:
+                            # The dirty singleton's only cell lands on the
+                            # open target: no collision possible.
+                            ok = None
+                        else:
+                            rocc = geom.rotated_array(rot)
+                            probes = (
+                                (ptag_g[:, None, None] + trans[:, :, None])
+                                + rocc[None, None, :]
+                            )
+                            hit = (
+                                in_sorted(probes.reshape(-1), occ_tags)
+                                .reshape(probes.shape)
+                                .any(axis=2)
+                            )
+                            if hit.all():
+                                continue
+                            ok = ~hit
+                        keys = (
+                            (pj << K_NID1_SHIFT)[:, None]
+                            + (gn << K_NID2_SHIFT)[None, :]
+                            + (kbase | code)
+                        )
+                        his = (
+                            (pj << H_NID1_SHIFT)[:, None]
+                            + (gn << H_NID2_SHIFT)[None, :]
+                            + hbase
+                        )
+                        los = (code << L_ROT_SHIFT) + trans + PACKED_ORIGIN
+                        if ok is None:
+                            sink.append(
+                                (
+                                    keys.reshape(-1),
+                                    his.reshape(-1),
+                                    los.reshape(-1),
+                                    update,
+                                )
+                            )
+                        else:
+                            sink.append(
+                                (keys[ok], his[ok], los[ok], update)
+                            )

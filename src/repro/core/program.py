@@ -35,6 +35,13 @@ strings. This module compiles any protocol down to a small-int IR:
 the scheduler's ``evaluate`` fast path reads them with no conversion;
 public states cross the boundary only at ``add_*`` / ``state_of`` /
 render edges.
+
+The columnar batch kernels (:mod:`repro.core.columnar`) consume the same
+compiled artifacts: interned state ids become the per-node ``sid``
+column, ``can_fire``'s ``(state, port, bond)`` index becomes a vectorized
+static-effectiveness mask, and exact tables let the batch path skip
+scalar re-evaluation of inter-component candidates whose oriented hints
+already pinned the unique alignment.
 """
 
 from __future__ import annotations

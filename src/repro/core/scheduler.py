@@ -193,11 +193,12 @@ class RejectionScheduler(Scheduler):
         max_trials: Optional[int] = None,
         incremental: bool = True,
         split_delta: bool = True,
+        columnar: Optional[bool] = None,
     ) -> None:
         super().__init__()
         self.max_trials = max_trials
         self._cache = (
-            EffectiveCandidateCache(split_delta=split_delta)
+            EffectiveCandidateCache(split_delta=split_delta, columnar=columnar)
             if incremental
             else None
         )
@@ -285,12 +286,15 @@ class HotScheduler(Scheduler):
     tracks_raw_steps = False
 
     def __init__(
-        self, incremental: bool = True, split_delta: bool = True
+        self,
+        incremental: bool = True,
+        split_delta: bool = True,
+        columnar: Optional[bool] = None,
     ) -> None:
         super().__init__()
         self.incremental = incremental
         self._cache = (
-            EffectiveCandidateCache(split_delta=split_delta)
+            EffectiveCandidateCache(split_delta=split_delta, columnar=columnar)
             if incremental
             else None
         )
@@ -328,12 +332,15 @@ class RoundRobinScheduler(Scheduler):
     tracks_raw_steps = False
 
     def __init__(
-        self, incremental: bool = True, split_delta: bool = True
+        self,
+        incremental: bool = True,
+        split_delta: bool = True,
+        columnar: Optional[bool] = None,
     ) -> None:
         super().__init__()
         self._turn = 0
         self._cache = (
-            EffectiveCandidateCache(split_delta=split_delta)
+            EffectiveCandidateCache(split_delta=split_delta, columnar=columnar)
             if incremental
             else None
         )

@@ -10,6 +10,12 @@ The world also implements the *permissibility* predicate of §3: a pair of
 node-ports can interact iff the two ports can be aligned at unit distance
 (rotating one whole component, since nodes are rigid within a component)
 without any two nodes falling onto the same grid cell.
+
+This dict-of-records store stays the single source of truth. The columnar
+backend (:mod:`repro.core.columnar`) mirrors it into flat int arrays for
+batch kernels, but syncs exclusively from the change/world-delta journals
+this module already emits — the world never writes to (or imports) the
+columnar layer.
 """
 
 from __future__ import annotations

@@ -33,7 +33,7 @@ bit field. Raise :data:`BITS` if a workload ever legitimately exceeds it.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Tuple
+from typing import Callable, Dict, FrozenSet, Iterable, List, Tuple
 
 from repro.errors import GeometryError
 from repro.geometry.ports import PORT_INDEX, PORTS_3D, port_direction
@@ -217,6 +217,9 @@ class ComponentGeometry:
         "_slots",
         "_pairs",
         "_rotated",
+        "_rotated_occ",
+        "_occ_array",
+        "_rotated_arrays",
     )
 
     def __init__(self, comp, nodes: Dict, ports: Tuple, dimension: int) -> None:
@@ -248,6 +251,9 @@ class ComponentGeometry:
         self._slots: Tuple[Tuple[int, object], ...] = None  # type: ignore[assignment]
         self._pairs: Tuple[Tuple[int, int], ...] = None  # type: ignore[assignment]
         self._rotated: Dict[Matrix, Tuple[int, ...]] = {}
+        self._rotated_occ: Dict[Matrix, FrozenSet[int]] = {}
+        self._occ_array = None
+        self._rotated_arrays: Dict[Matrix, object] = {}
 
     def slots(self) -> Tuple[Tuple[int, object], ...]:
         """Node-ports whose adjacent cell is unoccupied (lazy, cached)."""
@@ -292,6 +298,40 @@ class ComponentGeometry:
             t = tuple(apply(p) for p in self.cells)
             self._rotated[key] = t
         return t
+
+    def rotated_occ(self, rotation: Rotation) -> FrozenSet[int]:
+        """The rotated cells as a set — one membership probe decides a
+        whole group of fixed-offset placements (cached per rotation)."""
+        key = rotation.matrix
+        s = self._rotated_occ.get(key)
+        if s is None:
+            s = frozenset(self.rotated(rotation))
+            self._rotated_occ[key] = s
+        return s
+
+    def occ_array(self):
+        """The occupancy as a sorted int64 numpy array (columnar backend
+        only; cached). ``None`` when numpy is unavailable."""
+        a = self._occ_array
+        if a is None:
+            import numpy as _np
+
+            a = _np.fromiter(self.occ, dtype=_np.int64, count=len(self.occ))
+            a.sort()
+            self._occ_array = a
+        return a
+
+    def rotated_array(self, rotation: Rotation):
+        """The rotated cells as an int64 numpy array, aligned with
+        :meth:`rotated` (columnar backend only; cached per rotation)."""
+        key = rotation.matrix
+        a = self._rotated_arrays.get(key)
+        if a is None:
+            import numpy as _np
+
+            a = _np.array(self.rotated(rotation), dtype=_np.int64)
+            self._rotated_arrays[key] = a
+        return a
 
 
 def pack_cells(cells: Iterable[Vec]) -> Dict[int, Vec]:

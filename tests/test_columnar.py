@@ -1,0 +1,251 @@
+"""The columnar candidate backend (``repro.core.columnar``).
+
+Pins the invariants the batch kernels rest on:
+
+* the packed ``(hi, lo)`` sort key is strictly order-isomorphic to the
+  historical tuple ``candidate_sort_key`` (hypothesis, mixed 2D/3D);
+* ``(key, hi, lo)`` rows round-trip to the exact ``Candidate``;
+* ``rotate_cells`` / ``in_sorted`` agree with their scalar definitions;
+* the backend toggle (``columnar=``, ``set_columnar_default``,
+  ``REPRO_COLUMNAR``) resolves as documented, and columnar-on vs
+  columnar-off runs produce bit-identical seeded trajectories;
+* ``ColumnarIndex`` stays coherent with the dict world through merges.
+
+The randomized world-mutation stress harness in
+``tests/test_world_deltas.py`` drives the same assertions through
+splits, surgery and moves; this module is the deterministic pinning.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import columnar
+from repro.core.candidates import (
+    EffectiveCandidateCache,
+    candidate_sort_key,
+)
+from repro.core.protocol import Rule, RuleProtocol
+from repro.core.scheduler import evaluate, make_scheduler
+from repro.core.simulator import Simulation
+from repro.core.trace import TraceRecorder
+from repro.core.world import Candidate, World
+from repro.geometry.packed import pack, unpack
+from repro.geometry.ports import PORTS_2D, PORTS_3D, opposite
+from repro.geometry.rotation import rotations_for_dimension
+from repro.geometry.vec import Vec
+
+HAVE_NUMPY = columnar.np is not None
+needs_numpy = pytest.mark.skipif(not HAVE_NUMPY, reason="numpy required")
+
+ALL_ROTATIONS = tuple(
+    {r.matrix: r for d in (2, 3) for r in rotations_for_dimension(d)}.values()
+)
+
+
+def gluing_protocol(dimension: int = 2) -> RuleProtocol:
+    ports = PORTS_2D if dimension == 2 else PORTS_3D
+    rules = [Rule("g", p, "g", opposite(p), 0, "g", "g", 1) for p in ports]
+    return RuleProtocol(
+        rules, initial_state="g", name="gluing", dimension=dimension
+    )
+
+
+coords = st.integers(min_value=-200, max_value=200)
+
+
+@st.composite
+def candidates(draw):
+    nid1 = draw(st.integers(min_value=0, max_value=500))
+    nid2 = draw(st.integers(min_value=0, max_value=500))
+    p1 = draw(st.sampled_from(PORTS_3D))
+    p2 = draw(st.sampled_from(PORTS_3D))
+    bond = draw(st.integers(min_value=0, max_value=1))
+    if draw(st.booleans()):
+        return Candidate(min(nid1, nid2), p1, max(nid1, nid2), p2, bond)
+    rot = draw(st.sampled_from(ALL_ROTATIONS))
+    trans = Vec(draw(coords), draw(coords), draw(coords))
+    return Candidate(nid1, p1, nid2, p2, bond, rot, trans)
+
+
+class TestPackedKeys:
+    @given(st.lists(candidates(), min_size=2, max_size=25))
+    @settings(max_examples=200, deadline=None)
+    def test_sort_key_order_isomorphism(self, cands):
+        tuples = [candidate_sort_key(c) for c in cands]
+        packed = [columnar.packed_sort_key(c) for c in cands]
+        for i in range(len(cands)):
+            for j in range(len(cands)):
+                assert (tuples[i] < tuples[j]) == (packed[i] < packed[j]), (
+                    cands[i],
+                    cands[j],
+                )
+
+    @given(candidates())
+    @settings(max_examples=200, deadline=None)
+    def test_row_round_trip(self, cand):
+        key = columnar.packed_key(cand)
+        hi, lo = columnar.packed_sort_key(cand)
+        got = columnar.candidate_from_row(key, hi, lo)
+        assert got.nid1 == cand.nid1 and got.nid2 == cand.nid2
+        assert got.port1 is cand.port1 and got.port2 is cand.port2
+        assert got.bond == cand.bond
+        if cand.rotation is None:
+            assert got.rotation is None and got.translation is None
+        else:
+            assert got.rotation.matrix == cand.rotation.matrix
+            assert got.translation == cand.translation
+        assert columnar.key_nid1(key) == cand.nid1
+        assert columnar.key_nid2(key) == cand.nid2
+        assert columnar.key_is_inter(key) == (cand.rotation is not None)
+
+    def test_key_rejects_out_of_range_ids(self):
+        cand = Candidate(columnar.NID_LIMIT, PORTS_2D[0], 1, PORTS_2D[1], 0)
+        with pytest.raises(OverflowError):
+            columnar.packed_key(cand)
+
+
+@needs_numpy
+class TestArrayKernels:
+    @given(
+        st.sampled_from(ALL_ROTATIONS),
+        st.lists(
+            st.tuples(coords, coords, coords), min_size=1, max_size=12
+        ),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_rotate_cells_matches_rotation(self, rot, points):
+        np = columnar.np
+        cells = np.fromiter(
+            (pack(Vec(*p)) for p in points), np.int64, count=len(points)
+        )
+        got = columnar.rotate_cells(rot, cells)
+        want = [pack(rot.apply(Vec(*p))) for p in points]
+        assert got.tolist() == want
+        # unpack agreement, not just packed equality
+        assert [unpack(int(c)) for c in got] == [
+            rot.apply(Vec(*p)) for p in points
+        ]
+
+    @given(
+        st.lists(st.integers(-50, 50), max_size=40),
+        st.lists(st.integers(-50, 50), max_size=40),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_in_sorted_matches_set_membership(self, values, member_list):
+        np = columnar.np
+        members = np.array(sorted(set(member_list)), dtype=np.int64)
+        vals = np.array(values, dtype=np.int64)
+        got = columnar.in_sorted(vals, members)
+        want = [v in set(member_list) for v in values]
+        assert list(got) == want
+
+
+class TestBackendToggle:
+    def test_resolve_and_name(self):
+        assert columnar.resolve_columnar(False) is False
+        assert "fallback" in columnar.backend_name(False)
+        if HAVE_NUMPY:
+            assert columnar.resolve_columnar(True) is True
+            assert columnar.backend_name(True) == "columnar (numpy)"
+        else:
+            assert columnar.resolve_columnar(True) is False
+
+    def test_process_default_override(self):
+        try:
+            columnar.set_columnar_default(False)
+            assert columnar.columnar_default() is False
+            assert columnar.resolve_columnar(None) is False
+            columnar.set_columnar_default(True)
+            assert columnar.columnar_default() is HAVE_NUMPY
+        finally:
+            columnar.set_columnar_default(None)
+
+    def test_env_flag(self, monkeypatch):
+        monkeypatch.setenv("REPRO_COLUMNAR", "0")
+        assert columnar.columnar_default() is False
+        monkeypatch.setenv("REPRO_COLUMNAR", "1")
+        assert columnar.columnar_default() is HAVE_NUMPY
+
+    def test_cache_honors_flag(self):
+        world = World(2)
+        protocol = gluing_protocol()
+        for _ in range(4):
+            world.add_free_node("g")
+        world.adopt_space(protocol.program.space)
+        off = EffectiveCandidateCache(columnar=False)
+        off.refresh(world, protocol, evaluate)
+        assert not off._dense
+        if HAVE_NUMPY:
+            on = EffectiveCandidateCache(columnar=True)
+            on.refresh(world, protocol, evaluate)
+            assert on._dense
+
+
+@needs_numpy
+class TestBackendEquivalence:
+    @pytest.mark.parametrize("dimension", (2, 3))
+    @pytest.mark.parametrize(
+        "kind,kwargs",
+        (
+            ("hot", {"incremental": True}),
+            ("rejection", {}),
+            ("round-robin", {}),
+        ),
+    )
+    def test_identical_trajectories(self, dimension, kind, kwargs):
+        protocol = gluing_protocol(dimension)
+        traces = {}
+        for flag in (True, False):
+            world = World.of_free_nodes(16, protocol, leaders=0)
+            rec = TraceRecorder()
+            sim = Simulation(
+                world,
+                protocol,
+                scheduler=make_scheduler(kind, columnar=flag, **kwargs),
+                seed=7,
+                trace=rec.hook,
+            )
+            res = sim.run(max_events=15)
+            traces[flag] = (rec.to_list(), res.events, res.raw_steps)
+        assert traces[True] == traces[False]
+
+    def test_identical_effective_sets_and_counts(self):
+        protocol = gluing_protocol()
+        sets = {}
+        for flag in (True, False):
+            world = World.of_free_nodes(10, protocol, leaders=0)
+            sim = Simulation(world, protocol, seed=3)
+            cache = EffectiveCandidateCache(columnar=flag)
+            got = list(cache.refresh(world, protocol, evaluate))
+            for _ in range(5):
+                sim.step()
+                got.extend(cache.refresh(world, protocol, evaluate))
+            sets[flag] = (got, cache.evaluations)
+        assert sets[True][0] == sets[False][0]
+        assert sets[True][1] == sets[False][1]
+
+
+@needs_numpy
+class TestColumnarIndex:
+    def test_sync_through_events(self):
+        protocol = gluing_protocol()
+        world = World.of_free_nodes(12, protocol, leaders=0)
+        sim = Simulation(world, protocol, seed=5)
+        idx = columnar.get_index(world)
+        idx.sync()
+        idx.verify(world)
+        for _ in range(11):
+            sim.step()
+            idx.sync()
+            idx.verify(world)
+        assert columnar.get_index(world) is idx
+
+    def test_members_array_sorted(self):
+        protocol = gluing_protocol()
+        world = World.of_free_nodes(6, protocol, leaders=0)
+        idx = columnar.get_index(world)
+        idx.sync()
+        sid = world.nodes[0].sid
+        members = idx.members_array(sid)
+        assert members.tolist() == sorted(world.by_sid[sid])

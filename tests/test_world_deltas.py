@@ -15,7 +15,11 @@ mutation:
   returns exactly the records of the gap, and each component's version
   trail is strictly increasing record by record;
 * the coarse sweep (``split_delta=False``) and the fine delta path agree
-  — the delta machinery is an optimization, never a semantic change.
+  — the delta machinery is an optimization, never a semantic change;
+* (with numpy) the journal-synced flat columns of the columnar backend
+  (``repro.core.columnar.ColumnarIndex``) equal the dict world after
+  every mutation, and the columnar and pure-Python fallback caches
+  serve identical effective sets.
 
 This is the chaos-testing layer the fault/repair dynamics of the paper
 lean on: every bond deletion and node excision must keep the cache exact.
@@ -40,9 +44,12 @@ from repro.core.world import World
 from repro.errors import ReproError
 from repro.faults.injection import break_random_bond, excise_random_node
 from repro.faults.repair import detach_component_part
+from repro.core import columnar
 from repro.geometry.ports import PORTS_2D, PORTS_3D, opposite
 from repro.geometry.vec import Vec
 from repro.hybrid.movement import rotate_leaf
+
+HAVE_NUMPY = columnar.np is not None
 
 SCHEDULER_KINDS = (
     ("enumerate", {}),
@@ -167,7 +174,7 @@ def apply_random_mutation(world, sim, rng) -> str:
 class TestRandomizedMutationStress:
     """Cache == brute force == reference after every random mutation."""
 
-    def _assert_in_sync(self, cache, world, protocol):
+    def _assert_in_sync(self, cache, world, protocol, fallback=None):
         got = cache.refresh(world, protocol, evaluate)
         brute = hot_effective_candidates(world, protocol, evaluate)
         want, _perm = reference_effective_candidates(world, protocol, evaluate)
@@ -175,6 +182,16 @@ class TestRandomizedMutationStress:
         assert keys == sorted(keys)
         assert got == brute
         assert got == want
+        if fallback is not None:
+            # The pure-Python fallback cache walks the same journals and
+            # must land on the identical canonical list.
+            assert fallback.refresh(world, protocol, evaluate) == got
+        if HAVE_NUMPY:
+            # The flat columns, synced purely from the journals, must
+            # equal the dict world cell for cell after every mutation.
+            idx = columnar.get_index(world)
+            idx.sync()
+            idx.verify(world)
 
     @pytest.mark.parametrize("kind,kwargs", SCHEDULER_KINDS)
     @given(
@@ -196,13 +213,14 @@ class TestRandomizedMutationStress:
             seed=seed,
         )
         cache = EffectiveCandidateCache()
+        fallback = EffectiveCandidateCache(columnar=False) if HAVE_NUMPY else None
         observer = JournalObserver(world)
-        self._assert_in_sync(cache, world, protocol)
+        self._assert_in_sync(cache, world, protocol, fallback)
         for _ in range(30):
             apply_random_mutation(world, sim, rng)
             world.check_invariants()
             observer.check()
-            self._assert_in_sync(cache, world, protocol)
+            self._assert_in_sync(cache, world, protocol, fallback)
 
     @given(
         seed=st.integers(min_value=0, max_value=10_000),
