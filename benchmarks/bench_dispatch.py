@@ -25,7 +25,7 @@ import json
 import time
 from pathlib import Path
 
-from conftest import print_table
+from conftest import append_raw_history, print_table
 
 from repro.core.protocol import InteractionView, Rule, RuleProtocol
 from repro.core.simulator import Simulation
@@ -168,6 +168,13 @@ def test_compiled_dispatch_beats_legacy(benchmark):
             indent=2,
         )
         + "\n"
+    )
+    append_raw_history(
+        "dispatch",
+        events=events_c,
+        wall_time=wall_c,
+        dispatch_calls=calls,
+        speedup_dispatch=speedup,
     )
     # The acceptance bar of the compiled-IR PR.
     assert speedup >= 2.0, times

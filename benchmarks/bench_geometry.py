@@ -17,7 +17,7 @@ import json
 import time
 from pathlib import Path
 
-from conftest import print_table
+from conftest import append_raw_history, print_table
 
 from repro.core.protocol import Rule, RuleProtocol
 from repro.core.simulator import Simulation
@@ -206,6 +206,12 @@ def test_packed_kernel_beats_reference(benchmark):
     out.write_text(
         json.dumps({"cases": results, "speedups": speedups}, indent=2)
         + "\n"
+    )
+    append_raw_history(
+        "geometry",
+        wall_time=sum(r["seconds"] for r in results.values()),
+        speedup_inter_alignments=speedups["inter_alignments"],
+        speedup_open_slots=speedups["open_slots"],
     )
     # The acceptance bar of the packed-kernel PR.
     assert speedups["inter_alignments"] >= 2.0, speedups

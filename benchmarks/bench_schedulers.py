@@ -28,7 +28,7 @@ cut the n = 64 aggregation run ~3.3x against the PR 1 baseline.
 import random
 import time
 
-from conftest import print_table
+from conftest import append_raw_history, print_table
 
 from repro.core.protocol import Rule, RuleProtocol
 from repro.core.scheduler import make_scheduler
@@ -147,6 +147,14 @@ def test_incremental_cache_speedup(benchmark):
     )
     base_events, base_evals, base_time = results["hot (seed)"]
     cache_events, cache_evals, cache_time = results["hot+cache"]
+    append_raw_history(
+        "schedulers",
+        events=cache_events,
+        evaluations=cache_evals,
+        wall_time=cache_time,
+        evaluations_uncached=base_evals,
+        speedup_evaluations=base_evals / cache_evals,
+    )
     # Same trajectory (the contract makes this exact, not statistical).
     assert cache_events == base_events
     # The acceptance bar: >= 2x fewer candidate evaluations at n >= 64.

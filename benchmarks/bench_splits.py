@@ -31,7 +31,7 @@ import json
 import time
 from pathlib import Path
 
-from conftest import print_table
+from conftest import append_raw_history, print_table
 
 from repro.core.protocol import Rule, RuleProtocol
 from repro.core.scheduler import make_scheduler
@@ -153,6 +153,14 @@ def test_split_delta_speedup(benchmark):
             indent=2,
         )
         + "\n"
+    )
+    append_raw_history(
+        "splits",
+        evaluations=delta["evaluations"],
+        events=delta["events"],
+        wall_time=delta["seconds"],
+        evaluations_coarse=coarse["evaluations"],
+        speedup_evaluations=ratio,
     )
     # The acceptance bar of the split-delta PR.
     assert ratio >= 2.0, (coarse["evaluations"], delta["evaluations"])

@@ -17,12 +17,16 @@ schema as ``repro sweep --json``.
 from __future__ import annotations
 
 import subprocess
+import time
 from pathlib import Path
 
 import pytest
 
 #: Where BENCH_<scenario>.json artifacts land (next to the benchmarks).
 BENCH_DIR = Path(__file__).parent
+
+#: The committed perf-trajectory log: one normalized record per bench run.
+HISTORY_PATH = BENCH_DIR / "history.jsonl"
 
 
 def print_table(title: str, header: str, rows) -> None:
@@ -32,23 +36,76 @@ def print_table(title: str, header: str, rows) -> None:
         print(row)
 
 
-def write_bench(scenario: str, results, header=None) -> Path:
-    """Emit ``BENCH_<scenario>.json`` via the shared schema-validated writer."""
-    from repro.experiments import write_bench_json
+def git_sha() -> str | None:
+    """The current commit, or ``None`` outside a git checkout."""
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=BENCH_DIR,
+            capture_output=True,
+            text=True,
+            check=True,
+            timeout=30,
+        ).stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        return None
 
-    return write_bench_json(scenario, results, BENCH_DIR, header)
+
+def write_bench(scenario: str, results, header=None) -> Path:
+    """Emit ``BENCH_<scenario>.json`` via the shared schema-validated writer.
+
+    Every emission also appends one normalized record (scenario,
+    deterministic counters, wall time, git SHA) to
+    ``benchmarks/history.jsonl`` — the perf-trajectory log the regression
+    gate compares against.
+    """
+    from repro.experiments import append_history, write_bench_json
+
+    results = list(results)
+    path = write_bench_json(scenario, results, BENCH_DIR, header)
+    append_history(
+        HISTORY_PATH,
+        scenario,
+        results,
+        git_sha=git_sha(),
+        recorded_at=time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        extra=header,
+    )
+    return path
+
+
+def append_raw_history(bench: str, **counters) -> None:
+    """History record for a bench whose artifact is not a result payload.
+
+    The direct-artifact benches (geometry, dispatch, splits) measure
+    kernel comparisons rather than scenario trials; they pass their
+    normalized counters (``evaluations``, ``events``, ``wall_time``,
+    speedups) explicitly and still land one record per run in
+    ``history.jsonl``.
+    """
+    from repro.experiments import append_history
+
+    append_history(
+        HISTORY_PATH,
+        bench,
+        [],
+        git_sha=git_sha(),
+        recorded_at=time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        extra=counters,
+    )
 
 
 def _untracked_bench_artifacts():
-    """``BENCH_*.json`` files on disk that git does not track.
+    """Emitted-on-disk artifacts that git does not track.
 
     Every benchmark that emits an artifact must have that artifact
     committed, so the repository always carries the current normalized
-    set — an emitted-but-untracked file means a bench drifted.
+    set — an emitted-but-untracked file means a bench drifted. Covers the
+    ``BENCH_*.json`` snapshots and the ``history.jsonl`` trajectory log.
     """
     try:
         tracked = subprocess.run(
-            ["git", "ls-files", "BENCH_*.json"],
+            ["git", "ls-files", "BENCH_*.json", HISTORY_PATH.name],
             cwd=BENCH_DIR,
             capture_output=True,
             text=True,
@@ -57,9 +114,10 @@ def _untracked_bench_artifacts():
         ).stdout.split()
     except (OSError, subprocess.SubprocessError):
         return []  # no git (sdist, bare checkout): nothing to enforce
-    return sorted(
-        p.name for p in BENCH_DIR.glob("BENCH_*.json") if p.name not in tracked
-    )
+    on_disk = sorted(BENCH_DIR.glob("BENCH_*.json"))
+    if HISTORY_PATH.exists():
+        on_disk.append(HISTORY_PATH)
+    return sorted(p.name for p in on_disk if p.name not in tracked)
 
 
 @pytest.fixture(scope="session", autouse=True)
@@ -75,6 +133,6 @@ def _bench_artifact_drift_guard():
     assert not untracked, (
         "benchmark artifacts exist on disk but are not committed: "
         + ", ".join(untracked)
-        + " — run `git add benchmarks/BENCH_*.json` so the tracked set "
-        "stays in sync with what the benches emit"
+        + " — run `git add benchmarks/BENCH_*.json benchmarks/history.jsonl` "
+        "so the tracked set stays in sync with what the benches emit"
     )

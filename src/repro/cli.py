@@ -14,6 +14,13 @@ commands are *generated* from the registered scenarios —
   worker count);
 * ``validate`` — check emitted JSON against the experiment result schema.
 
+The sweep-service commands share the same declarative sweep form:
+``serve`` runs the long-running daemon (persistent FIFO job queue,
+content-addressed trial cache, process-pool fan-out), ``submit`` queues a
+sweep (``--wait`` streams NDJSON progress), ``status`` inspects the
+queue, and ``fetch`` retrieves a finished job's results payload. The same
+trial cache backs ``sweep --cache`` in-process, no daemon needed.
+
 The historical subcommands (``demo``, ``count``, ``construct``,
 ``pattern``, ``cube``, ``replicate``, ``repair``) remain as aliases onto
 the same registry and print byte-identical seeded output; ``inspect``
@@ -45,6 +52,7 @@ from repro.experiments import (
     write_results_json,
 )
 from repro.experiments.io import results_payload
+from repro.experiments.store import TrialStore
 from repro.machines.shape_programs import PATTERN_CATALOGUE, SHAPE_CATALOGUE
 from repro.protocols.line import simple_line_protocol, spanning_line_protocol
 from repro.protocols.replication import (
@@ -192,30 +200,40 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return _emit_result(run_experiment(spec), args.json)
 
 
-def _cmd_sweep(args: argparse.Namespace) -> int:
-    scn = get_scenario(args.scenario)
+def _sweep_from_args(args: argparse.Namespace, scn) -> SweepSpec:
+    """The declarative sweep shared by ``sweep`` and ``submit``."""
     grid = {}
     for p in scn.params:
         raw = getattr(args, f"param_{p.name}")
         if raw is not None:
             grid[p.name] = [p.convert(tok) for tok in raw.split(",") if tok]
-    sweep = SweepSpec(
+    return SweepSpec(
         scenario=scn.name,
         grid=grid,
         trials=args.seeds,
         base_seed=args.base_seed,
         scheduler=getattr(args, "scheduler", None),
     )
-    results = run_sweep(sweep, workers=args.workers)
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    scn = get_scenario(args.scenario)
+    sweep = _sweep_from_args(args, scn)
+    store = None
+    if args.cache or args.cache_dir is not None:
+        store = TrialStore(args.cache_dir)
+    results = run_sweep(sweep, workers=args.workers, cache=store)
     header = {
         "kind": "results",
         "sweep": {
             "scenario": scn.name,
-            "grid": grid,
+            "grid": {k: list(v) for k, v in sweep.grid.items()},
             "trials": args.seeds,
             "base_seed": args.base_seed,
         },
     }
+    if store is not None:
+        header["cache"] = store.stats()
     if args.json is not None:
         if args.json == "-":
             print(json.dumps(results_payload(results, header), indent=2, sort_keys=True))
@@ -231,6 +249,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         )
         print(f"[{result.scenario} {params} seed={result.seed}] {numeric}")
     print(f"{len(results)} trials")
+    if store is not None:
+        print(
+            f"cache hits {store.hits}/{len(results)} "
+            f"(misses {store.misses}, rejected {store.rejected})"
+        )
     return 0
 
 
@@ -254,6 +277,121 @@ def _cmd_validate(args: argparse.Namespace) -> int:
             count = len(data.get("results", [data]))
             print(f"{path}: ok ({count} result{'s' if count != 1 else ''})")
     return status
+
+
+# ----------------------------------------------------------------------
+# Sweep-service commands (repro serve / submit / status / fetch)
+# ----------------------------------------------------------------------
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.experiments.service import ServiceClient, SweepService
+
+    if args.stop:
+        ServiceClient(state_dir=args.state_dir).shutdown()
+        print("sweep service stopping")
+        return 0
+    store = TrialStore(args.cache_dir) if args.cache_dir is not None else None
+    service = SweepService(
+        state_dir=args.state_dir,
+        port=args.port,
+        workers=args.workers,
+        store=store,
+    )
+
+    def on_ready(svc: SweepService) -> None:
+        print(
+            f"sweep service listening on {svc.host}:{svc.bound_port} "
+            f"(state dir {svc.state_dir}, trial store {svc.store.root}, "
+            f"{svc.workers} workers)",
+            flush=True,
+        )
+
+    try:
+        service.run(on_ready)
+    except KeyboardInterrupt:
+        pass  # queued jobs stay journalled; a restart resumes them
+    return 0
+
+
+def _print_progress(event: Dict) -> None:
+    if event.get("event") == "trial":
+        tag = "cached" if event.get("cached") else "computed"
+        print(f"  trial {event['index']}: {tag} (seed {event.get('seed')})")
+    elif event.get("event") == "job":
+        print(f"job {event.get('id')}: {event.get('status')}")
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.experiments.service import ServiceClient
+
+    scn = get_scenario(args.scenario)
+    sweep = _sweep_from_args(args, scn)
+    client = ServiceClient(state_dir=args.state_dir)
+    on_event = None if args.quiet else _print_progress
+    final = client.submit(
+        sweep, workers=args.workers, wait=args.wait, on_event=on_event
+    )
+    if args.wait:
+        print(
+            f"job {final['id']}: {final['status']}, {final['total']} trials, "
+            f"cache hits {final['hits']}/{final['total']} "
+            f"(misses {final['misses']})"
+        )
+        return 0 if final["status"] == "done" else 1
+    print(
+        f"submitted {final['id']} ({final['total']} trials, "
+        f"queue position {final['position']})"
+    )
+    return 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    from repro.experiments.service import ServiceClient
+
+    client = ServiceClient(state_dir=args.state_dir)
+    final = client.status(args.job_id)
+    jobs = [final["job"]] if args.job_id is not None else final["jobs"]
+    if args.json is not None:
+        text = json.dumps(jobs, indent=2, sort_keys=True)
+        if args.json == "-":
+            print(text)
+        else:
+            with open(args.json, "w") as fh:
+                fh.write(text + "\n")
+        return 0
+    if not jobs:
+        print("no jobs")
+        return 0
+    for job in jobs:
+        line = (
+            f"{job['id']}  {job['status']:<8} {job['scenario'] or '?':<16} "
+            f"{job['completed']}/{job['total']} trials, "
+            f"hits {job['hits']}, misses {job['misses']}"
+        )
+        if job.get("error"):
+            line += f"  [{job['error']}]"
+        print(line)
+    store = final.get("store")
+    if args.job_id is None and store is not None:
+        print(
+            f"trial store: {store['hits']} hits, {store['misses']} misses, "
+            f"{store['rejected']} rejected"
+        )
+    return 0
+
+
+def _cmd_fetch(args: argparse.Namespace) -> int:
+    from repro.experiments.service import ServiceClient
+
+    client = ServiceClient(state_dir=args.state_dir)
+    payload = client.fetch(args.job_id)
+    if args.json is not None and args.json != "-":
+        with open(args.json, "w") as fh:
+            fh.write(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        return 0
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0
 
 
 # ----------------------------------------------------------------------
@@ -441,6 +579,10 @@ def build_parser() -> argparse.ArgumentParser:
         "sweep", help="declarative grid × seeds sweep (parallel workers)"
     )
     sweep_sub = sweep_parser.add_subparsers(dest="scenario", required=True)
+    submit_parser = sub.add_parser(
+        "submit", help="queue a sweep on the running sweep service"
+    )
+    submit_sub = submit_parser.add_subparsers(dest="scenario", required=True)
     for scn in all_scenarios():
         p = run_sub.add_parser(scn.name, help=scn.summary)
         for prm in scn.params:
@@ -455,35 +597,110 @@ def build_parser() -> argparse.ArgumentParser:
         _add_uniform_flags(p, scn)
         p.set_defaults(func=_cmd_run)
 
-        p = sweep_sub.add_parser(scn.name, help=scn.summary)
-        for prm in scn.params:
+        def _add_sweep_grid_flags(p, scn=scn):
+            for prm in scn.params:
+                p.add_argument(
+                    f"--{prm.name.replace('_', '-')}",
+                    dest=f"param_{prm.name}",
+                    type=str,
+                    default=None,
+                    metavar="V[,V...]",
+                    help=f"values to sweep for {prm.name} (default {prm.default!r})",
+                )
             p.add_argument(
-                f"--{prm.name.replace('_', '-')}",
-                dest=f"param_{prm.name}",
-                type=str,
-                default=None,
-                metavar="V[,V...]",
-                help=f"values to sweep for {prm.name} (default {prm.default!r})",
+                "--seeds", type=int, default=1,
+                help="trials per grid point (seeds derived deterministically)",
             )
-        p.add_argument(
-            "--seeds", type=int, default=1,
-            help="trials per grid point (seeds derived deterministically)",
-        )
-        p.add_argument("--base-seed", type=int, default=0)
+            p.add_argument("--base-seed", type=int, default=0)
+            if scn.schedulable:
+                p.add_argument("--scheduler", choices=SCHEDULERS, default=None)
+
+        p = sweep_sub.add_parser(scn.name, help=scn.summary)
+        _add_sweep_grid_flags(p)
         p.add_argument(
             "--workers", type=int, default=1,
             help="process fan-out; results are identical for any count",
         )
+        p.add_argument(
+            "--cache", action="store_true",
+            help=(
+                "serve repeated trials from the content-addressed trial "
+                "store (~/.cache/repro/trials) instead of recomputing"
+            ),
+        )
+        p.add_argument(
+            "--cache-dir", default=None, metavar="PATH",
+            help="trial-store root (implies --cache)",
+        )
         _add_json_flag(p)
-        if scn.schedulable:
-            p.add_argument("--scheduler", choices=SCHEDULERS, default=None)
         p.set_defaults(func=_cmd_sweep)
+
+        p = submit_sub.add_parser(scn.name, help=scn.summary)
+        _add_sweep_grid_flags(p)
+        p.add_argument(
+            "--workers", type=int, default=None,
+            help="per-job process fan-out (default: the service's setting)",
+        )
+        p.add_argument(
+            "--wait", action="store_true",
+            help="stream per-trial progress and block until the job finishes",
+        )
+        p.add_argument("--quiet", action="store_true", help="no progress lines")
+        p.add_argument(
+            "--state-dir", default=None, metavar="PATH",
+            help="service state directory (default ~/.cache/repro/service)",
+        )
+        p.set_defaults(func=_cmd_submit)
 
     p = sub.add_parser(
         "validate", help="validate emitted JSON against the result schema"
     )
     p.add_argument("paths", nargs="+", metavar="PATH")
     p.set_defaults(func=_cmd_validate)
+
+    # --- sweep service ------------------------------------------------
+    p = sub.add_parser(
+        "serve",
+        help=(
+            "run the sweep service: persistent FIFO job queue, "
+            "content-addressed trial cache, process-pool fan-out"
+        ),
+    )
+    p.add_argument(
+        "--state-dir", default=None, metavar="PATH",
+        help="journal/port/results directory (default ~/.cache/repro/service)",
+    )
+    p.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port on 127.0.0.1 (0 = ephemeral, written to the port file)",
+    )
+    p.add_argument(
+        "--workers", type=int, default=2,
+        help="default process fan-out for uncached trials",
+    )
+    p.add_argument(
+        "--cache-dir", default=None, metavar="PATH",
+        help="trial-store root (default ~/.cache/repro/trials)",
+    )
+    p.add_argument(
+        "--stop", action="store_true",
+        help="shut down the running service instead of starting one",
+    )
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser("status", help="list the sweep service's jobs")
+    p.add_argument("job_id", nargs="?", default=None, metavar="JOB")
+    p.add_argument("--state-dir", default=None, metavar="PATH")
+    _add_json_flag(p)
+    p.set_defaults(func=_cmd_status)
+
+    p = sub.add_parser(
+        "fetch", help="retrieve a finished job's results payload"
+    )
+    p.add_argument("job_id", metavar="JOB")
+    p.add_argument("--state-dir", default=None, metavar="PATH")
+    _add_json_flag(p)
+    p.set_defaults(func=_cmd_fetch)
 
     # --- historical commands (registry aliases) ----------------------
     p = sub.add_parser("demo", help="quickstart: spanning line + square")

@@ -9,9 +9,17 @@ One composable front door for every workload the library can run:
 * :mod:`repro.experiments.result` — the uniform :class:`ExperimentResult`
   record with lossless JSON round-trip;
 * :mod:`repro.experiments.runner` — :func:`run_experiment` and the
-  process-parallel, bit-reproducible :func:`run_sweep`;
-* :mod:`repro.experiments.io` — shared JSON writers/validators and the
-  scenario index behind ``repro list`` and ``EXPERIMENTS.md``.
+  process-parallel, bit-reproducible :func:`run_sweep` (with the
+  ``cache=`` trial-store seam);
+* :mod:`repro.experiments.store` — the content-addressed trial store:
+  results keyed by the SHA-256 trial identity, provenance-verified on
+  load, shared by ``run_sweep(cache=...)`` and the sweep service;
+* :mod:`repro.experiments.service` — the long-running sweep daemon
+  (``repro serve``) with its persistent job queue and NDJSON-streaming
+  clients (imported on demand, not re-exported here);
+* :mod:`repro.experiments.io` — shared JSON writers/validators, the
+  benchmark history appender, and the scenario index behind
+  ``repro list`` and ``EXPERIMENTS.md``.
 
 The adapters themselves live next to the code they wrap
 (``repro.<package>.scenarios``); importing this package registers all of
@@ -36,8 +44,17 @@ from repro.experiments.result import (
 )
 from repro.experiments.spec import ExperimentSpec, SweepSpec, derive_seed
 from repro.experiments.runner import run_experiment, run_named, run_sweep
+from repro.experiments.store import (
+    TRIAL_SCHEMA,
+    TrialStore,
+    default_cache_root,
+    spec_key,
+    trial_key,
+)
 from repro.experiments.io import (
+    HISTORY_SCHEMA,
     RESULTS_SCHEMA,
+    append_history,
     describe_scenario,
     format_scenario_list,
     results_payload,
@@ -55,6 +72,13 @@ __all__ = [
     "ExperimentResult",
     "RESULT_SCHEMA",
     "RESULTS_SCHEMA",
+    "TRIAL_SCHEMA",
+    "HISTORY_SCHEMA",
+    "TrialStore",
+    "trial_key",
+    "spec_key",
+    "default_cache_root",
+    "append_history",
     "register",
     "scenario",
     "get_scenario",

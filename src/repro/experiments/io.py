@@ -24,6 +24,9 @@ from repro.experiments.result import (
 #: Schema identifier for result-collection payloads.
 RESULTS_SCHEMA = "repro.experiments.results/v1"
 
+#: Schema identifier for benchmark-history records (history.jsonl lines).
+HISTORY_SCHEMA = "repro.experiments.history/v1"
+
 
 # ----------------------------------------------------------------------
 # Result collections
@@ -85,6 +88,77 @@ def validate_payload(data: Any) -> List[str]:
 
 
 # ----------------------------------------------------------------------
+# Benchmark history (benchmarks/history.jsonl)
+# ----------------------------------------------------------------------
+
+
+def history_record(
+    bench: str,
+    results: Iterable[ExperimentResult],
+    git_sha: Optional[str] = None,
+    recorded_at: Optional[str] = None,
+    extra: Optional[Mapping[str, Any]] = None,
+) -> Dict[str, Any]:
+    """One normalized perf-trajectory record for a bench run.
+
+    Aggregates the run's deterministic counters (evaluations, events, raw
+    steps — the regression-gateable numbers) and its advisory total wall
+    time, stamped with the git SHA the run was taken at. ``extra`` merges
+    additional bench-specific scalars (speedup factors, cache hit counts)
+    and may fill normalized fields the results left unset — benches whose
+    artifact is not an ``ExperimentResult`` collection pass ``results=[]``
+    and supply their counters directly — but never overrides a counter
+    the results did determine.
+    """
+    results = list(results)
+
+    def total(attr: str) -> Optional[int]:
+        values = [getattr(r, attr) for r in results if getattr(r, attr) is not None]
+        return sum(values) if values else None
+
+    record: Dict[str, Any] = {
+        "schema": HISTORY_SCHEMA,
+        "bench": bench,
+        "scenarios": sorted({r.scenario for r in results}),
+        "trials": len(results),
+        "evaluations": total("evaluations"),
+        "events": total("events"),
+        "raw_steps": total("raw_steps"),
+        "wall_time": sum(r.wall_time for r in results) if results else None,
+        "git_sha": git_sha,
+        "recorded_at": recorded_at,
+    }
+    if extra:
+        for key, value in extra.items():
+            if key not in record or record[key] is None:
+                record[key] = value
+    return record
+
+
+def append_history(
+    path: Union[str, Path],
+    bench: str,
+    results: Iterable[ExperimentResult],
+    git_sha: Optional[str] = None,
+    recorded_at: Optional[str] = None,
+    extra: Optional[Mapping[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Append one :func:`history_record` line to ``path`` (JSONL).
+
+    This is the seed of the perf-trajectory gate: every bench run appends
+    exactly one normalized record, so regressions are a diff over
+    ``benchmarks/history.jsonl`` instead of archaeology over ad-hoc
+    artifact shapes.
+    """
+    record = history_record(bench, results, git_sha, recorded_at, extra)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("a") as fh:
+        fh.write(json.dumps(record, sort_keys=True) + "\n")
+    return record
+
+
+# ----------------------------------------------------------------------
 # Scenario index (repro list / describe, EXPERIMENTS.md)
 # ----------------------------------------------------------------------
 
@@ -120,7 +194,10 @@ def format_scenario_list(fmt: str = "text") -> str:
             "`tests/test_experiments.py` fails when this file drifts from the",
             "registry. Run any row with `repro run <name>`, grids with",
             "`repro sweep <name>`; `repro describe <name>` prints the full",
-            "parameter schema.",
+            "parameter schema. `repro sweep --cache` serves repeated trials",
+            "from the content-addressed trial store (provenance-verified on",
+            "load), and the same store backs the long-running sweep service:",
+            "`repro serve` + `repro submit / status / fetch`.",
             "",
             "| scenario | summary | params (defaults) | randomness | tags |",
             "|---|---|---|---|---|",

@@ -1,0 +1,644 @@
+"""The long-running sweep service: ``repro serve`` and its clients.
+
+A single-process asyncio daemon that accepts sweep jobs from many
+concurrent clients, deduplicates compute through the content-addressed
+trial store (:mod:`repro.experiments.store`), and fans uncached trials
+over a ``ProcessPoolExecutor``. The front door for "many users, heavy
+traffic": identical trials are provably identical work (per-trial seeds
+are SHA-256 of the full trial identity), so a resubmitted sweep is served
+from the store and never touches the pool.
+
+Wire protocol — line-delimited JSON over TCP on localhost:
+
+* the client sends exactly one request line ``{"cmd": ..., ...}``;
+* the server answers with zero or more ``{"event": "trial"|"job", ...}``
+  progress lines (NDJSON streaming, for ``submit --wait`` / ``watch``),
+  terminated by one ``{"event": "end", "ok": bool, ...}`` line, then
+  closes the connection.
+
+The bound port is written to ``<state_dir>/port`` so clients need only
+the state directory. Commands: ``ping``, ``submit`` (optionally
+``wait``-streaming), ``status``, ``watch``, ``fetch``, ``shutdown``.
+
+Persistence — jobs survive restart via an append-only journal,
+``<state_dir>/queue.jsonl``: one ``{"kind": "job", ...}`` record per
+submission (the full sweep dict, schema-stamped) and one
+``{"kind": "done", ...}`` record per completion. On startup the journal
+is replayed: jobs with no ``done`` record (queued, or running when the
+process died) re-enter the FIFO queue in submission order — and because
+every finished trial is already in the trial store, re-running an
+interrupted job only recomputes the trials that never completed.
+Finished results live under ``<state_dir>/results/<job_id>.json`` (the
+standard ``kind: "results"`` payload), so ``fetch`` works across
+restarts too.
+
+Scheduling is fair FIFO across clients: one job runs at a time, in
+submission order, with its own pool capped at the uncached-trial count —
+no client can starve another by submitting a wide sweep, and progress
+streams to any number of watchers while the queue drains.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import json
+import os
+import socket
+import threading
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterator, List, Optional, Union
+
+from repro.errors import ReproError
+from repro.experiments.io import results_payload, write_results_json
+from repro.experiments.result import ExperimentResult
+from repro.experiments.runner import _sweep_worker, spec_payload
+from repro.experiments.spec import ExperimentSpec, SweepSpec
+from repro.experiments.store import TrialStore, default_cache_root
+
+#: Schema identifier stamped into every journalled job record.
+JOB_SCHEMA = "repro.experiments.job/v1"
+
+#: Journal filename inside the service state directory.
+QUEUE_JOURNAL = "queue.jsonl"
+
+
+def default_state_dir() -> Path:
+    """Where ``repro serve`` keeps its journal, port file and results."""
+    return default_cache_root() / "service"
+
+
+def sweep_to_dict(sweep: SweepSpec) -> Dict[str, Any]:
+    """The JSON form of a sweep, as journalled and sent over the wire."""
+    return {
+        "scenario": sweep.scenario,
+        "grid": {k: list(v) for k, v in sweep.grid.items()},
+        "trials": sweep.trials,
+        "base_seed": sweep.base_seed,
+        "scheduler": sweep.scheduler,
+    }
+
+
+def sweep_from_dict(data: Dict[str, Any]) -> SweepSpec:
+    return SweepSpec(
+        scenario=data["scenario"],
+        grid={k: list(v) for k, v in data.get("grid", {}).items()},
+        trials=int(data.get("trials", 1)),
+        base_seed=int(data.get("base_seed", 0)),
+        scheduler=data.get("scheduler"),
+    )
+
+
+@dataclass
+class Job:
+    """One submitted sweep, from journal record to served results."""
+
+    id: str
+    sweep: Dict[str, Any]
+    workers: int
+    status: str = "queued"  # queued | running | done | failed
+    total: int = 0
+    completed: int = 0
+    hits: int = 0
+    misses: int = 0
+    error: Optional[str] = None
+    events: List[Dict[str, Any]] = field(default_factory=list)
+    update: Optional[asyncio.Event] = None
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "id": self.id,
+            "status": self.status,
+            "scenario": self.sweep.get("scenario"),
+            "total": self.total,
+            "completed": self.completed,
+            "hits": self.hits,
+            "misses": self.misses,
+            "error": self.error,
+        }
+
+
+class SweepService:
+    """The asyncio sweep daemon; see the module docstring for the protocol."""
+
+    def __init__(
+        self,
+        state_dir: Union[str, Path, None] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: int = 2,
+        store: Union[TrialStore, str, Path, None] = None,
+    ) -> None:
+        self.state_dir = Path(state_dir) if state_dir is not None else default_state_dir()
+        self.host = host
+        self.port = port  # requested; the bound port lands in self.bound_port
+        self.bound_port: Optional[int] = None
+        self.workers = max(1, workers)
+        self.store = store if isinstance(store, TrialStore) else TrialStore(store)
+        self.jobs: Dict[str, Job] = {}
+        self._order: List[str] = []  # submission order, for status listings
+        self._queue: "asyncio.Queue[str]" = asyncio.Queue()
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._runner: Optional[asyncio.Task] = None
+        self._stopping = asyncio.Event()
+        self._seq = 0
+
+    # -- paths ----------------------------------------------------------
+
+    @property
+    def journal_path(self) -> Path:
+        return self.state_dir / QUEUE_JOURNAL
+
+    @property
+    def port_path(self) -> Path:
+        return self.state_dir / "port"
+
+    def results_path(self, job_id: str) -> Path:
+        return self.state_dir / "results" / f"{job_id}.json"
+
+    # -- journal --------------------------------------------------------
+
+    def _append_journal(self, record: Dict[str, Any]) -> None:
+        with self.journal_path.open("a") as fh:
+            fh.write(json.dumps(record, sort_keys=True) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    def _recover(self) -> List[str]:
+        """Replay the journal; returns pending job ids in FIFO order."""
+        done: Dict[str, Dict[str, Any]] = {}
+        submitted: List[Dict[str, Any]] = []
+        if self.journal_path.exists():
+            for line in self.journal_path.read_text().splitlines():
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn tail write from a crash: ignore
+                if record.get("kind") == "job" and record.get("schema") == JOB_SCHEMA:
+                    submitted.append(record)
+                elif record.get("kind") == "done":
+                    done[record.get("id")] = record
+        pending: List[str] = []
+        for record in submitted:
+            job = Job(
+                id=record["id"],
+                sweep=record["sweep"],
+                workers=int(record.get("workers", self.workers)),
+            )
+            finish = done.get(job.id)
+            if finish is None:
+                pending.append(job.id)  # queued or interrupted mid-run
+            else:
+                job.status = finish.get("status", "done")
+                job.error = finish.get("error")
+                job.total = int(finish.get("total", 0))
+                job.completed = job.total if job.status == "done" else 0
+                job.hits = int(finish.get("hits", 0))
+                job.misses = int(finish.get("misses", 0))
+            self.jobs[job.id] = job
+            self._order.append(job.id)
+            self._seq = max(self._seq, _seq_of(job.id))
+        return pending
+
+    # -- lifecycle ------------------------------------------------------
+
+    async def start(self) -> None:
+        self.state_dir.mkdir(parents=True, exist_ok=True)
+        (self.state_dir / "results").mkdir(exist_ok=True)
+        for job_id in self._recover():
+            self._queue.put_nowait(job_id)
+        self._server = await asyncio.start_server(self._handle, self.host, self.port)
+        self.bound_port = self._server.sockets[0].getsockname()[1]
+        self.port_path.write_text(f"{self.bound_port}\n")
+        self._runner = asyncio.create_task(self._run_jobs())
+
+    async def stop(self) -> None:
+        self._stopping.set()
+
+    async def _main(self, on_ready: Optional[Callable[["SweepService"], None]] = None) -> None:
+        await self.start()
+        if on_ready is not None:
+            on_ready(self)
+        try:
+            await self._stopping.wait()
+        finally:
+            if self._runner is not None:
+                self._runner.cancel()
+            if self._server is not None:
+                self._server.close()
+                await self._server.wait_closed()
+            try:
+                self.port_path.unlink()
+            except OSError:
+                pass
+
+    def run(self, on_ready: Optional[Callable[["SweepService"], None]] = None) -> None:
+        """Blocking entrypoint (``repro serve``): serve until shut down."""
+        asyncio.run(self._main(on_ready))
+
+    # -- job execution --------------------------------------------------
+
+    async def _run_jobs(self) -> None:
+        while True:
+            job_id = await self._queue.get()
+            job = self.jobs[job_id]
+            try:
+                await self._execute(job)
+            except asyncio.CancelledError:
+                raise  # service shutdown mid-job: journal has no "done",
+                # so the job is re-queued (and mostly cached) on restart
+            except Exception as exc:  # noqa: BLE001 - job isolation
+                job.status = "failed"
+                job.error = f"{type(exc).__name__}: {exc}"
+                self._finish(job)
+
+    def _emit(self, job: Job, event: Dict[str, Any]) -> None:
+        job.events.append(event)
+        if job.update is not None:
+            job.update.set()
+
+    def _finish(self, job: Job) -> None:
+        self._append_journal(
+            {
+                "kind": "done",
+                "id": job.id,
+                "status": job.status,
+                "error": job.error,
+                "total": job.total,
+                "hits": job.hits,
+                "misses": job.misses,
+            }
+        )
+        self._emit(
+            job, {"event": "job", "status": job.status, **job.summary()}
+        )
+
+    async def _execute(self, job: Job) -> None:
+        job.update = job.update or asyncio.Event()
+        job.status = "running"
+        self._emit(job, {"event": "job", "status": "running", "id": job.id})
+        sweep = sweep_from_dict(job.sweep)
+        specs = [spec.resolved() for spec in sweep.specs()]
+        if not specs:
+            raise ReproError("sweep expanded to zero trials")
+        job.total = len(specs)
+        results: List[Optional[ExperimentResult]] = [None] * len(specs)
+        for i, spec in enumerate(specs):
+            cached = self.store.get(spec)
+            if cached is not None:
+                results[i] = cached
+                job.hits += 1
+                job.completed += 1
+                self._emit(
+                    job,
+                    {"event": "trial", "index": i, "cached": True, "seed": spec.seed},
+                )
+            if i % 64 == 63:
+                await asyncio.sleep(0)  # keep status/watch connections live
+        miss = [i for i, r in enumerate(results) if r is None]
+        if miss:
+            loop = asyncio.get_running_loop()
+            with ProcessPoolExecutor(max_workers=min(job.workers, len(miss))) as pool:
+
+                async def run_one(i: int) -> None:
+                    data = await loop.run_in_executor(
+                        pool, _sweep_worker, spec_payload(specs[i])
+                    )
+                    result = ExperimentResult.from_dict(data)
+                    self.store.put(specs[i], result)
+                    results[i] = result
+                    job.misses += 1
+                    job.completed += 1
+                    self._emit(
+                        job,
+                        {
+                            "event": "trial",
+                            "index": i,
+                            "cached": False,
+                            "seed": specs[i].seed,
+                        },
+                    )
+
+                await asyncio.gather(*(run_one(i) for i in miss))
+        header = {"job": job.summary(), "sweep": job.sweep}
+        write_results_json(self.results_path(job.id), results, header)
+        job.status = "done"
+        self._finish(job)
+
+    # -- request handling -----------------------------------------------
+
+    async def _handle(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        try:
+            line = await reader.readline()
+            if not line:
+                return
+            try:
+                request = json.loads(line)
+            except json.JSONDecodeError:
+                await self._send(writer, {"event": "end", "ok": False, "error": "bad request JSON"})
+                return
+            cmd = request.get("cmd")
+            handler = {
+                "ping": self._cmd_ping,
+                "submit": self._cmd_submit,
+                "status": self._cmd_status,
+                "watch": self._cmd_watch,
+                "fetch": self._cmd_fetch,
+                "shutdown": self._cmd_shutdown,
+            }.get(cmd)
+            if handler is None:
+                await self._send(
+                    writer, {"event": "end", "ok": False, "error": f"unknown cmd {cmd!r}"}
+                )
+                return
+            await handler(request, writer)
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # client went away mid-stream; nothing to clean up
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    @staticmethod
+    async def _send(writer: asyncio.StreamWriter, payload: Dict[str, Any]) -> None:
+        writer.write(json.dumps(payload, sort_keys=True).encode() + b"\n")
+        await writer.drain()
+
+    async def _cmd_ping(self, request: Dict, writer: asyncio.StreamWriter) -> None:
+        await self._send(
+            writer,
+            {
+                "event": "end",
+                "ok": True,
+                "pid": os.getpid(),
+                "jobs": len(self.jobs),
+                "queued": self._queue.qsize(),
+                "store": self.store.stats(),
+            },
+        )
+
+    async def _cmd_submit(self, request: Dict, writer: asyncio.StreamWriter) -> None:
+        data = request.get("sweep")
+        try:
+            sweep = sweep_from_dict(data)
+            total = sum(1 for _ in sweep.specs())  # validates params early
+        except (ReproError, KeyError, TypeError, ValueError) as exc:
+            await self._send(writer, {"event": "end", "ok": False, "error": str(exc)})
+            return
+        self._seq += 1
+        digest = hashlib.sha256(
+            json.dumps(data, sort_keys=True, default=str).encode()
+        ).hexdigest()[:8]
+        job = Job(
+            id=f"job-{self._seq:04d}-{digest}",
+            sweep=sweep_to_dict(sweep),
+            workers=int(request.get("workers") or self.workers),
+            total=total,
+            update=asyncio.Event(),
+        )
+        self.jobs[job.id] = job
+        self._order.append(job.id)
+        self._append_journal(
+            {
+                "kind": "job",
+                "schema": JOB_SCHEMA,
+                "id": job.id,
+                "sweep": job.sweep,
+                "workers": job.workers,
+            }
+        )
+        position = self._queue.qsize()
+        self._queue.put_nowait(job.id)
+        if not request.get("wait"):
+            await self._send(
+                writer,
+                {"event": "end", "ok": True, "id": job.id, "position": position, "total": total},
+            )
+            return
+        await self._stream_job(job, writer)
+
+    async def _stream_job(self, job: Job, writer: asyncio.StreamWriter) -> None:
+        """Replay then follow a job's progress events; end on completion."""
+        job.update = job.update or asyncio.Event()
+        idx = 0
+        while True:
+            if idx < len(job.events):
+                await self._send(writer, job.events[idx])
+                idx += 1
+                continue
+            if job.status in ("done", "failed"):
+                break
+            job.update.clear()
+            if idx < len(job.events) or job.status in ("done", "failed"):
+                continue
+            await job.update.wait()
+        await self._send(
+            writer, {"event": "end", "ok": job.status == "done", **job.summary()}
+        )
+
+    async def _cmd_status(self, request: Dict, writer: asyncio.StreamWriter) -> None:
+        job_id = request.get("id")
+        if job_id is not None:
+            job = self.jobs.get(job_id)
+            if job is None:
+                await self._send(
+                    writer, {"event": "end", "ok": False, "error": f"unknown job {job_id!r}"}
+                )
+                return
+            await self._send(writer, {"event": "end", "ok": True, "job": job.summary()})
+            return
+        await self._send(
+            writer,
+            {
+                "event": "end",
+                "ok": True,
+                "jobs": [self.jobs[jid].summary() for jid in self._order],
+                "store": self.store.stats(),
+            },
+        )
+
+    async def _cmd_watch(self, request: Dict, writer: asyncio.StreamWriter) -> None:
+        job = self.jobs.get(request.get("id"))
+        if job is None:
+            await self._send(
+                writer,
+                {"event": "end", "ok": False, "error": f"unknown job {request.get('id')!r}"},
+            )
+            return
+        await self._stream_job(job, writer)
+
+    async def _cmd_fetch(self, request: Dict, writer: asyncio.StreamWriter) -> None:
+        job_id = request.get("id")
+        job = self.jobs.get(job_id)
+        if job is None:
+            await self._send(
+                writer, {"event": "end", "ok": False, "error": f"unknown job {job_id!r}"}
+            )
+            return
+        path = self.results_path(job_id)
+        if job.status != "done" or not path.exists():
+            await self._send(
+                writer,
+                {
+                    "event": "end",
+                    "ok": False,
+                    "error": f"job {job_id} is {job.status}, results not available",
+                },
+            )
+            return
+        payload = json.loads(path.read_text())
+        await self._send(writer, {"event": "end", "ok": True, "payload": payload})
+
+    async def _cmd_shutdown(self, request: Dict, writer: asyncio.StreamWriter) -> None:
+        await self._send(writer, {"event": "end", "ok": True, "stopping": True})
+        self._stopping.set()
+
+
+def _seq_of(job_id: str) -> int:
+    """The monotonic sequence number embedded in a job id (0 if absent)."""
+    try:
+        return int(job_id.split("-")[1])
+    except (IndexError, ValueError):
+        return 0
+
+
+# ----------------------------------------------------------------------
+# Blocking client (CLI, tests)
+# ----------------------------------------------------------------------
+
+
+class ServiceClient:
+    """Synchronous client for the sweep service wire protocol.
+
+    Resolves the daemon's port from ``<state_dir>/port`` unless given one
+    explicitly; every method opens one connection, sends one request
+    line, and consumes the NDJSON response stream. Streaming commands
+    (``submit(wait=True)``, ``watch``) invoke ``on_event`` per progress
+    line; every method returns the final ``end`` record.
+    """
+
+    def __init__(
+        self,
+        state_dir: Union[str, Path, None] = None,
+        host: str = "127.0.0.1",
+        port: Optional[int] = None,
+        timeout: float = 600.0,
+    ) -> None:
+        self.state_dir = Path(state_dir) if state_dir is not None else default_state_dir()
+        self.host = host
+        self._port = port
+        self.timeout = timeout
+
+    @property
+    def port(self) -> int:
+        if self._port is None:
+            path = self.state_dir / "port"
+            try:
+                self._port = int(path.read_text().strip())
+            except (OSError, ValueError):
+                raise ReproError(
+                    f"sweep service not running (no port file at {path}; "
+                    f"start it with `repro serve`)"
+                ) from None
+        return self._port
+
+    def _request(self, payload: Dict[str, Any]) -> Iterator[Dict[str, Any]]:
+        try:
+            sock = socket.create_connection((self.host, self.port), timeout=self.timeout)
+        except OSError as exc:
+            raise ReproError(
+                f"cannot reach sweep service at {self.host}:{self.port} ({exc}); "
+                f"is `repro serve` running?"
+            ) from exc
+        with sock, sock.makefile("rwb") as fh:
+            fh.write(json.dumps(payload, sort_keys=True).encode() + b"\n")
+            fh.flush()
+            for raw in fh:
+                line = raw.strip()
+                if line:
+                    yield json.loads(line)
+
+    def _final(
+        self,
+        payload: Dict[str, Any],
+        on_event: Optional[Callable[[Dict[str, Any]], None]] = None,
+    ) -> Dict[str, Any]:
+        final: Optional[Dict[str, Any]] = None
+        for record in self._request(payload):
+            if record.get("event") == "end":
+                final = record
+                break
+            if on_event is not None:
+                on_event(record)
+        if final is None:
+            raise ReproError("sweep service closed the connection mid-response")
+        if not final.get("ok"):
+            raise ReproError(final.get("error") or "sweep service request failed")
+        return final
+
+    def ping(self) -> Dict[str, Any]:
+        return self._final({"cmd": "ping"})
+
+    def submit(
+        self,
+        sweep: Union[SweepSpec, Dict[str, Any]],
+        workers: Optional[int] = None,
+        wait: bool = False,
+        on_event: Optional[Callable[[Dict[str, Any]], None]] = None,
+    ) -> Dict[str, Any]:
+        data = sweep_to_dict(sweep) if isinstance(sweep, SweepSpec) else sweep
+        request = {"cmd": "submit", "sweep": data, "workers": workers, "wait": wait}
+        return self._final(request, on_event)
+
+    def status(self, job_id: Optional[str] = None) -> Dict[str, Any]:
+        request: Dict[str, Any] = {"cmd": "status"}
+        if job_id is not None:
+            request["id"] = job_id
+        return self._final(request)
+
+    def watch(
+        self,
+        job_id: str,
+        on_event: Optional[Callable[[Dict[str, Any]], None]] = None,
+    ) -> Dict[str, Any]:
+        return self._final({"cmd": "watch", "id": job_id}, on_event)
+
+    def fetch(self, job_id: str) -> Dict[str, Any]:
+        """The job's ``kind: "results"`` payload (validates downstream)."""
+        return self._final({"cmd": "fetch", "id": job_id})["payload"]
+
+    def fetch_results(self, job_id: str) -> List[ExperimentResult]:
+        payload = self.fetch(job_id)
+        return [ExperimentResult.from_dict(d) for d in payload["results"]]
+
+    def shutdown(self) -> Dict[str, Any]:
+        return self._final({"cmd": "shutdown"})
+
+
+def serve_in_thread(
+    state_dir: Union[str, Path],
+    workers: int = 1,
+    store: Union[TrialStore, str, Path, None] = None,
+    timeout: float = 30.0,
+) -> "tuple[SweepService, threading.Thread]":
+    """Start a service on a daemon thread and wait until it is accepting.
+
+    Test/embedding helper: returns once the port file is written. Stop it
+    with ``ServiceClient(state_dir).shutdown()`` and join the thread.
+    """
+    service = SweepService(state_dir=state_dir, port=0, workers=workers, store=store)
+    ready = threading.Event()
+    thread = threading.Thread(
+        target=service.run, kwargs={"on_ready": lambda _s: ready.set()}, daemon=True
+    )
+    thread.start()
+    if not ready.wait(timeout):
+        raise ReproError("sweep service failed to start within the timeout")
+    return service, thread

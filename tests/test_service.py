@@ -1,0 +1,227 @@
+"""Tests for the sweep service (repro.experiments.service).
+
+Drives a real daemon — asyncio server on an ephemeral localhost port,
+blocking NDJSON client, process-pool fan-out, journalled queue — through
+the submit/status/watch/fetch round trip, and pins the tentpole
+behaviors: a resubmitted sweep is served 100% from the trial store, and
+queued jobs survive a service restart via the journal.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.experiments import SweepSpec, TrialStore, run_sweep, validate_payload
+from repro.experiments.result import ExperimentResult
+from repro.experiments.service import (
+    JOB_SCHEMA,
+    QUEUE_JOURNAL,
+    ServiceClient,
+    SweepService,
+    serve_in_thread,
+    sweep_from_dict,
+    sweep_to_dict,
+)
+
+#: 2 grid points x 2 derived seeds = 4 fast trials.
+SWEEP = SweepSpec(
+    scenario="counting",
+    grid={"n": [8, 12], "trials": [1]},
+    trials=2,
+    base_seed=3,
+)
+
+
+@pytest.fixture
+def running(tmp_path):
+    """A live service on an ephemeral port + a connected client."""
+    store = TrialStore(tmp_path / "trials")
+    service, thread = serve_in_thread(tmp_path / "state", workers=2, store=store)
+    client = ServiceClient(state_dir=tmp_path / "state", timeout=120.0)
+    yield service, client, store
+    try:
+        client.shutdown()
+    except ReproError:
+        pass  # already shut down by the test
+    thread.join(timeout=30)
+
+
+class TestWireBasics:
+    def test_ping(self, running):
+        _service, client, _store = running
+        final = client.ping()
+        assert final["ok"] and final["jobs"] == 0
+
+    def test_port_file_written(self, running, tmp_path):
+        service, client, _store = running
+        port = int((tmp_path / "state" / "port").read_text().strip())
+        assert port == service.bound_port == client.port
+
+    def test_missing_port_file_is_usage_error(self, tmp_path):
+        client = ServiceClient(state_dir=tmp_path / "nowhere")
+        with pytest.raises(ReproError, match="not running"):
+            client.ping()
+
+    def test_unknown_command_rejected(self, running):
+        _service, client, _store = running
+        with pytest.raises(ReproError, match="unknown cmd"):
+            client._final({"cmd": "frobnicate"})
+
+    def test_bad_sweep_rejected_at_submit(self, running):
+        _service, client, _store = running
+        with pytest.raises(ReproError, match="unknown scenario"):
+            client.submit({"scenario": "frobnicate"})
+        with pytest.raises(ReproError, match="unknown params"):
+            client.submit(
+                {"scenario": "counting", "grid": {"zap": [1]}}
+            )
+
+    def test_sweep_dict_round_trip(self):
+        assert sweep_from_dict(sweep_to_dict(SWEEP)) == SWEEP
+
+
+class TestSubmitAndCache:
+    def test_resubmission_served_entirely_from_cache(self, running):
+        _service, client, _store = running
+        first = client.submit(SWEEP, wait=True)
+        assert first["status"] == "done"
+        assert first["total"] == 4 and first["misses"] == 4 and first["hits"] == 0
+        second = client.submit(SWEEP, wait=True)
+        assert second["status"] == "done"
+        assert second["hits"] == second["total"] == 4 and second["misses"] == 0
+
+    def test_fetch_matches_in_process_run(self, running):
+        _service, client, _store = running
+        final = client.submit(SWEEP, wait=True)
+        payload = client.fetch(final["id"])
+        assert validate_payload(payload) == []
+        served = [ExperimentResult.from_dict(d) for d in payload["results"]]
+        local = run_sweep(SWEEP)
+        assert [r.comparable() for r in served] == [
+            r.comparable() for r in local
+        ]
+
+    def test_progress_events_stream_and_mark_cache_hits(self, running):
+        _service, client, _store = running
+        cold_events, warm_events = [], []
+        client.submit(SWEEP, wait=True, on_event=cold_events.append)
+        client.submit(SWEEP, wait=True, on_event=warm_events.append)
+        cold_trials = [e for e in cold_events if e.get("event") == "trial"]
+        warm_trials = [e for e in warm_events if e.get("event") == "trial"]
+        assert len(cold_trials) == len(warm_trials) == 4
+        assert not any(e["cached"] for e in cold_trials)
+        assert all(e["cached"] for e in warm_trials)
+        # Trial events carry the derived seed of the trial they report.
+        seeds = {s.resolved().seed for s in SWEEP.specs()}
+        assert {e["seed"] for e in warm_trials} == seeds
+
+    def test_submit_without_wait_then_watch(self, running):
+        _service, client, _store = running
+        final = client.submit(SWEEP)
+        assert final["ok"] and final["total"] == 4
+        done = client.watch(final["id"])
+        assert done["status"] == "done" and done["completed"] == 4
+
+    def test_status_lists_jobs_fifo(self, running):
+        _service, client, _store = running
+        a = client.submit(SWEEP, wait=True)
+        b = client.submit(SWEEP, wait=True)
+        listing = client.status()
+        assert [j["id"] for j in listing["jobs"]] == [a["id"], b["id"]]
+        one = client.status(a["id"])
+        assert one["job"]["id"] == a["id"] and one["job"]["status"] == "done"
+
+    def test_fetch_unknown_and_unfinished_jobs_fail_cleanly(self, running):
+        _service, client, _store = running
+        with pytest.raises(ReproError, match="unknown job"):
+            client.fetch("job-9999-deadbeef")
+        with pytest.raises(ReproError, match="unknown job"):
+            client.watch("job-9999-deadbeef")
+
+
+class TestPersistence:
+    def test_journal_records_schema(self, running, tmp_path):
+        _service, client, _store = running
+        client.submit(SWEEP, wait=True)
+        lines = [
+            json.loads(line)
+            for line in (tmp_path / "state" / QUEUE_JOURNAL)
+            .read_text()
+            .splitlines()
+        ]
+        kinds = [r["kind"] for r in lines]
+        assert kinds == ["job", "done"]
+        assert lines[0]["schema"] == JOB_SCHEMA
+        assert sweep_from_dict(lines[0]["sweep"]) == SWEEP
+        assert lines[1]["status"] == "done" and lines[1]["hits"] == 0
+
+    def test_done_jobs_survive_restart(self, tmp_path):
+        store = TrialStore(tmp_path / "trials")
+        service, thread = serve_in_thread(
+            tmp_path / "state", workers=1, store=store
+        )
+        client = ServiceClient(state_dir=tmp_path / "state", timeout=120.0)
+        final = client.submit(SWEEP, wait=True)
+        client.shutdown()
+        thread.join(timeout=30)
+
+        _service2, thread2 = serve_in_thread(
+            tmp_path / "state", workers=1, store=store
+        )
+        client2 = ServiceClient(state_dir=tmp_path / "state", timeout=120.0)
+        try:
+            listing = client2.status()
+            assert [j["status"] for j in listing["jobs"]] == ["done"]
+            payload = client2.fetch(final["id"])
+            assert validate_payload(payload) == []
+        finally:
+            client2.shutdown()
+            thread2.join(timeout=30)
+
+    def test_unfinished_job_requeued_on_restart_and_mostly_cached(
+        self, tmp_path
+    ):
+        """A job journalled but never finished (crash mid-run) re-enters
+        the FIFO queue on restart — and trials already in the store are
+        not recomputed."""
+        store = TrialStore(tmp_path / "trials")
+        state = tmp_path / "state"
+        state.mkdir()
+        # Pre-warm half the trials, then forge a journal with a submitted
+        # job that has no matching "done" record.
+        specs = [s.resolved() for s in SWEEP.specs()]
+        from repro.experiments.runner import run_experiment
+
+        for spec in specs[:2]:
+            store.put(spec, run_experiment(spec))
+        journal = {
+            "kind": "job",
+            "schema": JOB_SCHEMA,
+            "id": "job-0007-cafecafe",
+            "sweep": sweep_to_dict(SWEEP),
+            "workers": 1,
+        }
+        (state / QUEUE_JOURNAL).write_text(json.dumps(journal) + "\n")
+
+        _service, thread = serve_in_thread(state, workers=1, store=store)
+        client = ServiceClient(state_dir=state, timeout=120.0)
+        try:
+            done = client.watch("job-0007-cafecafe")
+            assert done["status"] == "done"
+            assert done["hits"] == 2 and done["misses"] == 2
+            payload = client.fetch("job-0007-cafecafe")
+            assert validate_payload(payload) == []
+            # New ids keep counting up past the recovered sequence.
+            nxt = client.submit(SWEEP)
+            assert nxt["id"].startswith("job-0008-")
+        finally:
+            client.shutdown()
+            thread.join(timeout=30)
+
+    def test_torn_journal_tail_ignored(self, tmp_path):
+        state = tmp_path / "state"
+        state.mkdir()
+        (state / QUEUE_JOURNAL).write_text('{"kind": "job", "schema": "')
+        service = SweepService(state_dir=state)
+        assert service._recover() == []

@@ -1,0 +1,279 @@
+"""Tests for the content-addressed trial store (repro.experiments.store).
+
+The ISSUE acceptance bars pinned here: a resubmitted sweep returns
+bit-identical ``ExperimentResult``s from the cache, corrupted/stale/
+tampered provenance stamps are rejected and recomputed (never served),
+and cache hits consume zero RNG (the scenario adapter never runs).
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.errors import ReproError
+from repro.experiments import (
+    ExperimentSpec,
+    SweepSpec,
+    TrialStore,
+    run_experiment,
+    run_sweep,
+    spec_key,
+    trial_key,
+)
+from repro.experiments import runner as runner_module
+from repro.experiments.store import TRIAL_SCHEMA, resolve_store
+
+#: A small, fast sweep: 2 grid points x 2 derived seeds = 4 trials.
+def _sweep():
+    return SweepSpec(
+        scenario="counting",
+        grid={"n": [8, 12], "trials": [1]},
+        trials=2,
+        base_seed=3,
+    )
+
+
+@pytest.fixture
+def store(tmp_path):
+    return TrialStore(tmp_path / "trials")
+
+
+# ----------------------------------------------------------------------
+# Keys
+# ----------------------------------------------------------------------
+
+
+class TestTrialKey:
+    def test_deterministic_and_order_free(self):
+        a = trial_key("counting", {"n": 8, "b": 4}, 17, None)
+        assert a == trial_key("counting", {"b": 4, "n": 8}, 17, None)
+        assert len(a) == 64 and int(a, 16) >= 0
+
+    def test_distinct_across_every_axis(self):
+        keys = {
+            trial_key(scn, {"n": n}, seed, sched)
+            for scn in ("counting", "demo")
+            for n in (8, 16)
+            for seed in (0, 1, None)
+            for sched in (None, "hot")
+        }
+        assert len(keys) == 2 * 2 * 3 * 2
+
+    def test_spec_key_matches_components(self):
+        spec = ExperimentSpec("counting", {"n": 8}, seed=5).resolved()
+        assert spec_key(spec) == trial_key(
+            "counting", spec.params, 5, None
+        )
+
+
+# ----------------------------------------------------------------------
+# Round trip + provenance verification
+# ----------------------------------------------------------------------
+
+
+class TestStoreRoundTrip:
+    def test_put_get_exact(self, store):
+        spec = ExperimentSpec("counting", {"n": 8, "trials": 1}, seed=1).resolved()
+        result = run_experiment(spec)
+        store.put(spec, result)
+        served = store.get(spec)
+        assert served == result  # full equality, wall_time included
+        assert store.stats() == {"hits": 1, "misses": 0, "rejected": 0}
+
+    def test_miss_on_empty_store(self, store):
+        spec = ExperimentSpec("counting", {"n": 8, "trials": 1}, seed=1).resolved()
+        assert store.get(spec) is None
+        assert store.stats() == {"hits": 0, "misses": 1, "rejected": 0}
+
+    def _stored(self, store):
+        spec = ExperimentSpec("counting", {"n": 8, "trials": 1}, seed=1).resolved()
+        store.put(spec, run_experiment(spec))
+        return spec, store.path_for(spec_key(spec))
+
+    def test_tampered_payload_rejected(self, store):
+        # Editing any non-wall_time byte of the result breaks the content
+        # digest: the record is rejected, never served.
+        spec, path = self._stored(store)
+        record = json.loads(path.read_text())
+        record["result"]["metrics"]["mean_estimate"] = 10**6
+        path.write_text(json.dumps(record))
+        assert store.get(spec) is None
+        assert store.rejected == 1
+
+    def test_tampered_identity_rejected(self, store):
+        # Editing the identity fields breaks the recomputed spec hash.
+        spec, path = self._stored(store)
+        record = json.loads(path.read_text())
+        record["result"]["seed"] = 999
+        path.write_text(json.dumps(record))
+        assert store.get(spec) is None and store.rejected == 1
+
+    def test_stale_schema_rejected(self, store):
+        spec, path = self._stored(store)
+        record = json.loads(path.read_text())
+        record["schema"] = "repro.experiments.trial/v0"
+        path.write_text(json.dumps(record))
+        assert store.get(spec) is None and store.rejected == 1
+
+    def test_unparseable_record_rejected(self, store):
+        spec, path = self._stored(store)
+        path.write_text("{torn write")
+        assert store.get(spec) is None and store.rejected == 1
+
+    def test_invalid_result_schema_rejected(self, store):
+        spec, path = self._stored(store)
+        record = json.loads(path.read_text())
+        del record["result"]["metrics"]
+        path.write_text(json.dumps(record))
+        assert store.get(spec) is None and store.rejected == 1
+
+    def test_wall_time_not_covered_by_digest(self, store):
+        # wall_time is the one field the determinism contract exempts;
+        # the stamp deliberately leaves it out.
+        spec, path = self._stored(store)
+        record = json.loads(path.read_text())
+        record["result"]["wall_time"] = 123.0
+        path.write_text(json.dumps(record, sort_keys=True))
+        served = store.get(spec)
+        assert served is not None and served.wall_time == 123.0
+
+    def test_sharded_layout(self, store):
+        spec, path = self._stored(store)
+        key = spec_key(spec)
+        assert path == store.root / key[:2] / f"{key}.json"
+        assert path.exists()
+
+
+# ----------------------------------------------------------------------
+# run_sweep(cache=...)
+# ----------------------------------------------------------------------
+
+
+class TestCachedSweep:
+    def test_resubmission_bit_identical(self, store):
+        cold = run_sweep(_sweep(), cache=store)
+        assert store.stats() == {"hits": 0, "misses": 4, "rejected": 0}
+        warm = run_sweep(_sweep(), cache=store)
+        assert store.hits == 4
+        # A hit serves the stored record verbatim: every field equal,
+        # wall_time included (comparable() equality is implied).
+        assert [r.to_dict() for r in warm] == [r.to_dict() for r in cold]
+
+    def test_cached_equals_uncached_any_worker_count(self, store):
+        plain = run_sweep(_sweep())
+        cold = run_sweep(_sweep(), workers=2, cache=store)
+        warm = run_sweep(_sweep(), workers=3, cache=store)
+        for other in (cold, warm):
+            assert [r.comparable() for r in other] == [
+                r.comparable() for r in plain
+            ]
+
+    def test_tampered_trial_recomputed_never_served(self, store):
+        cold = run_sweep(_sweep(), cache=store)
+        victim = next(store.root.rglob("*.json"))
+        record = json.loads(victim.read_text())
+        record["result"]["metrics"]["mean_estimate"] = -1
+        victim.write_text(json.dumps(record))
+        again = run_sweep(_sweep(), cache=store)
+        assert store.rejected == 1
+        assert [r.comparable() for r in again] == [
+            r.comparable() for r in cold
+        ]
+        # The recomputed trial overwrote the tampered record in place.
+        fixed = run_sweep(_sweep(), cache=store)
+        assert store.rejected == 1
+        assert [r.comparable() for r in fixed] == [
+            r.comparable() for r in cold
+        ]
+
+    def test_full_hit_consumes_zero_rng_and_never_runs_adapters(
+        self, store, monkeypatch
+    ):
+        run_sweep(_sweep(), cache=store)
+
+        def bomb(*args, **kwargs):  # pragma: no cover - must not fire
+            raise AssertionError("cache hit touched the compute path")
+
+        # No scenario adapter may run and no RNG may be consumed: a fully
+        # cached sweep is pure verified file reads.
+        monkeypatch.setattr(runner_module, "run_experiment", bomb)
+        monkeypatch.setattr(random.Random, "random", bomb)
+        monkeypatch.setattr(random.Random, "randrange", bomb)
+        monkeypatch.setattr(random.Random, "randint", bomb)
+        monkeypatch.setattr(random.Random, "shuffle", bomb)
+        warm = run_sweep(_sweep(), workers=4, cache=store)
+        assert len(warm) == 4 and store.hits == 4
+
+    def test_cache_true_uses_default_root(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        results = run_sweep(_sweep(), cache=True)
+        assert len(results) == 4
+        assert any((tmp_path / "trials").rglob("*.json"))
+
+    def test_resolve_store_forms(self, tmp_path, store):
+        assert resolve_store(None) is None
+        assert resolve_store(False) is None
+        assert resolve_store(store) is store
+        assert resolve_store(tmp_path / "t").root == tmp_path / "t"
+        assert resolve_store(True).root.name == "trials"
+
+    def test_record_schema_stamp(self, store):
+        spec = ExperimentSpec("counting", {"n": 8, "trials": 1}, seed=1).resolved()
+        path = store.put(spec, run_experiment(spec))
+        record = json.loads(path.read_text())
+        assert record["schema"] == TRIAL_SCHEMA
+        assert record["key"] == spec_key(spec)
+        assert set(record) == {"schema", "key", "digest", "result"}
+
+
+# ----------------------------------------------------------------------
+# Worker-pool sizing (satellite): never wider than the work
+# ----------------------------------------------------------------------
+
+
+class TestWorkerCap:
+    @pytest.fixture
+    def capture_pool(self, monkeypatch):
+        seen = []
+
+        class Recorder(runner_module.ProcessPoolExecutor):
+            def __init__(self, max_workers=None, **kwargs):
+                seen.append(max_workers)
+                super().__init__(max_workers=max_workers, **kwargs)
+
+        monkeypatch.setattr(runner_module, "ProcessPoolExecutor", Recorder)
+        return seen
+
+    def test_pool_capped_at_spec_count(self, capture_pool):
+        run_sweep(_sweep(), workers=32)  # 4 trials
+        assert capture_pool == [4]
+
+    def test_pool_capped_at_miss_count(self, store, capture_pool):
+        specs = list(_sweep().specs())
+        # Pre-warm all but one trial: the pool must shrink to the misses.
+        for spec in specs[:-1]:
+            resolved = spec.resolved()
+            store.put(resolved, run_experiment(resolved))
+        run_sweep(_sweep(), workers=32, cache=store)
+        assert capture_pool == []  # a single miss runs inline, no pool
+
+    def test_two_misses_two_workers(self, store, capture_pool):
+        specs = list(_sweep().specs())
+        for spec in specs[:-2]:
+            resolved = spec.resolved()
+            store.put(resolved, run_experiment(resolved))
+        run_sweep(_sweep(), workers=32, cache=store)
+        assert capture_pool == [2]
+
+    def test_single_trial_runs_inline(self, capture_pool):
+        sweep = SweepSpec("counting", grid={"n": [8], "trials": [1]}, trials=1)
+        run_sweep(sweep, workers=8)
+        assert capture_pool == []
+
+
+def test_empty_sweep_still_rejected(store):
+    with pytest.raises(ReproError, match="have no values"):
+        run_sweep(
+            SweepSpec("counting", grid={"n": []}), cache=store
+        )
