@@ -63,7 +63,7 @@ def write_bench(scenario: str, results, header=None) -> Path:
 
     results = list(results)
     path = write_bench_json(scenario, results, BENCH_DIR, header)
-    append_history(
+    record = append_history(
         HISTORY_PATH,
         scenario,
         results,
@@ -71,6 +71,7 @@ def write_bench(scenario: str, results, header=None) -> Path:
         recorded_at=time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         extra=header,
     )
+    _assert_history_record_valid(scenario, record)
     return path
 
 
@@ -85,13 +86,30 @@ def append_raw_history(bench: str, **counters) -> None:
     """
     from repro.experiments import append_history
 
-    append_history(
+    record = append_history(
         HISTORY_PATH,
         bench,
         [],
         git_sha=git_sha(),
         recorded_at=time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         extra=counters,
+    )
+    _assert_history_record_valid(bench, record)
+
+
+def _assert_history_record_valid(bench: str, record: dict) -> None:
+    """Schema-validate a just-appended ``history.jsonl`` record.
+
+    The perf-trajectory gate is only as good as the log's uniformity, so
+    a malformed append fails the emitting bench immediately instead of
+    poisoning the committed history.
+    """
+    from repro.experiments.io import validate_history_record
+
+    errors = validate_history_record(record)
+    assert not errors, (
+        f"bench {bench!r} appended an invalid history record: "
+        + "; ".join(errors)
     )
 
 

@@ -1,4 +1,19 @@
-"""Stochastic analysis backing Theorem 1: ruin problems, Ehrenfest walks."""
+"""Analysis layer: stochastic models (Theorem 1) and static analysis.
+
+Two families live here. The stochastic side backs Theorem 1 — ruin
+problems, Ehrenfest walks, exact Markov chains, expected-time models.
+The static side checks protocol and determinism invariants before any
+event runs: :mod:`repro.analysis.protocol` (abstract pair-reachability
+over the compiled IR: dead rules, unreachable states, shadowing, hot-set
+soundness, a stabilization witness) and :mod:`repro.analysis.lint` (the
+AST determinism linter), reported through the stable schema of
+:mod:`repro.analysis.report` and the ``repro analyze`` / ``repro lint``
+CLI verbs.
+
+The static modules are intentionally *not* imported here: the linter and
+analyzer stay importable without pulling the stochastic stack (and
+``repro.experiments.io`` dispatches to them lazily).
+"""
 
 from repro.analysis.walks import (
     CountingWalk,

@@ -1,0 +1,352 @@
+"""Determinism linter: a dependency-free AST pass over ``src/repro``.
+
+The scheduler's reproducibility guarantee (two RNG draws per event,
+canonical candidate ordering, bit-identical seeded trajectories — see
+ROADMAP) only holds if *no* code path smuggles in an un-threaded source
+of nondeterminism. ROADMAP states that contract in prose; this module
+makes it machine-checked. It uses only :mod:`ast` and the standard
+library so it can run anywhere the package imports — including the CI
+``static-analysis`` job — with zero extra dependencies.
+
+Determinism contract
+====================
+
+Each rule below names the hazard it bans and the pragma comment that
+allowlists a deliberate, justified exception. Pragmas are line-scoped:
+put ``# lint: allow-<name>`` on the flagged line itself.
+
+``unseeded-random`` — escape hatch ``# lint: allow-unseeded-random``
+    No calls to module-level :mod:`random` functions (``random.random()``,
+    ``random.choice()``, …): they draw from the shared global generator,
+    whose state depends on everything else in the process. Thread an
+    explicit ``random.Random(seed)`` instance instead (those calls are
+    fine — the rule only fires on the module object).
+
+``wallclock`` — escape hatch ``# lint: allow-wallclock``
+    No ``time.time()``/``time.perf_counter()``/``datetime.now()`` and
+    friends in result-affecting code: wall-clock reads make output depend
+    on when (and how fast) the run happened. Legitimate measurement
+    boundaries (e.g. the ``wall_time`` field the experiment runner
+    reports) carry the pragma with a justification.
+
+``unsorted-set-iteration`` — escape hatch ``# lint: allow-unsorted-iter``
+    In ordering-sensitive modules (candidate enumeration, schedulers, the
+    columnar backend, the experiments layer), no iterating over a bare
+    ``set``/``frozenset`` — set order varies with insertion history and
+    (for str keys) the per-process hash seed. Wrap in ``sorted(...)``.
+    Dict iteration is *not* flagged: insertion order is guaranteed.
+
+``hash-order`` — escape hatch ``# lint: allow-hash``
+    No calls to the builtin ``hash()``: for strings it is salted per
+    process (PYTHONHASHSEED), so anything derived from its value —
+    bucketing, tie-breaking, cache keys that leak into output — differs
+    between runs. Use a content hash (``hashlib``) or an explicit key.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+#: rule name -> pragma suffix that allowlists it.
+RULES: Dict[str, str] = {
+    "unseeded-random": "allow-unseeded-random",
+    "wallclock": "allow-wallclock",
+    "unsorted-set-iteration": "allow-unsorted-iter",
+    "hash-order": "allow-hash",
+}
+
+_PRAGMA_RE = re.compile(r"#\s*lint:\s*(allow-[a-z-]+)")
+
+#: Module-level :mod:`random` functions that draw from the global RNG.
+_GLOBAL_RNG_FUNCS = frozenset(
+    {
+        "random", "randrange", "randint", "randbytes", "getrandbits",
+        "choice", "choices", "shuffle", "sample", "uniform", "triangular",
+        "betavariate", "expovariate", "gammavariate", "gauss",
+        "lognormvariate", "normalvariate", "vonmisesvariate",
+        "paretovariate", "weibullvariate", "seed",
+    }
+)
+
+#: Attribute names that read the wall clock, per rooting module.
+_WALLCLOCK_ATTRS: Dict[str, frozenset] = {
+    "time": frozenset(
+        {
+            "time", "time_ns", "perf_counter", "perf_counter_ns",
+            "monotonic", "monotonic_ns", "process_time", "process_time_ns",
+        }
+    ),
+    "datetime": frozenset({"now", "utcnow", "today"}),
+    "date": frozenset({"today"}),
+}
+
+#: Path fragments (relative to the repro package) whose output depends on
+#: iteration order: candidate enumeration, schedulers, the columnar
+#: backend, and everything in the experiments layer.
+_ORDERING_SENSITIVE = (
+    "core/candidates.py",
+    "core/scheduler.py",
+    "core/columnar.py",
+    "experiments/",
+)
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One determinism-contract violation."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+
+def _is_set_expr(node: ast.AST, set_names: Set[str]) -> bool:
+    """Whether ``node`` statically denotes a set/frozenset value."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        if node.func.id in ("set", "frozenset"):
+            return True
+    if isinstance(node, ast.Name) and node.id in set_names:
+        return True
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        # set algebra (s | t, s - t, ...) preserves set-ness when either
+        # side is known to be a set.
+        return _is_set_expr(node.left, set_names) or _is_set_expr(
+            node.right, set_names
+        )
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+        if node.func.attr in ("union", "intersection", "difference",
+                              "symmetric_difference"):
+            return _is_set_expr(node.func.value, set_names)
+    return False
+
+
+class _Linter(ast.NodeVisitor):
+    def __init__(self, path: str, ordering_sensitive: bool) -> None:
+        self.path = path
+        self.ordering_sensitive = ordering_sensitive
+        self.findings: List[LintFinding] = []
+        #: Names bound by ``from random import <fn>`` in this module.
+        self.random_imports: Set[str] = set()
+        #: Per-scope stack of names statically known to hold sets.
+        self.set_names: List[Set[str]] = [set()]
+
+    def _add(self, node: ast.AST, rule: str, message: str) -> None:
+        self.findings.append(
+            LintFinding(self.path, node.lineno, node.col_offset, rule, message)
+        )
+
+    # -- scope handling for the light set-name dataflow -----------------
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self.set_names.append(set())
+        self.generic_visit(node)
+        self.set_names.pop()
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        is_set = _is_set_expr(node.value, self.set_names[-1])
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                if is_set:
+                    self.set_names[-1].add(target.id)
+                else:
+                    self.set_names[-1].discard(target.id)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if isinstance(node.target, ast.Name) and node.value is not None:
+            if _is_set_expr(node.value, self.set_names[-1]):
+                self.set_names[-1].add(node.target.id)
+            else:
+                self.set_names[-1].discard(node.target.id)
+        self.generic_visit(node)
+
+    # -- imports --------------------------------------------------------
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "random":
+            for alias in node.names:
+                if alias.name in _GLOBAL_RNG_FUNCS:
+                    self.random_imports.add(alias.asname or alias.name)
+        self.generic_visit(node)
+
+    # -- calls: unseeded-random / wallclock / hash-order ----------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            root = func.value
+            if isinstance(root, ast.Name):
+                if root.id == "random" and func.attr in _GLOBAL_RNG_FUNCS:
+                    self._add(
+                        node,
+                        "unseeded-random",
+                        f"random.{func.attr}() draws from the shared global "
+                        "RNG; thread a random.Random(seed) instance",
+                    )
+                wall = _WALLCLOCK_ATTRS.get(root.id)
+                if wall is not None and func.attr in wall:
+                    self._add(
+                        node,
+                        "wallclock",
+                        f"{root.id}.{func.attr}() reads the wall clock in "
+                        "result-affecting code",
+                    )
+            elif (
+                isinstance(root, ast.Attribute)
+                and isinstance(root.value, ast.Name)
+                and root.value.id == "datetime"
+                and func.attr in _WALLCLOCK_ATTRS["datetime"]
+            ):
+                # datetime.datetime.now() / datetime.date.today()
+                self._add(
+                    node,
+                    "wallclock",
+                    f"datetime.{root.attr}.{func.attr}() reads the wall "
+                    "clock in result-affecting code",
+                )
+        elif isinstance(func, ast.Name):
+            if func.id in self.random_imports:
+                self._add(
+                    node,
+                    "unseeded-random",
+                    f"{func.id}() (imported from random) draws from the "
+                    "shared global RNG; thread a random.Random(seed) "
+                    "instance",
+                )
+            elif func.id == "hash":
+                self._add(
+                    node,
+                    "hash-order",
+                    "hash() is salted per process for str inputs; use "
+                    "hashlib or an explicit key",
+                )
+            elif (
+                self.ordering_sensitive
+                and func.id in ("list", "tuple")
+                and len(node.args) == 1
+                and _is_set_expr(node.args[0], self.set_names[-1])
+            ):
+                self._add(
+                    node,
+                    "unsorted-set-iteration",
+                    f"{func.id}() over a set materializes unstable order; "
+                    "wrap in sorted(...)",
+                )
+        self.generic_visit(node)
+
+    # -- iteration: unsorted-set-iteration ------------------------------
+
+    def _check_iter(self, node: ast.AST, iterable: ast.AST) -> None:
+        if self.ordering_sensitive and _is_set_expr(
+            iterable, self.set_names[-1]
+        ):
+            self._add(
+                node,
+                "unsorted-set-iteration",
+                "iterating a bare set yields unstable order; wrap in "
+                "sorted(...)",
+            )
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iter(node, node.iter)
+        self.generic_visit(node)
+
+    def _visit_comp(self, node) -> None:
+        for gen in node.generators:
+            self._check_iter(node, gen.iter)
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comp
+    visit_GeneratorExp = _visit_comp
+    visit_DictComp = _visit_comp
+
+    def visit_SetComp(self, node: ast.SetComp) -> None:
+        # Building a set from a set keeps unordered semantics: not a
+        # hazard in itself (the hazard is where the result is iterated).
+        self.generic_visit(node)
+
+
+def _pragmas_by_line(source: str) -> Dict[int, Set[str]]:
+    pragmas: Dict[int, Set[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        found = _PRAGMA_RE.findall(line)
+        if found:
+            pragmas[lineno] = set(found)
+    return pragmas
+
+
+def is_ordering_sensitive(path: str) -> bool:
+    """Whether ``path`` (posix-style) is held to the set-iteration rule."""
+    normalized = path.replace("\\", "/")
+    return any(fragment in normalized for fragment in _ORDERING_SENSITIVE)
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    *,
+    ordering_sensitive: Optional[bool] = None,
+) -> List[LintFinding]:
+    """Lint one module's source text; returns findings sorted by line."""
+    if ordering_sensitive is None:
+        ordering_sensitive = is_ordering_sensitive(path)
+    tree = ast.parse(source, filename=path)
+    linter = _Linter(path, ordering_sensitive)
+    linter.visit(tree)
+    pragmas = _pragmas_by_line(source)
+    kept = [
+        finding
+        for finding in linter.findings
+        if RULES[finding.rule] not in pragmas.get(finding.line, ())
+    ]
+    return sorted(kept, key=lambda f: (f.line, f.col, f.rule))
+
+
+def default_root() -> Path:
+    """The ``src/repro`` package directory this module is installed in."""
+    return Path(__file__).resolve().parent.parent
+
+
+def lint_paths(paths: Sequence[str] = ()) -> List[LintFinding]:
+    """Lint the given files/directories (default: the repro package)."""
+    roots = [Path(p) for p in paths] if paths else [default_root()]
+    files: List[Path] = []
+    for root in roots:
+        if root.is_dir():
+            files.extend(sorted(root.rglob("*.py")))
+        else:
+            files.append(root)
+    findings: List[LintFinding] = []
+    package_parent = default_root().parent
+    for file in files:
+        try:
+            rel = file.resolve().relative_to(package_parent)
+            label = rel.as_posix()
+        except ValueError:
+            label = file.as_posix()
+        findings.extend(lint_source(file.read_text(), label))
+    return findings

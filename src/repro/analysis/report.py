@@ -1,0 +1,150 @@
+"""Stable report schema for ``repro analyze`` (and its CI validation).
+
+The analyzer's JSON artifact follows the same conventions as the
+experiment payloads in :mod:`repro.experiments.io`: a ``schema``
+identifier, a ``kind`` discriminator, and a dependency-free validator
+that returns a list of error strings (empty = valid). ``repro validate``
+dispatches here on the schema field, so the CI ``static-analysis`` job
+can check its artifact with the existing command.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.analysis.protocol import ProtocolReport, analyze_protocol
+from repro.experiments.registry import Scenario, protocol_specs
+
+#: Schema identifier for analyzer-report payloads.
+ANALYSIS_SCHEMA = "repro.analysis.report/v1"
+
+#: Required keys of one protocol row, with their expected types.
+_ROW_FIELDS: Tuple[Tuple[str, type], ...] = (
+    ("name", str),
+    ("exact", bool),
+    ("states", int),
+    ("rules", int),
+    ("entries", int),
+    ("initial_states", list),
+    ("reachable_states", list),
+    ("unreachable_states", list),
+    ("dead_rules", list),
+    ("shadows", list),
+    ("hot_declared", bool),
+    ("hot_violations", list),
+    ("stabilizes", str),
+    ("stabilization_reason", str),
+    ("clean", bool),
+    ("notes", list),
+)
+
+
+def analyze_scenario(scenario: Scenario) -> List[ProtocolReport]:
+    """Analyzer reports for every protocol the scenario declares."""
+    return [
+        analyze_protocol(spec.factory(), extra_initial=spec.extra_initial)
+        for spec in protocol_specs(scenario)
+    ]
+
+
+def analysis_payload(
+    per_scenario: Mapping[str, List[ProtocolReport]],
+) -> Dict[str, Any]:
+    """The uniform ``repro analyze --json`` payload.
+
+    ``findings`` counts correctness findings (dead rules, unreachable
+    states, hot violations) across all reports; ``inexact`` counts the
+    handler-lowered protocols that static analysis had to skip. Shadows
+    and notes are informational and do not count as findings.
+    """
+    scenarios = []
+    findings = 0
+    inexact = 0
+    for name in sorted(per_scenario):
+        reports = per_scenario[name]
+        rows = [r.to_dict() for r in reports]
+        for report in reports:
+            if not report.exact:
+                inexact += 1
+            else:
+                findings += (
+                    len(report.dead_rules)
+                    + len(report.unreachable_states)
+                    + len(report.hot_violations)
+                )
+        scenarios.append({"scenario": name, "protocols": rows})
+    return {
+        "schema": ANALYSIS_SCHEMA,
+        "kind": "analysis",
+        "scenarios": scenarios,
+        "findings": findings,
+        "inexact": inexact,
+    }
+
+
+def validate_analysis_payload(data: Any) -> List[str]:
+    """Validate a ``repro analyze --json`` payload; [] = valid."""
+    if not isinstance(data, Mapping):
+        return [f"expected a JSON object, got {type(data).__name__}"]
+    errors: List[str] = []
+    if data.get("schema") != ANALYSIS_SCHEMA:
+        errors.append(
+            f"schema must be {ANALYSIS_SCHEMA!r}, got {data.get('schema')!r}"
+        )
+    if data.get("kind") != "analysis":
+        errors.append(f"kind must be 'analysis', got {data.get('kind')!r}")
+    for key in ("findings", "inexact"):
+        if not isinstance(data.get(key), int) or isinstance(data.get(key), bool):
+            errors.append(f"{key} must be an integer")
+    scenarios = data.get("scenarios")
+    if not isinstance(scenarios, list):
+        return errors + ["scenarios must be an array"]
+    for i, entry in enumerate(scenarios):
+        where = f"scenarios[{i}]"
+        if not isinstance(entry, Mapping):
+            errors.append(f"{where}: expected an object")
+            continue
+        if not isinstance(entry.get("scenario"), str):
+            errors.append(f"{where}: scenario must be a string")
+        rows = entry.get("protocols")
+        if not isinstance(rows, list):
+            errors.append(f"{where}: protocols must be an array")
+            continue
+        for j, row in enumerate(rows):
+            errors.extend(_validate_row(row, f"{where}.protocols[{j}]"))
+    return errors
+
+
+def _validate_row(row: Any, where: str) -> List[str]:
+    if not isinstance(row, Mapping):
+        return [f"{where}: expected an object"]
+    errors: List[str] = []
+    for key, expected in _ROW_FIELDS:
+        value = row.get(key, _MISSING)
+        if value is _MISSING:
+            errors.append(f"{where}: missing field {key!r}")
+        elif expected is int:
+            if not isinstance(value, int) or isinstance(value, bool):
+                errors.append(f"{where}: {key} must be an integer")
+        elif not isinstance(value, expected):
+            errors.append(
+                f"{where}: {key} must be {expected.__name__}, "
+                f"got {type(value).__name__}"
+            )
+    diagnostic = row.get("diagnostic")
+    if diagnostic is not None and not isinstance(diagnostic, str):
+        errors.append(f"{where}: diagnostic must be a string or null")
+    stabilizes = row.get("stabilizes")
+    if isinstance(stabilizes, str) and stabilizes not in ("proven", "unknown"):
+        errors.append(
+            f"{where}: stabilizes must be 'proven' or 'unknown', "
+            f"got {stabilizes!r}"
+        )
+    return errors
+
+
+class _Missing:
+    pass
+
+
+_MISSING = _Missing()

@@ -280,6 +280,91 @@ def _cmd_validate(args: argparse.Namespace) -> int:
 
 
 # ----------------------------------------------------------------------
+# Static analysis commands (repro analyze / lint)
+# ----------------------------------------------------------------------
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.analysis.report import analysis_payload, analyze_scenario
+    from repro.experiments.registry import all_scenarios
+
+    if args.all:
+        targets = [s for s in all_scenarios() if s.protocols]
+    else:
+        if args.scenario is None:
+            raise ReproError("analyze needs a scenario name (or --all)")
+        targets = [get_scenario(args.scenario)]
+        if not targets[0].protocols:
+            raise ReproError(
+                f"scenario {args.scenario!r} declares no protocols; "
+                "nothing to analyze"
+            )
+    per_scenario = {scn.name: analyze_scenario(scn) for scn in targets}
+    payload = analysis_payload(per_scenario)
+
+    if args.json is not None:
+        text = json.dumps(payload, indent=2, sort_keys=True)
+        if args.json == "-":
+            print(text)
+        else:
+            with open(args.json, "w") as fh:
+                fh.write(text + "\n")
+    else:
+        for name in sorted(per_scenario):
+            print(f"{name}:")
+            for report in per_scenario[name]:
+                print(f"  {report.name}: {report.summary()}")
+                if not report.exact:
+                    print(f"    {report.diagnostic}")
+                    continue
+                for state in report.unreachable_states:
+                    print(f"    unreachable state: {state}")
+                for rule in report.dead_rules:
+                    print(f"    dead rule: {rule}")
+                for rule in report.hot_violations:
+                    print(f"    hot-set violation (no hot endpoint): {rule}")
+                shadows = [s for s in report.shadows if s["matters"]]
+                if shadows:
+                    print(
+                        f"    {len(shadows)} reachable ordered-table "
+                        "shadow(s) (informational)"
+                    )
+                print(f"    stabilization: {report.stabilization_reason}")
+        print(
+            f"-- {payload['findings']} finding(s), "
+            f"{payload['inexact']} protocol(s) skipped as not closed-world"
+        )
+    if payload["findings"]:
+        return 1
+    if args.strict and payload["inexact"]:
+        return 1
+    return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.lint import lint_paths
+
+    findings = lint_paths(tuple(args.paths))
+    if args.json is not None:
+        payload = {
+            "kind": "lint",
+            "findings": [f.to_dict() for f in findings],
+        }
+        text = json.dumps(payload, indent=2, sort_keys=True)
+        if args.json == "-":
+            print(text)
+        else:
+            with open(args.json, "w") as fh:
+                fh.write(text + "\n")
+    else:
+        for finding in findings:
+            print(finding.format())
+        noun = "finding" if len(findings) == 1 else "findings"
+        print(f"-- {len(findings)} {noun}")
+    return 1 if findings else 0
+
+
+# ----------------------------------------------------------------------
 # Sweep-service commands (repro serve / submit / status / fetch)
 # ----------------------------------------------------------------------
 
@@ -657,6 +742,43 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("paths", nargs="+", metavar="PATH")
     p.set_defaults(func=_cmd_validate)
+
+    # --- static analysis ----------------------------------------------
+    p = sub.add_parser(
+        "analyze",
+        help=(
+            "static protocol analysis: reachability, dead rules, "
+            "shadowing, hot-set soundness, stabilization witness"
+        ),
+    )
+    p.add_argument(
+        "scenario", nargs="?", default=None,
+        help="registered scenario whose protocols to analyze",
+    )
+    p.add_argument(
+        "--all", action="store_true",
+        help="analyze every registered scenario that declares protocols",
+    )
+    p.add_argument(
+        "--strict", action="store_true",
+        help=(
+            "also fail (exit 1) on handler-lowered protocols that cannot "
+            "be analyzed statically"
+        ),
+    )
+    _add_json_flag(p)
+    p.set_defaults(func=_cmd_analyze)
+
+    p = sub.add_parser(
+        "lint",
+        help="determinism linter over src/repro (AST pass, zero deps)",
+    )
+    p.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help="files/directories to lint (default: the repro package)",
+    )
+    _add_json_flag(p)
+    p.set_defaults(func=_cmd_lint)
 
     # --- sweep service ------------------------------------------------
     p = sub.add_parser(

@@ -25,7 +25,13 @@ from repro.constructors.tm_construction import (
 from repro.constructors.universal import run_universal
 from repro.core.scheduler import make_scheduler
 from repro.core.simulator import StopReason
-from repro.experiments.registry import Param, ScenarioOutcome, scenario
+from repro.experiments.registry import (
+    Param,
+    ProtocolSpec,
+    ScenarioOutcome,
+    scenario,
+)
+from repro.protocols.replication import self_replicating_lines_protocol
 from repro.machines.shape_programs import PATTERN_CATALOGUE, SHAPE_CATALOGUE
 from repro.viz.ascii_art import render_labels, render_layers, render_shape
 
@@ -79,6 +85,12 @@ def _run_counting_line(
     params=(Param("n", "int", 36, help="population size (a perfect square)"),),
     tags=("constructor", "2d"),
     covers=("repro.constructors.square_known_n.run_square_known_n",),
+    # The rows grow from a pre-built parent line, so the analyzer's
+    # closure starts with bonded i/e structure states alongside the
+    # protocol's own initial/leader states.
+    protocols=(
+        ProtocolSpec(self_replicating_lines_protocol, extra_initial=("i", "e")),
+    ),
 )
 def _run_square(
     params: Mapping, seed: Optional[int], scheduler: Optional[str]

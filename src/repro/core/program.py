@@ -183,6 +183,43 @@ class TransitionTable:
     def keys(self):
         return self._table.keys()
 
+    def items(self):
+        """Read-only ``(packed key, RHS)`` pairs, in sorted key order.
+
+        The analyzer's iteration surface: sorted keys make every report
+        derived from the table deterministic regardless of insertion
+        order.
+        """
+        return ((k, self._table[k]) for k in sorted(self._table))
+
+
+class ShadowRecord:
+    """One orientation-overlap resolution made at compile time.
+
+    ``key`` is the packed LHS both orientations competed for; ``winner``
+    and ``loser`` are the RHS updates (boundary states) that were kept and
+    suppressed, and ``kind`` says why the winner won: ``"ordered"`` (the
+    as-presented orientation takes precedence in an ordered table) or
+    ``"self-swap"`` (a rule whose swap is itself, resolved by presentation
+    order). The static analyzer reports these and decides whether the
+    suppressed orientation could ever have mattered (i.e. whether the LHS
+    is abstractly reachable at all).
+    """
+
+    __slots__ = ("key", "winner", "loser", "kind")
+
+    def __init__(self, key: int, winner: Update, loser: Update, kind: str) -> None:
+        self.key = key
+        self.winner = winner
+        self.loser = loser
+        self.kind = kind
+
+    def __repr__(self) -> str:  # diagnostics only
+        return (
+            f"ShadowRecord(key={self.key}, winner={self.winner!r}, "
+            f"loser={self.loser!r}, kind={self.kind!r})"
+        )
+
 
 class CompiledProgram:
     """A compiled protocol: state space, packed table, static indexes.
@@ -195,8 +232,8 @@ class CompiledProgram:
     """
 
     __slots__ = (
-        "space", "table", "exact", "rule_count", "hot_mask",
-        "_fire", "_pairs", "_hints",
+        "space", "table", "exact", "rule_count", "hot_mask", "ordered",
+        "shadows", "_fire", "_pairs", "_hints",
     )
 
     def __init__(
@@ -210,11 +247,17 @@ class CompiledProgram:
         fire: Iterable[int] = (),
         pairs: Iterable[int] = (),
         hints: Optional[Dict[int, Tuple[Tuple[int, int], ...]]] = None,
+        ordered: bool = False,
+        shadows: Tuple["ShadowRecord", ...] = (),
     ) -> None:
         self.space = space
         self.table = table
         self.exact = exact
         self.rule_count = rule_count
+        self.ordered = ordered
+        #: Orientation-overlap diagnostics recorded at build time (ordered
+        #: tables and self-swap resolutions); see :class:`ShadowRecord`.
+        self.shadows = shadows
         mask = 0
         for sid in hot_ids:
             mask |= 1 << sid
@@ -258,6 +301,19 @@ class CompiledProgram:
         half outright. Empty when no bond-0 rule touches the pair.
         """
         return self._hints.get((sid1 << STATE_BITS) | sid2, ())
+
+    def iter_entries(self):
+        """Read-only iteration over the packed table, decoded and sorted.
+
+        Yields ``(s1, p1, s2, p2, bond, rhs)`` tuples — interned state ids,
+        port indexes, the bond flag, and the boundary-state RHS — one per
+        packed orientation, in sorted key order. This is the analyzer's
+        view of the IR (:mod:`repro.analysis.protocol`); it never exposes
+        the mutable table itself.
+        """
+        for key, rhs in self.table.items():
+            s1, p1, s2, p2, bond = unpack_lhs(key)
+            yield s1, p1, s2, p2, bond, rhs
 
     def describe(self) -> str:
         hot = sorted(
@@ -312,6 +368,7 @@ def compile_rules(
     effective = [r for r in canonical if r.is_effective()]
     table: Dict[int, Update] = {}
     origin: Dict[int, object] = {}
+    shadows: List[ShadowRecord] = []
 
     def insert(key: int, rhs: Update, rule, presented: bool) -> None:
         prior = table.get(key)
@@ -324,7 +381,16 @@ def compile_rules(
                 # Ordered mode: the presented orientation takes precedence.
                 # Unordered mode: a rule that is its *own* swap (identical
                 # state and port on both sides) resolves by presentation
-                # order, as the boundary table always has.
+                # order, as the boundary table always has. Either way the
+                # suppressed orientation is recorded for the analyzer.
+                shadows.append(
+                    ShadowRecord(
+                        key,
+                        prior,
+                        rhs,
+                        "ordered" if origin[key] is not rule else "self-swap",
+                    )
+                )
                 return
             raise ProtocolError(
                 f"conflicting rules for one LHS: {origin[key]!r} vs {rule!r}"
@@ -368,6 +434,8 @@ def compile_rules(
         fire=fire,
         pairs=pairs,
         hints={k: tuple(sorted(set(v))) for k, v in hints.items()},
+        ordered=ordered,
+        shadows=tuple(sorted(shadows, key=lambda s: s.key)),
     )
 
 

@@ -14,7 +14,7 @@ import json
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Union
 
-from repro.experiments.registry import Scenario, all_scenarios
+from repro.experiments.registry import Scenario, all_scenarios, protocol_specs
 from repro.experiments.result import (
     RESULT_SCHEMA,
     ExperimentResult,
@@ -26,6 +26,10 @@ RESULTS_SCHEMA = "repro.experiments.results/v1"
 
 #: Schema identifier for benchmark-history records (history.jsonl lines).
 HISTORY_SCHEMA = "repro.experiments.history/v1"
+
+#: Schema identifier for analyzer reports (owned by repro.analysis.report;
+#: duplicated here so dispatching on it does not import the analysis layer).
+ANALYSIS_SCHEMA_ID = "repro.analysis.report/v1"
 
 
 # ----------------------------------------------------------------------
@@ -81,9 +85,18 @@ def validate_payload(data: Any) -> List[str]:
         for i, entry in enumerate(results):
             errors.extend(f"results[{i}]: {e}" for e in validate_result_dict(entry))
         return errors
+    if data.get("schema") == HISTORY_SCHEMA:
+        return validate_history_record(data)
+    if data.get("schema") == ANALYSIS_SCHEMA_ID:
+        # Imported lazily: repro.analysis.report imports this module's
+        # sibling registry, and eager cross-imports would cycle.
+        from repro.analysis.report import validate_analysis_payload
+
+        return validate_analysis_payload(data)
     return [
         f"unknown schema {data.get('schema')!r} (expected "
-        f"{RESULT_SCHEMA!r} or {RESULTS_SCHEMA!r})"
+        f"{RESULT_SCHEMA!r}, {RESULTS_SCHEMA!r}, {HISTORY_SCHEMA!r} or "
+        f"{ANALYSIS_SCHEMA_ID!r})"
     ]
 
 
@@ -133,6 +146,54 @@ def history_record(
             if key not in record or record[key] is None:
                 record[key] = value
     return record
+
+
+#: Required history-record fields: name -> (allowed types, nullable).
+_HISTORY_FIELDS: Dict[str, Any] = {
+    "bench": ((str,), False),
+    "scenarios": ((list,), False),
+    "trials": ((int,), False),
+    "evaluations": ((int,), True),
+    "events": ((int,), True),
+    "raw_steps": ((int,), True),
+    "wall_time": ((int, float), True),
+    "git_sha": ((str,), True),
+    "recorded_at": ((str,), True),
+}
+
+
+def validate_history_record(record: Any) -> List[str]:
+    """Validate one ``history.jsonl`` record; [] = valid.
+
+    The perf-trajectory gate only works if every appended line stays
+    machine-comparable, so the benchmark conftest validates each record
+    at append time with this function.
+    """
+    if not isinstance(record, Mapping):
+        return [f"expected a JSON object, got {type(record).__name__}"]
+    errors: List[str] = []
+    if record.get("schema") != HISTORY_SCHEMA:
+        errors.append(
+            f"schema must be {HISTORY_SCHEMA!r}, got {record.get('schema')!r}"
+        )
+    for key, (types, nullable) in _HISTORY_FIELDS.items():
+        if key not in record:
+            errors.append(f"missing field {key!r}")
+            continue
+        value = record[key]
+        if value is None:
+            if not nullable:
+                errors.append(f"{key} must not be null")
+            continue
+        if isinstance(value, bool) or not isinstance(value, types):
+            names = "/".join(t.__name__ for t in types)
+            errors.append(f"{key} must be {names}, got {type(value).__name__}")
+    scenarios = record.get("scenarios")
+    if isinstance(scenarios, list):
+        for i, name in enumerate(scenarios):
+            if not isinstance(name, str):
+                errors.append(f"scenarios[{i}] must be a string")
+    return errors
 
 
 def append_history(
@@ -243,13 +304,16 @@ def describe_scenario(scenario: Scenario) -> str:
         # compiled programs: state count, rule count and hot-state set of
         # the packed IR the schedulers actually dispatch on
         # (repro.core.program).
+        from repro.analysis.protocol import analyze_protocol
         from repro.core.columnar import backend_name
 
         lines.append(f"  backend:     {backend_name()}")
         lines.append("  protocols:")
-        for factory in scenario.protocols:
-            protocol = factory()
+        for spec in protocol_specs(scenario):
+            protocol = spec.factory()
             program = protocol.program
             name = getattr(protocol, "name", type(protocol).__name__)
             lines.append(f"    {name}: {program.describe()}")
+            report = analyze_protocol(protocol, extra_initial=spec.extra_initial)
+            lines.append(f"      analysis: {report.summary()}")
     return "\n".join(lines)

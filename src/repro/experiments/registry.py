@@ -115,6 +115,38 @@ ScenarioFn = Callable[[Mapping[str, MetricValue], Optional[int], Optional[str]],
 
 
 @dataclass(frozen=True)
+class ProtocolSpec:
+    """One protocol a scenario executes, with its analysis context.
+
+    ``factory`` is the zero-arg protocol constructor; ``extra_initial``
+    names states present in the scenario's initial configuration beyond
+    the protocol's own initial/leader states — e.g. the ``i``/``e`` nodes
+    of a pre-built parent line in the replication scenarios. The static
+    analyzer (``repro analyze``) seeds its reachability closure with them;
+    ``repro describe`` ignores the extras and just compiles ``factory``.
+    """
+
+    factory: Callable[[], Any]
+    extra_initial: Tuple[Any, ...] = ()
+
+
+def protocol_specs(scenario: "Scenario") -> Tuple[ProtocolSpec, ...]:
+    """The scenario's protocols, normalized to :class:`ProtocolSpec`.
+
+    ``Scenario.protocols`` accepts bare zero-arg factories (the original,
+    still-common form) or explicit specs; consumers should only ever see
+    specs.
+    """
+    specs = []
+    for entry in scenario.protocols:
+        if isinstance(entry, ProtocolSpec):
+            specs.append(entry)
+        else:
+            specs.append(ProtocolSpec(factory=entry))
+    return tuple(specs)
+
+
+@dataclass(frozen=True)
 class Scenario:
     """A registered workload: schema + adapter.
 
@@ -125,9 +157,12 @@ class Scenario:
     names of the public ``run_*`` entrypoints the adapter exercises — the
     registry-completeness test fails on any entrypoint no scenario covers.
     ``protocols`` names the protocol factories a scheduler-driven scenario
-    executes (zero-arg callables returning a
-    :class:`~repro.core.protocol.Protocol`); ``repro describe`` compiles
-    them to report state count, rule count, and the hot-state set.
+    executes — zero-arg callables returning a
+    :class:`~repro.core.protocol.Protocol`, or :class:`ProtocolSpec`
+    entries when the analyzer needs extra initial states; ``repro
+    describe`` compiles them to report state count, rule count, and the
+    hot-state set, and ``repro analyze`` runs the static analyzer over
+    them (normalize with :func:`protocol_specs`).
     """
 
     name: str
@@ -138,7 +173,7 @@ class Scenario:
     deterministic: bool = False
     schedulable: bool = False
     covers: Tuple[str, ...] = ()
-    protocols: Tuple[Callable[[], Any], ...] = ()
+    protocols: Tuple[Any, ...] = ()  # factories and/or ProtocolSpec entries
 
     def param(self, name: str) -> Param:
         for p in self.params:

@@ -1,0 +1,438 @@
+"""Static-analysis layer tests: protocol analyzer, determinism linter.
+
+Golden analyzer reports pin the paper protocols: every state reachable,
+zero dead rules, and ``stabilizes: proven`` exactly where the paper
+proves it (the purely bond-forming §4 constructors) versus ``unknown``
+where rules break bonds (the §7 replication family, the leaderless
+dismantling phase). A hypothesis test checks the closure is a true
+over-approximation: no state observed on a random seeded run is ever
+reported unreachable.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.lint import LintFinding, lint_paths, lint_source
+from repro.analysis.protocol import (
+    analyze_program,
+    analyze_protocol,
+)
+from repro.analysis.report import (
+    ANALYSIS_SCHEMA,
+    analysis_payload,
+    analyze_scenario,
+    validate_analysis_payload,
+)
+from repro.cli import main
+from repro.core.program import compile_rules
+from repro.core.protocol import Rule
+from repro.core.scheduler import make_scheduler
+from repro.core.simulator import Simulation
+from repro.core.world import World
+from repro.experiments.io import validate_history_record, validate_payload
+from repro.experiments.registry import get_scenario, protocol_specs
+from repro.geometry.ports import Port
+from repro.protocols.leaderless_line import leaderless_spanning_line_protocol
+from repro.protocols.line import spanning_line_protocol
+from repro.protocols.replication import (
+    line_replication_protocol,
+    no_leader_line_replication_protocol,
+    self_replicating_lines_protocol,
+)
+from repro.protocols.square import square_protocol
+from repro.protocols.square2 import square2_protocol
+
+U, D = Port.UP, Port.DOWN
+
+
+# ----------------------------------------------------------------------
+# Golden reports for the paper protocols
+# ----------------------------------------------------------------------
+
+
+class TestPaperProtocolGoldens:
+    """The §4/§7 protocols analyze clean, with the paper's verdicts."""
+
+    @pytest.mark.parametrize(
+        "factory, extra, stabilizes",
+        [
+            (spanning_line_protocol, (), "proven"),
+            (square_protocol, (), "proven"),
+            (square2_protocol, (), "proven"),
+            (line_replication_protocol, ("i", "e"), "unknown"),
+            (self_replicating_lines_protocol, ("i", "e"), "unknown"),
+            (no_leader_line_replication_protocol, ("i", "e"), "unknown"),
+            (leaderless_spanning_line_protocol, (), "unknown"),
+        ],
+    )
+    def test_golden(self, factory, extra, stabilizes):
+        report = analyze_protocol(factory(), extra_initial=extra)
+        assert report.exact
+        assert report.clean, (
+            report.dead_rules,
+            report.unreachable_states,
+            report.hot_violations,
+        )
+        assert report.unreachable_states == []
+        assert report.dead_rules == []
+        assert len(report.reachable_states) == report.states
+        assert report.stabilizes == stabilizes
+
+    def test_bond_forming_constructors_prove_monotone_bonding(self):
+        for factory in (spanning_line_protocol, square_protocol, square2_protocol):
+            report = analyze_protocol(factory())
+            assert "bond" in report.stabilization_reason
+
+    def test_replication_unknown_names_the_breaking_rule(self):
+        report = analyze_protocol(
+            line_replication_protocol(), extra_initial=("i", "e")
+        )
+        assert "breaks a bond" in report.stabilization_reason
+
+    def test_unordered_tables_have_no_shadows(self):
+        for factory in (spanning_line_protocol, square_protocol):
+            assert analyze_protocol(factory()).shadows == []
+
+    def test_leaderless_ordered_table_reports_shadows(self):
+        report = analyze_protocol(leaderless_spanning_line_protocol())
+        assert report.shadows
+        kinds = {s["kind"] for s in report.shadows}
+        assert kinds <= {"ordered", "self-swap"}
+        # The leader-election family overlaps on reachable LHSs, so the
+        # orientation choice genuinely matters and must be surfaced.
+        assert any(s["matters"] for s in report.shadows)
+
+    def test_replication_needs_structure_seeds(self):
+        # Without the pre-built parent line the i/e-driven rules are
+        # correctly reported dead — the extra_initial declaration is what
+        # makes the scenario-level report clean.
+        bare = analyze_protocol(line_replication_protocol())
+        assert bare.unreachable_states or bare.dead_rules
+
+
+# ----------------------------------------------------------------------
+# Analyzer semantics on synthetic tables
+# ----------------------------------------------------------------------
+
+
+def _compile(rules, **kwargs):
+    kwargs.setdefault("initial_state", "a")
+    return compile_rules(rules, **kwargs)
+
+
+class TestAnalyzerSemantics:
+    def test_dead_rule_and_unreachable_state(self):
+        program = _compile(
+            [
+                Rule("a", U, "a", D, 0, "a", "b", 1),
+                Rule("z", U, "a", D, 0, "z", "c", 1),
+            ]
+        )
+        report = analyze_program(program, initial_states=("a",))
+        assert any("'z'" in s for s in report.unreachable_states)
+        assert len(report.dead_rules) == 1
+        assert "'z'" in report.dead_rules[0]
+        assert not report.clean
+
+    def test_dead_rules_deduplicate_mirror_orientations(self):
+        # One dead rule compiles to two packed orientations; the report
+        # must count it once.
+        program = _compile(
+            [
+                Rule("a", U, "a", D, 0, "a", "b", 1),
+                Rule("z", U, "y", D, 0, "z", "c", 1),
+            ]
+        )
+        report = analyze_program(program, initial_states=("a",))
+        assert len(report.dead_rules) == 1
+
+    def test_bonded_lhs_needs_a_reachable_bond(self):
+        # a,b 0->1 makes {a,b} bonded, enabling the bonded rewrite; the
+        # bonded rule over {a,c} never fires (no a-c bond ever forms).
+        program = _compile(
+            [
+                Rule("a", U, "b", D, 0, "a", "b", 1),
+                Rule("a", U, "b", D, 1, "a", "q", 1),
+                Rule("a", U, "c", D, 1, "a", "r", 1),
+            ],
+            output_states=("c",),
+        )
+        report = analyze_program(program, initial_states=("a", "b", "c"))
+        assert len(report.dead_rules) == 1
+        assert "'r'" in report.dead_rules[0]
+        assert any("'r'" in s for s in report.unreachable_states)
+
+    def test_third_party_rewrite_keeps_bonds_alive(self):
+        # a-b bond forms; b rewrites to b2 via a free meeting with c; the
+        # bonded rule over {a,b2} must then be live.
+        program = _compile(
+            [
+                Rule("a", U, "b", D, 0, "a", "b", 1),
+                Rule("b", U, "c", D, 0, "b2", "c", 0),
+                Rule("a", U, "b2", D, 1, "done", "b2", 1),
+            ],
+            output_states=("c",),
+        )
+        report = analyze_program(program, initial_states=("a", "b", "c"))
+        assert report.dead_rules == []
+        assert any("'done'" in s for s in report.reachable_states)
+
+    def test_bond_breaking_voids_the_witness(self):
+        program = _compile(
+            [
+                Rule("a", U, "a", D, 0, "a", "b", 1),
+                Rule("a", U, "b", D, 1, "a", "b", 0),
+            ]
+        )
+        report = analyze_program(program, initial_states=("a",))
+        assert report.stabilizes == "unknown"
+        assert "breaks a bond" in report.stabilization_reason
+
+    def test_state_drift_cycle_voids_the_witness(self):
+        program = _compile(
+            [
+                Rule("a", U, "b", D, 0, "b", "a", 0),
+            ],
+            output_states=("b",),
+        )
+        report = analyze_program(program, initial_states=("a", "b"))
+        assert report.stabilizes == "unknown"
+        assert "cycle" in report.stabilization_reason
+
+    def test_acyclic_drift_still_proves(self):
+        program = _compile(
+            [
+                Rule("a", U, "b", D, 0, "a2", "b", 0),
+                Rule("a2", U, "b", D, 0, "a2", "b", 1),
+            ],
+            output_states=("b",),
+        )
+        report = analyze_program(program, initial_states=("a", "b"))
+        assert report.stabilizes == "proven"
+
+    def test_hot_violation_flagged(self):
+        program = _compile(
+            [Rule("a", U, "a", D, 0, "b", "b", 1)],
+            hot_states=("b",),
+        )
+        report = analyze_program(program, initial_states=("a",))
+        assert len(report.hot_violations) == 1
+        assert not report.clean
+
+    def test_no_hot_declaration_is_a_note_not_a_violation(self):
+        program = _compile([Rule("a", U, "a", D, 0, "b", "b", 1)])
+        report = analyze_program(program, initial_states=("a",))
+        assert not report.hot_declared
+        assert report.hot_violations == []
+        assert any("hot" in note for note in report.notes)
+
+    def test_inexact_program_gets_diagnostic_not_crash(self):
+        from repro.constructors.counting_line import counting_line_protocol
+
+        report = analyze_protocol(counting_line_protocol())
+        assert not report.exact
+        assert "not closed-world" in report.diagnostic
+        assert report.stabilizes == "unknown"
+
+
+# ----------------------------------------------------------------------
+# Over-approximation: no false "unreachable" on real seeded runs
+# ----------------------------------------------------------------------
+
+
+class TestReachabilityAgreesWithRuns:
+    @given(
+        factory_index=st.integers(min_value=0, max_value=1),
+        n=st.integers(min_value=4, max_value=16),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_observed_states_are_reported_reachable(
+        self, factory_index, n, seed
+    ):
+        factory = (spanning_line_protocol, square_protocol)[factory_index]
+        protocol = factory()
+        reachable = set(analyze_protocol(protocol).reachable_states)
+        world = World.of_free_nodes(n, protocol, leaders=1)
+        sim = Simulation(
+            world, protocol, scheduler=make_scheduler("hot"), seed=seed
+        )
+        observed = set(world.states().values())
+        for _ in range(400):
+            if sim.step() is None:
+                break
+            observed.update(world.states().values())
+        missing = {repr(s) for s in observed} - reachable
+        assert not missing, f"states observed but reported unreachable: {missing}"
+
+
+# ----------------------------------------------------------------------
+# Determinism linter
+# ----------------------------------------------------------------------
+
+
+class TestLinter:
+    def test_src_tree_is_clean(self):
+        assert lint_paths() == []
+
+    def _rules(self, source, path="repro/core/candidates.py"):
+        return [f.rule for f in lint_source(source, path)]
+
+    def test_unseeded_random_flagged(self):
+        assert self._rules("import random\nx = random.random()\n") == [
+            "unseeded-random"
+        ]
+        assert self._rules(
+            "from random import choice\nx = choice([1, 2])\n"
+        ) == ["unseeded-random"]
+
+    def test_seeded_rng_instance_is_fine(self):
+        assert self._rules(
+            "import random\nrng = random.Random(7)\nx = rng.random()\n"
+        ) == []
+
+    def test_wallclock_flagged_and_pragma_suppresses(self):
+        assert self._rules("import time\nt = time.time()\n") == ["wallclock"]
+        assert self._rules(
+            "from datetime import datetime\nd = datetime.now()\n"
+        ) == ["wallclock"]
+        assert self._rules(
+            "import time\nt = time.time()  # lint: allow-wallclock\n"
+        ) == []
+
+    def test_set_iteration_flagged_only_in_sensitive_modules(self):
+        source = "s = {1, 2, 3}\nout = [x for x in s]\n"
+        assert self._rules(source) == ["unsorted-set-iteration"]
+        assert self._rules(source, path="repro/viz/ascii_art.py") == []
+
+    def test_sorted_set_iteration_is_fine(self):
+        assert self._rules(
+            "s = set(range(3))\nout = [x for x in sorted(s)]\n"
+        ) == []
+
+    def test_list_over_set_flagged(self):
+        assert self._rules("out = list({1, 2})\n") == [
+            "unsorted-set-iteration"
+        ]
+
+    def test_dict_iteration_not_flagged(self):
+        # Dicts iterate in insertion order (guaranteed since 3.7): only
+        # sets are an ordering hazard.
+        assert self._rules("d = {1: 2}\nout = [k for k in d]\n") == []
+
+    def test_hash_flagged(self):
+        assert self._rules("key = hash('x')\n", "repro/viz/x.py") == [
+            "hash-order"
+        ]
+        assert self._rules(
+            "key = hash('x')  # lint: allow-hash\n", "repro/viz/x.py"
+        ) == []
+
+    def test_findings_carry_position(self):
+        (finding,) = lint_source(
+            "import time\nt = time.time()\n", "repro/core/scheduler.py"
+        )
+        assert isinstance(finding, LintFinding)
+        assert finding.line == 2
+        assert "scheduler.py:2" in finding.format()
+
+
+# ----------------------------------------------------------------------
+# Report schema + CLI surfaces
+# ----------------------------------------------------------------------
+
+
+class TestReportSchema:
+    def _payload(self):
+        scn = get_scenario("demo")
+        return analysis_payload({scn.name: analyze_scenario(scn)})
+
+    def test_payload_validates(self):
+        payload = self._payload()
+        assert payload["schema"] == ANALYSIS_SCHEMA
+        assert validate_analysis_payload(payload) == []
+        # repro validate dispatches on the schema field.
+        assert validate_payload(payload) == []
+
+    def test_payload_round_trips_json(self):
+        payload = self._payload()
+        assert validate_analysis_payload(json.loads(json.dumps(payload))) == []
+
+    def test_validator_catches_corruption(self):
+        payload = self._payload()
+        payload["scenarios"][0]["protocols"][0].pop("stabilizes")
+        assert validate_analysis_payload(payload)
+
+    def test_history_record_validator(self):
+        from repro.experiments.io import history_record
+
+        record = history_record("bench", [], extra={"evaluations": 10})
+        assert validate_history_record(record) == []
+        bad = dict(record)
+        bad["trials"] = "three"
+        assert validate_history_record(bad)
+        assert validate_payload(record) == []
+
+
+class TestCli:
+    def test_analyze_scenario(self, capsys):
+        assert main(["analyze", "demo"]) == 0
+        out = capsys.readouterr().out
+        assert "stabilizes: proven" in out
+
+    def test_analyze_all_json_validates(self, capsys, tmp_path):
+        target = tmp_path / "analysis.json"
+        assert main(["analyze", "--all", "--json", str(target)]) == 0
+        payload = json.loads(target.read_text())
+        assert validate_analysis_payload(payload) == []
+        assert main(["validate", str(target)]) == 0
+
+    def test_analyze_handler_scenario_diagnostic(self, capsys):
+        # Satellite bugfix: handler-backed scenarios report the
+        # not-closed-world diagnostic, exit zero without --strict and
+        # nonzero with it.
+        assert main(["analyze", "counting-line"]) == 0
+        out = capsys.readouterr().out
+        assert "not closed-world, cannot analyze statically" in out
+        assert main(["analyze", "counting-line", "--strict"]) == 1
+
+    def test_analyze_without_target_errors(self, capsys):
+        assert main(["analyze"]) == 2
+
+    def test_analyze_scenario_without_protocols_errors(self, capsys):
+        assert main(["analyze", "replicate"]) == 2
+
+    def test_lint_clean_tree(self, capsys):
+        assert main(["lint"]) == 0
+        assert "0 findings" in capsys.readouterr().out
+
+    def test_lint_flags_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import time\nt = time.time()\n")
+        assert main(["lint", str(bad)]) == 1
+        assert "wallclock" in capsys.readouterr().out
+
+    def test_describe_carries_analysis_line(self, capsys):
+        assert main(["describe", "square"]) == 0
+        out = capsys.readouterr().out
+        assert "analysis:" in out
+        assert "stabilizes: unknown" in out
+
+    def test_describe_demo_analysis_proven(self, capsys):
+        assert main(["describe", "demo"]) == 0
+        assert "stabilizes: proven" in capsys.readouterr().out
+
+
+class TestScenarioDeclarations:
+    def test_square_scenario_declares_structure_seeds(self):
+        (spec,) = protocol_specs(get_scenario("square"))
+        assert spec.extra_initial == ("i", "e")
+        (report,) = analyze_scenario(get_scenario("square"))
+        assert report.clean
+
+    def test_bare_factories_normalize(self):
+        specs = protocol_specs(get_scenario("demo"))
+        assert [s.extra_initial for s in specs] == [(), ()]
