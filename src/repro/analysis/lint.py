@@ -41,6 +41,10 @@ put ``# lint: allow-<name>`` on the flagged line itself.
     process (PYTHONHASHSEED), so anything derived from its value —
     bucketing, tie-breaking, cache keys that leak into output — differs
     between runs. Use a content hash (``hashlib``) or an explicit key.
+
+Files that cannot be linted (non-UTF-8 or syntactically invalid Python)
+are reported as an ``unparsable`` finding rather than crashing the run;
+that meta-rule has no pragma escape hatch.
 """
 
 from __future__ import annotations
@@ -348,5 +352,23 @@ def lint_paths(paths: Sequence[str] = ()) -> List[LintFinding]:
             label = rel.as_posix()
         except ValueError:
             label = file.as_posix()
-        findings.extend(lint_source(file.read_text(), label))
+        try:
+            source = file.read_text()
+        except (OSError, UnicodeDecodeError) as exc:
+            findings.append(
+                LintFinding(label, 0, 0, "unparsable", f"unreadable file: {exc}")
+            )
+            continue
+        try:
+            findings.extend(lint_source(source, label))
+        except SyntaxError as exc:
+            findings.append(
+                LintFinding(
+                    label,
+                    exc.lineno or 0,
+                    (exc.offset or 1) - 1,
+                    "unparsable",
+                    f"syntax error: {exc.msg}",
+                )
+            )
     return findings

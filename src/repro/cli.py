@@ -289,6 +289,11 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     from repro.experiments.registry import all_scenarios
 
     if args.all:
+        if args.scenario is not None:
+            raise ReproError(
+                f"cannot combine a scenario name ({args.scenario!r}) with "
+                "--all; pass one or the other"
+            )
         targets = [s for s in all_scenarios() if s.protocols]
     else:
         if args.scenario is None:

@@ -357,6 +357,13 @@ class TestReportSchema:
         # repro validate dispatches on the schema field.
         assert validate_payload(payload) == []
 
+    def test_schema_id_matches_dispatch_copy(self):
+        # experiments.io duplicates the schema string so dispatch does not
+        # import the analysis layer; this pin keeps the copies from drifting.
+        from repro.experiments.io import ANALYSIS_SCHEMA_ID
+
+        assert ANALYSIS_SCHEMA_ID == ANALYSIS_SCHEMA
+
     def test_payload_round_trips_json(self):
         payload = self._payload()
         assert validate_analysis_payload(json.loads(json.dumps(payload))) == []
