@@ -1,0 +1,133 @@
+"""Acceptance bars for the streaming trace subsystem (the PR 9 tentpole).
+
+Recording is observation-only: the :class:`~repro.trace.writer.TraceWriter`
+hooks the simulation's applied-event stream, never touches the RNG, and
+writes delta records incrementally in bounded memory — so tracing a run
+must cost little. This benchmark records the §5.2 counting-on-a-line
+scenario at ``n=64`` and enforces **traced wall <= 1.5x untraced wall**
+(best-of-3 each, so the bar survives CI jitter), with the traced result
+bit-identical to the untraced one.
+
+The second bar is the point of checkpoints: replaying only the tail after
+seeking to the last checkpoint must apply a deterministic fraction of the
+records a full header-onwards replay applies (the ratio is a pure function
+of the event count and the checkpoint interval), and both reconstructions
+must land on the recorded final world digest.
+
+Emits ``BENCH_trace.json`` (plus a ``history.jsonl`` record); CI runs this
+as a smoke and enforces both bars (see ``.github/workflows/ci.yml``).
+"""
+
+import time
+
+from conftest import print_table, write_bench
+
+from repro.experiments.runner import run_experiment
+from repro.experiments.spec import ExperimentSpec
+from repro.trace.record import record_scenario
+from repro.trace.replay import replay_trace
+
+SCENARIO = "counting-line"
+PARAMS = {"n": 64}
+SEED = 11
+CHECKPOINT_EVERY = 64
+MAX_OVERHEAD = 1.5
+
+
+def _best_of(fn, rounds=3):
+    """Best wall time over ``rounds`` runs (and the last return value)."""
+    best = float("inf")
+    value = None
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        value = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, value
+
+
+def test_trace_recording_and_replay_bars(benchmark, tmp_path):
+    """Recording overhead <= 1.5x; checkpoint seek replays only the tail."""
+    spec = ExperimentSpec(scenario=SCENARIO, params=PARAMS, seed=SEED)
+
+    def measure():
+        untraced_wall, base = _best_of(lambda: run_experiment(spec.resolved()))
+        traced_wall, (result, writer) = _best_of(
+            lambda: record_scenario(
+                SCENARIO,
+                params=PARAMS,
+                seed=SEED,
+                path=tmp_path / "bench.trace",
+                checkpoint_every=CHECKPOINT_EVERY,
+            )
+        )
+        full_wall, full = _best_of(
+            lambda: replay_trace(writer.path, verify=True, use_checkpoints=False)
+        )
+        seek_wall, seek = _best_of(
+            lambda: replay_trace(writer.path, verify=True)
+        )
+        return base, result, writer, untraced_wall, traced_wall, (
+            full,
+            seek,
+            full_wall,
+            seek_wall,
+        )
+
+    base, result, writer, untraced_wall, traced_wall, replays = (
+        benchmark.pedantic(measure, rounds=1, iterations=1)
+    )
+    full, seek, full_wall, seek_wall = replays
+
+    # Observation-only: the traced trajectory is the untraced one.
+    assert result.metrics == base.metrics
+
+    overhead = traced_wall / untraced_wall
+    tail_fraction = seek.records_applied / max(1, full.records_applied)
+    print_table(
+        f"Trace recording: {SCENARIO} n={PARAMS['n']}, "
+        f"{full.events} events, checkpoint every {CHECKPOINT_EVERY}",
+        f"{'run':>12} {'secs':>9} {'records':>8}",
+        (
+            f"{'untraced':>12} {untraced_wall:>9.4f} {'-':>8}",
+            f"{'traced':>12} {traced_wall:>9.4f} {'-':>8}",
+            f"{'replay-full':>12} {full_wall:>9.4f} {full.records_applied:>8d}",
+            f"{'replay-seek':>12} {seek_wall:>9.4f} {seek.records_applied:>8d}",
+        ),
+    )
+    print(
+        f"recording overhead: {overhead:.2f}x (bar {MAX_OVERHEAD:.1f}x); "
+        f"seek applies {tail_fraction:.1%} of the records "
+        f"({full_wall / max(seek_wall, 1e-9):.1f}x faster)"
+    )
+
+    assert overhead <= MAX_OVERHEAD, (
+        f"recording overhead {overhead:.2f}x exceeds {MAX_OVERHEAD}x"
+    )
+
+    # Both reconstructions land on the recorded digest; the seek replay
+    # applied only the post-checkpoint tail — a deterministic count, so
+    # the ratio itself (not just wall time) is the enforced claim.
+    reader_digest = full.digest
+    assert seek.digest == reader_digest
+    assert full.verified and seek.verified
+    assert seek.start_events > 0, "no checkpoint to seek to; shrink the interval"
+    assert seek.records_applied < full.records_applied
+    assert full.records_applied - seek.records_applied >= seek.start_events
+
+    write_bench(
+        "trace",
+        [result],
+        header={
+            "experiment": "trace recording overhead + checkpoint seek",
+            "untraced_seconds": untraced_wall,
+            "traced_seconds": traced_wall,
+            "overhead_recording": overhead,
+            "replay_full_seconds": full_wall,
+            "replay_seek_seconds": seek_wall,
+            "records_full": full.records_applied,
+            "records_seek": seek.records_applied,
+            "tail_fraction": tail_fraction,
+            "checkpoint_every": CHECKPOINT_EVERY,
+            "events": full.events,
+        },
+    )

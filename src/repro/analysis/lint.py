@@ -90,12 +90,14 @@ _WALLCLOCK_ATTRS: Dict[str, frozenset] = {
 
 #: Path fragments (relative to the repro package) whose output depends on
 #: iteration order: candidate enumeration, schedulers, the columnar
-#: backend, and everything in the experiments layer.
+#: backend, everything in the experiments layer, and the streaming trace
+#: subsystem (trace bytes are a pure function of the seeded run).
 _ORDERING_SENSITIVE = (
     "core/candidates.py",
     "core/scheduler.py",
     "core/columnar.py",
     "experiments/",
+    "trace/",
 )
 
 

@@ -12,13 +12,22 @@ commands are *generated* from the registered scenarios —
   ``--seeds`` trials, fanned out over ``--workers`` processes with
   deterministic per-trial seed derivation (bit-identical results for any
   worker count);
-* ``validate`` — check emitted JSON against the experiment result schema.
+* ``validate`` — check emitted JSON (and NDJSON streaming traces)
+  against the known schemas;
+* ``record <scenario>`` — run one spec under the streaming trace writer
+  (``repro.trace/v1``: header snapshot, delta-encoded events, periodic
+  checkpoints, digest hash chain);
+* ``replay <trace>`` — reconstruct any intermediate world bit-exactly
+  (``--to-event N`` seeks from the nearest checkpoint anchor;
+  ``--verify`` recomputes every digest it passes).
 
 The sweep-service commands share the same declarative sweep form:
 ``serve`` runs the long-running daemon (persistent FIFO job queue,
 content-addressed trial cache, process-pool fan-out), ``submit`` queues a
-sweep (``--wait`` streams NDJSON progress), ``status`` inspects the
-queue, and ``fetch`` retrieves a finished job's results payload. The same
+sweep (``--wait`` streams NDJSON progress; ``--trace`` additionally
+streams per-event ``repro.trace/v1`` records, rendered live with
+``--render``), ``status`` inspects the queue, and ``fetch`` retrieves a
+finished job's results payload. The same
 trial cache backs ``sweep --cache`` in-process, no daemon needed.
 
 The historical subcommands (``demo``, ``count``, ``construct``,
@@ -257,15 +266,53 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _trace_validate(raw: bytes) -> Optional[List[str]]:
+    """Validate ``raw`` as an NDJSON streaming trace, if it looks like one.
+
+    Returns the error list (``[]`` = valid) when the first line is a
+    ``repro.trace/v1`` header, ``None`` when the bytes are not a trace at
+    all (so ``validate`` can report its generic JSON error instead).
+    """
+    from repro.trace.encoding import TRACE_SCHEMA
+    from repro.trace.reader import validate_trace_bytes
+
+    first = raw.split(b"\n", 1)[0]
+    try:
+        head = json.loads(first)
+    except json.JSONDecodeError:
+        return None
+    if not isinstance(head, dict) or head.get("schema") != TRACE_SCHEMA:
+        return None
+    return validate_trace_bytes(raw)
+
+
 def _cmd_validate(args: argparse.Namespace) -> int:
     status = 0
     for path in args.paths:
         try:
-            with open(path) as fh:
-                data = json.load(fh)
-        except (OSError, json.JSONDecodeError) as exc:
+            with open(path, "rb") as fh:
+                raw = fh.read()
+        except OSError as exc:
             print(f"{path}: unreadable ({exc})")
             status = 1
+            continue
+        try:
+            data = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            # Not a single JSON document: streaming traces are NDJSON, so
+            # dispatch on the first line's schema before giving up.
+            errors = _trace_validate(raw)
+            if errors is None:
+                print(f"{path}: unreadable ({exc})")
+                status = 1
+            elif errors:
+                status = 1
+                print(f"{path}: INVALID")
+                for err in errors:
+                    print(f"  {err}")
+            else:
+                lines = len(raw.splitlines())
+                print(f"{path}: ok (trace, {lines} records)")
             continue
         errors = validate_payload(data)
         if errors:
@@ -277,6 +324,74 @@ def _cmd_validate(args: argparse.Namespace) -> int:
             count = len(data.get("results", [data]))
             print(f"{path}: ok ({count} result{'s' if count != 1 else ''})")
     return status
+
+
+# ----------------------------------------------------------------------
+# Streaming trace commands (repro record / replay)
+# ----------------------------------------------------------------------
+
+
+def _cmd_record(args: argparse.Namespace) -> int:
+    from repro.trace.record import record_scenario
+
+    scn = get_scenario(args.scenario)
+    out = args.out if args.out is not None else f"{scn.name}.trace"
+    result, writer = record_scenario(
+        scn.name,
+        params=_param_overrides(args, scn),
+        seed=args.seed,
+        scheduler=getattr(args, "scheduler", None),
+        path=out,
+        run_index=args.run,
+        checkpoint_every=args.checkpoint_every,
+    )
+    print(
+        f"recorded {writer.events} events "
+        f"({writer.checkpoints} checkpoints, {writer.seq} records) "
+        f"-> {writer.path}"
+    )
+    if args.verify:
+        from repro.trace.replay import replay_trace
+
+        # Replay from the header (no seek) so *every* checkpoint anchor
+        # in the fresh trace is recomputed, not just the final digest.
+        res = replay_trace(writer.path, verify=True, use_checkpoints=False)
+        print(
+            f"verified: replay reproduces world digest {res.digest[:12]} "
+            f"({res.checkpoints_verified} checkpoint anchors recomputed)"
+        )
+    if args.json is not None:
+        return _emit_result(result, args.json)
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from repro.trace.reader import TraceReader
+    from repro.trace.replay import replay_trace
+    from repro.viz.ascii_art import render_world
+
+    trace = TraceReader.load(args.path)
+    print(trace.describe())
+    res = replay_trace(
+        trace,
+        to_event=args.to_event,
+        verify=args.verify,
+        use_checkpoints=not args.no_seek,
+    )
+    bits = [
+        f"seek start {res.start_events}",
+        f"{res.records_applied} records applied",
+    ]
+    if args.verify:
+        bits.append(f"{res.checkpoints_verified} checkpoints verified")
+    print(
+        f"replayed to event {res.events} ({', '.join(bits)}), "
+        f"world digest {res.digest[:12]}"
+    )
+    if args.render:
+        art = render_world(res.world, state_char=lambda s: "#")
+        print(art if art.strip() else "(no multi-node components)")
+    return 0
 
 
 # ----------------------------------------------------------------------
@@ -412,6 +527,34 @@ def _print_progress(event: Dict) -> None:
         print(f"job {event.get('id')}: {event.get('status')}")
 
 
+def _trace_stream_handler(args: argparse.Namespace, out_fh):
+    """The ``submit --trace --wait`` event handler: forward trace records.
+
+    Non-trace progress lines go through :func:`_print_progress` (unless
+    ``--quiet``); every streamed ``repro.trace/v1`` record is appended to
+    ``--trace-out`` (canonical encoding, byte-identical to a writer-side
+    file for single-trial jobs) and fed to the live ASCII view when
+    ``--render`` is set.
+    """
+    from repro.trace.encoding import encode_line
+    from repro.viz.live import LiveTraceView
+
+    view = LiveTraceView() if args.render else None
+
+    def on_event(event: Dict) -> None:
+        if event.get("event") != "trace":
+            if not args.quiet:
+                _print_progress(event)
+            return
+        record = event["record"]
+        if out_fh is not None:
+            out_fh.write(encode_line(record))
+        if view is not None:
+            view.feed(record)
+
+    return on_event
+
+
 def _cmd_submit(args: argparse.Namespace) -> int:
     from repro.experiments.service import ServiceClient
 
@@ -419,9 +562,22 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     sweep = _sweep_from_args(args, scn)
     client = ServiceClient(state_dir=args.state_dir)
     on_event = None if args.quiet else _print_progress
-    final = client.submit(
-        sweep, workers=args.workers, wait=args.wait, on_event=on_event
-    )
+    out_fh = None
+    try:
+        if args.trace and args.wait:
+            if args.trace_out is not None:
+                out_fh = open(args.trace_out, "wb")
+            on_event = _trace_stream_handler(args, out_fh)
+        final = client.submit(
+            sweep,
+            workers=args.workers,
+            wait=args.wait,
+            on_event=on_event,
+            trace=args.trace,
+        )
+    finally:
+        if out_fh is not None:
+            out_fh.close()
     if args.wait:
         print(
             f"job {final['id']}: {final['status']}, {final['total']} trials, "
@@ -673,19 +829,49 @@ def build_parser() -> argparse.ArgumentParser:
         "submit", help="queue a sweep on the running sweep service"
     )
     submit_sub = submit_parser.add_subparsers(dest="scenario", required=True)
+    record_parser = sub.add_parser(
+        "record",
+        help="run one scenario under the streaming repro.trace/v1 writer",
+    )
+    record_sub = record_parser.add_subparsers(dest="scenario", required=True)
     for scn in all_scenarios():
+
+        def _add_run_param_flags(p, scn=scn):
+            for prm in scn.params:
+                p.add_argument(
+                    f"--{prm.name.replace('_', '-')}",
+                    dest=f"param_{prm.name}",
+                    type=prm.pytype,
+                    choices=prm.choices,
+                    default=None,
+                    help=f"{prm.help} (default {prm.default!r})",
+                )
+
         p = run_sub.add_parser(scn.name, help=scn.summary)
-        for prm in scn.params:
-            p.add_argument(
-                f"--{prm.name.replace('_', '-')}",
-                dest=f"param_{prm.name}",
-                type=prm.pytype,
-                choices=prm.choices,
-                default=None,
-                help=f"{prm.help} (default {prm.default!r})",
-            )
+        _add_run_param_flags(p)
         _add_uniform_flags(p, scn)
         p.set_defaults(func=_cmd_run)
+
+        p = record_sub.add_parser(scn.name, help=scn.summary)
+        _add_run_param_flags(p)
+        _add_uniform_flags(p, scn)
+        p.add_argument(
+            "--out", default=None, metavar="PATH",
+            help=f"trace file to write (default {scn.name}.trace)",
+        )
+        p.add_argument(
+            "--checkpoint-every", type=int, default=256, metavar="N",
+            help="events between checkpoint snapshots (0 = none)",
+        )
+        p.add_argument(
+            "--run", type=int, default=0, metavar="K",
+            help="which Simulation of a multi-run scenario to record",
+        )
+        p.add_argument(
+            "--verify", action="store_true",
+            help="replay the finished trace and recompute every digest",
+        )
+        p.set_defaults(func=_cmd_record)
 
         def _add_sweep_grid_flags(p, scn=scn):
             for prm in scn.params:
@@ -740,13 +926,61 @@ def build_parser() -> argparse.ArgumentParser:
             "--state-dir", default=None, metavar="PATH",
             help="service state directory (default ~/.cache/repro/service)",
         )
+        p.add_argument(
+            "--trace", action="store_true",
+            help=(
+                "stream per-event repro.trace/v1 records (uncached trials "
+                "run sequentially under a recording)"
+            ),
+        )
+        p.add_argument(
+            "--render", action="store_true",
+            help="with --trace --wait: live ASCII view of the streamed run",
+        )
+        p.add_argument(
+            "--trace-out", default=None, metavar="PATH",
+            help=(
+                "with --trace --wait: append every streamed record to PATH "
+                "(a valid trace file for single-trial jobs)"
+            ),
+        )
         p.set_defaults(func=_cmd_submit)
 
     p = sub.add_parser(
-        "validate", help="validate emitted JSON against the result schema"
+        "validate",
+        help=(
+            "validate emitted JSON (or NDJSON streaming traces) against "
+            "the known schemas"
+        ),
     )
     p.add_argument("paths", nargs="+", metavar="PATH")
     p.set_defaults(func=_cmd_validate)
+
+    p = sub.add_parser(
+        "replay",
+        help="bit-exact replay of a recorded trace (seek, verify, render)",
+    )
+    p.add_argument("path", metavar="TRACE")
+    p.add_argument(
+        "--to-event", type=int, default=None, metavar="N",
+        help=(
+            "reconstruct the world just after event N, including its "
+            "same-step faults (default: the end of the trace)"
+        ),
+    )
+    p.add_argument(
+        "--verify", action="store_true",
+        help="recompute the world digest against every anchor passed",
+    )
+    p.add_argument(
+        "--render", action="store_true",
+        help="ASCII-render the reconstructed world",
+    )
+    p.add_argument(
+        "--no-seek", action="store_true",
+        help="replay from the header instead of seeking to a checkpoint",
+    )
+    p.set_defaults(func=_cmd_replay)
 
     # --- static analysis ----------------------------------------------
     p = sub.add_parser(

@@ -41,6 +41,26 @@ from repro.core.world import Candidate, World
 #: A trace hook: called after each applied event.
 TraceHook = Callable[[int, Candidate, Update, World], None]
 
+#: Construction observers: called with every newly-built :class:`Simulation`.
+#: This is the seam the streaming trace recorder (``repro.trace.record``)
+#: attaches through — the core stays free of trace imports, and the list is
+#: empty (zero per-step cost, bit-identical trajectories) unless a recording
+#: context is active.
+_SIM_OBSERVERS: List[Callable[["Simulation"], None]] = []
+
+
+def add_simulation_observer(observer: Callable[["Simulation"], None]) -> None:
+    """Register a callback invoked with each subsequently-built Simulation."""
+    _SIM_OBSERVERS.append(observer)
+
+
+def remove_simulation_observer(observer: Callable[["Simulation"], None]) -> None:
+    """Unregister a construction observer (no error if already removed)."""
+    try:
+        _SIM_OBSERVERS.remove(observer)
+    except ValueError:
+        pass
+
 
 class StopReason(str, enum.Enum):
     """Why a run ended — the one normalized vocabulary for every runner.
@@ -113,6 +133,8 @@ class Simulation:
         program = self.protocol.program
         if program is not None:
             self.world.adopt_space(program.space)
+        for observe in tuple(_SIM_OBSERVERS):
+            observe(self)
 
     # ------------------------------------------------------------------
 

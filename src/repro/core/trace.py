@@ -1,17 +1,24 @@
-"""Execution traces: record, serialize, and replay runs.
+"""In-memory execution traces — the compatibility layer under ``repro.trace``.
 
 A :class:`TraceRecorder` hooks into a :class:`~repro.core.simulator.Simulation`
 and logs every applied effective interaction — the endpoints, ports, bond
 transition, state updates, and (for inter-component bonds) the placement.
 Traces serialize to plain JSON-compatible dicts and *replay* onto a fresh
 world with the same initial configuration, reproducing the exact final
-configuration. That gives downstream users deterministic regression
-artifacts ("this protocol changed behavior") and post-mortem debugging of
-rare interleavings without re-running the scheduler.
+configuration.
+
+This module predates (and is superseded by) the streaming trace subsystem
+:mod:`repro.trace`, which wraps the same event vocabulary in the versioned
+``repro.trace/v1`` NDJSON encoding — header snapshot, periodic checkpoints,
+digest hash chain, bounded-memory writer, seekable verified replay. New
+code should record through ``repro.trace``; this layer remains the
+dependency-free core API (the streaming encoder imports its event shape,
+state encodings, and world snapshots from here).
 
 World snapshots (:func:`world_to_dict` / :func:`world_from_dict`) serialize
 full configurations — states, per-node positions and orientations, bonds —
-so long experiments can checkpoint.
+so long experiments can checkpoint; the streaming subsystem's checkpoint
+records embed exactly these snapshots.
 """
 
 from __future__ import annotations
@@ -144,8 +151,16 @@ def replay(
 
     The world must be in the trace's initial configuration (same node ids
     in the same states). Raises :class:`SimulationError` when an event does
-    not apply cleanly — the signature of a behavioral change.
+    not apply cleanly — the signature of a behavioral change. Both the bond
+    state and the node states are validated before each event is applied:
+    every node a previous event updated must still hold that state when it
+    is next touched, so a divergence is caught at the first event that
+    observes it, with expected-vs-actual detail in the error.
     """
+    # Node states the trace prefix determines: nid -> state set by the
+    # latest applied event. Nodes the trace has not touched yet have no
+    # expectation (the old encoding does not record initial states).
+    expected: Dict[int, Any] = {}
     for obj in events:
         port1 = Port(obj["port1"])
         port2 = Port(obj["port2"])
@@ -166,18 +181,29 @@ def replay(
             raise SimulationError(
                 f"replay event {obj['index']}: unknown node ids"
             )
-        if cand.bond != world.bond_state(
-            cand.nid1, port1, cand.nid2, port2
-        ):
+        actual_bond = world.bond_state(cand.nid1, port1, cand.nid2, port2)
+        if cand.bond != actual_bond:
             raise SimulationError(
-                f"replay event {obj['index']}: bond state diverged"
+                f"replay event {obj['index']}: bond state diverged "
+                f"(expected {cand.bond}, actual {actual_bond})"
             )
+        for nid in (cand.nid1, cand.nid2):
+            if nid in expected:
+                actual_state = world.state_of(nid)
+                if actual_state != expected[nid]:
+                    raise SimulationError(
+                        f"replay event {obj['index']}: node {nid} state "
+                        f"diverged (expected {expected[nid]!r}, "
+                        f"actual {actual_state!r})"
+                    )
         update = (
             _state_from_repr(obj["new_state1"]),
             _state_from_repr(obj["new_state2"]),
             obj["new_bond"],
         )
         world.apply(cand, update)
+        expected[cand.nid1] = update[0]
+        expected[cand.nid2] = update[1]
         if check_invariants:
             world.check_invariants()
 
@@ -210,6 +236,12 @@ def world_to_dict(world: World) -> Dict[str, Any]:
         "dimension": world.dimension,
         "nodes": nodes,
         "bonds": sorted(bonds),
+        # Allocator counters, so a restored world assigns the *same* fresh
+        # node/component ids as the live world it was snapshotted from —
+        # without them, replaying from a mid-run checkpoint relabels every
+        # component a later split creates (bit-exactness would be lost).
+        "next_nid": world._next_nid,
+        "next_cid": world._next_cid,
     }
 
 
@@ -245,7 +277,15 @@ def world_from_dict(data: Dict[str, Any]) -> World:
     for a, pa, b, pb in data["bonds"]:
         comp = world.components[world.nodes[a].component_id]
         comp.bonds.add(bond_of(a, Port(pa), b, Port(pb)))
-    world._next_nid = max_nid + 1
-    world._next_cid = max_cid + 1
+    # A restored component was rebuilt wholesale: bump its version so any
+    # consumer keying geometry off (cid, version) — candidate caches, the
+    # columnar index's coarse backstop — treats it as changed rather than
+    # aliasing a version-0 component it may have observed elsewhere.
+    for comp in world.components.values():
+        comp.version += 1
+    # Pre-counter snapshots (older artifacts) fall back to max+1, which is
+    # exact for initial configurations but can relabel later splits.
+    world._next_nid = int(data.get("next_nid", max_nid + 1))
+    world._next_cid = int(data.get("next_cid", max_cid + 1))
     world.check_invariants()
     return world

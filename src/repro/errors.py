@@ -59,6 +59,15 @@ class TerminationError(SimulationError):
     condition (termination, stabilization, or a user predicate)."""
 
 
+class TraceError(ReproError):
+    """A streaming trace (``repro.trace``) is malformed or fails validation.
+
+    Raised on schema mismatches, broken hash chains, digest mismatches, and
+    replay requests outside the recorded range. Tampered or truncated trace
+    files are *rejected* with this error — they never replay into a wrong
+    world."""
+
+
 class MachineError(ReproError):
     """A Turing machine definition or execution is invalid.
 

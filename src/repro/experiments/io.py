@@ -31,6 +31,13 @@ HISTORY_SCHEMA = "repro.experiments.history/v1"
 #: duplicated here so dispatching on it does not import the analysis layer).
 ANALYSIS_SCHEMA_ID = "repro.analysis.report/v1"
 
+#: Schema identifier for streaming traces (owned by repro.trace.encoding;
+#: duplicated here so dispatching on it does not import the trace layer).
+#: Trace artifacts are NDJSON — one record per line, hash-chained — so
+#: ``repro validate`` feeds whole files to the trace validator; a payload
+#: that parsed as a single JSON object is at most a trace's header line.
+TRACE_SCHEMA_ID = "repro.trace/v1"
+
 
 # ----------------------------------------------------------------------
 # Result collections
@@ -93,10 +100,20 @@ def validate_payload(data: Any) -> List[str]:
         from repro.analysis.report import validate_analysis_payload
 
         return validate_analysis_payload(data)
+    if data.get("schema") == TRACE_SCHEMA_ID:
+        # A complete trace never parses as one JSON object (it is NDJSON
+        # with at least a header and an end anchor), so this branch sees a
+        # lone header record: re-encode canonically and run the full trace
+        # validator, which reports what is missing. Imported lazily to
+        # keep the experiment layer free of the trace layer.
+        from repro.trace.encoding import encode_line
+        from repro.trace.reader import validate_trace_bytes
+
+        return validate_trace_bytes(encode_line(dict(data)))
     return [
         f"unknown schema {data.get('schema')!r} (expected "
-        f"{RESULT_SCHEMA!r}, {RESULTS_SCHEMA!r}, {HISTORY_SCHEMA!r} or "
-        f"{ANALYSIS_SCHEMA_ID!r})"
+        f"{RESULT_SCHEMA!r}, {RESULTS_SCHEMA!r}, {HISTORY_SCHEMA!r}, "
+        f"{ANALYSIS_SCHEMA_ID!r} or {TRACE_SCHEMA_ID!r})"
     ]
 
 

@@ -98,6 +98,7 @@ class Job:
     id: str
     sweep: Dict[str, Any]
     workers: int
+    trace: bool = False  #: stream per-event ``repro.trace/v1`` records
     status: str = "queued"  # queued | running | done | failed
     total: int = 0
     completed: int = 0
@@ -189,6 +190,7 @@ class SweepService:
                 id=record["id"],
                 sweep=record["sweep"],
                 workers=int(record.get("workers", self.workers)),
+                trace=bool(record.get("trace", False)),
             )
             finish = done.get(job.id)
             if finish is None:
@@ -301,7 +303,30 @@ class SweepService:
             if i % 64 == 63:
                 await asyncio.sleep(0)  # keep status/watch connections live
         miss = [i for i, r in enumerate(results) if r is None]
-        if miss:
+        if miss and job.trace:
+            # Traced jobs run their uncached trials sequentially on one
+            # worker thread: the recording observer is process-global
+            # state (and a subprocess could not stream records back), and
+            # interleaved trials would interleave their record streams.
+            loop = asyncio.get_running_loop()
+            for i in miss:
+                result = await loop.run_in_executor(
+                    None, self._traced_trial, job, i, specs[i], loop
+                )
+                self.store.put(specs[i], result)
+                results[i] = result
+                job.misses += 1
+                job.completed += 1
+                self._emit(
+                    job,
+                    {
+                        "event": "trial",
+                        "index": i,
+                        "cached": False,
+                        "seed": specs[i].seed,
+                    },
+                )
+        elif miss:
             loop = asyncio.get_running_loop()
             with ProcessPoolExecutor(max_workers=min(job.workers, len(miss))) as pool:
 
@@ -329,6 +354,43 @@ class SweepService:
         write_results_json(self.results_path(job.id), results, header)
         job.status = "done"
         self._finish(job)
+
+    def _traced_trial(self, job: Job, index: int, spec: ExperimentSpec, loop) -> ExperimentResult:
+        """Run one uncached trial in-process under a streaming recording.
+
+        Runs on a worker thread; every ``repro.trace/v1`` record is
+        marshalled back onto the event loop and forwarded to streaming
+        clients as an ``{"event": "trace", ...}`` line. Scenarios with no
+        Simulation (pure pipelines) simply stream nothing — the writer is
+        closed leniently.
+        """
+        from repro.experiments.runner import run_experiment
+        from repro.trace.record import recording
+        from repro.trace.writer import TraceWriter
+
+        def sink(record: Dict[str, Any]) -> None:
+            loop.call_soon_threadsafe(
+                self._emit,
+                job,
+                {"event": "trace", "index": index, "record": record},
+            )
+
+        writer = TraceWriter(
+            None,  # stream-only: records exist on the wire, not on disk
+            scenario=spec.scenario,
+            params=spec.params,
+            seed=spec.seed,
+            scheduler=spec.scheduler,
+            sink=sink,
+        )
+        try:
+            with recording(writer):
+                result = run_experiment(spec)
+        except BaseException:
+            writer.abort()
+            raise
+        writer.close()
+        return result
 
     # -- request handling -----------------------------------------------
 
@@ -400,6 +462,7 @@ class SweepService:
             id=f"job-{self._seq:04d}-{digest}",
             sweep=sweep_to_dict(sweep),
             workers=int(request.get("workers") or self.workers),
+            trace=bool(request.get("trace", False)),
             total=total,
             update=asyncio.Event(),
         )
@@ -412,6 +475,7 @@ class SweepService:
                 "id": job.id,
                 "sweep": job.sweep,
                 "workers": job.workers,
+                "trace": job.trace,
             }
         )
         position = self._queue.qsize()
@@ -592,9 +656,23 @@ class ServiceClient:
         workers: Optional[int] = None,
         wait: bool = False,
         on_event: Optional[Callable[[Dict[str, Any]], None]] = None,
+        trace: bool = False,
     ) -> Dict[str, Any]:
+        """Queue a sweep; ``trace`` streams per-event trace records.
+
+        With ``trace=True`` the service runs uncached trials under a
+        ``repro.trace`` recording and every streaming client receives
+        ``{"event": "trace", "index": i, "record": {...}}`` lines
+        interleaved with trial progress — the live-observability mode.
+        """
         data = sweep_to_dict(sweep) if isinstance(sweep, SweepSpec) else sweep
-        request = {"cmd": "submit", "sweep": data, "workers": workers, "wait": wait}
+        request = {
+            "cmd": "submit",
+            "sweep": data,
+            "workers": workers,
+            "wait": wait,
+            "trace": trace,
+        }
         return self._final(request, on_event)
 
     def status(self, job_id: Optional[str] = None) -> Dict[str, Any]:

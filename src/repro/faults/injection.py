@@ -44,6 +44,25 @@ def random_active_bonds(world: World) -> List[Tuple[int, Bond]]:
     return out
 
 
+def break_bond(world: World, bond: Bond) -> None:
+    """Deactivate one specific active bond (shared by injection and replay).
+
+    The trace replay engine (``repro.trace.replay``) applies recorded
+    ``detach`` records through this exact path, so a replayed fault splits,
+    journals, and renumbers fragments identically to the live injection.
+    """
+    (a, _pa), _ = tuple(bond)  # either endpoint locates the owning component
+    comp = world.components[world.nodes[a].component_id]
+    if bond not in comp.bonds:
+        raise SimulationError(f"cannot break inactive bond {sorted(bond)!r}")
+    comp.bonds.discard(bond)
+    # Journal the endpoints so incremental schedulers see the snapped link;
+    # a disconnecting removal splits below, journalling a split delta.
+    for nid, _port in bond:
+        world.note_change(nid)
+    world._split_if_disconnected(comp)
+
+
 def break_random_bond(world: World, rng: random.Random) -> Optional[Bond]:
     """Deactivate one uniformly random active bond; ``None`` if none exist.
 
@@ -53,14 +72,8 @@ def break_random_bond(world: World, rng: random.Random) -> Optional[Bond]:
     bonds = random_active_bonds(world)
     if not bonds:
         return None
-    cid, bond = bonds[rng.randrange(len(bonds))]
-    comp = world.components[cid]
-    comp.bonds.discard(bond)
-    # Journal the endpoints so incremental schedulers see the snapped link;
-    # a disconnecting removal splits below, journalling a split delta.
-    for nid, _port in bond:
-        world.note_change(nid)
-    world._split_if_disconnected(comp)
+    _cid, bond = bonds[rng.randrange(len(bonds))]
+    break_bond(world, bond)
     return bond
 
 
@@ -153,6 +166,18 @@ class FaultySimulation:
     def events(self) -> int:
         return self._sim.events
 
+    def _trace_writer(self):
+        """The attached streaming trace writer, if a recording is active.
+
+        Duck-typed through the hook the recording context installed on the
+        inner simulation (``repro.trace`` carries a ``trace_writer``
+        attribute on its hook closures) — faults stay import-free of the
+        trace subsystem. Injected faults are invisible to the per-event
+        hook (a non-disconnecting break journals no world delta at all), so
+        they must be recorded out-of-band for replay to be bit-exact.
+        """
+        return getattr(self._sim.trace, "trace_writer", None)
+
     def _budget_left(self) -> bool:
         return (
             self.max_bonds_broken is None
@@ -191,6 +216,9 @@ class FaultySimulation:
             bond = break_random_bond(self.world, self._rng)
             if bond is not None:
                 self.breakages.append(BondBreakage(self._sim.events, bond))
+                writer = self._trace_writer()
+                if writer is not None:
+                    writer.record_break(self._sim.events, bond)
                 return True
         return False
 
@@ -210,6 +238,11 @@ class FaultySimulation:
             )
             if nid is not None:
                 self.excisions.append(NodeExcision(self._sim.events, nid))
+                writer = self._trace_writer()
+                if writer is not None:
+                    writer.record_excise(
+                        self._sim.events, nid, self.protocol.initial_state
+                    )
                 return True
         return False
 

@@ -1,0 +1,55 @@
+"""Streaming traces: record, verify, seek, and replay runs bit-exactly.
+
+The successor of the in-memory recorder in :mod:`repro.core.trace` (kept as
+the thin compatibility layer): every run becomes a streamable, seekable,
+verifiable NDJSON artifact in the versioned ``repro.trace/v1`` encoding.
+
+* :mod:`repro.trace.encoding` — the record vocabulary, canonical bytes,
+  digests, and the hash chain;
+* :mod:`repro.trace.writer` — the bounded-memory streaming
+  :class:`TraceWriter` (atomic finalize, optional live sink);
+* :mod:`repro.trace.reader` — sign-then-validate loading
+  (:class:`TraceReader`, :func:`validate_trace_file`);
+* :mod:`repro.trace.replay` — checkpointed bit-exact reconstruction
+  (:class:`TraceCursor`, :func:`replay_trace`);
+* :mod:`repro.trace.record` — the live-simulation seam
+  (:func:`recording`, :func:`record_scenario`).
+
+CLI: ``repro record <scenario>`` and ``repro replay <trace> [--to-event N]
+[--render] [--verify]``; the sweep service streams the same records live
+with ``repro submit --trace --wait``.
+"""
+
+from repro.trace.encoding import (
+    CHAIN_SEED,
+    RECORD_KINDS,
+    TRACE_SCHEMA,
+    canonical_json,
+    encode_line,
+    payload_digest,
+    world_digest,
+)
+from repro.trace.reader import TraceReader, validate_trace_bytes, validate_trace_file
+from repro.trace.record import record_scenario, recording
+from repro.trace.replay import ReplayResult, TraceCursor, replay_trace
+from repro.trace.writer import DEFAULT_CHECKPOINT_EVERY, TraceWriter
+
+__all__ = [
+    "TRACE_SCHEMA",
+    "RECORD_KINDS",
+    "CHAIN_SEED",
+    "canonical_json",
+    "encode_line",
+    "payload_digest",
+    "world_digest",
+    "TraceWriter",
+    "DEFAULT_CHECKPOINT_EVERY",
+    "TraceReader",
+    "validate_trace_bytes",
+    "validate_trace_file",
+    "TraceCursor",
+    "ReplayResult",
+    "replay_trace",
+    "recording",
+    "record_scenario",
+]

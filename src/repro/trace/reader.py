@@ -1,0 +1,212 @@
+"""The :class:`TraceReader`: sign-then-validate loading of trace files.
+
+Mirrors the trial store's discipline: every digest is recomputed and every
+structural claim is checked *before* any record is served — a tampered,
+truncated, or malformed trace raises :class:`~repro.errors.TraceError` (or
+surfaces as a non-empty error list from :func:`validate_trace_bytes`) and is
+never replayed into a wrong world. Checks, per line:
+
+* line 0 is a ``repro.trace/v1`` header whose embedded snapshot matches its
+  ``snapshot_digest``;
+* the hash chain ``sha256(chain || raw line)`` reproduces the ``chain``
+  anchor embedded in every checkpoint and in the final end record, so any
+  flipped byte breaks a later anchor;
+* ``seq``/``events``/``index`` counters are consistent and monotone;
+* the last line is the end record the writer's atomic finalize wrote — a
+  stream that just stops mid-run is rejected as unfinalized.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Tuple, Union
+
+from repro.errors import TraceError
+from repro.trace.encoding import (
+    CHAIN_SEED,
+    RECORD_KINDS,
+    TRACE_SCHEMA,
+    chain_advance,
+    payload_digest,
+)
+
+
+def validate_trace_bytes(data: bytes) -> List[str]:
+    """Validate one trace's raw bytes; ``[]`` means valid."""
+    errors: List[str] = []
+    lines = data.split(b"\n")
+    if lines and lines[-1] == b"":
+        lines.pop()
+    if not lines:
+        return ["empty trace (no header line)"]
+    chain = CHAIN_SEED
+    events = 0
+    last_index = 0
+    ended = False
+    for i, raw in enumerate(lines):
+        try:
+            record = json.loads(raw)
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            # UnicodeDecodeError: a flipped byte can leave a line that is
+            # not even UTF-8 — still "tampered", never a crash.
+            errors.append(f"line {i}: not valid JSON ({exc})")
+            break
+        if not isinstance(record, dict):
+            errors.append(f"line {i}: expected a JSON object")
+            break
+        kind = record.get("kind")
+        if ended:
+            errors.append(f"line {i}: record after the end anchor")
+            break
+        if i == 0:
+            if kind != "header":
+                errors.append(f"line 0: expected the header, got kind {kind!r}")
+                break
+            if record.get("schema") != TRACE_SCHEMA:
+                errors.append(
+                    f"line 0: schema must be {TRACE_SCHEMA!r}, "
+                    f"got {record.get('schema')!r}"
+                )
+                break
+            snapshot = record.get("snapshot")
+            if not isinstance(snapshot, dict):
+                errors.append("line 0: header has no snapshot object")
+            elif payload_digest(snapshot) != record.get("snapshot_digest"):
+                errors.append("line 0: header snapshot digest mismatch")
+        elif kind == "event":
+            if record.get("index") != last_index + 1:
+                errors.append(
+                    f"line {i}: event index {record.get('index')!r} "
+                    f"(expected {last_index + 1})"
+                )
+            last_index = record.get("index", last_index + 1)
+            events += 1
+        elif kind in ("detach", "excise"):
+            if record.get("index") != last_index:
+                errors.append(
+                    f"line {i}: fault record at index {record.get('index')!r} "
+                    f"(expected the current event count {last_index})"
+                )
+        elif kind in ("checkpoint", "end"):
+            if record.get("chain") != chain:
+                errors.append(f"line {i}: hash chain broken at {kind} anchor")
+            if record.get("seq") != i:
+                errors.append(
+                    f"line {i}: {kind} seq {record.get('seq')!r} "
+                    f"(expected {i})"
+                )
+            if record.get("events") != events:
+                errors.append(
+                    f"line {i}: {kind} events {record.get('events')!r} "
+                    f"(expected {events})"
+                )
+            if kind == "checkpoint":
+                snapshot = record.get("snapshot")
+                if not isinstance(snapshot, dict):
+                    errors.append(f"line {i}: checkpoint has no snapshot")
+                elif payload_digest(snapshot) != record.get("snapshot_digest"):
+                    errors.append(f"line {i}: checkpoint snapshot digest mismatch")
+            else:
+                if not isinstance(record.get("world_digest"), str):
+                    errors.append(f"line {i}: end record has no world digest")
+                body = {k: v for k, v in record.items() if k != "self_digest"}
+                if payload_digest(body) != record.get("self_digest"):
+                    errors.append(f"line {i}: end record self digest mismatch")
+                ended = True
+        else:
+            errors.append(
+                f"line {i}: unknown record kind {kind!r} "
+                f"(expected one of {', '.join(RECORD_KINDS)})"
+            )
+            break
+        chain = chain_advance(chain, raw)
+    if not errors and not ended:
+        errors.append(
+            "trace is unfinalized: no end anchor (truncated file, or a "
+            "recording that was never finalize()d)"
+        )
+    return errors
+
+
+def validate_trace_file(path: Union[str, Path]) -> List[str]:
+    """Validate a trace file on disk; ``[]`` means valid."""
+    try:
+        data = Path(path).read_bytes()
+    except OSError as exc:
+        return [f"unreadable ({exc})"]
+    return validate_trace_bytes(data)
+
+
+class TraceReader:
+    """A fully-validated, in-memory view of one trace file.
+
+    :meth:`load` refuses invalid traces outright; on success the reader
+    exposes the header, the ordered record list, the checkpoint positions
+    (the replay engine's seek index) and the end anchor.
+    """
+
+    def __init__(
+        self,
+        header: Dict[str, Any],
+        records: List[Dict[str, Any]],
+        end: Dict[str, Any],
+        path: Union[str, Path, None] = None,
+    ) -> None:
+        self.header = header
+        self.records = records  #: every record after the header, incl. end
+        self.end = end
+        self.path = Path(path) if path is not None else None
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "TraceReader":
+        """Validate then parse; raises :class:`TraceError` on any defect."""
+        errors = validate_trace_file(path)
+        if errors:
+            detail = "; ".join(errors[:4])
+            raise TraceError(f"invalid trace {path}: {detail}")
+        lines = Path(path).read_bytes().split(b"\n")
+        records = [json.loads(raw) for raw in lines if raw]
+        return cls(records[0], records[1:], records[-1], path)
+
+    @classmethod
+    def from_records(cls, records: List[Dict[str, Any]]) -> "TraceReader":
+        """A reader over already-validated in-memory records (live mode)."""
+        if not records or records[0].get("kind") != "header":
+            raise TraceError("record stream does not start with a header")
+        if records[-1].get("kind") != "end":
+            raise TraceError("record stream does not finish with an end anchor")
+        return cls(records[0], records[1:], records[-1])
+
+    # ------------------------------------------------------------------
+
+    @property
+    def events(self) -> int:
+        """Total effective interactions the trace records."""
+        return int(self.end["events"])
+
+    @property
+    def world_digest(self) -> str:
+        """The recorded final world digest."""
+        return self.end["world_digest"]
+
+    def checkpoints(self) -> List[Tuple[int, Dict[str, Any]]]:
+        """Checkpoint records as ``(position in self.records, record)``."""
+        return [
+            (i, rec)
+            for i, rec in enumerate(self.records)
+            if rec.get("kind") == "checkpoint"
+        ]
+
+    def describe(self) -> str:
+        """One human line: identity, counts, digest prefix."""
+        h = self.header
+        bits = [
+            f"scenario={h.get('scenario') or '-'}",
+            f"seed={h.get('seed')}",
+            f"scheduler={h.get('scheduler') or '-'}",
+            f"events={self.events}",
+            f"checkpoints={len(self.checkpoints())}",
+            f"digest={self.world_digest[:12]}",
+        ]
+        return " ".join(bits)

@@ -1,4 +1,9 @@
-"""ASCII rendering of shapes, worlds and patterns (figure analogues)."""
+"""ASCII rendering of shapes, worlds and patterns (figure analogues).
+
+:mod:`repro.viz.live` adds a streaming view over ``repro.trace/v1``
+records (``repro submit --trace`` / ``repro replay --render``); the
+matplotlib animation there is an import-guarded optional extra.
+"""
 
 from repro.viz.ascii_art import (
     render_labels,
@@ -6,5 +11,12 @@ from repro.viz.ascii_art import (
     render_shape,
     render_world,
 )
+from repro.viz.live import LiveTraceView
 
-__all__ = ["render_shape", "render_world", "render_labels", "render_layers"]
+__all__ = [
+    "render_shape",
+    "render_world",
+    "render_labels",
+    "render_layers",
+    "LiveTraceView",
+]
