@@ -1,0 +1,131 @@
+"""Acceptance bars for the trace diff engine (the PR 10 tentpole).
+
+:func:`~repro.trace.diff.diff_traces` *compares* records — it never
+applies them — so diffing two identical traces must beat the pre-diff
+workflow (replay both sides into worlds and compare) by a wide margin,
+in bounded memory. This benchmark records the §5.2 counting-on-a-line
+scenario at ``n=64`` twice and enforces:
+
+1. **speed** — one diff of the identical pair is **>= 2x faster** than a
+   dual full replay of both sides (best-of-3 each);
+2. **memory** — the diff's ``tracemalloc`` peak stays under half the
+   combined input bytes: the engine streams, holding only each side's
+   checkpoint-interval window, never a buffered trace.
+
+Emits ``BENCH_diff.json`` (plus a ``history.jsonl`` record); CI runs this
+as a smoke and enforces both bars (see ``.github/workflows/ci.yml``).
+"""
+
+import time
+import tracemalloc
+
+from conftest import print_table, write_bench
+
+from repro.trace.diff import diff_traces
+from repro.trace.record import record_scenario
+from repro.trace.replay import replay_trace
+
+SCENARIO = "counting-line"
+PARAMS = {"n": 64}
+SEED = 11
+CHECKPOINT_EVERY = 64
+MIN_SPEEDUP = 2.0
+MAX_PEAK_FRACTION = 0.5
+
+
+def _best_of(fn, rounds=3):
+    """Best wall time over ``rounds`` runs (and the last return value)."""
+    best = float("inf")
+    value = None
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        value = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, value
+
+
+def test_diff_identical_streams_bars(benchmark, tmp_path):
+    """Diff of identical traces: >= 2x a dual replay, bounded memory."""
+    path_a = tmp_path / "a.trace"
+    path_b = tmp_path / "b.trace"
+
+    def measure():
+        result, writer = record_scenario(
+            SCENARIO,
+            params=PARAMS,
+            seed=SEED,
+            path=path_a,
+            checkpoint_every=CHECKPOINT_EVERY,
+        )
+        record_scenario(
+            SCENARIO,
+            params=PARAMS,
+            seed=SEED,
+            path=path_b,
+            checkpoint_every=CHECKPOINT_EVERY,
+        )
+        diff_wall, diff = _best_of(lambda: diff_traces(path_a, path_b))
+        replay_wall, replays = _best_of(
+            lambda: (
+                replay_trace(path_a, use_checkpoints=False),
+                replay_trace(path_b, use_checkpoints=False),
+            )
+        )
+        tracemalloc.start()
+        diff_traces(path_a, path_b)
+        _current, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        return result, diff, replays, diff_wall, replay_wall, peak
+
+    result, diff, replays, diff_wall, replay_wall, peak = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+
+    assert diff.identical, diff.describe()
+    full_a, full_b = replays
+    assert full_a.digest == full_b.digest
+    assert diff.events_compared == full_a.events
+
+    stream_bytes = path_a.stat().st_size + path_b.stat().st_size
+    speedup = replay_wall / max(diff_wall, 1e-9)
+    peak_fraction = peak / stream_bytes
+    print_table(
+        f"Trace diff: {SCENARIO} n={PARAMS['n']}, "
+        f"{full_a.events} events/side, checkpoint every {CHECKPOINT_EVERY}",
+        f"{'run':>12} {'secs':>9}",
+        (
+            f"{'diff':>12} {diff_wall:>9.4f}",
+            f"{'dual-replay':>12} {replay_wall:>9.4f}",
+        ),
+    )
+    print(
+        f"diff speedup: {speedup:.2f}x (bar {MIN_SPEEDUP:.1f}x); "
+        f"peak {peak} bytes = {peak_fraction:.1%} of the "
+        f"{stream_bytes}-byte stream pair (bar {MAX_PEAK_FRACTION:.0%})"
+    )
+
+    assert speedup >= MIN_SPEEDUP, (
+        f"diff of identical streams only {speedup:.2f}x faster than a dual "
+        f"replay (bar {MIN_SPEEDUP}x)"
+    )
+    assert peak_fraction <= MAX_PEAK_FRACTION, (
+        f"diff peak memory {peak} bytes is {peak_fraction:.1%} of the input "
+        f"stream ({stream_bytes} bytes); the engine must stream, not buffer"
+    )
+
+    write_bench(
+        "diff",
+        [result],
+        header={
+            "experiment": "trace diff of identical streams vs dual replay",
+            "diff_seconds": diff_wall,
+            "dual_replay_seconds": replay_wall,
+            "speedup_diff": speedup,
+            "peak_bytes": peak,
+            "stream_bytes": stream_bytes,
+            "peak_fraction": peak_fraction,
+            "events_compared": diff.events_compared,
+            "checkpoints_compared": diff.checkpoints_compared,
+            "checkpoint_every": CHECKPOINT_EVERY,
+        },
+    )

@@ -19,7 +19,14 @@ commands are *generated* from the registered scenarios —
   checkpoints, digest hash chain);
 * ``replay <trace>`` — reconstruct any intermediate world bit-exactly
   (``--to-event N`` seeks from the nearest checkpoint anchor;
-  ``--verify`` recomputes every digest it passes).
+  ``--verify`` recomputes every digest it passes);
+* ``diff <a> [<b> | --live]`` — stream two traces in lockstep and report
+  the first diverging event (``repro.trace.diff/v1``: classification,
+  both records, decoded neighborhood); ``--live`` re-simulates side b
+  from a's header identity;
+* ``goldens record|check|list`` — the committed golden-trace regression
+  set under ``tests/goldens/`` (replay bit-exactly + diff against a
+  fresh run of the current code).
 
 The sweep-service commands share the same declarative sweep form:
 ``serve`` runs the long-running daemon (persistent FIFO job queue,
@@ -42,6 +49,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 from typing import Callable, Dict, List, Optional
 
 from repro.core.inspect import format_protocol, lint_protocol
@@ -320,6 +328,9 @@ def _cmd_validate(args: argparse.Namespace) -> int:
             print(f"{path}: INVALID")
             for err in errors:
                 print(f"  {err}")
+        elif data.get("kind") == "trace-diff":
+            verdict = "identical" if data.get("identical") else "diverged"
+            print(f"{path}: ok (trace diff, {verdict})")
         else:
             count = len(data.get("results", [data]))
             print(f"{path}: ok ({count} result{'s' if count != 1 else ''})")
@@ -392,6 +403,77 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         art = render_world(res.world, state_char=lambda s: "#")
         print(art if art.strip() else "(no multi-node components)")
     return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    from repro.trace.diff import diff_traces, resimulate_from_header
+
+    if args.live:
+        if args.trace_b is not None:
+            raise ReproError(
+                "diff takes either a second trace or --live, not both"
+            )
+        side_b = resimulate_from_header(args.trace_a)
+        label_b = "live re-simulation"
+    else:
+        if args.trace_b is None:
+            raise ReproError(
+                "diff needs a second trace (or --live to re-simulate "
+                "from the first trace's header)"
+            )
+        side_b = args.trace_b
+        label_b = str(args.trace_b)
+    result = diff_traces(
+        args.trace_a,
+        side_b,
+        neighborhood=not args.no_neighborhood,
+        label_a=str(args.trace_a),
+        label_b=label_b,
+    )
+    print(result.describe())
+    if args.json is not None:
+        text = json.dumps(result.to_payload(), indent=2, sort_keys=True)
+        if args.json == "-":
+            print(text)
+        else:
+            with open(args.json, "w") as fh:
+                fh.write(text + "\n")
+    return 0 if result.identical else 1
+
+
+def _cmd_goldens(args: argparse.Namespace) -> int:
+    from repro.trace.goldens import (
+        check_goldens,
+        golden_specs,
+        record_goldens,
+    )
+
+    root = Path(args.dir)
+    names = args.names or None
+    if args.action == "list":
+        for spec in golden_specs(names):
+            kind = spec.scenario or f"builder:{spec.builder}"
+            print(
+                f"{spec.name:<12} [{spec.family}] {kind} seed={spec.seed} "
+                f"-- {spec.summary}"
+            )
+        return 0
+    if args.action == "record":
+        for spec, writer in record_goldens(root, names):
+            print(
+                f"recorded golden {spec.name!r}: {writer.events} events "
+                f"({writer.seq} records) -> {writer.path}"
+            )
+        return 0
+    reports = check_goldens(root, names)
+    for report in reports:
+        print(("ok   " if report.ok else "FAIL ") + report.message)
+    failed = [r for r in reports if not r.ok]
+    print(
+        f"{len(reports) - len(failed)}/{len(reports)} goldens reproduce "
+        f"bit-exactly under {root}"
+    )
+    return 1 if failed else 0
 
 
 # ----------------------------------------------------------------------
@@ -981,6 +1063,50 @@ def build_parser() -> argparse.ArgumentParser:
         help="replay from the header instead of seeking to a checkpoint",
     )
     p.set_defaults(func=_cmd_replay)
+
+    p = sub.add_parser(
+        "diff",
+        help=(
+            "stream two traces in lockstep and report the first "
+            "diverging event (repro.trace.diff/v1)"
+        ),
+    )
+    p.add_argument("trace_a", metavar="TRACE_A")
+    p.add_argument("trace_b", nargs="?", default=None, metavar="TRACE_B")
+    p.add_argument(
+        "--live", action="store_true",
+        help=(
+            "instead of a second trace, re-simulate from TRACE_A's header "
+            "identity with the current code and diff against that"
+        ),
+    )
+    p.add_argument(
+        "--no-neighborhood", action="store_true",
+        help="skip decoding the world neighborhood around the divergence",
+    )
+    _add_json_flag(p)
+    p.set_defaults(func=_cmd_diff)
+
+    p = sub.add_parser(
+        "goldens",
+        help=(
+            "golden-trace regression set: record, check (replay + diff "
+            "vs a fresh run), or list the committed specs"
+        ),
+    )
+    p.add_argument(
+        "action", choices=("list", "record", "check"),
+        help="what to do with the golden set",
+    )
+    p.add_argument(
+        "names", nargs="*", metavar="NAME",
+        help="golden names to operate on (default: all)",
+    )
+    p.add_argument(
+        "--dir", default="tests/goldens", metavar="PATH",
+        help="golden directory (default: tests/goldens)",
+    )
+    p.set_defaults(func=_cmd_goldens)
 
     # --- static analysis ----------------------------------------------
     p = sub.add_parser(

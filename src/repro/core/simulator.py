@@ -62,6 +62,17 @@ def remove_simulation_observer(observer: Callable[["Simulation"], None]) -> None
         pass
 
 
+def notify_simulation_observers(sim) -> None:
+    """Offer a freshly-constructed simulation to every observer.
+
+    Called from ``Simulation.__post_init__`` and from duck-typed drivers
+    (``repro.hybrid.movement.HybridSimulation``) that expose the same
+    ``world`` / ``seed`` / ``trace`` surface a recording attaches to.
+    """
+    for observe in tuple(_SIM_OBSERVERS):
+        observe(sim)
+
+
 class StopReason(str, enum.Enum):
     """Why a run ended — the one normalized vocabulary for every runner.
 
@@ -133,8 +144,7 @@ class Simulation:
         program = self.protocol.program
         if program is not None:
             self.world.adopt_space(program.space)
-        for observe in tuple(_SIM_OBSERVERS):
-            observe(self)
+        notify_simulation_observers(self)
 
     # ------------------------------------------------------------------
 

@@ -3,9 +3,16 @@
 One writer for every result collection: ``repro sweep --json``, the
 ``BENCH_<scenario>.json`` benchmark artifacts, and the CI smoke job all
 emit the same ``kind: "results"`` payload so one validator
-(:func:`validate_payload`) covers them all. The scenario-index formatters
-here also generate ``EXPERIMENTS.md`` (``repro list --format md``), which
-a test keeps in sync with the registry.
+(:func:`validate_payload`) covers them all. :func:`known_schemas` is the
+dispatch registry behind ``repro validate`` — one entry per emitted
+schema id: single results (``repro.experiments.result/v1``), collections
+(``repro.experiments.results/v1``), benchmark history records
+(``repro.experiments.history/v1``), analyzer reports
+(``repro.analysis.report/v1``), streaming traces (``repro.trace/v1``),
+and first-divergence trace diffs (``repro.trace.diff/v1``). The
+scenario-index formatters here also generate ``EXPERIMENTS.md``
+(``repro list --format md``), which a test keeps in sync with the
+registry.
 """
 
 from __future__ import annotations
@@ -37,6 +44,10 @@ ANALYSIS_SCHEMA_ID = "repro.analysis.report/v1"
 #: ``repro validate`` feeds whole files to the trace validator; a payload
 #: that parsed as a single JSON object is at most a trace's header line.
 TRACE_SCHEMA_ID = "repro.trace/v1"
+
+#: Schema identifier for first-divergence trace diffs (owned by
+#: repro.trace.diff; duplicated here for the same lazy-dispatch reason).
+DIFF_SCHEMA_ID = "repro.trace.diff/v1"
 
 
 # ----------------------------------------------------------------------
@@ -78,43 +89,77 @@ def write_bench_json(
     )
 
 
+def _validate_results_collection(data: Mapping) -> List[str]:
+    errors: List[str] = []
+    results = data.get("results")
+    if not isinstance(results, list):
+        return ["results must be an array"]
+    for i, entry in enumerate(results):
+        errors.extend(f"results[{i}]: {e}" for e in validate_result_dict(entry))
+    return errors
+
+
+def _validate_analysis(data: Mapping) -> List[str]:
+    # Imported lazily: repro.analysis.report imports this module's
+    # sibling registry, and eager cross-imports would cycle.
+    from repro.analysis.report import validate_analysis_payload
+
+    return validate_analysis_payload(data)
+
+
+def _validate_trace_header(data: Mapping) -> List[str]:
+    # A complete trace never parses as one JSON object (it is NDJSON
+    # with at least a header and an end anchor), so this branch sees a
+    # lone header record: re-encode canonically and run the full trace
+    # validator, which reports what is missing. Imported lazily to
+    # keep the experiment layer free of the trace layer.
+    from repro.trace.encoding import encode_line
+    from repro.trace.reader import validate_trace_bytes
+
+    return validate_trace_bytes(encode_line(dict(data)))
+
+
+def _validate_diff(data: Mapping) -> List[str]:
+    from repro.trace.diff import validate_diff_payload
+
+    return validate_diff_payload(dict(data))
+
+
+def known_schemas() -> Dict[str, Any]:
+    """The schema-id registry ``repro validate`` dispatches on.
+
+    Maps every known schema id to its validator callable. A single source
+    of truth: the dispatch in :func:`validate_payload` *and* the
+    unknown-schema error message both derive from this mapping, so a newly
+    registered schema is automatically named in the error.
+    """
+    return {
+        RESULT_SCHEMA: validate_result_dict,
+        RESULTS_SCHEMA: _validate_results_collection,
+        HISTORY_SCHEMA: validate_history_record,
+        ANALYSIS_SCHEMA_ID: _validate_analysis,
+        TRACE_SCHEMA_ID: _validate_trace_header,
+        DIFF_SCHEMA_ID: _validate_diff,
+    }
+
+
 def validate_payload(data: Any) -> List[str]:
-    """Validate a single result or a results collection; [] = valid."""
+    """Validate one emitted JSON payload against its declared schema.
+
+    Dispatches on ``data["schema"]`` through :func:`known_schemas`;
+    ``[]`` = valid. Unknown (or missing) schema ids name the full known
+    registry instead of a bare rejection.
+    """
     if not isinstance(data, Mapping):
         return [f"expected a JSON object, got {type(data).__name__}"]
-    if data.get("schema") == RESULT_SCHEMA:
-        return validate_result_dict(data)
-    if data.get("schema") == RESULTS_SCHEMA:
-        errors: List[str] = []
-        results = data.get("results")
-        if not isinstance(results, list):
-            return ["results must be an array"]
-        for i, entry in enumerate(results):
-            errors.extend(f"results[{i}]: {e}" for e in validate_result_dict(entry))
-        return errors
-    if data.get("schema") == HISTORY_SCHEMA:
-        return validate_history_record(data)
-    if data.get("schema") == ANALYSIS_SCHEMA_ID:
-        # Imported lazily: repro.analysis.report imports this module's
-        # sibling registry, and eager cross-imports would cycle.
-        from repro.analysis.report import validate_analysis_payload
-
-        return validate_analysis_payload(data)
-    if data.get("schema") == TRACE_SCHEMA_ID:
-        # A complete trace never parses as one JSON object (it is NDJSON
-        # with at least a header and an end anchor), so this branch sees a
-        # lone header record: re-encode canonically and run the full trace
-        # validator, which reports what is missing. Imported lazily to
-        # keep the experiment layer free of the trace layer.
-        from repro.trace.encoding import encode_line
-        from repro.trace.reader import validate_trace_bytes
-
-        return validate_trace_bytes(encode_line(dict(data)))
-    return [
-        f"unknown schema {data.get('schema')!r} (expected "
-        f"{RESULT_SCHEMA!r}, {RESULTS_SCHEMA!r}, {HISTORY_SCHEMA!r}, "
-        f"{ANALYSIS_SCHEMA_ID!r} or {TRACE_SCHEMA_ID!r})"
-    ]
+    registry = known_schemas()
+    validator = registry.get(data.get("schema"))
+    if validator is None:
+        known = ", ".join(repr(schema) for schema in registry)
+        return [
+            f"unknown schema {data.get('schema')!r} (known schemas: {known})"
+        ]
+    return validator(data)
 
 
 # ----------------------------------------------------------------------
@@ -275,7 +320,11 @@ def format_scenario_list(fmt: str = "text") -> str:
             "parameter schema. `repro sweep --cache` serves repeated trials",
             "from the content-addressed trial store (provenance-verified on",
             "load), and the same store backs the long-running sweep service:",
-            "`repro serve` + `repro submit / status / fetch`.",
+            "`repro serve` + `repro submit / status / fetch`. Any run records",
+            "to a streaming trace (`repro record <name>`), replays bit-exactly",
+            "(`repro replay`), and diffs against another trace or a live",
+            "re-simulation to the first diverging event (`repro diff`); the",
+            "committed golden set replays under `repro goldens check`.",
             "",
             "| scenario | summary | params (defaults) | randomness | tags |",
             "|---|---|---|---|---|",

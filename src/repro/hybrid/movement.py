@@ -21,6 +21,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.core.candidates import EffectiveCandidateCache
 from repro.core.protocol import Protocol, State, Update
 from repro.core.scheduler import evaluate
+from repro.core.simulator import TraceHook, notify_simulation_observers
 from repro.core.world import Candidate, World, bond_of, bond_sort_key
 from repro.errors import SimulationError
 from repro.geometry.ports import port_facing
@@ -171,6 +172,7 @@ class HybridSimulation:
     world: World
     protocol: MovementProtocol
     seed: Optional[int] = None
+    trace: Optional[TraceHook] = None
 
     events: int = 0
     moves: int = 0
@@ -184,6 +186,13 @@ class HybridSimulation:
         program = self.protocol.program
         if program is not None:
             self.world.adopt_space(program.space)
+        # Offer this run to any active recording (repro.trace.record): the
+        # writer binds through the same world/seed/trace surface as a core
+        # Simulation. Passive picks go through the TraceHook; leaf swings
+        # reach the writer's move seam via the hook's ``trace_writer``
+        # attribute — a plain hook without that attribute sees passive
+        # events only.
+        notify_simulation_observers(self)
 
     def _movement_candidates(self) -> List[Tuple[int, MovementRule]]:
         out: List[Tuple[int, MovementRule]] = []
@@ -227,6 +236,9 @@ class HybridSimulation:
         if pick < len(passive):
             cand, update = passive[pick]
             self.world.apply(cand, update)
+            self.events += 1
+            if self.trace is not None:
+                self.trace(self.events, cand, update, self.world)
         else:
             leaf, rule = active[pick - len(passive)]
             moved = rotate_leaf(self.world, leaf, rule.clockwise)
@@ -239,7 +251,18 @@ class HybridSimulation:
             self.world.set_state(leaf, rule.new_leaf_state)
             self.world.set_state(pivot, rule.new_pivot_state)
             self.moves += 1
-        self.events += 1
+            self.events += 1
+            writer = getattr(self.trace, "trace_writer", None)
+            if writer is not None:
+                writer.on_move(
+                    self.events,
+                    leaf,
+                    pivot,
+                    rule.clockwise,
+                    rule.new_leaf_state,
+                    rule.new_pivot_state,
+                    self.world,
+                )
         return True
 
     def run(self, max_events: int = 100_000) -> int:

@@ -13,13 +13,27 @@ verifiable NDJSON artifact in the versioned ``repro.trace/v1`` encoding.
 * :mod:`repro.trace.replay` — checkpointed bit-exact reconstruction
   (:class:`TraceCursor`, :func:`replay_trace`);
 * :mod:`repro.trace.record` — the live-simulation seam
-  (:func:`recording`, :func:`record_scenario`).
+  (:func:`recording`, :func:`record_scenario`);
+* :mod:`repro.trace.diff` — lockstep first-divergence diffing
+  (:func:`diff_traces`, the ``repro.trace.diff/v1`` payload);
+* :mod:`repro.trace.goldens` — the committed golden-trace regression
+  harness (:data:`GOLDENS`, :func:`check_goldens`).
 
-CLI: ``repro record <scenario>`` and ``repro replay <trace> [--to-event N]
-[--render] [--verify]``; the sweep service streams the same records live
-with ``repro submit --trace --wait``.
+CLI: ``repro record <scenario>``, ``repro replay <trace> [--to-event N]
+[--render] [--verify]``, ``repro diff <a> [<b> | --live]``, and ``repro
+goldens record|check|list``; the sweep service streams the same records
+live with ``repro submit --trace --wait``.
 """
 
+from repro.trace.diff import (
+    CLASSIFICATIONS,
+    DIFF_SCHEMA,
+    DiffResult,
+    Divergence,
+    diff_traces,
+    resimulate_from_header,
+    validate_diff_payload,
+)
 from repro.trace.encoding import (
     CHAIN_SEED,
     RECORD_KINDS,
@@ -29,12 +43,43 @@ from repro.trace.encoding import (
     payload_digest,
     world_digest,
 )
-from repro.trace.reader import TraceReader, validate_trace_bytes, validate_trace_file
+from repro.trace.goldens import (
+    GOLDENS,
+    GoldenReport,
+    GoldenSpec,
+    check_golden,
+    check_goldens,
+    golden_specs,
+    record_golden,
+    record_goldens,
+)
+from repro.trace.reader import (
+    TraceReader,
+    TraceValidator,
+    validate_trace_bytes,
+    validate_trace_file,
+)
 from repro.trace.record import record_scenario, recording
 from repro.trace.replay import ReplayResult, TraceCursor, replay_trace
 from repro.trace.writer import DEFAULT_CHECKPOINT_EVERY, TraceWriter
 
 __all__ = [
+    "CLASSIFICATIONS",
+    "DIFF_SCHEMA",
+    "DiffResult",
+    "Divergence",
+    "diff_traces",
+    "resimulate_from_header",
+    "validate_diff_payload",
+    "GOLDENS",
+    "GoldenReport",
+    "GoldenSpec",
+    "check_golden",
+    "check_goldens",
+    "golden_specs",
+    "record_golden",
+    "record_goldens",
+    "TraceValidator",
     "TRACE_SCHEMA",
     "RECORD_KINDS",
     "CHAIN_SEED",

@@ -38,7 +38,11 @@ from repro.geometry.vec import Vec
 TRACE_SCHEMA = "repro.trace/v1"
 
 #: Every record kind the v1 stream may contain, in no particular order.
-RECORD_KINDS = ("header", "event", "detach", "excise", "checkpoint", "end")
+#: ``move`` is the hybrid model's active primitive (a leaf swing, §8): it
+#: advances the event counter exactly like ``event`` — the hybrid scheduler
+#: draws uniformly over passive *and* active candidates, so both kinds are
+#: steps of the one trajectory. Pre-hybrid v1 traces simply contain none.
+RECORD_KINDS = ("header", "event", "move", "detach", "excise", "checkpoint", "end")
 
 #: The hash-chain seed: the digest of the schema id itself, so chains from
 #: different schema versions can never be spliced together.
@@ -92,10 +96,17 @@ def header_record(
     seed: Optional[int] = None,
     scheduler: Optional[str] = None,
     run: int = 0,
+    checkpoint_every: Optional[int] = None,
 ) -> Dict[str, Any]:
-    """The opening record: run identity plus the full initial snapshot."""
+    """The opening record: run identity plus the full initial snapshot.
+
+    ``checkpoint_every`` records the writer's checkpoint cadence so a
+    re-simulation from the header (``repro diff --live``) can reproduce the
+    original anchor positions. It is advisory: the diff engine tolerates
+    mismatched cadences, and pre-PR-10 traces omit the field entirely.
+    """
     snapshot = world_to_dict(world)
-    return {
+    record = {
         "schema": TRACE_SCHEMA,
         "kind": "header",
         "scenario": scenario,
@@ -107,6 +118,9 @@ def header_record(
         "snapshot": snapshot,
         "snapshot_digest": payload_digest(snapshot),
     }
+    if checkpoint_every is not None:
+        record["checkpoint_every"] = checkpoint_every
+    return record
 
 
 def event_record(index: int, cand: Candidate, update: Update) -> Dict[str, Any]:
@@ -130,6 +144,31 @@ def event_record(index: int, cand: Candidate, update: Update) -> Dict[str, Any]:
         "new_bond": update[2],
         "rotation": rotation,
         "translation": translation,
+    }
+
+
+def move_record(
+    index: int,
+    leaf: int,
+    pivot: int,
+    clockwise: bool,
+    new_leaf_state: Any,
+    new_pivot_state: Any,
+) -> Dict[str, Any]:
+    """One applied leaf swing (the hybrid model's active primitive).
+
+    ``index`` is the 1-based event count after the swing — moves and
+    passive events share one counter, mirroring the hybrid scheduler's
+    uniform draw over the union of both candidate sets.
+    """
+    return {
+        "kind": "move",
+        "index": index,
+        "leaf": leaf,
+        "pivot": pivot,
+        "clockwise": bool(clockwise),
+        "new_leaf_state": _state_repr(new_leaf_state),
+        "new_pivot_state": _state_repr(new_pivot_state),
     }
 
 
@@ -235,6 +274,19 @@ def bond_from_record(record: Mapping[str, Any]) -> Bond:
 def state_from_record(record: Mapping[str, Any]) -> Any:
     """Rebuild the post-excision state of an excise record."""
     return _state_from_repr(record["state"])
+
+
+def move_from_record(
+    record: Mapping[str, Any],
+) -> Tuple[int, int, bool, Any, Any]:
+    """Rebuild a move record: (leaf, pivot, clockwise, new states)."""
+    return (
+        record["leaf"],
+        record["pivot"],
+        bool(record["clockwise"]),
+        _state_from_repr(record["new_leaf_state"]),
+        _state_from_repr(record["new_pivot_state"]),
+    )
 
 
 def rotation_translation(

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any, Dict, List, Tuple, Union
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.errors import TraceError
 from repro.trace.encoding import (
@@ -32,74 +32,104 @@ from repro.trace.encoding import (
 )
 
 
-def validate_trace_bytes(data: bytes) -> List[str]:
-    """Validate one trace's raw bytes; ``[]`` means valid."""
-    errors: List[str] = []
-    lines = data.split(b"\n")
-    if lines and lines[-1] == b"":
-        lines.pop()
-    if not lines:
-        return ["empty trace (no header line)"]
-    chain = CHAIN_SEED
-    events = 0
-    last_index = 0
-    ended = False
-    for i, raw in enumerate(lines):
-        try:
-            record = json.loads(raw)
-        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
-            # UnicodeDecodeError: a flipped byte can leave a line that is
-            # not even UTF-8 — still "tampered", never a crash.
-            errors.append(f"line {i}: not valid JSON ({exc})")
-            break
+class TraceValidator:
+    """Incremental, line-at-a-time trace validation.
+
+    The stateful core of :func:`validate_trace_bytes`, factored out so
+    streaming consumers (the first-divergence diff engine of
+    ``repro.trace.diff``) can validate two traces in lockstep without
+    buffering either one. Feed raw lines (no trailing newline) in stream
+    order; each call returns ``(record, errors, fatal)``:
+
+    * ``record`` — the parsed dict, or ``None`` when the line did not parse;
+    * ``errors`` — validation messages for this line (``[]`` = clean),
+      byte-identical to the ones :func:`validate_trace_bytes` reports;
+    * ``fatal`` — ``True`` when the stream cannot be meaningfully continued
+      (unparseable line, wrong header, unknown kind, record after the end
+      anchor). Non-fatal errors (index drift, digest mismatches) leave the
+      validator consistent enough to keep going, exactly as the batch
+      validator does.
+    """
+
+    def __init__(self) -> None:
+        self.chain = CHAIN_SEED
+        self.events = 0  #: event + move records seen (the event counter)
+        self.last_index = 0
+        self.ended = False
+        self.seq = 0  #: line number the next feed() will validate
+
+    def feed(
+        self, raw: bytes, parsed: Optional[Dict[str, Any]] = None
+    ) -> Tuple[Optional[Dict[str, Any]], List[str], bool]:
+        """Validate the next raw line; see the class docstring.
+
+        ``parsed`` lets a caller that already decoded ``raw`` (the diff
+        engine, when both sides carry identical bytes) skip the duplicate
+        ``json.loads`` — it must be the exact decoding of ``raw``.
+        """
+        i = self.seq
+        errors: List[str] = []
+        if parsed is not None:
+            record: Any = parsed
+        else:
+            try:
+                record = json.loads(raw)
+            except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+                # UnicodeDecodeError: a flipped byte can leave a line that
+                # is not even UTF-8 — still "tampered", never a crash.
+                return None, [f"line {i}: not valid JSON ({exc})"], True
         if not isinstance(record, dict):
-            errors.append(f"line {i}: expected a JSON object")
-            break
+            return None, [f"line {i}: expected a JSON object"], True
         kind = record.get("kind")
-        if ended:
-            errors.append(f"line {i}: record after the end anchor")
-            break
+        if self.ended:
+            return record, [f"line {i}: record after the end anchor"], True
         if i == 0:
             if kind != "header":
-                errors.append(f"line 0: expected the header, got kind {kind!r}")
-                break
-            if record.get("schema") != TRACE_SCHEMA:
-                errors.append(
-                    f"line 0: schema must be {TRACE_SCHEMA!r}, "
-                    f"got {record.get('schema')!r}"
+                return (
+                    record,
+                    [f"line 0: expected the header, got kind {kind!r}"],
+                    True,
                 )
-                break
+            if record.get("schema") != TRACE_SCHEMA:
+                return (
+                    record,
+                    [
+                        f"line 0: schema must be {TRACE_SCHEMA!r}, "
+                        f"got {record.get('schema')!r}"
+                    ],
+                    True,
+                )
             snapshot = record.get("snapshot")
             if not isinstance(snapshot, dict):
                 errors.append("line 0: header has no snapshot object")
             elif payload_digest(snapshot) != record.get("snapshot_digest"):
                 errors.append("line 0: header snapshot digest mismatch")
-        elif kind == "event":
-            if record.get("index") != last_index + 1:
+        elif kind in ("event", "move"):
+            if record.get("index") != self.last_index + 1:
                 errors.append(
-                    f"line {i}: event index {record.get('index')!r} "
-                    f"(expected {last_index + 1})"
+                    f"line {i}: {kind} index {record.get('index')!r} "
+                    f"(expected {self.last_index + 1})"
                 )
-            last_index = record.get("index", last_index + 1)
-            events += 1
+            self.last_index = record.get("index", self.last_index + 1)
+            self.events += 1
         elif kind in ("detach", "excise"):
-            if record.get("index") != last_index:
+            if record.get("index") != self.last_index:
                 errors.append(
                     f"line {i}: fault record at index {record.get('index')!r} "
-                    f"(expected the current event count {last_index})"
+                    f"(expected the current event count {self.last_index})"
                 )
         elif kind in ("checkpoint", "end"):
-            if record.get("chain") != chain:
+            if record.get("chain") != self.chain:
                 errors.append(f"line {i}: hash chain broken at {kind} anchor")
             if record.get("seq") != i:
                 errors.append(
                     f"line {i}: {kind} seq {record.get('seq')!r} "
                     f"(expected {i})"
                 )
-            if record.get("events") != events:
+            if record.get("events") != self.events:
                 errors.append(
                     f"line {i}: {kind} events {record.get('events')!r} "
-                    f"(expected {events})"
+                    f"(expected {self.events})"
                 )
             if kind == "checkpoint":
                 snapshot = record.get("snapshot")
@@ -113,15 +143,36 @@ def validate_trace_bytes(data: bytes) -> List[str]:
                 body = {k: v for k, v in record.items() if k != "self_digest"}
                 if payload_digest(body) != record.get("self_digest"):
                     errors.append(f"line {i}: end record self digest mismatch")
-                ended = True
+                self.ended = True
         else:
-            errors.append(
-                f"line {i}: unknown record kind {kind!r} "
-                f"(expected one of {', '.join(RECORD_KINDS)})"
+            return (
+                record,
+                [
+                    f"line {i}: unknown record kind {kind!r} "
+                    f"(expected one of {', '.join(RECORD_KINDS)})"
+                ],
+                True,
             )
+        self.chain = chain_advance(self.chain, raw)
+        self.seq += 1
+        return record, errors, False
+
+
+def validate_trace_bytes(data: bytes) -> List[str]:
+    """Validate one trace's raw bytes; ``[]`` means valid."""
+    errors: List[str] = []
+    lines = data.split(b"\n")
+    if lines and lines[-1] == b"":
+        lines.pop()
+    if not lines:
+        return ["empty trace (no header line)"]
+    validator = TraceValidator()
+    for raw in lines:
+        _record, errs, fatal = validator.feed(raw)
+        errors.extend(errs)
+        if fatal:
             break
-        chain = chain_advance(chain, raw)
-    if not errors and not ended:
+    if not errors and not validator.ended:
         errors.append(
             "trace is unfinalized: no end anchor (truncated file, or a "
             "recording that was never finalize()d)"

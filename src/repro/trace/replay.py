@@ -32,6 +32,7 @@ from repro.errors import TraceError
 from repro.trace.encoding import (
     bond_from_record,
     candidate_from_record,
+    move_from_record,
     state_from_record,
     update_from_record,
     world_digest,
@@ -91,6 +92,8 @@ class TraceCursor:
             raise TraceError(f"{kind} record before any snapshot")
         if kind == "event":
             self._apply_event(record)
+        elif kind == "move":
+            self._apply_move(record)
         elif kind == "detach":
             # Out-of-band faults reuse the world's journaled split paths,
             # exactly as live injection does (repro.faults.injection).
@@ -140,6 +143,30 @@ class TraceCursor:
                 f"(trace expects {cand.bond}, world has {actual_bond})"
             )
         self.world.apply(cand, update_from_record(record))
+        self.events = record["index"]
+        self.applied += 1
+
+    def _apply_move(self, record: Dict[str, Any]) -> None:
+        # Imported here: the hybrid layer sits above the core trace stack,
+        # and only traces that actually contain moves pay the import.
+        from repro.hybrid.movement import rotate_leaf
+
+        assert self.world is not None
+        leaf, pivot, clockwise, leaf_state, pivot_state = move_from_record(
+            record
+        )
+        if leaf not in self.world.nodes or pivot not in self.world.nodes:
+            raise TraceError(
+                f"replay move {record['index']}: unknown node ids "
+                f"({leaf}, {pivot})"
+            )
+        if not rotate_leaf(self.world, leaf, clockwise):
+            raise TraceError(
+                f"replay move {record['index']}: swing target occupied "
+                "(the trace diverged from the world being rebuilt)"
+            )
+        self.world.set_state(leaf, leaf_state)
+        self.world.set_state(pivot, pivot_state)
         self.events = record["index"]
         self.applied += 1
 
@@ -206,7 +233,7 @@ def replay_trace(
     reached_end = False
     for record in trace.records[start_pos:]:
         kind = record.get("kind")
-        if kind == "event" and record["index"] > target:
+        if kind in ("event", "move") and record["index"] > target:
             break
         if kind == "checkpoint":
             if verify:

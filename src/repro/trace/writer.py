@@ -34,6 +34,7 @@ from repro.trace.encoding import (
     event_record,
     excise_record,
     header_record,
+    move_record,
 )
 
 #: Default event interval between checkpoint snapshots.
@@ -147,6 +148,7 @@ class TraceWriter:
                 seed=self.seed,
                 scheduler=self.scheduler,
                 run=self.run_index,
+                checkpoint_every=self.checkpoint_every,
             )
         )
 
@@ -237,6 +239,36 @@ class TraceWriter:
             raise TraceError("cannot checkpoint before the header is written")
         self._write(checkpoint_record(self.events, self.seq, self.chain, world))
         self.checkpoints += 1
+
+    def on_move(
+        self,
+        index: int,
+        leaf: int,
+        pivot: int,
+        clockwise: bool,
+        new_leaf_state: Any,
+        new_pivot_state: Any,
+        world: World,
+    ) -> None:
+        """One applied leaf swing (HybridSimulation's active branch).
+
+        Moves share the event counter with passive events — the hybrid
+        scheduler draws uniformly over both candidate sets — so the same
+        checkpoint cadence applies.
+        """
+        if not self.begun:
+            raise TraceError(
+                "trace writer received a move before begin()/attach()"
+            )
+        self._world = world
+        self._write(
+            move_record(
+                index, leaf, pivot, clockwise, new_leaf_state, new_pivot_state
+            )
+        )
+        self.events += 1
+        if self.checkpoint_every and self.events % self.checkpoint_every == 0:
+            self.write_checkpoint(world)
 
     def record_break(self, index: int, bond: Bond) -> None:
         """Record an injected bond breakage (FaultySimulation seam)."""

@@ -1,0 +1,144 @@
+"""The golden-trace regression suite (``tests/goldens/`` + ``repro goldens``).
+
+Every committed golden must replay bit-exactly under ``--verify`` (both
+header-onwards and checkpoint-seek) AND diff identical against a fresh
+run of the current code. A failure here means the current code's seeded
+trajectory changed: regenerate with ``PYTHONPATH=src python -m repro
+goldens record`` and justify the trajectory change in CHANGES.md — never
+regenerate to silence a failure you cannot explain.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.errors import TraceError
+from repro.trace import TraceReader, validate_trace_file
+from repro.trace.goldens import (
+    DEFAULT_GOLDEN_DIR,
+    GOLDENS,
+    REQUIRED_FAMILIES,
+    check_golden,
+    golden_specs,
+    record_golden,
+)
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "goldens"
+
+
+class TestSpecs:
+    def test_names_unique(self):
+        names = [spec.name for spec in GOLDENS]
+        assert len(names) == len(set(names))
+
+    def test_required_families_covered(self):
+        families = {spec.family for spec in GOLDENS}
+        assert set(REQUIRED_FAMILIES) <= families
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(TraceError, match="unknown golden"):
+            golden_specs(["no-such-golden"])
+
+    def test_default_dir_matches_layout(self):
+        assert GOLDEN_DIR.name == DEFAULT_GOLDEN_DIR.name
+        assert GOLDEN_DIR.is_dir()
+
+
+class TestCommittedGoldens:
+    @pytest.mark.parametrize(
+        "spec", GOLDENS, ids=[spec.name for spec in GOLDENS]
+    )
+    def test_golden_reproduces(self, spec):
+        report = check_golden(spec, spec.path(GOLDEN_DIR))
+        assert report.ok, report.message
+
+    @pytest.mark.parametrize(
+        "spec", GOLDENS, ids=[spec.name for spec in GOLDENS]
+    )
+    def test_golden_file_validates(self, spec):
+        assert validate_trace_file(spec.path(GOLDEN_DIR)) == []
+
+    def test_no_orphan_trace_files(self):
+        committed = {p.name for p in GOLDEN_DIR.glob("*.trace")}
+        expected = {spec.filename() for spec in GOLDENS}
+        assert committed == expected
+
+    def test_fault_golden_carries_detach_records(self):
+        spec = golden_specs(["faults"])[0]
+        trace = TraceReader.load(spec.path(GOLDEN_DIR))
+        assert any(r["kind"] == "detach" for r in trace.records)
+
+    def test_hybrid_golden_carries_move_records(self):
+        spec = golden_specs(["hybrid"])[0]
+        trace = TraceReader.load(spec.path(GOLDEN_DIR))
+        assert any(r["kind"] == "move" for r in trace.records)
+
+
+class TestFailureModes:
+    def test_missing_golden_names_record_command(self, tmp_path):
+        report = check_golden(GOLDENS[0], tmp_path / "absent.trace")
+        assert not report.ok
+        assert "goldens record" in report.message
+
+    def test_stale_golden_names_first_divergence_and_hint(self, tmp_path):
+        # A golden recorded from a *different* seed stands in for a code
+        # change that altered the trajectory: the check must fail, name
+        # the first diverging event, and point at the regeneration ritual.
+        spec = golden_specs(["counting"])[0]
+        stale_spec = type(spec)(
+            name=spec.name,
+            family=spec.family,
+            summary=spec.summary,
+            scenario=spec.scenario,
+            builder=spec.builder,
+            params=spec.params,
+            seed=spec.seed + 1,
+            scheduler=spec.scheduler,
+            run_index=spec.run_index,
+            checkpoint_every=spec.checkpoint_every,
+        )
+        stale = tmp_path / spec.filename()
+        record_golden(stale_spec, stale)
+        report = check_golden(spec, stale)
+        assert not report.ok
+        assert "no longer reproduces" in report.message
+        assert "DIVERGED" in report.message
+        assert "justify the trajectory change in CHANGES.md" in report.message
+        assert report.diff is not None and not report.diff.identical
+
+    def test_regenerated_golden_passes(self, tmp_path):
+        spec = golden_specs(["line"])[0]
+        fresh = tmp_path / spec.filename()
+        record_golden(spec, fresh)
+        report = check_golden(spec, fresh)
+        assert report.ok, report.message
+
+
+class TestCli:
+    def test_goldens_list(self, capsys):
+        assert main(["goldens", "list"]) == 0
+        out = capsys.readouterr().out
+        for spec in GOLDENS:
+            assert spec.name in out
+
+    def test_goldens_check_committed_set(self, capsys):
+        assert main(["goldens", "check", "--dir", str(GOLDEN_DIR)]) == 0
+        out = capsys.readouterr().out
+        assert f"{len(GOLDENS)}/{len(GOLDENS)} goldens reproduce" in out
+
+    def test_goldens_record_and_check_cycle(self, tmp_path, capsys):
+        assert (
+            main(["goldens", "record", "line", "--dir", str(tmp_path)]) == 0
+        )
+        assert (tmp_path / "line.trace").exists()
+        assert main(["goldens", "check", "line", "--dir", str(tmp_path)]) == 0
+
+    def test_goldens_check_missing_dir_fails(self, tmp_path, capsys):
+        assert (
+            main(["goldens", "check", "line", "--dir", str(tmp_path / "no")])
+            == 1
+        )
+
+    def test_goldens_unknown_name_exits_two(self, capsys):
+        assert main(["goldens", "check", "no-such-golden"]) == 2

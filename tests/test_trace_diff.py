@@ -1,0 +1,462 @@
+"""Tests for the first-divergence diff engine (``repro.trace.diff``).
+
+The contract under test: given two ``repro.trace/v1`` streams,
+:func:`diff_traces` reports the **first** diverging event — exactly the
+first, never a later or earlier one — with the right classification, and
+two identical streams (even at different checkpoint cadences) diff as
+identical without replaying a world. The hypothesis battery perturbs a
+known-good trace at a random position (semantic event edit, single byte
+flip, truncation) and checks the divergence localizes to the injected
+position with the classification the perturbation implies.
+"""
+
+import copy
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cli import main
+from repro.errors import TraceError
+from repro.experiments.io import known_schemas, validate_payload
+from repro.trace import (
+    CLASSIFICATIONS,
+    DIFF_SCHEMA,
+    TraceReader,
+    diff_traces,
+    record_scenario,
+    resimulate_from_header,
+    validate_diff_payload,
+)
+from repro.trace.encoding import payload_digest
+
+SCENARIO = "counting-line"
+PARAMS = {"n": 8}
+SEED = 9
+
+
+def record_records(tmp_path, name="a", seed=SEED, checkpoint_every=16):
+    path = tmp_path / f"{name}.trace"
+    record_scenario(
+        SCENARIO,
+        params=dict(PARAMS),
+        seed=seed,
+        path=path,
+        checkpoint_every=checkpoint_every,
+    )
+    return path, [json.loads(l) for l in path.read_bytes().splitlines()]
+
+
+def event_line_indices(records):
+    """0-based line numbers of the event records, in stream order."""
+    return [i for i, r in enumerate(records) if r["kind"] == "event"]
+
+
+class TestIdentical:
+    def test_identical_files(self, tmp_path):
+        pa, ra = record_records(tmp_path, "a")
+        pb, rb = record_records(tmp_path, "b")
+        result = diff_traces(pa, pb)
+        assert result.identical
+        assert result.divergence is None
+        assert result.events_compared == TraceReader.load(pa).events
+        assert result.checkpoints_compared > 0
+
+    def test_cross_cadence_identical(self, tmp_path):
+        # Different checkpoint cadences encode the same trajectory; the
+        # chain fields differ line-by-line but are never cross-compared.
+        pa, _ = record_records(tmp_path, "a", checkpoint_every=16)
+        pb, _ = record_records(tmp_path, "b", checkpoint_every=7)
+        result = diff_traces(pa, pb)
+        assert result.identical
+
+    def test_accepts_bytes_readers_and_record_lists(self, tmp_path):
+        pa, records = record_records(tmp_path, "a")
+        raw = pa.read_bytes()
+        assert diff_traces(raw, records).identical
+        assert diff_traces(TraceReader.load(pa), pa).identical
+
+    def test_live_resimulation_matches(self, tmp_path):
+        pa, _ = record_records(tmp_path, "a")
+        fresh = resimulate_from_header(pa)
+        assert diff_traces(pa, fresh).identical
+
+    def test_live_rejects_builder_traces(self, tmp_path):
+        from repro.trace import TraceWriter, recording
+        from repro.core.simulator import Simulation
+        from repro.core.world import World
+        from repro.protocols.line import spanning_line_protocol
+
+        path = tmp_path / "hand.trace"
+        writer = TraceWriter(path, scenario=None, seed=1)
+        with recording(writer):
+            protocol = spanning_line_protocol()
+            world = World.of_free_nodes(4, protocol, leaders=1)
+            Simulation(world, protocol, seed=1).run(max_events=1000)
+        writer.finalize()
+        with pytest.raises(TraceError, match="no scenario identity"):
+            resimulate_from_header(path)
+
+
+class TestDivergences:
+    def test_event_mismatch_at_exact_index(self, tmp_path):
+        _, records = record_records(tmp_path)
+        lines = event_line_indices(records)
+        k = 5  # 1-based event index to perturb
+        perturbed = copy.deepcopy(records)
+        perturbed[lines[k - 1]]["nid1"] += 1000
+        result = diff_traces(records, perturbed)
+        assert not result.identical
+        d = result.divergence
+        assert d.classification == "event-mismatch"
+        assert d.event == k
+        assert "nid1" in d.detail
+        assert result.events_compared == k - 1
+
+    def test_fault_mismatch(self, tmp_path):
+        path = tmp_path / "f.trace"
+        record_scenario(
+            "faulty-line",
+            params={"n": 10, "break_prob": 0.25, "max_breaks": 3},
+            seed=11,
+            path=path,
+            checkpoint_every=4,
+        )
+        records = [json.loads(l) for l in path.read_bytes().splitlines()]
+        di = next(i for i, r in enumerate(records) if r["kind"] == "detach")
+        perturbed = copy.deepcopy(records)
+        perturbed[di]["bond"][0][0] += 999
+        result = diff_traces(records, perturbed)
+        assert result.divergence.classification == "fault-mismatch"
+        assert result.divergence.event == records[di]["index"]
+
+    def test_truncation_is_premature_end(self, tmp_path):
+        _, records = record_records(tmp_path)
+        lines = event_line_indices(records)
+        cut = lines[4]  # drop event 5 onwards
+        result = diff_traces(records, records[:cut])
+        d = result.divergence
+        assert d.classification == "premature-end"
+        assert d.side == "b"
+        assert d.event == 4  # events side b completed before the cut
+
+    def test_early_finalized_end_is_premature_end(self, tmp_path):
+        # Both traces are individually valid; one simply stops earlier.
+        from repro.hybrid.movement import (
+            HybridSimulation,
+            make_walker_world,
+            walker_protocol,
+        )
+        from repro.trace import TraceWriter, recording
+
+        def run(name, max_events):
+            path = tmp_path / name
+            writer = TraceWriter(path, scenario=None, seed=2, checkpoint_every=4)
+            with recording(writer):
+                world, _m, _p = make_walker_world()
+                HybridSimulation(world, walker_protocol(), seed=2).run(
+                    max_events=max_events
+                )
+            writer.finalize()
+            return path
+
+        short = run("short.trace", 6)
+        long = run("long.trace", 12)
+        result = diff_traces(short, long)
+        d = result.divergence
+        assert d.classification == "premature-end"
+        assert d.side == "a"
+        assert d.event == 7  # the first event side a is missing
+        assert "finalized after 6 events" in d.detail
+
+    def test_header_identity_mismatch(self, tmp_path):
+        pa, _ = record_records(tmp_path, "a", seed=SEED)
+        pb, _ = record_records(tmp_path, "b", seed=SEED + 1)
+        result = diff_traces(pa, pb)
+        d = result.divergence
+        assert d.classification == "checkpoint-drift"
+        assert d.event == 0
+        assert "seed" in d.detail
+
+    def test_checkpoint_drift_vs_corruption(self, tmp_path):
+        # An internally *consistent* checkpoint whose snapshot drifted is
+        # checkpoint-drift; an inconsistent one is trace corruption.
+        _, records = record_records(tmp_path)
+        ci = next(i for i, r in enumerate(records) if r["kind"] == "checkpoint")
+        drifted = copy.deepcopy(records)
+        snapshot = drifted[ci]["snapshot"]
+        snapshot["nodes"][0]["pos"][0] += 7
+        drifted[ci]["snapshot_digest"] = payload_digest(snapshot)
+        result = diff_traces(records, drifted)
+        d = result.divergence
+        assert d.classification == "checkpoint-drift"
+        assert d.event == records[ci]["events"]
+        assert "outside the traced stream" in d.detail
+
+        corrupt = copy.deepcopy(records)
+        corrupt[ci]["snapshot_digest"] = "0" * 64
+        result = diff_traces(records, corrupt)
+        assert result.divergence.classification == "chain-break"
+
+    def test_neighborhood_describes_touched_nodes(self, tmp_path):
+        _, records = record_records(tmp_path)
+        lines = event_line_indices(records)
+        target = records[lines[6]]
+        perturbed = copy.deepcopy(records)
+        perturbed[lines[6]]["nid2"] = target["nid2"] + 500
+        result = diff_traces(records, perturbed)
+        hood = result.divergence.neighborhood
+        assert hood is not None
+        assert target["nid1"] in hood["touched"]
+        assert target["nid2"] in hood["touched"]
+        described = {n["nid"] for n in hood["nodes"]}
+        assert target["nid1"] in described
+        # The perturbed id names no real node: reported missing, not a crash.
+        assert target["nid2"] + 500 in hood["missing"]
+        assert hood["events"] <= 6  # window base is at or before the event
+
+    def test_neighborhood_opt_out(self, tmp_path):
+        _, records = record_records(tmp_path)
+        lines = event_line_indices(records)
+        perturbed = copy.deepcopy(records)
+        perturbed[lines[0]]["nid1"] += 1
+        result = diff_traces(records, perturbed, neighborhood=False)
+        assert result.divergence.neighborhood is None
+
+
+class TestPayload:
+    def test_payload_round_trip(self, tmp_path):
+        pa, records = record_records(tmp_path)
+        perturbed = copy.deepcopy(records)
+        perturbed[event_line_indices(records)[2]]["nid1"] += 9
+        payload = diff_traces(records, perturbed).to_payload()
+        assert payload["schema"] == DIFF_SCHEMA
+        assert validate_diff_payload(payload) == []
+        assert validate_payload(payload) == []  # registry dispatch
+
+    def test_identical_payload_valid(self, tmp_path):
+        pa, _ = record_records(tmp_path)
+        payload = diff_traces(pa, pa).to_payload()
+        assert payload["identical"] is True
+        assert validate_diff_payload(payload) == []
+
+    def test_payload_rejections(self):
+        assert validate_diff_payload([]) != []
+        bad = {
+            "schema": DIFF_SCHEMA,
+            "kind": "trace-diff",
+            "identical": False,
+            "a": {},
+            "b": {},
+            "events_compared": 0,
+            "checkpoints_compared": 0,
+            "divergence": {
+                "classification": "bogus",
+                "event": "five",
+                "side": "c",
+                "detail": 7,
+            },
+        }
+        errors = validate_diff_payload(bad)
+        assert any("classification" in e for e in errors)
+        assert any("event" in e for e in errors)
+        assert any("side" in e for e in errors)
+        assert any("detail" in e for e in errors)
+
+    def test_unknown_schema_names_registry(self):
+        errors = validate_payload({"schema": "nope/v9"})
+        assert len(errors) == 1
+        assert "known schemas:" in errors[0]
+        for schema_id in known_schemas():
+            assert schema_id in errors[0]
+
+
+class TestCli:
+    def test_diff_identical_exit_zero(self, tmp_path, capsys):
+        pa, _ = record_records(tmp_path, "a")
+        pb, _ = record_records(tmp_path, "b")
+        assert main(["diff", str(pa), str(pb)]) == 0
+        assert "identical" in capsys.readouterr().out
+
+    def test_diff_divergent_exit_one_and_json(self, tmp_path, capsys):
+        pa, _ = record_records(tmp_path, "a", seed=SEED)
+        pb, _ = record_records(tmp_path, "b", seed=SEED + 1)
+        out_json = tmp_path / "diff.json"
+        assert main(["diff", str(pa), str(pb), "--json", str(out_json)]) == 1
+        assert "DIVERGED" in capsys.readouterr().out
+        payload = json.loads(out_json.read_text())
+        assert validate_diff_payload(payload) == []
+        # repro validate dispatches on the diff schema id.
+        assert main(["validate", str(out_json)]) == 0
+
+    def test_diff_live(self, tmp_path, capsys):
+        pa, _ = record_records(tmp_path, "a")
+        assert main(["diff", str(pa), "--live"]) == 0
+        assert "identical" in capsys.readouterr().out
+
+    def test_diff_usage_errors(self, tmp_path, capsys):
+        pa, _ = record_records(tmp_path, "a")
+        assert main(["diff", str(pa)]) == 2
+        assert main(["diff", str(pa), str(pa), "--live"]) == 2
+
+
+# ----------------------------------------------------------------------
+# Hypothesis: the diff localizes any injected perturbation exactly
+# ----------------------------------------------------------------------
+
+_BASE = {"records": None, "raw": None}
+
+
+def _base_trace(tmp_path_factory):
+    if _BASE["records"] is None:
+        path = tmp_path_factory.mktemp("diff-hyp") / "base.trace"
+        record_scenario(
+            SCENARIO,
+            params=dict(PARAMS),
+            seed=SEED,
+            path=path,
+            checkpoint_every=8,
+        )
+        _BASE["raw"] = path.read_bytes()
+        _BASE["records"] = [
+            json.loads(l) for l in _BASE["raw"].splitlines()
+        ]
+    return _BASE["records"], _BASE["raw"]
+
+
+class TestDiffSoundness:
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.data())
+    def test_semantic_perturbation_localized(self, data, tmp_path_factory):
+        # Perturb exactly one event record: the diff must report an
+        # event-mismatch at exactly that event index — never later
+        # (missed prefix agreement) nor earlier (false positive).
+        records, _ = _base_trace(tmp_path_factory)
+        lines = event_line_indices(records)
+        k = data.draw(st.integers(1, len(lines)), label="event index")
+        field = data.draw(
+            st.sampled_from(["nid1", "nid2", "new_state1"]), label="field"
+        )
+        perturbed = copy.deepcopy(records)
+        record = perturbed[lines[k - 1]]
+        if field.startswith("nid"):
+            record[field] += data.draw(st.integers(1, 10_000))
+        else:
+            record[field] = ["__perturbed__", record.get(field)]
+        result = diff_traces(records, perturbed)
+        assert not result.identical
+        assert result.divergence.classification == "event-mismatch"
+        assert result.divergence.event == k
+        assert result.events_compared == k - 1
+
+    @settings(max_examples=40, deadline=None)
+    @given(data=st.data())
+    def test_single_byte_flip_localized(self, data, tmp_path_factory):
+        records, raw = _base_trace(tmp_path_factory)
+        lines = raw.splitlines()
+        pos = data.draw(st.integers(0, len(raw) - 1), label="byte position")
+        if raw[pos : pos + 1] == b"\n":
+            return  # structural newline: not a one-line flip
+        flip = data.draw(st.integers(1, 255), label="xor")
+        flipped = raw[:pos] + bytes([raw[pos] ^ flip]) + raw[pos + 1 :]
+
+        # Which line did we hit, and what should the flip classify as?
+        line_no = raw[:pos].count(b"\n")
+        flipped_line = flipped.splitlines()[line_no]
+        original = records[line_no]
+        try:
+            parsed = json.loads(flipped_line)
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            parsed = None
+        if parsed == original:
+            return  # parse-identical flip (e.g. inside an escape): no diff
+        last = line_no == len(lines) - 1
+        if not isinstance(parsed, dict):
+            expected = "premature-end" if last else "chain-break"
+        elif line_no == 0:
+            # Header: a parseable identity drift diffs at event 0; a broken
+            # snapshot is corruption. A flip the identity comparison cannot
+            # see (an advisory key, or a null-valued key renamed so .get()
+            # still answers None on both sides) passes the header stage and
+            # then breaks the hash chain — seeded over the header bytes —
+            # at the first checkpoint anchor.
+            snapshot = parsed.get("snapshot")
+            intact = (
+                parsed.get("kind") == "header"
+                and parsed.get("schema") == "repro.trace/v1"
+                and isinstance(snapshot, dict)
+                and payload_digest(snapshot) == parsed.get("snapshot_digest")
+            )
+            identity_drift = any(
+                k != "checkpoint_every" and parsed.get(k) != original.get(k)
+                for k in sorted(set(parsed) | set(original))
+            )
+            expected = (
+                "checkpoint-drift" if intact and identity_drift else "chain-break"
+            )
+        else:
+            kind = parsed.get("kind")
+            if kind in ("event", "move"):
+                expected = "event-mismatch"
+            elif kind in ("detach", "excise"):
+                expected = "fault-mismatch"
+            else:
+                # checkpoint/end self-digests break, as do unknown kinds.
+                expected = "chain-break"
+
+        result = diff_traces(raw, flipped)
+        assert not result.identical
+        assert result.divergence.classification == expected, (
+            f"flip at byte {pos} (line {line_no}): expected {expected}, "
+            f"got {result.divergence.classification}: "
+            f"{result.divergence.detail}"
+        )
+        if expected in ("event-mismatch", "fault-mismatch"):
+            assert result.divergence.event == original["index"]
+
+    @settings(max_examples=40, deadline=None)
+    @given(data=st.data())
+    def test_truncation_localized(self, data, tmp_path_factory):
+        records, raw = _base_trace(tmp_path_factory)
+        pos = data.draw(st.integers(1, len(raw) - 1), label="cut position")
+        truncated = raw[:pos]
+        complete = truncated.count(b"\n")
+        # Events fully present in the truncated prefix:
+        events_before = sum(
+            1 for r in records[:complete] if r["kind"] == "event"
+        )
+        dangling = truncated.splitlines()[-1] if not truncated.endswith(b"\n") else None
+        if dangling is not None:
+            try:
+                parsed = json.loads(dangling)
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                parsed = None
+            if parsed == records[complete]:
+                # The cut landed exactly at a line's final newline; the
+                # dangling "fragment" is a whole record.
+                if parsed["kind"] == "event":
+                    events_before += 1
+                complete += 1
+                dangling = None
+        if complete == len(records):
+            # Only the final newline was cut: the trace is still complete.
+            assert diff_traces(raw, truncated).identical
+            return
+        result = diff_traces(raw, truncated)
+        assert not result.identical
+        d = result.divergence
+        assert d.classification == "premature-end"
+        assert d.side == "b"
+        if dangling is None or json_parses_as_dict(dangling) is None:
+            # Pure truncation (possibly a torn, unparseable tail).
+            assert d.event == events_before
+        assert d.event is not None and d.event <= events_before + 1
+
+
+def json_parses_as_dict(line):
+    try:
+        parsed = json.loads(line)
+    except (json.JSONDecodeError, UnicodeDecodeError):
+        return None
+    return parsed if isinstance(parsed, dict) else None

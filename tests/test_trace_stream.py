@@ -448,3 +448,75 @@ class TestServiceTraceStream:
             except ReproError:
                 pass
             thread.join(timeout=30)
+
+
+class TestReaderEdgeCases:
+    """Adversarial inputs: the reader rejects, never misreads."""
+
+    def _record(self, tmp_path, checkpoint_every=8):
+        path = tmp_path / "edge.trace"
+        record_line_run(path, n=6, seed=4, checkpoint_every=checkpoint_every)
+        return path
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.trace"
+        path.write_bytes(b"")
+        assert validate_trace_bytes(b"") == ["empty trace (no header line)"]
+        with pytest.raises(TraceError, match="empty trace"):
+            TraceReader.load(path)
+        with pytest.raises(TraceError, match="empty trace"):
+            replay_trace(path)
+
+    def test_header_only_is_unfinalized(self, tmp_path):
+        path = self._record(tmp_path)
+        header_line = path.read_bytes().splitlines(keepends=True)[0]
+        lone = tmp_path / "header-only.trace"
+        lone.write_bytes(header_line)
+        errors = validate_trace_bytes(header_line)
+        assert errors and "unfinalized" in errors[0]
+        with pytest.raises(TraceError, match="unfinalized"):
+            replay_trace(lone)
+
+    def test_truncation_on_checkpoint_still_unfinalized(self, tmp_path):
+        # Ending *exactly* on a checkpoint line is still a torn trace: a
+        # checkpoint is a seek anchor, not an end anchor.
+        path = self._record(tmp_path, checkpoint_every=2)
+        lines = path.read_bytes().splitlines(keepends=True)
+        last_cp = max(
+            i
+            for i, line in enumerate(lines)
+            if json.loads(line)["kind"] == "checkpoint"
+        )
+        torn = b"".join(lines[: last_cp + 1])
+        errors = validate_trace_bytes(torn)
+        assert errors and "unfinalized" in errors[0]
+
+    def test_final_event_on_checkpoint_boundary_seeks_to_zero_applies(
+        self, tmp_path
+    ):
+        # A finalized trace whose last event lands exactly on a checkpoint:
+        # seek-replay starts at that anchor and applies zero records.
+        probe = self._record(tmp_path)
+        events = TraceReader.load(probe).events
+        path = tmp_path / "boundary.trace"
+        record_line_run(path, n=6, seed=4, checkpoint_every=events)
+        res = replay_trace(path, verify=True, use_checkpoints=True)
+        assert res.start_events == events
+        assert res.records_applied == 0
+        full = replay_trace(path, verify=True, use_checkpoints=False)
+        assert full.digest == res.digest
+
+    def test_duplicate_end_record_rejected(self, tmp_path):
+        path = self._record(tmp_path)
+        lines = path.read_bytes().splitlines(keepends=True)
+        doubled = b"".join(lines) + lines[-1]
+        errors = validate_trace_bytes(doubled)
+        assert errors == [f"line {len(lines)}: record after the end anchor"]
+
+    def test_replay_to_event_zero_is_initial_world(self, tmp_path):
+        path = self._record(tmp_path)
+        res = replay_trace(path, to_event=0, verify=True)
+        assert res.events == 0
+        assert res.records_applied == 0
+        header = TraceReader.load(path).header
+        assert res.digest == header["snapshot_digest"]
